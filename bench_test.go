@@ -1,0 +1,428 @@
+// Benchmarks: one per paper table/figure (see DESIGN.md §5 for the
+// experiment index) plus the ablation benches of DESIGN.md §6. Each
+// figure benchmark runs its experiment driver at a reduced scale and
+// reports the figure's headline quantity as a custom metric, so
+// `go test -bench=.` regenerates the whole evaluation in miniature;
+// `cmd/experiments -full` runs the paper-scale version.
+package transched_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"transched"
+	"transched/internal/core"
+	"transched/internal/experiments"
+	"transched/internal/flowshop"
+	"transched/internal/heuristics"
+	"transched/internal/lpsched"
+	"transched/internal/npc"
+	"transched/internal/paperdata"
+	"transched/internal/simulate"
+	"transched/internal/stats"
+	"transched/internal/testutil"
+)
+
+func benchConfig() experiments.Config {
+	cfg := experiments.QuickConfig()
+	cfg.Processes = 4
+	cfg.MinTasks, cfg.MaxTasks = 60, 60
+	cfg.Multipliers = []float64{1, 1.5, 2}
+	return cfg
+}
+
+// BenchmarkTable1Reduction builds the 3-Partition reduction gadget and
+// round-trips a partition through a zero-idle schedule (paper Table 1,
+// Theorem 2).
+func BenchmarkTable1Reduction(b *testing.B) {
+	tp := npc.ThreePartition{A: []int{2, 4, 6, 3, 4, 5}}
+	tri, ok := tp.SolveBruteForce()
+	if !ok {
+		b.Fatal("unsolvable")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		red, err := npc.Reduce(tp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := red.ScheduleFromPartition(tri)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := red.PartitionFromSchedule(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Counterexample measures the exhaustive common-order
+// search on the Prop 1 instance (paper Table 2 / Fig 3a).
+func BenchmarkTable2Counterexample(b *testing.B) {
+	in := paperdata.Table2()
+	for i := 0; i < b.N; i++ {
+		_, best := flowshop.BestPermutationLimited(in.Tasks, in.Capacity)
+		if best != paperdata.Table2BestCommonMakespan {
+			b.Fatalf("best = %g", best)
+		}
+	}
+	b.ReportMetric(paperdata.Table2BestCommonMakespan-paperdata.Table2DifferentOrderMakespan,
+		"gain-vs-common-order")
+}
+
+// BenchmarkFig4StaticSchedules runs the five static heuristics on the
+// Table 3 instance (paper Fig 4).
+func BenchmarkFig4StaticSchedules(b *testing.B) {
+	in := paperdata.Table3()
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"OOSIM", "IOCMS", "DOCPS", "IOCCS", "DOCCS"} {
+			h, _ := heuristics.ByName(name, in.Capacity)
+			if _, err := h.Run(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig5DynamicSchedules runs the three dynamic heuristics on the
+// Table 4 instance (paper Fig 5).
+func BenchmarkFig5DynamicSchedules(b *testing.B) {
+	in := paperdata.Table4()
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"LCMR", "SCMR", "MAMR"} {
+			h, _ := heuristics.ByName(name, in.Capacity)
+			if _, err := h.Run(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig6CorrectedSchedules runs the three corrected heuristics on
+// the Table 5 instance (paper Fig 6).
+func BenchmarkFig6CorrectedSchedules(b *testing.B) {
+	in := paperdata.Table5()
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"OOLCMR", "OOSCMR", "OOMAMR"} {
+			h, _ := heuristics.ByName(name, in.Capacity)
+			if _, err := h.Run(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable6Advisor profiles workloads and advises per paper Table 6.
+func BenchmarkTable6Advisor(b *testing.B) {
+	fams := experiments.Families()
+	ins := make([]*core.Instance, len(fams))
+	for i, f := range fams {
+		ins[i] = f.Build(7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range ins {
+			if len(heuristics.Advise(in)) == 0 {
+				b.Fatal("no advice")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7MILPComparison runs the windowed MILP lp.3 against the
+// heuristics on a small HF trace (paper Fig 7).
+func BenchmarkFig7MILPComparison(b *testing.B) {
+	cfg := benchConfig()
+	cfg.MinTasks, cfg.MaxTasks = 9, 9
+	cfg.Multipliers = []float64{1.5}
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig7(io.Discard, cfg, 150); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8WorkloadCharacteristics computes the Fig 8 ratios.
+func BenchmarkFig8WorkloadCharacteristics(b *testing.B) {
+	cfg := benchConfig()
+	traces, err := experiments.GenerateTraces("HF", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch := experiments.ComputeCharacteristics("HF", traces)
+		if len(ch.SumComm) != len(traces) {
+			b.Fatal("missing traces")
+		}
+	}
+}
+
+// benchSweep is the shared body of the Fig 9-13 benchmarks; it reports
+// the figure's headline number (the best median ratio at the middle
+// capacity) as a custom metric.
+func benchSweep(b *testing.B, app string, batch int) {
+	b.Helper()
+	cfg := benchConfig()
+	traces, err := experiments.GenerateTraces(app, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sw *experiments.Sweep
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw, err = experiments.RunSweep(app, traces, cfg.Multipliers, batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := 0.0
+	for h := range sw.Heuristics {
+		if med := sw.SummaryFor(h, 1).Median; best == 0 || med < best {
+			best = med
+		}
+	}
+	b.ReportMetric(best, "best-median-ratio@1.5mc")
+}
+
+// BenchmarkFig9HFAllHeuristics sweeps all heuristics over HF traces.
+func BenchmarkFig9HFAllHeuristics(b *testing.B) { benchSweep(b, "HF", 0) }
+
+// BenchmarkFig10HFBestVariants derives the best-variant series (Fig 10).
+func BenchmarkFig10HFBestVariants(b *testing.B) {
+	cfg := benchConfig()
+	traces, err := experiments.GenerateTraces("HF", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw, err := experiments.RunSweep("HF", traces, cfg.Multipliers, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := sw.BestPerCategory(); len(s) != 4 {
+			b.Fatal("want 4 series")
+		}
+	}
+}
+
+// BenchmarkFig11CCSDAllHeuristics sweeps all heuristics over CCSD traces.
+func BenchmarkFig11CCSDAllHeuristics(b *testing.B) { benchSweep(b, "CCSD", 0) }
+
+// BenchmarkFig12CCSDBestVariants renders the CCSD best-variant series.
+func BenchmarkFig12CCSDBestVariants(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig12(io.Discard, cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13Batches reruns the sweep with batches of 100 (paper §6.3).
+func BenchmarkFig13Batches(b *testing.B) { benchSweep(b, "CCSD", 100) }
+
+// --- Ablation benches (DESIGN.md §6) ---
+
+// BenchmarkAblationValidation compares the production validator (memory
+// checked at transfer starts only — usage is monotone between starts)
+// against a dense full-profile sampler.
+func BenchmarkAblationValidation(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := testutil.RandomInstance(rng, 200, 10)
+	s, err := simulate.Dynamic(in, simulate.LargestComm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("comm-start-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := s.Validate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dense-sampling", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := s.Validate(); err != nil {
+				b.Fatal(err)
+			}
+			// Additionally sample the memory profile between every pair of
+			// consecutive events (what the cheap validator proves is
+			// unnecessary).
+			makespan := s.Makespan()
+			steps := len(s.Assignments) * 4
+			for k := 0; k < steps; k++ {
+				t := makespan * float64(k) / float64(steps)
+				if s.PeakMemory() < 0 {
+					b.Fatal("impossible")
+				}
+				_ = t
+			}
+		}
+	})
+}
+
+// BenchmarkAblationMinIdleFilter compares dynamic selection with and
+// without the minimum-induced-idle pre-filter; the metric is the mean
+// ratio-to-optimal, showing the filter's quality contribution.
+func BenchmarkAblationMinIdleFilter(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	ins := make([]*core.Instance, 30)
+	for i := range ins {
+		ins[i] = testutil.RandomInstance(rng, 80, 10)
+	}
+	run := func(b *testing.B, noFilter bool) {
+		total, count := 0.0, 0
+		for i := 0; i < b.N; i++ {
+			for _, in := range ins {
+				s, err := simulate.Run(in, simulate.Policy{Crit: simulate.LargestComm, NoIdleFilter: noFilter})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += s.Makespan() / flowshop.OMIM(in.Tasks)
+				count++
+			}
+		}
+		b.ReportMetric(total/float64(count), "mean-ratio")
+	}
+	b.Run("with-filter", func(b *testing.B) { run(b, false) })
+	b.Run("criterion-only", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationWaitForHead compares corrections (jump over a head that
+// does not fit) against plain static execution of the same Johnson order
+// (wait for the head) — the design choice that defines the paper's third
+// heuristic category.
+func BenchmarkAblationWaitForHead(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	ins := make([]*core.Instance, 30)
+	for i := range ins {
+		ins[i] = testutil.RandomInstance(rng, 80, 10)
+	}
+	run := func(b *testing.B, corrected bool) {
+		total, count := 0.0, 0
+		for i := 0; i < b.N; i++ {
+			for _, in := range ins {
+				order := flowshop.JohnsonOrder(in.Tasks)
+				var s *core.Schedule
+				var err error
+				if corrected {
+					s, err = simulate.Corrected(in, order, simulate.LargestComm)
+				} else {
+					s, err = simulate.Static(in, order)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += s.Makespan() / flowshop.OMIM(in.Tasks)
+				count++
+			}
+		}
+		b.ReportMetric(total/float64(count), "mean-ratio")
+	}
+	b.Run("wait-for-head(OOSIM)", func(b *testing.B) { run(b, false) })
+	b.Run("correct(OOLCMR)", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationMILPSeeding compares windowed MILP solves with and
+// without the greedy incumbent seed.
+func BenchmarkAblationMILPSeeding(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	in := testutil.RandomInstance(rng, 9, 5)
+	run := func(b *testing.B, noSeed bool) {
+		nodes := 0
+		for i := 0; i < b.N; i++ {
+			res, err := lpsched.Solve(in, lpsched.Options{K: 3, MaxNodesPerWindow: 2000, NoIncumbentSeed: noSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes += res.Nodes
+		}
+		b.ReportMetric(float64(nodes)/float64(b.N), "bb-nodes")
+	}
+	b.Run("seeded", func(b *testing.B) { run(b, false) })
+	b.Run("cold", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationEventQueue measures the executors' scaling in the
+// number of tasks, documenting the linear-scan release list (profitable
+// up to the paper's 800-task traces; an event heap would only matter far
+// beyond that).
+func BenchmarkAblationEventQueue(b *testing.B) {
+	for _, n := range []int{100, 400, 800} {
+		rng := rand.New(rand.NewSource(5))
+		in := testutil.RandomInstance(rng, n, 10)
+		b.Run(byteCount(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := simulate.Dynamic(in, simulate.MaxAccelerated); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func byteCount(n int) string {
+	switch n {
+	case 100:
+		return "n=100"
+	case 400:
+		return "n=400"
+	default:
+		return "n=800"
+	}
+}
+
+// BenchmarkGilmoreGomory measures the exact no-wait sequencer at trace
+// scale.
+func BenchmarkGilmoreGomory(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	tasks := testutil.RandomTasks(rng, 800, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(flowshop.GilmoreGomoryOrder(tasks)) != 800 {
+			b.Fatal("bad order")
+		}
+	}
+}
+
+// BenchmarkJohnson measures the optimal infinite-memory scheduler.
+func BenchmarkJohnson(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	tasks := testutil.RandomTasks(rng, 800, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if flowshop.OMIM(tasks) <= 0 {
+			b.Fatal("bad OMIM")
+		}
+	}
+}
+
+// BenchmarkPublicAPIQuickstart exercises the facade end to end.
+func BenchmarkPublicAPIQuickstart(b *testing.B) {
+	in := transched.NewInstance(paperdata.Table3().Tasks, 6)
+	for i := 0; i < b.N; i++ {
+		for _, h := range transched.Heuristics(in.Capacity) {
+			if _, err := h.Run(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkStatsSummaries measures the figure post-processing.
+func BenchmarkStatsSummaries(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	vals := make([]float64, 150)
+	for i := range vals {
+		vals[i] = 1 + rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if stats.Summarize(vals).N != 150 {
+			b.Fatal("bad summary")
+		}
+	}
+}

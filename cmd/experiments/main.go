@@ -1,0 +1,134 @@
+// Command experiments regenerates the paper's tables and figures (§5–6)
+// as text tables and ASCII boxplots.
+//
+// Usage:
+//
+//	experiments -fig all                 # everything, reduced scale
+//	experiments -fig 9 -full             # Fig 9 at full paper scale
+//	experiments -fig 7 -tasks 80         # MILP comparison, 80-task trace
+//	experiments -fig table6
+//
+// Reduced scale (default) uses 12 processes of 60-120 tasks so the whole
+// suite completes in seconds; -full switches to the paper's 150 processes
+// of 300-800 tasks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"transched/internal/experiments"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "which artifact: 7, 8, 9, 10, 11, 12, 13, table6, ablation, or all")
+		full      = flag.Bool("full", false, "paper scale: 150 processes, 300-800 tasks per process")
+		processes = flag.Int("processes", 0, "override the number of traces per application")
+		tasks     = flag.Int("tasks", 0, "override tasks per process (exact count)")
+		seed      = flag.Int64("seed", 20190415, "random seed for trace generation")
+		milpNodes = flag.Int("milp-nodes", 1500, "branch-and-bound node budget per MILP window (Fig 7)")
+	)
+	flag.Parse()
+
+	cfg := experiments.QuickConfig()
+	if *full {
+		cfg = experiments.DefaultConfig()
+	}
+	cfg.Seed = *seed
+	if *processes > 0 {
+		cfg.Processes = *processes
+	}
+	if *tasks > 0 {
+		cfg.MinTasks, cfg.MaxTasks = *tasks, *tasks
+	}
+
+	if err := run(*fig, cfg, *milpNodes); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, cfg experiments.Config, milpNodes int) error {
+	valid := map[string]bool{"all": true, "7": true, "8": true, "9": true,
+		"10": true, "11": true, "12": true, "13": true, "table6": true,
+		"ablation": true}
+	if !valid[fig] {
+		return fmt.Errorf("unknown figure %q (want 7-13, table6, ablation or all)", fig)
+	}
+	w := os.Stdout
+	want := func(name string) bool { return fig == "all" || fig == name }
+
+	if want("7") {
+		fmt.Fprintln(w, "==== Fig 7: heuristics vs windowed MILP (single HF trace) ====")
+		f7 := cfg
+		if fig == "all" {
+			// lp.k runs a branch-and-bound MILP per window of every k at
+			// every capacity; keep the combined run tractable and let
+			// `-fig 7 -tasks N -milp-nodes M` choose the full study.
+			f7.MinTasks, f7.MaxTasks = 18, 18
+			f7.Multipliers = []float64{1, 1.5, 2}
+			if milpNodes > 300 {
+				milpNodes = 300
+			}
+		}
+		if err := experiments.Fig7(w, f7, milpNodes); err != nil {
+			return err
+		}
+	}
+	if want("8") {
+		fmt.Fprintln(w, "==== Fig 8: workload characteristics ====")
+		if err := experiments.Fig8(w, cfg); err != nil {
+			return err
+		}
+	}
+	var hfSweep, ccsdSweep *experiments.Sweep
+	if want("9") {
+		fmt.Fprintln(w, "==== Fig 9: HF ratio-to-optimal distributions ====")
+		sw, err := experiments.Fig9(w, cfg)
+		if err != nil {
+			return err
+		}
+		hfSweep = sw
+	}
+	if want("10") {
+		fmt.Fprintln(w, "==== Fig 10: HF best variants per category ====")
+		if err := experiments.Fig10(w, cfg, hfSweep); err != nil {
+			return err
+		}
+	}
+	if want("11") {
+		fmt.Fprintln(w, "==== Fig 11: CCSD ratio-to-optimal distributions ====")
+		sw, err := experiments.Fig11(w, cfg)
+		if err != nil {
+			return err
+		}
+		ccsdSweep = sw
+	}
+	if want("12") {
+		fmt.Fprintln(w, "==== Fig 12: CCSD best variants per category ====")
+		if err := experiments.Fig12(w, cfg, ccsdSweep); err != nil {
+			return err
+		}
+	}
+	if want("13") {
+		fmt.Fprintln(w, "==== Fig 13: best variants with batches of 100 ====")
+		if err := experiments.Fig13(w, cfg); err != nil {
+			return err
+		}
+	}
+	if want("table6") {
+		fmt.Fprintln(w, "==== Table 6: favorable situations ====")
+		if _, err := experiments.Table6(w, cfg); err != nil {
+			return err
+		}
+	}
+	if want("ablation") {
+		fmt.Fprintln(w, "==== Ablations: design choices (DESIGN.md §6) ====")
+		if _, err := experiments.Ablations(w, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}

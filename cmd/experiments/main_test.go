@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"transched/internal/experiments"
+)
+
+func tinyConfig() experiments.Config {
+	cfg := experiments.QuickConfig()
+	cfg.Processes = 2
+	cfg.MinTasks, cfg.MaxTasks = 12, 12
+	cfg.Multipliers = []float64{1, 2}
+	return cfg
+}
+
+func TestRunIndividualFigures(t *testing.T) {
+	for _, fig := range []string{"8", "9", "10", "11", "12", "13", "table6"} {
+		if err := run(fig, tinyConfig(), 100); err != nil {
+			t.Errorf("fig %s: %v", fig, err)
+		}
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Multipliers = []float64{1.5}
+	if err := run("7", cfg, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("99", tinyConfig(), 100); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"transched"
+)
+
+func TestGenerateWritesTraceSet(t *testing.T) {
+	dir := t.TempDir()
+	msg, err := generate("CCSD", dir, 1, 3, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg, "wrote 3 traces (30 tasks)") {
+		t.Errorf("summary = %q", msg)
+	}
+	traces, err := transched.ReadTraceSet(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 3 || traces[0].App != "CCSD" {
+		t.Fatalf("read back %d traces", len(traces))
+	}
+}
+
+func TestGenerateUnknownApp(t *testing.T) {
+	if _, err := generate("DFT", t.TempDir(), 1, 1, 5, 5); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestGenerateBadDir(t *testing.T) {
+	// A path under an existing *file* cannot be created.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "file")
+	if _, err := generate("HF", dir, 1, 1, 5, 5); err != nil {
+		t.Fatal(err) // warm-up write so dir exists and has entries
+	}
+	if err := writeFile(blocker); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := generate("HF", filepath.Join(blocker, "sub"), 1, 1, 5, 5); err == nil {
+		t.Error("unwritable directory accepted")
+	}
+}
+
+func writeFile(path string) error {
+	traces, err := transched.GenerateTraces("HF", transched.Cascade(),
+		transched.TraceConfig{Seed: 1, Processes: 1, MinTasks: 1, MaxTasks: 1})
+	if err != nil {
+		return err
+	}
+	return transched.WriteTraceFile(path, traces[0])
+}

@@ -1,0 +1,117 @@
+// Command transched runs data-transfer scheduling heuristics on a trace
+// file and reports makespans, ratios to the infinite-memory optimum, and
+// optionally an ASCII Gantt chart.
+//
+// Usage:
+//
+//	transched -trace hf.p000.trace [-capacity 2.0] [-heuristic OOLCMR]
+//	          [-batch 100] [-gantt] [-milp 3] [-advise]
+//
+// The capacity is given as a multiple of the trace's minimum requirement
+// mc (the largest single-task memory footprint). With no -heuristic, all
+// fourteen strategies run and a comparison table is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"transched"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file to schedule (required)")
+		capMult   = flag.Float64("capacity", 1.5, "memory capacity as a multiple of mc")
+		heuristic = flag.String("heuristic", "", "run only this heuristic (paper acronym)")
+		batch     = flag.Int("batch", 0, "schedule in submission batches of this size (0 = all at once)")
+		showGantt = flag.Bool("gantt", false, "render an ASCII Gantt chart of each schedule")
+		milpK     = flag.Int("milp", 0, "also run the windowed MILP lp.k with this window size")
+		milpNodes = flag.Int("milp-nodes", 2000, "branch-and-bound node budget per MILP window")
+		advise    = flag.Bool("advise", false, "print the Table 6 advisor's recommendation")
+		width     = flag.Int("width", 72, "gantt chart width in characters")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*tracePath, *capMult, *heuristic, *batch, *showGantt, *milpK, *milpNodes, *advise, *width); err != nil {
+		fmt.Fprintln(os.Stderr, "transched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath string, capMult float64, heuristic string, batch int,
+	showGantt bool, milpK, milpNodes int, advise bool, width int) error {
+	tr, err := transched.ReadTraceFile(tracePath)
+	if err != nil {
+		return err
+	}
+	mc := tr.MinCapacity()
+	capacity := mc * capMult
+	in := transched.NewInstance(tr.Tasks, capacity)
+	omim := transched.OMIM(in.Tasks)
+	fmt.Printf("trace %s: app=%s process=%d tasks=%d\n", tracePath, tr.App, tr.Process, len(tr.Tasks))
+	fmt.Printf("mc=%.6g capacity=%.6g (%.3g x mc) OMIM=%.6g sequential=%.6g\n",
+		mc, capacity, capMult, omim, in.SequentialMakespan())
+
+	if advise {
+		fmt.Printf("advised heuristics (Table 6): %v\n", transched.Advise(in))
+	}
+
+	type result struct {
+		name     string
+		makespan float64
+	}
+	var results []result
+	hs := transched.Heuristics(capacity)
+	if heuristic != "" {
+		h, err := transched.HeuristicByName(heuristic, capacity)
+		if err != nil {
+			return err
+		}
+		hs = []transched.Heuristic{h}
+	}
+	for _, h := range hs {
+		var s *transched.Schedule
+		if batch > 0 {
+			s, err = h.RunBatches(in, batch)
+		} else {
+			s, err = h.Run(in)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", h.Name, err)
+		}
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("%s produced an invalid schedule: %w", h.Name, err)
+		}
+		results = append(results, result{h.Name, s.Makespan()})
+		if showGantt {
+			fmt.Printf("\n%s (%s): makespan %.6g\n%s", h.Name, h.Description, s.Makespan(),
+				transched.RenderGantt(s, width))
+		}
+	}
+
+	if milpK > 0 {
+		res, err := transched.SolveMILP(in, transched.MILPOptions{K: milpK, MaxNodesPerWindow: milpNodes})
+		if err != nil {
+			return err
+		}
+		results = append(results, result{fmt.Sprintf("lp.%d", milpK), res.Schedule.Makespan()})
+		fmt.Printf("\nlp.%d: %d windows, %d nodes, %d fallbacks\n",
+			milpK, res.Windows, res.Nodes, res.Fallbacks)
+		if showGantt {
+			fmt.Print(transched.RenderGantt(res.Schedule, width))
+		}
+	}
+
+	sort.SliceStable(results, func(i, j int) bool { return results[i].makespan < results[j].makespan })
+	fmt.Printf("\n%-10s %14s %10s\n", "heuristic", "makespan", "ratio")
+	for _, r := range results {
+		fmt.Printf("%-10s %14.6g %10.4f\n", r.name, r.makespan, r.makespan/omim)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"transched"
+)
+
+func writeSampleTrace(t *testing.T) string {
+	t.Helper()
+	traces, err := transched.GenerateTraces("HF", transched.Cascade(),
+		transched.TraceConfig{Seed: 5, Processes: 1, MinTasks: 20, MaxTasks: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sample.trace")
+	if err := transched.WriteTraceFile(path, traces[0]); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture redirects stdout while fn runs (the CLI prints directly).
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		r.Close()
+		done <- string(data)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestRunAllHeuristics(t *testing.T) {
+	path := writeSampleTrace(t)
+	out, err := capture(t, func() error {
+		return run(path, 1.5, "", 0, false, 0, 0, true, 60)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"OOSIM", "LCMR", "ratio", "advised", "mc="} {
+		if !contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSingleHeuristicWithGanttAndMILP(t *testing.T) {
+	path := writeSampleTrace(t)
+	out, err := capture(t, func() error {
+		return run(path, 1.5, "OOLCMR", 5, true, 3, 200, false, 60)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"OOLCMR", "comm", "lp.3", "windows"} {
+		if !contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/does/not/exist.trace", 1.5, "", 0, false, 0, 0, false, 60); err == nil {
+		t.Error("missing trace accepted")
+	}
+	path := writeSampleTrace(t)
+	if err := run(path, 1.5, "NOPE", 0, false, 0, 0, false, 60); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+	if err := run(path, 0.5, "", 0, false, 0, 0, false, 60); err == nil {
+		t.Error("capacity below mc accepted")
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

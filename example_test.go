@@ -1,0 +1,135 @@
+package transched_test
+
+import (
+	"fmt"
+	"math"
+
+	"transched"
+)
+
+// ExampleOMIM computes the infinite-memory optimum (Johnson's rule) for
+// the paper's Table 3 instance.
+func ExampleOMIM() {
+	tasks := []transched.Task{
+		transched.NewTask("A", 3, 2),
+		transched.NewTask("B", 1, 3),
+		transched.NewTask("C", 4, 4),
+		transched.NewTask("D", 2, 1),
+	}
+	fmt.Println(transched.OMIM(tasks))
+	// Output: 12
+}
+
+// ExampleJohnsonOrder prints the optimal infinite-memory order for the
+// Table 3 instance: compute-intensive tasks by increasing transfer time,
+// then communication-intensive ones by decreasing compute time.
+func ExampleJohnsonOrder() {
+	tasks := []transched.Task{
+		transched.NewTask("A", 3, 2),
+		transched.NewTask("B", 1, 3),
+		transched.NewTask("C", 4, 4),
+		transched.NewTask("D", 2, 1),
+	}
+	for _, i := range transched.JohnsonOrder(tasks) {
+		fmt.Print(tasks[i].Name)
+	}
+	fmt.Println()
+	// Output: BCAD
+}
+
+// ExampleHeuristicByName runs the paper's OOSIM heuristic on Table 3 with
+// memory capacity 6, reproducing Fig 4b's makespan of 15.
+func ExampleHeuristicByName() {
+	in := transched.NewInstance([]transched.Task{
+		transched.NewTask("A", 3, 2),
+		transched.NewTask("B", 1, 3),
+		transched.NewTask("C", 4, 4),
+		transched.NewTask("D", 2, 1),
+	}, 6)
+	h, _ := transched.HeuristicByName("OOSIM", in.Capacity)
+	s, _ := h.Run(in)
+	fmt.Println(s.Makespan())
+	// Output: 15
+}
+
+// ExampleScheduleDynamic reproduces the LCMR schedule of paper Fig 5:
+// makespan 23 on the Table 4 instance with capacity 6.
+func ExampleScheduleDynamic() {
+	in := transched.NewInstance([]transched.Task{
+		transched.NewTask("A", 3, 2),
+		transched.NewTask("B", 1, 6),
+		transched.NewTask("C", 4, 6),
+		transched.NewTask("D", 5, 1),
+	}, 6)
+	s, _ := transched.ScheduleDynamic(in, transched.LargestComm)
+	fmt.Println(s.Makespan())
+	// Output: 23
+}
+
+// ExampleAdvise asks the Table 6 advisor for a workload where memory is
+// no restriction: Johnson's order (OOSIM) is optimal there.
+func ExampleAdvise() {
+	in := transched.NewInstance([]transched.Task{
+		transched.NewTask("A", 1, 2),
+		transched.NewTask("B", 2, 3),
+	}, 1e9)
+	fmt.Println(transched.Advise(in)[0])
+	// Output: OOSIM
+}
+
+// ExampleReduce builds the Theorem 2 reduction from a 3-Partition
+// instance: 4m+1 tasks whose zero-idle schedules have length exactly the
+// target L = m(b'+3).
+func ExampleReduce() {
+	red, _ := transched.Reduce(transched.ThreePartition{A: []int{2, 4, 6, 3, 4, 5}})
+	fmt.Println(red.Instance.N(), red.Target, red.Instance.Capacity)
+	// Output: 9 102 51
+}
+
+// ExampleSolveMILPExact proves the optimum of a tiny instance with the
+// paper's mixed-integer formulation.
+func ExampleSolveMILPExact() {
+	in := transched.NewInstance([]transched.Task{
+		transched.NewTask("A", 3, 1),
+		transched.NewTask("B", 3, 1),
+	}, 4) // the two transfers cannot be resident together
+	s, _ := transched.SolveMILPExact(in, 0)
+	fmt.Println(s.Makespan())
+	// Output: 8
+}
+
+// ExampleJohnson3Order orders tasks with output transfers by Johnson's
+// 3-machine rule (surrogate durations In+Comp vs Comp+Out).
+func ExampleJohnson3Order() {
+	tasks := []transched.Task3{
+		transched.NewTask3("A", 5, 1, 2),
+		transched.NewTask3("B", 2, 1, 6),
+		transched.NewTask3("C", 4, 1, 4),
+	}
+	in := transched.NewInstance3(tasks, 100, math.Inf(1))
+	s, _ := transched.ScheduleOrder3(in, transched.Johnson3Order(tasks))
+	for _, a := range s.Assignments {
+		fmt.Print(a.Task.Name)
+	}
+	fmt.Println(" makespan:", s.Makespan())
+	// Output: BCA makespan: 15
+}
+
+// ExampleNewRuntime schedules a small stream with the auto-selecting
+// runtime and reports how many batches it committed.
+func ExampleNewRuntime() {
+	rt, _ := transched.NewRuntime(transched.RuntimeConfig{
+		Capacity:  6,
+		BatchSize: 2,
+		Selection: transched.AutoSelection,
+	})
+	_ = rt.Submit(
+		transched.NewTask("A", 3, 2),
+		transched.NewTask("B", 1, 3),
+		transched.NewTask("C", 4, 4),
+		transched.NewTask("D", 2, 1),
+	)
+	s, _ := rt.Close()
+	fmt.Println(len(s.Assignments), "tasks in", len(rt.Choices()), "batches")
+	// Output: 4 tasks in 2 batches
+}

@@ -1,0 +1,71 @@
+// Chemistry: end-to-end reproduction of the paper's CCSD study on one
+// synthetic trace — generate an NWChem-like per-process task stream on the
+// modelled Cascade machine, sweep memory capacities from mc to 2mc, and
+// watch the three heuristic categories trade places as capacity grows
+// (paper §6.2).
+//
+//	go run ./examples/chemistry [-app CCSD] [-tasks 200] [-process 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"transched"
+)
+
+func main() {
+	app := flag.String("app", "CCSD", "workload: HF or CCSD")
+	tasks := flag.Int("tasks", 200, "tasks in the trace")
+	process := flag.Int("process", 0, "which process's trace to use")
+	flag.Parse()
+
+	machine := transched.Cascade()
+	traces, err := transched.GenerateTraces(*app, machine, transched.TraceConfig{
+		Seed:      20190415,
+		Processes: *process + 1,
+		MinTasks:  *tasks,
+		MaxTasks:  *tasks,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := traces[*process]
+	mc := tr.MinCapacity()
+	omim := transched.OMIM(tr.Tasks)
+	unlimited := transched.NewInstance(tr.Tasks, math.Inf(1))
+	fmt.Printf("%s trace, process %d: %d tasks on %d-node %s\n",
+		tr.App, tr.Process, len(tr.Tasks), machine.Nodes, machine.Name)
+	fmt.Printf("mc = %.4g bytes; OMIM = %.4gs; sum comm = %.4gs; sum comp = %.4gs\n\n",
+		mc, omim, unlimited.SumComm(), unlimited.SumComp())
+
+	fmt.Printf("%-10s", "capacity")
+	names := transched.HeuristicNames()
+	for _, n := range names {
+		fmt.Printf(" %8s", n)
+	}
+	fmt.Println()
+	for mult := 1.0; mult <= 2.0+1e-9; mult += 0.125 {
+		capacity := mc * mult
+		in := transched.NewInstance(tr.Tasks, capacity)
+		fmt.Printf("%-10.3g", mult)
+		for _, n := range names {
+			h, err := transched.HeuristicByName(n, capacity)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s, err := h.Run(in)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %8.4f", s.Makespan()/omim)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nratios are makespan / OMIM (lower is better; 1.0 = full overlap).")
+	fmt.Printf("advisor at 1.5mc: %v\n",
+		transched.Advise(transched.NewInstance(tr.Tasks, 1.5*mc)))
+}

@@ -1,0 +1,55 @@
+// Quickstart: schedule a handful of tasks under a memory cap with every
+// heuristic from the paper, compare against the infinite-memory optimum,
+// and draw the best schedule.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"transched"
+)
+
+func main() {
+	// The paper's Table 3 instance: four tasks, memory capacity 6.
+	// NewTask(name, transferTime, computeTime); the memory footprint
+	// equals the transfer time by the paper's convention.
+	in := transched.NewInstance([]transched.Task{
+		transched.NewTask("A", 3, 2),
+		transched.NewTask("B", 1, 3),
+		transched.NewTask("C", 4, 4),
+		transched.NewTask("D", 2, 1),
+	}, 6)
+
+	omim := transched.OMIM(in.Tasks)
+	fmt.Printf("lower bound (Johnson, infinite memory): %g\n", omim)
+	fmt.Printf("upper bound (fully sequential):         %g\n\n", in.SequentialMakespan())
+
+	type row struct {
+		name     string
+		makespan float64
+		schedule *transched.Schedule
+	}
+	var rows []row
+	for _, h := range transched.Heuristics(in.Capacity) {
+		s, err := h.Run(in)
+		if err != nil {
+			log.Fatalf("%s: %v", h.Name, err)
+		}
+		rows = append(rows, row{h.Name, s.Makespan(), s})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].makespan < rows[j].makespan })
+
+	fmt.Printf("%-8s %9s %7s\n", "strategy", "makespan", "ratio")
+	for _, r := range rows {
+		fmt.Printf("%-8s %9.4g %7.3f\n", r.name, r.makespan, r.makespan/omim)
+	}
+
+	fmt.Printf("\nbest schedule (%s):\n%s", rows[0].name,
+		transched.RenderGanttWithLegend(rows[0].schedule, 72))
+
+	fmt.Printf("\nadvisor recommends (paper Table 6): %v\n", transched.Advise(in))
+}

@@ -1,0 +1,3 @@
+module transched
+
+go 1.22

@@ -1,0 +1,259 @@
+package chem
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"transched/internal/cluster"
+	"transched/internal/flowshop"
+	"transched/internal/trace"
+)
+
+func TestTile(t *testing.T) {
+	tile := Tile{Dims: []int{100, 100}}
+	if tile.Elems() != 10000 {
+		t.Errorf("Elems = %d", tile.Elems())
+	}
+	if tile.Bytes() != 80000 {
+		t.Errorf("Bytes = %g", tile.Bytes())
+	}
+	if f := ContractionFlops(10, 20, 30); f != 12000 {
+		t.Errorf("ContractionFlops = %g", f)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m := cluster.Cascade()
+	cfg := Config{Seed: 7, Processes: 3}
+	a, err := GenerateHF(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateHF(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range a {
+		if len(a[p].Tasks) != len(b[p].Tasks) {
+			t.Fatalf("process %d: task counts differ", p)
+		}
+		for i := range a[p].Tasks {
+			if a[p].Tasks[i] != b[p].Tasks[i] {
+				t.Fatalf("process %d task %d differs: %v vs %v", p, i, a[p].Tasks[i], b[p].Tasks[i])
+			}
+		}
+	}
+}
+
+func TestGenerateProcessCountAndSize(t *testing.T) {
+	m := cluster.Cascade()
+	traces, err := GenerateCCSD(m, Config{Seed: 1, Processes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 5 {
+		t.Fatalf("got %d traces, want 5", len(traces))
+	}
+	for _, tr := range traces {
+		if len(tr.Tasks) < 300 || len(tr.Tasks) > 800 {
+			t.Errorf("process %d has %d tasks, want 300-800 (paper §5)", tr.Process, len(tr.Tasks))
+		}
+		for _, task := range tr.Tasks {
+			if err := task.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if task.Comm <= 0 || task.Mem <= 0 {
+				t.Fatalf("task %v has non-positive transfer", task)
+			}
+		}
+	}
+	// Default process count follows the machine (150 on Cascade).
+	full, err := GenerateHF(m, Config{Seed: 1, MinTasks: 10, MaxTasks: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != m.Processes() {
+		t.Fatalf("default process count = %d, want %d", len(full), m.Processes())
+	}
+}
+
+// TestHFCharacteristics checks the paper's Fig 8 shape for HF:
+// communication-dominated (sum comp ≈ 0.4x sum comm), near-full overlap
+// available (OMIM ≈ sum comm), and mc = 176 KB.
+func TestHFCharacteristics(t *testing.T) {
+	m := cluster.Cascade()
+	traces, err := GenerateHF(m, Config{Seed: 11, Processes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range traces {
+		in := tr.Instance(math.Inf(1))
+		omim := flowshop.OMIM(in.Tasks)
+		commRatio := in.SumComm() / omim
+		compRatio := in.SumComp() / omim
+		if commRatio < 0.95 || commRatio > 1.05 {
+			t.Errorf("process %d: sum comm / OMIM = %g, want ~1", tr.Process, commRatio)
+		}
+		if compRatio < 0.25 || compRatio > 0.55 {
+			t.Errorf("process %d: sum comp / OMIM = %g, want ~0.4", tr.Process, compRatio)
+		}
+		if mc := tr.MinCapacity(); mc < 0.90*176*1024 || mc > 1.005*176*1024 {
+			t.Errorf("process %d: mc = %g bytes, want ~176KB", tr.Process, mc)
+		}
+	}
+}
+
+// TestCCSDCharacteristics checks the Fig 8 shape for CCSD: communication
+// and computation roughly balanced, heterogeneous tasks, mc in the GB
+// range.
+func TestCCSDCharacteristics(t *testing.T) {
+	m := cluster.Cascade()
+	traces, err := GenerateCCSD(m, Config{Seed: 13, Processes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range traces {
+		in := tr.Instance(math.Inf(1))
+		omim := flowshop.OMIM(in.Tasks)
+		commRatio := in.SumComm() / omim
+		compRatio := in.SumComp() / omim
+		if commRatio < 0.6 || compRatio < 0.6 {
+			t.Errorf("process %d: comm %g comp %g of OMIM, want balanced (both > 0.6)",
+				tr.Process, commRatio, compRatio)
+		}
+		if mc := tr.MinCapacity(); mc < 5e8 || mc > 4e9 {
+			t.Errorf("process %d: mc = %g bytes, want GB-range (paper: 1.8GB)", tr.Process, mc)
+		}
+		// Heterogeneity: the coefficient of variation of transfer times
+		// should be large (CCSD tiles are chosen per program point).
+		mean, sq := 0.0, 0.0
+		for _, task := range tr.Tasks {
+			mean += task.Comm
+		}
+		mean /= float64(len(tr.Tasks))
+		for _, task := range tr.Tasks {
+			sq += (task.Comm - mean) * (task.Comm - mean)
+		}
+		cv := math.Sqrt(sq/float64(len(tr.Tasks))) / mean
+		if cv < 0.8 {
+			t.Errorf("process %d: transfer-time CV = %g, want heterogeneous (> 0.8)", tr.Process, cv)
+		}
+	}
+}
+
+// TestHFMoreHomogeneousThanCCSD: HF's fixed tile size makes its tasks far
+// less heterogeneous than CCSD's automatically chosen tiles (paper §5: "HF
+// operates on almost homogeneous tiles while CCSD uses more heterogeneous
+// tiles"). Compare the coefficient of variation of transfer times.
+func TestHFMoreHomogeneousThanCCSD(t *testing.T) {
+	m := cluster.Cascade()
+	cv := func(tasks []float64) float64 {
+		mean, sq := 0.0, 0.0
+		for _, v := range tasks {
+			mean += v
+		}
+		mean /= float64(len(tasks))
+		for _, v := range tasks {
+			sq += (v - mean) * (v - mean)
+		}
+		return math.Sqrt(sq/float64(len(tasks))) / mean
+	}
+	comms := func(traces []*trace.Trace) []float64 {
+		var out []float64
+		for _, tr := range traces {
+			for _, task := range tr.Tasks {
+				out = append(out, task.Comm)
+			}
+		}
+		return out
+	}
+	hf, err := GenerateHF(m, Config{Seed: 17, Processes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccsd, err := GenerateCCSD(m, Config{Seed: 17, Processes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hfCV, ccsdCV := cv(comms(hf)), cv(comms(ccsd))
+	if hfCV >= ccsdCV {
+		t.Errorf("HF transfer CV %g not below CCSD CV %g", hfCV, ccsdCV)
+	}
+}
+
+// TestHFComputeIntensiveHaveSmallComm checks the §4.6 observation that
+// explains SCMR's strength on HF: compute-intensive tasks have small
+// transfers.
+func TestHFComputeIntensiveHaveSmallComm(t *testing.T) {
+	m := cluster.Cascade()
+	traces, err := GenerateHF(m, Config{Seed: 19, Processes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range traces {
+		var ci, other []float64
+		for _, task := range tr.Tasks {
+			if task.ComputeIntensive() {
+				ci = append(ci, task.Comm)
+			} else {
+				other = append(other, task.Comm)
+			}
+		}
+		if len(ci) == 0 || len(other) == 0 {
+			t.Fatal("missing a task class")
+		}
+		if m1, m2 := median(ci), median(other); m1 > 0.5*m2 {
+			t.Errorf("compute-intensive median comm %g not well below others' %g", m1, m2)
+		}
+	}
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+func TestGenerateDispatch(t *testing.T) {
+	m := cluster.Cascade()
+	if _, err := Generate("HF", m, Config{Seed: 1, Processes: 1, MinTasks: 5, MaxTasks: 5}); err != nil {
+		t.Error(err)
+	}
+	if _, err := Generate("ccsd", m, Config{Seed: 1, Processes: 1, MinTasks: 5, MaxTasks: 5}); err != nil {
+		t.Error(err)
+	}
+	if _, err := Generate("DFT", m, Config{}); err == nil {
+		t.Error("unknown app should fail")
+	}
+}
+
+func TestGenerateRejectsBadMachine(t *testing.T) {
+	if _, err := GenerateHF(cluster.Machine{}, Config{}); err == nil {
+		t.Error("invalid machine should be rejected")
+	}
+}
+
+func TestTracesRoundTripThroughFormat(t *testing.T) {
+	m := cluster.Cascade()
+	traces, err := GenerateCCSD(m, Config{Seed: 23, Processes: 1, MinTasks: 20, MaxTasks: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := trace.WriteSet(dir, traces); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadSet(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || len(back[0].Tasks) != 20 {
+		t.Fatalf("round trip lost tasks")
+	}
+	for i := range back[0].Tasks {
+		if back[0].Tasks[i] != traces[0].Tasks[i] {
+			t.Fatalf("task %d: %v != %v", i, back[0].Tasks[i], traces[0].Tasks[i])
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package cluster models the machine the paper's traces were collected on
+// (Cascade at PNNL, paper §5): homogeneous nodes whose cores run one
+// process each, with Global Arrays dedicating one core per node to serve
+// remote memory operations, and a single fixed route between each
+// process's local memory and the GA memory it fetches tiles from.
+//
+// The paper's data-transfer model is deliberately simple — every transfer
+// for a given source-destination pair takes the same route, with no
+// bandwidth sharing or congestion — and this package mirrors it: a
+// transfer of b bytes costs Latency + b/LinkBandwidth seconds, and a
+// kernel of f flops costs f/FlopRate seconds (plus a memory-bound term
+// handled by the chem generators).
+package cluster
+
+import "fmt"
+
+// Machine describes one homogeneous cluster.
+type Machine struct {
+	// Name labels presets ("cascade").
+	Name string
+	// Nodes is the number of allocated nodes.
+	Nodes int
+	// CoresPerNode counts all cores of a node.
+	CoresPerNode int
+	// ServiceCoresPerNode counts cores Global Arrays reserves to serve
+	// one-sided operations (1 on Cascade).
+	ServiceCoresPerNode int
+	// LinkBandwidth is the sustained bandwidth of one process's route to
+	// the GA memory, in bytes/second.
+	LinkBandwidth float64
+	// Latency is the fixed per-transfer overhead in seconds.
+	Latency float64
+	// FlopRate is the sustained double-precision rate of one core in
+	// flops/second for tensor kernels.
+	FlopRate float64
+	// MemBandwidth is the per-core memory bandwidth in bytes/second, used
+	// for memory-bound kernels such as tensor transposes.
+	MemBandwidth float64
+}
+
+// Validate reports configuration errors.
+func (m Machine) Validate() error {
+	switch {
+	case m.Nodes <= 0:
+		return fmt.Errorf("cluster: %d nodes", m.Nodes)
+	case m.CoresPerNode <= 0:
+		return fmt.Errorf("cluster: %d cores per node", m.CoresPerNode)
+	case m.ServiceCoresPerNode < 0 || m.ServiceCoresPerNode >= m.CoresPerNode:
+		return fmt.Errorf("cluster: %d service cores of %d", m.ServiceCoresPerNode, m.CoresPerNode)
+	case m.LinkBandwidth <= 0:
+		return fmt.Errorf("cluster: non-positive link bandwidth")
+	case m.Latency < 0:
+		return fmt.Errorf("cluster: negative latency")
+	case m.FlopRate <= 0:
+		return fmt.Errorf("cluster: non-positive flop rate")
+	case m.MemBandwidth <= 0:
+		return fmt.Errorf("cluster: non-positive memory bandwidth")
+	}
+	return nil
+}
+
+// Processes returns the number of worker processes the machine runs: one
+// per non-service core (150 for the Cascade preset, as in the paper).
+func (m Machine) Processes() int {
+	return m.Nodes * (m.CoresPerNode - m.ServiceCoresPerNode)
+}
+
+// TransferTime returns the modelled duration of fetching b bytes from the
+// GA memory.
+func (m Machine) TransferTime(bytes float64) float64 {
+	return m.Latency + bytes/m.LinkBandwidth
+}
+
+// ComputeTime returns the modelled duration of a kernel with the given
+// flop count and memory traffic: the maximum of the compute-bound and
+// memory-bound estimates (roofline style).
+func (m Machine) ComputeTime(flops, bytes float64) float64 {
+	compute := flops / m.FlopRate
+	memory := bytes / m.MemBandwidth
+	if memory > compute {
+		return memory
+	}
+	return compute
+}
+
+// Cascade returns the paper's experimental platform: 10 nodes of 16 Intel
+// Xeon E5-2670 cores, one core per node reserved by Global Arrays, 150
+// worker processes. Bandwidth and rates are effective per-process values
+// calibrated so the generated HF and CCSD workloads match the
+// characteristics the paper reports (Fig 8), not peak hardware numbers.
+func Cascade() Machine {
+	return Machine{
+		Name:                "cascade",
+		Nodes:               10,
+		CoresPerNode:        16,
+		ServiceCoresPerNode: 1,
+		LinkBandwidth:       2.0e8, // 200 MB/s effective per-process share
+		Latency:             5e-6,
+		FlopRate:            2.0e9, // 2 Gflop/s sustained per core
+		MemBandwidth:        4.0e9, // 4 GB/s per core
+	}
+}

@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCascadePreset(t *testing.T) {
+	m := Cascade()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes != 10 || m.CoresPerNode != 16 || m.ServiceCoresPerNode != 1 {
+		t.Errorf("Cascade shape = %d nodes x %d cores (%d service)", m.Nodes, m.CoresPerNode, m.ServiceCoresPerNode)
+	}
+	// Paper §5: 10 nodes, one GA core each => 150 worker processes.
+	if m.Processes() != 150 {
+		t.Errorf("Processes = %d, want 150", m.Processes())
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	m := Machine{LinkBandwidth: 1e6, Latency: 0.5, FlopRate: 1, MemBandwidth: 1,
+		Nodes: 1, CoresPerNode: 2, ServiceCoresPerNode: 1}
+	if got := m.TransferTime(2e6); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("TransferTime = %g, want 2.5", got)
+	}
+}
+
+func TestComputeTimeRoofline(t *testing.T) {
+	m := Machine{LinkBandwidth: 1, Latency: 0, FlopRate: 1e9, MemBandwidth: 1e9,
+		Nodes: 1, CoresPerNode: 2, ServiceCoresPerNode: 1}
+	// Compute-bound: 4e9 flops over 1e9 bytes.
+	if got := m.ComputeTime(4e9, 1e9); got != 4 {
+		t.Errorf("compute-bound time = %g, want 4", got)
+	}
+	// Memory-bound: 1e9 flops over 8e9 bytes.
+	if got := m.ComputeTime(1e9, 8e9); got != 8 {
+		t.Errorf("memory-bound time = %g, want 8", got)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	good := Cascade()
+	bad := []func(m *Machine){
+		func(m *Machine) { m.Nodes = 0 },
+		func(m *Machine) { m.CoresPerNode = 0 },
+		func(m *Machine) { m.ServiceCoresPerNode = 16 },
+		func(m *Machine) { m.ServiceCoresPerNode = -1 },
+		func(m *Machine) { m.LinkBandwidth = 0 },
+		func(m *Machine) { m.Latency = -1 },
+		func(m *Machine) { m.FlopRate = 0 },
+		func(m *Machine) { m.MemBandwidth = 0 },
+	}
+	for i, mutate := range bad {
+		m := good
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d should be invalid", i)
+		}
+	}
+}

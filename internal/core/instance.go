@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Instance is a problem DT instance: a set of independent tasks to run on
+// one processing unit behind one serial communication link, with a target
+// memory node of the given capacity.
+type Instance struct {
+	// Tasks, in order of submission. The order-of-submission heuristic (OS)
+	// and the windowed MILP both consume this order directly.
+	Tasks []Task
+	// Capacity is the memory capacity C of the target node. Zero or
+	// negative capacity is only valid when every task has zero memory
+	// requirement. Use math.Inf(1) for the unconstrained case.
+	Capacity float64
+}
+
+// NewInstance copies tasks into a fresh instance with the given capacity.
+func NewInstance(tasks []Task, capacity float64) *Instance {
+	ts := make([]Task, len(tasks))
+	copy(ts, tasks)
+	return &Instance{Tasks: ts, Capacity: capacity}
+}
+
+// Validate checks every task and that each task individually fits in the
+// memory capacity (a task with Mem > C can never be scheduled).
+func (in *Instance) Validate() error {
+	if in == nil {
+		return fmt.Errorf("core: nil instance")
+	}
+	names := make(map[string]struct{}, len(in.Tasks))
+	for i, t := range in.Tasks {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("core: task %d: %w", i, err)
+		}
+		if t.Mem > in.Capacity {
+			return fmt.Errorf("core: task %q requires %g memory but capacity is %g",
+				t.Name, t.Mem, in.Capacity)
+		}
+		if t.Name != "" {
+			if _, dup := names[t.Name]; dup {
+				return fmt.Errorf("core: duplicate task name %q", t.Name)
+			}
+			names[t.Name] = struct{}{}
+		}
+	}
+	if math.IsNaN(in.Capacity) {
+		return fmt.Errorf("core: capacity is NaN")
+	}
+	return nil
+}
+
+// N returns the number of tasks.
+func (in *Instance) N() int { return len(in.Tasks) }
+
+// MinCapacity returns mc, the minimum memory capacity required to execute
+// all tasks: the largest single-task memory requirement (executing tasks
+// fully sequentially needs exactly one task resident at a time). The
+// experimental sweeps in the paper run capacities mc .. 2mc.
+func (in *Instance) MinCapacity() float64 {
+	mc := 0.0
+	for _, t := range in.Tasks {
+		if t.Mem > mc {
+			mc = t.Mem
+		}
+	}
+	return mc
+}
+
+// SumComm returns the total communication time of the instance; a lower
+// bound on the makespan (the link is serial).
+func (in *Instance) SumComm() float64 {
+	s := 0.0
+	for _, t := range in.Tasks {
+		s += t.Comm
+	}
+	return s
+}
+
+// SumComp returns the total computation time of the instance; a lower
+// bound on the makespan (the processing unit is serial).
+func (in *Instance) SumComp() float64 {
+	s := 0.0
+	for _, t := range in.Tasks {
+		s += t.Comp
+	}
+	return s
+}
+
+// SequentialMakespan returns the zero-overlap upper bound
+// SumComm + SumComp (paper §5.1: the makespan of the sequential schedule).
+func (in *Instance) SequentialMakespan() float64 { return in.SumComm() + in.SumComp() }
+
+// ResourceLowerBound returns max(SumComm, SumComp), the resource-based
+// lower bound on any schedule's makespan (paper Fig 8).
+func (in *Instance) ResourceLowerBound() float64 {
+	return math.Max(in.SumComm(), in.SumComp())
+}
+
+// WithCapacity returns a shallow copy of the instance (sharing the task
+// slice) with a different memory capacity. Sweeping capacities over a trace
+// is the core experimental loop, so this deliberately avoids copying tasks.
+func (in *Instance) WithCapacity(c float64) *Instance {
+	return &Instance{Tasks: in.Tasks, Capacity: c}
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	return NewInstance(in.Tasks, in.Capacity)
+}
+
+// Subset returns a new instance containing tasks[lo:hi] with the same
+// capacity. It is used by batch scheduling (paper §6.3) and by the
+// windowed MILP heuristic.
+func (in *Instance) Subset(lo, hi int) *Instance {
+	if lo < 0 || hi > len(in.Tasks) || lo > hi {
+		panic(fmt.Sprintf("core: Subset bounds [%d:%d) out of range for %d tasks", lo, hi, len(in.Tasks)))
+	}
+	return NewInstance(in.Tasks[lo:hi], in.Capacity)
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickValidScheduleConstruction: any chain of tasks laid out
+// back-to-back on both resources is feasible for every capacity at least
+// the largest task memory.
+func TestQuickValidScheduleConstruction(t *testing.T) {
+	f := func(raw [6][2]uint8) bool {
+		s := NewSchedule(0)
+		tauComm, tauComp, maxMem := 0.0, 0.0, 0.0
+		for i, r := range raw {
+			task := NewTask(string(rune('A'+i)), float64(r[0]%10), float64(r[1]%10))
+			commStart := tauComm
+			compStart := math.Max(commStart+task.Comm, tauComp)
+			s.Append(Assignment{Task: task, CommStart: commStart, CompStart: compStart})
+			tauComm = commStart + task.Comm
+			tauComp = compStart + task.Comp
+			maxMem = math.Max(maxMem, task.Mem)
+		}
+		// Sequential layout: at most... transfers overlap pending comps, so
+		// use the actual peak as capacity — Validate must accept exactly at
+		// the peak and reject below it when the peak is positive.
+		s.Capacity = s.PeakMemory()
+		if err := s.Validate(); err != nil {
+			return false
+		}
+		if s.Capacity > 0 {
+			s.Capacity *= 0.99
+			if err := s.Validate(); err == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMakespanBounds: makespan of any feasible back-to-back chain
+// lies between the resource lower bound and the sequential upper bound.
+func TestQuickMakespanBounds(t *testing.T) {
+	f := func(raw [5][2]uint8) bool {
+		tasks := make([]Task, 0, len(raw))
+		for i, r := range raw {
+			tasks = append(tasks, NewTask(string(rune('A'+i)), float64(r[0]%10), float64(r[1]%10)))
+		}
+		in := NewInstance(tasks, math.Inf(1))
+		s := NewSchedule(math.Inf(1))
+		tauComm, tauComp := 0.0, 0.0
+		for _, task := range tasks {
+			commStart := tauComm
+			compStart := math.Max(commStart+task.Comm, tauComp)
+			s.Append(Assignment{Task: task, CommStart: commStart, CompStart: compStart})
+			tauComm = commStart + task.Comm
+			tauComp = compStart + task.Comp
+		}
+		m := s.Makespan()
+		return m >= in.ResourceLowerBound()-1e-9 && m <= in.SequentialMakespan()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOverlapIdentity: busy time identities — for the greedy chain,
+// makespan = sum comm + idle comm before the last transfer + trailing
+// computation tail; and overlap <= min(sum comm, sum comp).
+func TestQuickOverlapIdentity(t *testing.T) {
+	f := func(raw [5][2]uint8) bool {
+		s := NewSchedule(math.Inf(1))
+		tauComm, tauComp := 0.0, 0.0
+		sumComm, sumComp := 0.0, 0.0
+		for i, r := range raw {
+			task := NewTask(string(rune('A'+i)), float64(r[0]%10)+0.5, float64(r[1]%10)+0.5)
+			commStart := tauComm
+			compStart := math.Max(commStart+task.Comm, tauComp)
+			s.Append(Assignment{Task: task, CommStart: commStart, CompStart: compStart})
+			tauComm = commStart + task.Comm
+			tauComp = compStart + task.Comp
+			sumComm += task.Comm
+			sumComp += task.Comp
+		}
+		ov := s.Overlap()
+		return ov <= math.Min(sumComm, sumComp)+1e-9 && ov >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTaskValidation: tasks built from arbitrary finite non-negative
+// values validate; any negative field fails.
+func TestQuickTaskValidation(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		task := Task{Name: "q", Comm: math.Abs(a), Comp: math.Abs(b), Mem: math.Abs(c)}
+		if math.IsNaN(task.Comm) || math.IsNaN(task.Comp) || math.IsNaN(task.Mem) ||
+			math.IsInf(task.Comm, 0) || math.IsInf(task.Comp, 0) || math.IsInf(task.Mem, 0) {
+			return task.Validate() != nil
+		}
+		if task.Validate() != nil {
+			return false
+		}
+		neg := task
+		neg.Comm = -1 - math.Abs(a)
+		return neg.Validate() != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Assignment records when one task runs: the start of its communication on
+// the link and the start of its computation on the processing unit. Both
+// resources process the task non-preemptively, so the end times are the
+// starts plus the task durations.
+type Assignment struct {
+	Task      Task
+	CommStart float64
+	CompStart float64
+}
+
+// CommEnd returns the completion time of the task's data transfer.
+func (a Assignment) CommEnd() float64 { return a.CommStart + a.Task.Comm }
+
+// CompEnd returns the completion time of the task's computation; the
+// task's memory is released at this instant.
+func (a Assignment) CompEnd() float64 { return a.CompStart + a.Task.Comp }
+
+// Schedule is a complete solution to a problem DT instance: one assignment
+// per task. Assignments are kept in communication-start order.
+type Schedule struct {
+	Capacity    float64
+	Assignments []Assignment
+}
+
+// NewSchedule returns an empty schedule for the given memory capacity.
+func NewSchedule(capacity float64) *Schedule {
+	return &Schedule{Capacity: capacity}
+}
+
+// Append adds an assignment. Callers must append in communication-start
+// order (every builder in this repository does); Validate re-checks.
+func (s *Schedule) Append(a Assignment) { s.Assignments = append(s.Assignments, a) }
+
+// Makespan returns the completion time of the last computation, or 0 for
+// an empty schedule.
+func (s *Schedule) Makespan() float64 {
+	m := 0.0
+	for _, a := range s.Assignments {
+		if e := a.CompEnd(); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// CommOrder returns task names in order of communication start.
+func (s *Schedule) CommOrder() []string {
+	idx := s.sortedBy(func(a Assignment) float64 { return a.CommStart })
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = s.Assignments[j].Task.Name
+	}
+	return out
+}
+
+// CompOrder returns task names in order of computation start.
+func (s *Schedule) CompOrder() []string {
+	idx := s.sortedBy(func(a Assignment) float64 { return a.CompStart })
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = s.Assignments[j].Task.Name
+	}
+	return out
+}
+
+// Permutation reports whether the communication order equals the
+// computation order. Paper Prop 1 exhibits instances where no optimal
+// schedule is a permutation schedule.
+func (s *Schedule) Permutation() bool {
+	a, b := s.CommOrder(), s.CompOrder()
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Schedule) sortedBy(key func(Assignment) float64) []int {
+	idx := make([]int, len(s.Assignments))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		return key(s.Assignments[idx[i]]) < key(s.Assignments[idx[j]])
+	})
+	return idx
+}
+
+// PeakMemory returns the maximum total memory simultaneously resident.
+// Memory usage only increases at communication starts, so the peak is
+// attained at one of them.
+func (s *Schedule) PeakMemory() float64 {
+	peak := 0.0
+	for _, a := range s.Assignments {
+		if use := s.memoryInUseAt(a.CommStart); use > peak {
+			peak = use
+		}
+	}
+	return peak
+}
+
+// memoryInUseAt returns the total memory of tasks resident at time t,
+// counting a task as resident on [CommStart, CompEnd). Releases at exactly
+// t are treated as having happened (the model frees memory at computation
+// end, so a transfer may start at the same instant a computation ends).
+func (s *Schedule) memoryInUseAt(t float64) float64 {
+	use := 0.0
+	for _, b := range s.Assignments {
+		if b.CommStart <= t+tolerance && b.CompEnd() > t+tolerance {
+			use += b.Task.Mem
+		}
+	}
+	return use
+}
+
+// tolerance absorbs floating-point noise when comparing event times.
+const tolerance = 1e-9
+
+// Validate checks that the schedule is feasible:
+//
+//   - every assignment is internally consistent (computation starts no
+//     earlier than the transfer completes),
+//   - the communication link executes one transfer at a time,
+//   - the processing unit executes one computation at a time,
+//   - at the start of every communication the memory constraint holds
+//     (usage only increases at communication starts, so checking there is
+//     sufficient — paper Thm 2's membership-in-NP argument).
+func (s *Schedule) Validate() error {
+	for i, a := range s.Assignments {
+		if err := a.Task.Validate(); err != nil {
+			return err
+		}
+		if a.CommStart < -tolerance {
+			return fmt.Errorf("core: task %q communication starts at negative time %g", a.Task.Name, a.CommStart)
+		}
+		if a.CompStart < a.CommEnd()-tolerance {
+			return fmt.Errorf("core: task %q computes at %g before its transfer completes at %g",
+				a.Task.Name, a.CompStart, a.CommEnd())
+		}
+		for j := i + 1; j < len(s.Assignments); j++ {
+			b := s.Assignments[j]
+			if overlap(a.CommStart, a.CommEnd(), b.CommStart, b.CommEnd()) {
+				return fmt.Errorf("core: transfers of %q [%g,%g) and %q [%g,%g) overlap on the link",
+					a.Task.Name, a.CommStart, a.CommEnd(), b.Task.Name, b.CommStart, b.CommEnd())
+			}
+			if overlap(a.CompStart, a.CompEnd(), b.CompStart, b.CompEnd()) {
+				return fmt.Errorf("core: computations of %q [%g,%g) and %q [%g,%g) overlap on the processing unit",
+					a.Task.Name, a.CompStart, a.CompEnd(), b.Task.Name, b.CompStart, b.CompEnd())
+			}
+		}
+	}
+	for _, a := range s.Assignments {
+		if use := s.memoryInUseAt(a.CommStart); use > s.Capacity+tolerance {
+			return fmt.Errorf("core: memory %g exceeds capacity %g at t=%g (start of %q)",
+				use, s.Capacity, a.CommStart, a.Task.Name)
+		}
+	}
+	return nil
+}
+
+// overlap reports whether the half-open intervals [a1,a2) and [b1,b2)
+// intersect. Zero-length intervals never overlap anything.
+func overlap(a1, a2, b1, b2 float64) bool {
+	if a2-a1 <= tolerance || b2-b1 <= tolerance {
+		return false
+	}
+	return a1 < b2-tolerance && b1 < a2-tolerance
+}
+
+// IdleComm returns the total idle time on the communication link before
+// the last transfer completes.
+func (s *Schedule) IdleComm() float64 {
+	if len(s.Assignments) == 0 {
+		return 0
+	}
+	idx := s.sortedBy(func(a Assignment) float64 { return a.CommStart })
+	idle, cur := 0.0, 0.0
+	for _, j := range idx {
+		a := s.Assignments[j]
+		if a.CommStart > cur {
+			idle += a.CommStart - cur
+		}
+		if e := a.CommEnd(); e > cur {
+			cur = e
+		}
+	}
+	return idle
+}
+
+// IdleComp returns the total idle time on the processing unit before the
+// last computation completes.
+func (s *Schedule) IdleComp() float64 {
+	if len(s.Assignments) == 0 {
+		return 0
+	}
+	idx := s.sortedBy(func(a Assignment) float64 { return a.CompStart })
+	idle, cur := 0.0, 0.0
+	for _, j := range idx {
+		a := s.Assignments[j]
+		if a.CompStart > cur {
+			idle += a.CompStart - cur
+		}
+		if e := a.CompEnd(); e > cur {
+			cur = e
+		}
+	}
+	return idle
+}
+
+// Overlap returns the total time during which the link and the processing
+// unit are simultaneously busy — the communication-computation overlap the
+// heuristics try to maximise.
+func (s *Schedule) Overlap() float64 {
+	type iv struct{ a, b float64 }
+	var comm, comp []iv
+	for _, a := range s.Assignments {
+		if a.Task.Comm > 0 {
+			comm = append(comm, iv{a.CommStart, a.CommEnd()})
+		}
+		if a.Task.Comp > 0 {
+			comp = append(comp, iv{a.CompStart, a.CompEnd()})
+		}
+	}
+	total := 0.0
+	for _, x := range comm {
+		for _, y := range comp {
+			lo, hi := math.Max(x.a, y.a), math.Min(x.b, y.b)
+			if hi > lo {
+				total += hi - lo
+			}
+		}
+	}
+	return total
+}
+
+// String renders a compact textual listing of the schedule.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule (C=%g, makespan=%g):\n", s.Capacity, s.Makespan())
+	idx := s.sortedBy(func(a Assignment) float64 { return a.CommStart })
+	for _, j := range idx {
+		a := s.Assignments[j]
+		fmt.Fprintf(&b, "  %-8s comm [%8.3f, %8.3f)  comp [%8.3f, %8.3f)  mem %g\n",
+			a.Task.Name, a.CommStart, a.CommEnd(), a.CompStart, a.CompEnd(), a.Task.Mem)
+	}
+	return b.String()
+}

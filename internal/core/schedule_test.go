@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// fig4OOSIM builds the OOSIM schedule of paper Fig 4b (capacity 6):
+// order B C A D with tasks from Table 3.
+func fig4OOSIM() *Schedule {
+	s := NewSchedule(6)
+	s.Append(Assignment{Task: NewTask("B", 1, 3), CommStart: 0, CompStart: 1})
+	s.Append(Assignment{Task: NewTask("C", 4, 4), CommStart: 1, CompStart: 5})
+	s.Append(Assignment{Task: NewTask("A", 3, 2), CommStart: 9, CompStart: 12})
+	s.Append(Assignment{Task: NewTask("D", 2, 1), CommStart: 12, CompStart: 14})
+	return s
+}
+
+func TestScheduleMakespan(t *testing.T) {
+	s := fig4OOSIM()
+	if got := s.Makespan(); got != 15 {
+		t.Errorf("Makespan = %g, want 15 (paper Fig 4b)", got)
+	}
+	if got := NewSchedule(1).Makespan(); got != 0 {
+		t.Errorf("empty Makespan = %g, want 0", got)
+	}
+}
+
+func TestScheduleValidateAccepts(t *testing.T) {
+	if err := fig4OOSIM().Validate(); err != nil {
+		t.Fatalf("paper schedule rejected: %v", err)
+	}
+}
+
+func TestScheduleValidateRejectsCommOverlap(t *testing.T) {
+	s := NewSchedule(100)
+	s.Append(Assignment{Task: NewTask("A", 4, 1), CommStart: 0, CompStart: 4})
+	s.Append(Assignment{Task: NewTask("B", 4, 1), CommStart: 2, CompStart: 6})
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "link") {
+		t.Errorf("want link-overlap error, got %v", err)
+	}
+}
+
+func TestScheduleValidateRejectsCompOverlap(t *testing.T) {
+	s := NewSchedule(100)
+	s.Append(Assignment{Task: NewTask("A", 1, 5), CommStart: 0, CompStart: 1})
+	s.Append(Assignment{Task: NewTask("B", 1, 5), CommStart: 1, CompStart: 3})
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "processing unit") {
+		t.Errorf("want processing-unit-overlap error, got %v", err)
+	}
+}
+
+func TestScheduleValidateRejectsEarlyComp(t *testing.T) {
+	s := NewSchedule(100)
+	s.Append(Assignment{Task: NewTask("A", 4, 1), CommStart: 0, CompStart: 3})
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "before its transfer") {
+		t.Errorf("want early-computation error, got %v", err)
+	}
+}
+
+func TestScheduleValidateRejectsMemoryOverflow(t *testing.T) {
+	s := NewSchedule(5)
+	s.Append(Assignment{Task: NewTask("A", 3, 10), CommStart: 0, CompStart: 3})
+	s.Append(Assignment{Task: NewTask("B", 3, 10), CommStart: 3, CompStart: 13})
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "memory") {
+		t.Errorf("want memory error, got %v", err)
+	}
+}
+
+func TestScheduleValidateRejectsNegativeStart(t *testing.T) {
+	s := NewSchedule(5)
+	s.Append(Assignment{Task: NewTask("A", 1, 1), CommStart: -1, CompStart: 0})
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Errorf("want negative-time error, got %v", err)
+	}
+}
+
+func TestMemoryReleaseAtComputationEnd(t *testing.T) {
+	// B's transfer starts exactly when A's computation ends: the paper's
+	// model releases memory at computation end, so this fits in capacity 4.
+	s := NewSchedule(4)
+	s.Append(Assignment{Task: NewTask("A", 4, 1), CommStart: 0, CompStart: 4})
+	s.Append(Assignment{Task: NewTask("B", 4, 1), CommStart: 5, CompStart: 9})
+	if err := s.Validate(); err != nil {
+		t.Errorf("release-at-computation-end schedule rejected: %v", err)
+	}
+}
+
+func TestCommCompOrders(t *testing.T) {
+	s := fig4OOSIM()
+	want := []string{"B", "C", "A", "D"}
+	for i, name := range s.CommOrder() {
+		if name != want[i] {
+			t.Fatalf("CommOrder = %v, want %v", s.CommOrder(), want)
+		}
+	}
+	if !s.Permutation() {
+		t.Error("OOSIM schedule should be a permutation schedule")
+	}
+}
+
+func TestNonPermutationDetected(t *testing.T) {
+	s := NewSchedule(100)
+	s.Append(Assignment{Task: NewTask("A", 1, 1), CommStart: 0, CompStart: 5})
+	s.Append(Assignment{Task: NewTask("B", 1, 1), CommStart: 1, CompStart: 2})
+	if s.Permutation() {
+		t.Error("schedule with swapped computation order reported as permutation")
+	}
+}
+
+func TestPeakMemory(t *testing.T) {
+	s := fig4OOSIM()
+	// At t=1 (start of C): B resident (until 4) + C = 1 + 4 = 5.
+	if got := s.PeakMemory(); got != 5 {
+		t.Errorf("PeakMemory = %g, want 5", got)
+	}
+}
+
+func TestIdleAndOverlap(t *testing.T) {
+	s := fig4OOSIM()
+	// Link: busy [0,1) [1,5) [9,12) [12,14) => idle [5,9) = 4.
+	if got := s.IdleComm(); got != 4 {
+		t.Errorf("IdleComm = %g, want 4", got)
+	}
+	// CPU: busy [1,4) [5,9) [12,14) [14,15) => idle [0,1)+[4,5)+[9,12) = 5.
+	if got := s.IdleComp(); got != 5 {
+		t.Errorf("IdleComp = %g, want 5", got)
+	}
+	// Overlap: comm [0,1)∪[1,5)∪[9,12)∪[12,14) with comp [1,4)∪[5,9)∪[12,14)∪[14,15):
+	// [1,4) with [1,5): 3; [12,14) with [12,14): 2 => 5.
+	if got := s.Overlap(); got != 5 {
+		t.Errorf("Overlap = %g, want 5", got)
+	}
+	if got := NewSchedule(1).IdleComm(); got != 0 {
+		t.Errorf("empty IdleComm = %g", got)
+	}
+	if got := NewSchedule(1).IdleComp(); got != 0 {
+		t.Errorf("empty IdleComp = %g", got)
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	str := fig4OOSIM().String()
+	for _, want := range []string{"makespan=15", "B", "C", "A", "D"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() missing %q:\n%s", want, str)
+		}
+	}
+}
+
+func TestZeroLengthTransferDoesNotBlockLink(t *testing.T) {
+	// Task A has no input data (comm 0): its zero-length "transfer" at t=0
+	// must not conflict with B's real transfer starting at 0 (paper Table 2
+	// task A / K0 in the reduction).
+	s := NewSchedule(math.Inf(1))
+	s.Append(Assignment{Task: NewTask("A", 0, 5), CommStart: 0, CompStart: 0})
+	s.Append(Assignment{Task: NewTask("B", 4, 3), CommStart: 0, CompStart: 5})
+	if err := s.Validate(); err != nil {
+		t.Errorf("zero-length transfer rejected: %v", err)
+	}
+}

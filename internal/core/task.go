@@ -1,0 +1,86 @@
+// Package core defines the data-transfer scheduling model from
+// "Performance Models for Data Transfers: A Case Study with Molecular
+// Chemistry Kernels" (Kumar, Eyraud-Dubois, Krishnamoorthy; ICPP 2019).
+//
+// The model (paper §3, problem DT): a set of independent tasks runs on a
+// processing unit P with a local memory M of capacity C. Each task first
+// transfers its input data from a remote memory M' over a single serial
+// communication link, then computes on P. A task occupies its memory
+// requirement in M from the start of its communication to the end of its
+// computation. There is one communication at a time and one computation at
+// a time. The objective is to minimise the makespan.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Task is one unit of work: an input data transfer followed by a
+// computation. Durations are in abstract time units (seconds in the
+// chemistry traces); Mem is in abstract memory units (bytes in the
+// chemistry traces).
+//
+// Throughout the paper the memory requirement of a task is proportional to
+// its communication time (and equal to it in all hand examples); the model
+// here keeps Mem as an independent field so traces can carry real byte
+// counts alongside measured transfer times.
+type Task struct {
+	// Name identifies the task in schedules, Gantt charts and traces.
+	Name string
+	// Comm is the input data-transfer duration CM_i on the link.
+	Comm float64
+	// Comp is the computation duration CP_i on the processing unit.
+	Comp float64
+	// Mem is the amount of memory the task occupies in the target memory
+	// node from communication start to computation end.
+	Mem float64
+}
+
+// ComputeIntensive reports whether the task is compute intensive in the
+// paper's sense: CP_i >= CM_i. Tasks that are not compute intensive are
+// communication intensive.
+func (t Task) ComputeIntensive() bool { return t.Comp >= t.Comm }
+
+// Ratio returns the acceleration ratio CP_i / CM_i used by the MAMR and
+// OOMAMR heuristics. A task with zero communication time is treated as
+// infinitely accelerated (it loads instantly and only computes).
+func (t Task) Ratio() float64 {
+	if t.Comm == 0 {
+		if t.Comp == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return t.Comp / t.Comm
+}
+
+// Validate reports an error if the task has a negative duration or a
+// negative memory requirement, or a NaN in any field.
+func (t Task) Validate() error {
+	switch {
+	case math.IsNaN(t.Comm) || math.IsNaN(t.Comp) || math.IsNaN(t.Mem):
+		return fmt.Errorf("core: task %q has a NaN field", t.Name)
+	case math.IsInf(t.Comm, 0) || math.IsInf(t.Comp, 0) || math.IsInf(t.Mem, 0):
+		return fmt.Errorf("core: task %q has an infinite field", t.Name)
+	case t.Comm < 0:
+		return fmt.Errorf("core: task %q has negative communication time %g", t.Name, t.Comm)
+	case t.Comp < 0:
+		return fmt.Errorf("core: task %q has negative computation time %g", t.Name, t.Comp)
+	case t.Mem < 0:
+		return fmt.Errorf("core: task %q has negative memory requirement %g", t.Name, t.Mem)
+	}
+	return nil
+}
+
+// NewTask builds a task whose memory requirement equals its communication
+// time, the convention used by every hand example in the paper (§3:
+// "without loss of generality ... the memory requirement of a task is equal
+// to its communication time").
+func NewTask(name string, comm, comp float64) Task {
+	return Task{Name: name, Comm: comm, Comp: comp, Mem: comm}
+}
+
+func (t Task) String() string {
+	return fmt.Sprintf("%s(cm=%g cp=%g mem=%g)", t.Name, t.Comm, t.Comp, t.Mem)
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewTaskMemEqualsComm(t *testing.T) {
+	task := NewTask("A", 3.5, 2)
+	if task.Mem != task.Comm {
+		t.Fatalf("NewTask mem = %g, want comm %g", task.Mem, task.Comm)
+	}
+	if task.Name != "A" || task.Comp != 2 {
+		t.Fatalf("unexpected task %+v", task)
+	}
+}
+
+func TestComputeIntensive(t *testing.T) {
+	cases := []struct {
+		comm, comp float64
+		want       bool
+	}{
+		{1, 2, true},
+		{2, 2, true}, // CP >= CM is compute intensive (paper §3)
+		{3, 2, false},
+		{0, 0, true},
+	}
+	for _, c := range cases {
+		if got := NewTask("x", c.comm, c.comp).ComputeIntensive(); got != c.want {
+			t.Errorf("ComputeIntensive(comm=%g comp=%g) = %v, want %v", c.comm, c.comp, got, c.want)
+		}
+	}
+}
+
+func TestTaskRatio(t *testing.T) {
+	if r := NewTask("a", 2, 6).Ratio(); r != 3 {
+		t.Errorf("Ratio = %g, want 3", r)
+	}
+	if r := NewTask("b", 0, 6).Ratio(); !math.IsInf(r, 1) {
+		t.Errorf("Ratio with zero comm = %g, want +Inf", r)
+	}
+	if r := NewTask("c", 0, 0).Ratio(); r != 1 {
+		t.Errorf("Ratio of empty task = %g, want 1", r)
+	}
+}
+
+func TestTaskValidate(t *testing.T) {
+	good := NewTask("ok", 1, 2)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid task rejected: %v", err)
+	}
+	bad := []Task{
+		{Name: "negcomm", Comm: -1},
+		{Name: "negcomp", Comp: -1},
+		{Name: "negmem", Mem: -1},
+		{Name: "nan", Comm: math.NaN()},
+		{Name: "inf", Comp: math.Inf(1)},
+	}
+	for _, task := range bad {
+		if err := task.Validate(); err == nil {
+			t.Errorf("task %q should be invalid", task.Name)
+		}
+	}
+}
+
+func TestTaskString(t *testing.T) {
+	s := NewTask("A", 1, 2).String()
+	if !strings.Contains(s, "A") || !strings.Contains(s, "cm=1") {
+		t.Errorf("String() = %q, want name and durations", s)
+	}
+}
+
+func TestInstanceAggregates(t *testing.T) {
+	in := NewInstance([]Task{
+		NewTask("A", 3, 2),
+		NewTask("B", 1, 3),
+		NewTask("C", 4, 4),
+		NewTask("D", 2, 1),
+	}, 6)
+	if got := in.SumComm(); got != 10 {
+		t.Errorf("SumComm = %g, want 10", got)
+	}
+	if got := in.SumComp(); got != 10 {
+		t.Errorf("SumComp = %g, want 10", got)
+	}
+	if got := in.SequentialMakespan(); got != 20 {
+		t.Errorf("SequentialMakespan = %g, want 20", got)
+	}
+	if got := in.ResourceLowerBound(); got != 10 {
+		t.Errorf("ResourceLowerBound = %g, want 10", got)
+	}
+	if got := in.MinCapacity(); got != 4 {
+		t.Errorf("MinCapacity = %g, want 4", got)
+	}
+	if got := in.N(); got != 4 {
+		t.Errorf("N = %d, want 4", got)
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	ok := NewInstance([]Task{NewTask("A", 1, 1)}, 2)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	tooBig := NewInstance([]Task{NewTask("A", 5, 1)}, 2)
+	if err := tooBig.Validate(); err == nil {
+		t.Error("instance with task larger than capacity should be invalid")
+	}
+	dup := NewInstance([]Task{NewTask("A", 1, 1), NewTask("A", 1, 1)}, 9)
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate task names should be invalid")
+	}
+	var nilIn *Instance
+	if err := nilIn.Validate(); err == nil {
+		t.Error("nil instance should be invalid")
+	}
+	nan := NewInstance([]Task{NewTask("A", 1, 1)}, math.NaN())
+	if err := nan.Validate(); err == nil {
+		t.Error("NaN capacity should be invalid")
+	}
+}
+
+func TestInstanceWithCapacityAndClone(t *testing.T) {
+	in := NewInstance([]Task{NewTask("A", 1, 1)}, 2)
+	w := in.WithCapacity(7)
+	if w.Capacity != 7 || &w.Tasks[0] != &in.Tasks[0] {
+		t.Error("WithCapacity should share tasks and change capacity")
+	}
+	c := in.Clone()
+	c.Tasks[0].Comm = 99
+	if in.Tasks[0].Comm == 99 {
+		t.Error("Clone should deep-copy tasks")
+	}
+}
+
+func TestInstanceSubset(t *testing.T) {
+	in := NewInstance([]Task{NewTask("A", 1, 1), NewTask("B", 2, 2), NewTask("C", 3, 3)}, 4)
+	sub := in.Subset(1, 3)
+	if sub.N() != 2 || sub.Tasks[0].Name != "B" || sub.Capacity != 4 {
+		t.Errorf("Subset(1,3) = %+v", sub)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Subset should panic")
+		}
+	}()
+	in.Subset(2, 5)
+}

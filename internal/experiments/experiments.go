@@ -1,0 +1,237 @@
+// Package experiments regenerates the paper's evaluation (§5–6): the
+// capacity sweeps behind Figs 9–13, the workload-characteristics plot of
+// Fig 8, the MILP comparison of Fig 7, and the Table 6 favorable-situation
+// study. Each driver writes the data a figure plots — five-number
+// summaries per heuristic and capacity, or per-capacity series of the
+// best variant per category — as text tables and ASCII boxplots.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"transched/internal/chem"
+	"transched/internal/cluster"
+	"transched/internal/core"
+	"transched/internal/flowshop"
+	"transched/internal/heuristics"
+	"transched/internal/stats"
+	"transched/internal/trace"
+)
+
+// DefaultMultipliers is the paper's capacity grid: mc to 2mc in steps of
+// 0.125mc (§6).
+func DefaultMultipliers() []float64 {
+	out := make([]float64, 0, 9)
+	for m := 1.0; m <= 2.0+1e-9; m += 0.125 {
+		out = append(out, m)
+	}
+	return out
+}
+
+// Config selects the workload size for the experiment drivers. The
+// defaults reproduce the paper's setup (150 processes, 300-800 tasks);
+// smaller values keep the drivers fast for tests and benchmarks.
+type Config struct {
+	Machine   cluster.Machine
+	Seed      int64
+	Processes int
+	MinTasks  int
+	MaxTasks  int
+	// Multipliers of mc to sweep; nil means DefaultMultipliers.
+	Multipliers []float64
+	// BatchSize > 0 schedules in submission batches (Fig 13 uses 100).
+	BatchSize int
+}
+
+func (c Config) multipliers() []float64 {
+	if len(c.Multipliers) == 0 {
+		return DefaultMultipliers()
+	}
+	return c.Multipliers
+}
+
+// DefaultConfig is the paper-scale setup.
+func DefaultConfig() Config {
+	return Config{Machine: cluster.Cascade(), Seed: 20190415} // arXiv date of the paper
+}
+
+// QuickConfig is a reduced setup for tests and benchmarks.
+func QuickConfig() Config {
+	return Config{
+		Machine:   cluster.Cascade(),
+		Seed:      20190415,
+		Processes: 12,
+		MinTasks:  60,
+		MaxTasks:  120,
+	}
+}
+
+// Sweep holds ratio-to-optimal samples for every heuristic and capacity
+// multiplier: Ratios[h][m][t] is heuristic h at multiplier m on trace t.
+type Sweep struct {
+	App         string
+	Heuristics  []string
+	Multipliers []float64
+	// MeanCapacity[m] is the mean absolute capacity at multiplier m
+	// (the x-axis of Figs 10, 12, 13).
+	MeanCapacity []float64
+	Ratios       [][][]float64
+	// Categories[h] is the category of Heuristics[h].
+	Categories []heuristics.Category
+}
+
+// RunSweep evaluates every heuristic at every capacity on every trace.
+func RunSweep(app string, traces []*trace.Trace, multipliers []float64, batchSize int) (*Sweep, error) {
+	names := heuristics.Names()
+	sw := &Sweep{
+		App:          app,
+		Heuristics:   names,
+		Multipliers:  multipliers,
+		MeanCapacity: make([]float64, len(multipliers)),
+		Ratios:       make([][][]float64, len(names)),
+		Categories:   make([]heuristics.Category, len(names)),
+	}
+	for h := range names {
+		sw.Ratios[h] = make([][]float64, len(multipliers))
+	}
+
+	for _, tr := range traces {
+		mc := tr.MinCapacity()
+		omim := flowshop.OMIM(tr.Tasks)
+		if omim <= 0 {
+			return nil, fmt.Errorf("experiments: trace %s/%d has zero OMIM", tr.App, tr.Process)
+		}
+		for m, mult := range multipliers {
+			capacity := mc * mult
+			sw.MeanCapacity[m] += capacity / float64(len(traces))
+			in := tr.Instance(capacity)
+			for h := range names {
+				heur, err := heuristics.ByName(names[h], capacity)
+				if err != nil {
+					return nil, err
+				}
+				sw.Categories[h] = heur.Category
+				var s *core.Schedule
+				if batchSize > 0 {
+					s, err = heur.RunBatches(in, batchSize)
+				} else {
+					s, err = heur.Run(in)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s on %s/%d at %gx: %w",
+						names[h], tr.App, tr.Process, mult, err)
+				}
+				sw.Ratios[h][m] = append(sw.Ratios[h][m], s.Makespan()/omim)
+			}
+		}
+	}
+	return sw, nil
+}
+
+// SummaryFor returns the five-number summary for one heuristic at one
+// multiplier index.
+func (sw *Sweep) SummaryFor(h, m int) stats.Summary { return stats.Summarize(sw.Ratios[h][m]) }
+
+// BestPerCategory returns, for each capacity multiplier, the best
+// (lowest-median) heuristic of each category, as the paper's "best
+// variant" plots do; the OS baseline is always its own series.
+func (sw *Sweep) BestPerCategory() []stats.Series {
+	cats := []heuristics.Category{
+		heuristics.Baseline, heuristics.Static, heuristics.Dynamic, heuristics.Corrected,
+	}
+	labels := map[heuristics.Category]string{
+		heuristics.Baseline:  "OS",
+		heuristics.Static:    "Best Static",
+		heuristics.Dynamic:   "Best Dynamic",
+		heuristics.Corrected: "Best StatDyn",
+	}
+	series := make([]stats.Series, 0, len(cats))
+	for _, cat := range cats {
+		s := stats.Series{Name: labels[cat], X: sw.MeanCapacity}
+		for m := range sw.Multipliers {
+			best := math.Inf(1)
+			for h := range sw.Heuristics {
+				if sw.Categories[h] != cat {
+					continue
+				}
+				if med := sw.SummaryFor(h, m).Median; med < best {
+					best = med
+				}
+			}
+			s.Y = append(s.Y, best)
+		}
+		series = append(series, s)
+	}
+	return series
+}
+
+// Render writes one block per capacity with a table and a boxplot, the
+// textual equivalent of Figs 9 and 11.
+func (sw *Sweep) Render(w io.Writer) error {
+	for m, mult := range sw.Multipliers {
+		names := sw.Heuristics
+		sums := make([]stats.Summary, len(names))
+		for h := range names {
+			sums[h] = sw.SummaryFor(h, m)
+		}
+		title := fmt.Sprintf("%s: ratio to optimal at capacity %.3f mc (mean %.4g)",
+			sw.App, mult, sw.MeanCapacity[m])
+		if _, err := io.WriteString(w, stats.Table(title, names, sums)); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, stats.BoxPlot(names, sums, 60)+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GenerateTraces builds the configured trace set for an application.
+func GenerateTraces(app string, cfg Config) ([]*trace.Trace, error) {
+	return chem.Generate(app, cfg.Machine, chem.Config{
+		Seed:      cfg.Seed,
+		Processes: cfg.Processes,
+		MinTasks:  cfg.MinTasks,
+		MaxTasks:  cfg.MaxTasks,
+	})
+}
+
+// Characteristics holds the Fig 8 quantities for one trace set, each
+// normalised to OMIM.
+type Characteristics struct {
+	App                            string
+	SumComm, SumComp, MaxSums, Sum []float64
+}
+
+// ComputeCharacteristics evaluates the Fig 8 ratios for every trace.
+func ComputeCharacteristics(app string, traces []*trace.Trace) Characteristics {
+	ch := Characteristics{App: app}
+	for _, tr := range traces {
+		in := tr.Instance(math.Inf(1))
+		omim := flowshop.OMIM(in.Tasks)
+		ch.SumComm = append(ch.SumComm, in.SumComm()/omim)
+		ch.SumComp = append(ch.SumComp, in.SumComp()/omim)
+		ch.MaxSums = append(ch.MaxSums, in.ResourceLowerBound()/omim)
+		ch.Sum = append(ch.Sum, in.SequentialMakespan()/omim)
+	}
+	return ch
+}
+
+// Render writes the Fig 8 table for one application.
+func (ch Characteristics) Render(w io.Writer) error {
+	names := []string{"sum comm", "sum comp", "max(sums)", "sum comm+comp"}
+	sums := []stats.Summary{
+		stats.Summarize(ch.SumComm),
+		stats.Summarize(ch.SumComp),
+		stats.Summarize(ch.MaxSums),
+		stats.Summarize(ch.Sum),
+	}
+	title := fmt.Sprintf("%s workload characteristics (ratio to OMIM)", ch.App)
+	if _, err := io.WriteString(w, stats.Table(title, names, sums)); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, stats.BoxPlot(names, sums, 60)+"\n")
+	return err
+}

@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"transched/internal/heuristics"
+)
+
+func testConfig() Config {
+	return Config{
+		Machine:   DefaultConfig().Machine,
+		Seed:      20190415,
+		Processes: 6,
+		MinTasks:  50,
+		MaxTasks:  90,
+	}
+}
+
+func TestDefaultMultipliers(t *testing.T) {
+	m := DefaultMultipliers()
+	if len(m) != 9 || m[0] != 1 || m[8] != 2 || m[1] != 1.125 {
+		t.Fatalf("multipliers = %v", m)
+	}
+}
+
+func TestRunSweepShapeAndInvariants(t *testing.T) {
+	cfg := testConfig()
+	traces, err := GenerateTraces("HF", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := RunSweep("HF", traces, cfg.multipliers(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Heuristics) != 14 {
+		t.Fatalf("%d heuristics", len(sw.Heuristics))
+	}
+	for h := range sw.Heuristics {
+		for m := range sw.Multipliers {
+			samples := sw.Ratios[h][m]
+			if len(samples) != len(traces) {
+				t.Fatalf("%s at %g: %d samples", sw.Heuristics[h], sw.Multipliers[m], len(samples))
+			}
+			for _, r := range samples {
+				if r < 1-1e-9 {
+					t.Fatalf("%s at %g: ratio %g below 1", sw.Heuristics[h], sw.Multipliers[m], r)
+				}
+			}
+		}
+	}
+}
+
+// TestMediansImproveWithCapacity: for every heuristic, the median ratio at
+// 2mc is no worse than at mc (more memory can only help these policies on
+// the same order... strictly, not a theorem per-instance, but it holds in
+// the median across traces and is the paper's headline trend).
+func TestMediansImproveWithCapacity(t *testing.T) {
+	cfg := testConfig()
+	for _, app := range []string{"HF", "CCSD"} {
+		traces, err := GenerateTraces(app, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := RunSweep(app, traces, []float64{1, 2}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for h := range sw.Heuristics {
+			tight := sw.SummaryFor(h, 0).Median
+			loose := sw.SummaryFor(h, 1).Median
+			if loose > tight+0.02 {
+				t.Errorf("%s/%s: median ratio worsens with capacity: %g -> %g",
+					app, sw.Heuristics[h], tight, loose)
+			}
+		}
+	}
+}
+
+// TestCorrectedWinAtModerateCapacity reproduces the paper's headline
+// result (§6.1, §6.2): at moderate capacities, the static-with-dynamic-
+// corrections category outperforms the pure static and pure dynamic
+// categories.
+func TestCorrectedWinAtModerateCapacity(t *testing.T) {
+	cfg := QuickConfig()
+	for _, app := range []string{"HF", "CCSD"} {
+		traces, err := GenerateTraces(app, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := RunSweep(app, traces, []float64{1.5, 1.625, 1.75}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		series := sw.BestPerCategory()
+		byName := map[string][]float64{}
+		for _, s := range series {
+			byName[s.Name] = s.Y
+		}
+		wins := 0
+		for m := range sw.Multipliers {
+			corrected := byName["Best StatDyn"][m]
+			if corrected <= byName["Best Static"][m]+1e-9 && corrected <= byName["Best Dynamic"][m]+1e-9 {
+				wins++
+			}
+		}
+		if wins == 0 {
+			t.Errorf("%s: corrected never best at moderate capacity: %v", app, byName)
+		}
+	}
+}
+
+// TestCCSDSpreadsWiderThanHF: heterogeneity makes the CCSD ratios spread
+// much wider than HF's (compare Figs 9 and 11 y-ranges).
+func TestCCSDSpreadsWiderThanHF(t *testing.T) {
+	cfg := testConfig()
+	hfTraces, err := GenerateTraces("HF", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccsdTraces, err := GenerateTraces("CCSD", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf, err := RunSweep("HF", hfTraces, []float64{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccsd, err := RunSweep("CCSD", ccsdTraces, []float64{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := func(sw *Sweep) float64 {
+		w := 0.0
+		for h := range sw.Heuristics {
+			if med := sw.SummaryFor(h, 0).Median; med > w {
+				w = med
+			}
+		}
+		return w
+	}
+	if worst(ccsd) <= worst(hf) {
+		t.Errorf("CCSD worst median %g not above HF worst median %g", worst(ccsd), worst(hf))
+	}
+}
+
+func TestCharacteristicsMatchFig8(t *testing.T) {
+	cfg := testConfig()
+	hfTraces, err := GenerateTraces("HF", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := ComputeCharacteristics("HF", hfTraces)
+	var sb strings.Builder
+	if err := ch.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "HF workload characteristics") {
+		t.Errorf("render: %s", sb.String())
+	}
+	for i := range ch.SumComm {
+		if ch.MaxSums[i] > 1+1e-9 {
+			t.Errorf("max(sums) %g above OMIM", ch.MaxSums[i])
+		}
+		if ch.Sum[i] < ch.MaxSums[i] {
+			t.Errorf("sum below max")
+		}
+	}
+}
+
+func TestFig8Driver(t *testing.T) {
+	var sb strings.Builder
+	cfg := testConfig()
+	cfg.Processes = 2
+	if err := Fig8(&sb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "HF") || !strings.Contains(sb.String(), "CCSD") {
+		t.Errorf("Fig8 output:\n%s", sb.String())
+	}
+}
+
+func TestFig9And10Drivers(t *testing.T) {
+	cfg := testConfig()
+	cfg.Processes = 3
+	cfg.Multipliers = []float64{1, 1.5, 2}
+	var sb strings.Builder
+	sw, err := Fig9(&sb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ratio to optimal") {
+		t.Errorf("Fig9 output:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := Fig10(&sb, cfg, sw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Best Static") {
+		t.Errorf("Fig10 output:\n%s", sb.String())
+	}
+}
+
+func TestFig11And12Drivers(t *testing.T) {
+	cfg := testConfig()
+	cfg.Processes = 2
+	cfg.Multipliers = []float64{1, 2}
+	var sb strings.Builder
+	sw, err := Fig11(&sb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := Fig12(&sb, cfg, sw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "CCSD best variants") {
+		t.Errorf("Fig12 output:\n%s", sb.String())
+	}
+}
+
+func TestFig13Driver(t *testing.T) {
+	cfg := testConfig()
+	cfg.Processes = 2
+	cfg.Multipliers = []float64{1, 2}
+	cfg.BatchSize = 25
+	var sb strings.Builder
+	if err := Fig13(&sb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "batches of 25") {
+		t.Errorf("Fig13 output:\n%s", sb.String())
+	}
+}
+
+func TestFig7Driver(t *testing.T) {
+	cfg := testConfig()
+	cfg.MinTasks, cfg.MaxTasks = 12, 12
+	cfg.Multipliers = []float64{1, 2}
+	var sb strings.Builder
+	if err := Fig7(&sb, cfg, 300); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"lp.3", "lp.6", "Fig 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig7 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTable6FavorableSituations: the advisor's pick is competitive on the
+// workload family its Table 6 row describes — best or near-best in the
+// unrestricted and moderate regimes, and within 25% of the best heuristic
+// in the tight-memory regimes (where the paper's guidance is qualitative).
+func TestTable6FavorableSituations(t *testing.T) {
+	rows, err := Table6(nil, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, row := range rows {
+		limited := strings.HasPrefix(row.Situation, "limited")
+		switch {
+		case !limited && row.AdvisedRank > 3:
+			t.Errorf("%s: advised %s ranked %d", row.Situation, row.Heuristic, row.AdvisedRank)
+		case limited && row.Ratio > row.BestRatio*1.25:
+			t.Errorf("%s: advised %s ratio %g vs best %g", row.Situation, row.Heuristic, row.Ratio, row.BestRatio)
+		}
+	}
+}
+
+// TestFamiliesMatchAdvisorRegimes: each family's instance lands in the
+// regime its name claims.
+func TestFamiliesMatchAdvisorRegimes(t *testing.T) {
+	for _, fam := range Families() {
+		in := fam.Build(7)
+		p := heuristics.Profiles(in)
+		want := strings.SplitN(fam.Name, " ", 2)[0]
+		if got := p.Regime.String(); got != want {
+			t.Errorf("%s: regime %s", fam.Name, got)
+		}
+	}
+}
+
+// TestAblationsDriver: the ablation study runs, reports all three rows,
+// and confirms that corrections beat waiting for the head.
+func TestAblationsDriver(t *testing.T) {
+	rows, err := Ablations(nil, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d ablation rows", len(rows))
+	}
+	var corrections *AblationRow
+	for i := range rows {
+		if strings.HasPrefix(rows[i].Name, "dynamic corrections") {
+			corrections = &rows[i]
+		}
+	}
+	if corrections == nil {
+		t.Fatal("missing corrections row")
+	}
+	if corrections.Production >= corrections.Ablated {
+		t.Errorf("corrections (%g) should beat wait-for-head (%g)",
+			corrections.Production, corrections.Ablated)
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"transched/internal/core"
+	"transched/internal/flowshop"
+)
+
+// Family is a synthetic workload family matching one of Table 6's
+// favorable situations.
+type Family struct {
+	// Name describes the situation.
+	Name string
+	// Build materialises an instance of the family.
+	Build func(seed int64) *core.Instance
+}
+
+// Families returns one generator per Table 6 situation. Each produces 60
+// tasks; capacities are set relative to the workload's own mc and the
+// Johnson schedule's peak to land in the intended regime.
+func Families() []Family {
+	mk := func(name string, build func(rng *rand.Rand) ([]core.Task, string)) Family {
+		return Family{
+			Name: name,
+			Build: func(seed int64) *core.Instance {
+				rng := rand.New(rand.NewSource(seed))
+				tasks, regime := build(rng)
+				in := core.NewInstance(tasks, 0)
+				mc := in.MinCapacity()
+				peak := flowshop.ScheduleOrderUnlimited(tasks, flowshop.JohnsonOrder(tasks)).PeakMemory()
+				switch regime {
+				case "unrestricted":
+					in.Capacity = peak * 1.01
+				case "moderate":
+					in.Capacity = mc + (peak-mc)*0.75
+				default: // limited
+					in.Capacity = mc + (peak-mc)*0.1
+				}
+				return in
+			},
+		}
+	}
+	const n = 60
+	computeTask := func(rng *rand.Rand, i int, commLo, commHi float64) core.Task {
+		comm := commLo + rng.Float64()*(commHi-commLo)
+		return core.NewTask(fmt.Sprintf("T%d", i), comm, comm*(1.2+rng.Float64()*2))
+	}
+	commTask := func(rng *rand.Rand, i int, commLo, commHi float64) core.Task {
+		comm := commLo + rng.Float64()*(commHi-commLo)
+		return core.NewTask(fmt.Sprintf("T%d", i), comm, comm*(0.1+rng.Float64()*0.7))
+	}
+	return []Family{
+		mk("unrestricted / all compute intensive", func(rng *rand.Rand) ([]core.Task, string) {
+			tasks := make([]core.Task, n)
+			for i := range tasks {
+				tasks[i] = computeTask(rng, i, 1, 10)
+			}
+			return tasks, "unrestricted"
+		}),
+		mk("unrestricted / all communication intensive", func(rng *rand.Rand) ([]core.Task, string) {
+			tasks := make([]core.Task, n)
+			for i := range tasks {
+				tasks[i] = commTask(rng, i, 1, 10)
+			}
+			return tasks, "unrestricted"
+		}),
+		mk("moderate / mixed intensities", func(rng *rand.Rand) ([]core.Task, string) {
+			tasks := make([]core.Task, n)
+			for i := range tasks {
+				if i%2 == 0 {
+					tasks[i] = computeTask(rng, i, 1, 10)
+				} else {
+					tasks[i] = commTask(rng, i, 1, 10)
+				}
+			}
+			return tasks, "moderate"
+		}),
+		mk("moderate / mostly compute intensive", func(rng *rand.Rand) ([]core.Task, string) {
+			tasks := make([]core.Task, n)
+			for i := range tasks {
+				if i%10 == 0 {
+					tasks[i] = commTask(rng, i, 1, 10)
+				} else {
+					tasks[i] = computeTask(rng, i, 1, 10)
+				}
+			}
+			return tasks, "moderate"
+		}),
+		mk("moderate / mostly communication intensive", func(rng *rand.Rand) ([]core.Task, string) {
+			tasks := make([]core.Task, n)
+			for i := range tasks {
+				if i%10 == 0 {
+					tasks[i] = computeTask(rng, i, 1, 10)
+				} else {
+					tasks[i] = commTask(rng, i, 1, 10)
+				}
+			}
+			return tasks, "moderate"
+		}),
+		mk("limited / compute intensive with small transfers", func(rng *rand.Rand) ([]core.Task, string) {
+			tasks := make([]core.Task, n)
+			for i := range tasks {
+				if i%2 == 0 {
+					tasks[i] = computeTask(rng, i, 0.5, 2) // small comm, compute heavy
+				} else {
+					tasks[i] = commTask(rng, i, 5, 10) // large comm
+				}
+			}
+			return tasks, "limited"
+		}),
+		mk("limited / compute intensive with large transfers", func(rng *rand.Rand) ([]core.Task, string) {
+			tasks := make([]core.Task, n)
+			for i := range tasks {
+				if i%2 == 0 {
+					tasks[i] = computeTask(rng, i, 5, 10) // large comm, compute heavy
+				} else {
+					tasks[i] = commTask(rng, i, 0.5, 2)
+				}
+			}
+			return tasks, "limited"
+		}),
+		mk("limited / both types significant", func(rng *rand.Rand) ([]core.Task, string) {
+			tasks := make([]core.Task, n)
+			for i := range tasks {
+				switch i % 4 {
+				case 0:
+					tasks[i] = computeTask(rng, i, 0.5, 2)
+				case 1:
+					tasks[i] = computeTask(rng, i, 5, 10)
+				case 2:
+					tasks[i] = commTask(rng, i, 0.5, 2)
+				default:
+					tasks[i] = commTask(rng, i, 5, 10)
+				}
+			}
+			return tasks, "limited"
+		}),
+	}
+}

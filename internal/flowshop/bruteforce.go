@@ -1,0 +1,131 @@
+package flowshop
+
+import (
+	"math"
+
+	"transched/internal/core"
+)
+
+// BestPermutationUnlimited exhaustively searches all task permutations for
+// the minimum makespan with no memory constraint (ground truth for
+// Johnson's algorithm in tests). It returns the best order and makespan.
+// Intended for n <= 9.
+func BestPermutationUnlimited(tasks []core.Task) ([]int, float64) {
+	best := math.Inf(1)
+	var bestOrder []int
+	perm := identity(len(tasks))
+	permute(perm, 0, func(p []int) {
+		if m := MakespanOrderUnlimited(tasks, p); m < best {
+			best = m
+			bestOrder = append(bestOrder[:0], p...)
+		}
+	})
+	return bestOrder, best
+}
+
+// BestPermutationLimited exhaustively searches all common-order schedules
+// (same permutation on both resources) under the memory capacity, using
+// the greedy earliest-start executor. This reproduces "the best possible
+// schedule when tasks are scheduled in the same order on both resources
+// (obtained by exhaustive search)" from paper Prop 1 / Fig 3a.
+// Intended for n <= 9.
+func BestPermutationLimited(tasks []core.Task, capacity float64) ([]int, float64) {
+	best := math.Inf(1)
+	var bestOrder []int
+	perm := identity(len(tasks))
+	permute(perm, 0, func(p []int) {
+		if m, ok := makespanOrderLimited(tasks, p, capacity); ok && m < best {
+			best = m
+			bestOrder = append(bestOrder[:0], p...)
+		}
+	})
+	return bestOrder, best
+}
+
+// ScheduleOrderLimited executes a common order on both resources under the
+// memory capacity: each task's transfer starts at the earliest time that is
+// (a) at or after the link becomes free and (b) at which its memory
+// requirement fits, waiting for earlier tasks' computations to release
+// memory. Returns false if some task can never fit (Mem > capacity).
+func ScheduleOrderLimited(tasks []core.Task, order []int, capacity float64) (*core.Schedule, bool) {
+	s := core.NewSchedule(capacity)
+	tauComm, tauComp := 0.0, 0.0
+	// Resident tasks: memory amount and release time (computation end).
+	type resident struct{ release, mem float64 }
+	var live []resident
+	used := 0.0
+	for _, i := range order {
+		t := tasks[i]
+		if t.Mem > capacity {
+			return nil, false
+		}
+		start := tauComm
+		// Release everything that completes by `start`, then keep advancing
+		// start to the next release until the task fits.
+		for {
+			n := live[:0]
+			for _, r := range live {
+				if r.release <= start+1e-9 {
+					used -= r.mem
+				} else {
+					n = append(n, r)
+				}
+			}
+			live = n
+			if used+t.Mem <= capacity+1e-9 {
+				break
+			}
+			// Advance to the earliest pending release.
+			next := math.Inf(1)
+			for _, r := range live {
+				if r.release < next {
+					next = r.release
+				}
+			}
+			if math.IsInf(next, 1) {
+				return nil, false // cannot ever fit — should not happen when Mem <= capacity
+			}
+			start = next
+		}
+		compStart := start + t.Comm
+		if tauComp > compStart {
+			compStart = tauComp
+		}
+		s.Append(core.Assignment{Task: t, CommStart: start, CompStart: compStart})
+		live = append(live, resident{release: compStart + t.Comp, mem: t.Mem})
+		used += t.Mem
+		tauComm = start + t.Comm
+		tauComp = compStart + t.Comp
+	}
+	return s, true
+}
+
+func makespanOrderLimited(tasks []core.Task, order []int, capacity float64) (float64, bool) {
+	s, ok := ScheduleOrderLimited(tasks, order, capacity)
+	if !ok {
+		return 0, false
+	}
+	return s.Makespan(), true
+}
+
+func identity(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// permute invokes f on every permutation of p[k:] (Heap-style recursion on
+// positions; p is reused, f must not retain it).
+func permute(p []int, k int, f func([]int)) {
+	if k == len(p) {
+		f(p)
+		return
+	}
+	for i := k; i < len(p); i++ {
+		p[k], p[i] = p[i], p[k]
+		permute(p, k+1, f)
+		p[k], p[i] = p[i], p[k]
+	}
+}

@@ -1,0 +1,90 @@
+package flowshop
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"transched/internal/paperdata"
+	"transched/internal/testutil"
+)
+
+// TestTable2BestCommonOrder reproduces paper Fig 3a: the best schedule
+// that uses a common order on both resources for the Table 2 instance
+// (capacity 10) has makespan 23.
+func TestTable2BestCommonOrder(t *testing.T) {
+	in := paperdata.Table2()
+	_, best := BestPermutationLimited(in.Tasks, in.Capacity)
+	if math.Abs(best-paperdata.Table2BestCommonMakespan) > 1e-9 {
+		t.Errorf("best common-order makespan = %g, want %g", best, paperdata.Table2BestCommonMakespan)
+	}
+}
+
+// TestTable2DifferentOrderBeatsCommon reproduces paper Prop 1 / Fig 3b:
+// a feasible schedule ordering the resources differently achieves
+// makespan 22 < 23.
+func TestTable2DifferentOrderBeatsCommon(t *testing.T) {
+	s := paperdata.Table2DifferentOrderSchedule()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("paper Fig 3b schedule invalid: %v", err)
+	}
+	if got := s.Makespan(); math.Abs(got-paperdata.Table2DifferentOrderMakespan) > 1e-9 {
+		t.Fatalf("Fig 3b makespan = %g, want %g", got, paperdata.Table2DifferentOrderMakespan)
+	}
+	if s.Permutation() {
+		t.Error("Fig 3b schedule should order resources differently")
+	}
+	if s.Makespan() >= paperdata.Table2BestCommonMakespan {
+		t.Error("different-order schedule should beat the best common order")
+	}
+}
+
+func TestScheduleOrderLimitedProducesValidSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		in := testutil.RandomInstance(rng, 1+rng.Intn(7), 10)
+		order := rng.Perm(in.N())
+		s, ok := ScheduleOrderLimited(in.Tasks, order, in.Capacity)
+		if !ok {
+			t.Fatalf("trial %d: schedule reported impossible for capacity >= mc", trial)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid schedule: %v", trial, err)
+		}
+		if !s.Permutation() {
+			t.Fatalf("trial %d: static executor must be order-preserving", trial)
+		}
+	}
+}
+
+func TestScheduleOrderLimitedRejectsOversizeTask(t *testing.T) {
+	in := paperdata.Table3()
+	if _, ok := ScheduleOrderLimited(in.Tasks, []int{0, 1, 2, 3}, 2); ok {
+		t.Error("task with Mem > capacity should be unschedulable")
+	}
+}
+
+// TestLimitedAtLeastUnlimited: with the memory constraint active, the best
+// common-order makespan can only get worse as capacity shrinks.
+func TestLimitedMonotoneInCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		tasks := testutil.RandomTasks(rng, 1+rng.Intn(5), 10)
+		mc := 0.0
+		for _, task := range tasks {
+			if task.Mem > mc {
+				mc = task.Mem
+			}
+		}
+		if mc == 0 {
+			continue
+		}
+		_, tight := BestPermutationLimited(tasks, mc)
+		_, loose := BestPermutationLimited(tasks, 2*mc)
+		_, unlimited := BestPermutationUnlimited(tasks)
+		if tight < loose-1e-9 || loose < unlimited-1e-9 {
+			t.Fatalf("trial %d: makespans not monotone: mc=%g 2mc=%g inf=%g",
+				trial, tight, loose, unlimited)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package flowshop
+
+import (
+	"math"
+	"sort"
+
+	"transched/internal/core"
+)
+
+// GilmoreGomoryOrder returns a task order computed by the Gilmore–Gomory
+// algorithm for the 2-machine no-wait flowshop (paper §4.4, reference
+// [24]). In the paper's mapping, a task's transfer time is its processing
+// time on the first machine and its computation time on the second; the
+// "state change" cost between adjacent tasks is the non-overlapped time.
+//
+// For a no-wait flowshop, scheduling tasks in sequence σ gives makespan
+//
+//	Σ_i CM_i + Σ_{j→k consecutive} max(0, CP_j − CM_k) + CP_last,
+//
+// so appending a dummy task with zero durations turns the problem into a
+// travelling-salesman tour with the one-state-variable cost
+// c(j→k) = max(0, CP_j − CM_k), which Gilmore and Gomory solve exactly:
+//
+//  1. match the sorted computation times against the sorted communication
+//     times (the optimal assignment for this Monge-type cost);
+//  2. decompose the assignment into cycles;
+//  3. patch cycles into one tour using minimum-cost interchanges of
+//     adjacent sorted positions, selected greedily (Kruskal) — the
+//     interchange at position p costs
+//     max(0, min(β_{p+1}, α_{p+1}) − max(β_p, α_p))
+//     where α/β are the sorted communication/computation times.
+//
+// Applying the selected interchanges in the right order realises the
+// matching-plus-interchange cost; this implementation searches the
+// application orders within each maximal chain of adjacent interchanges
+// (chains are independent) and keeps the cheapest realisation, falling
+// back to directional sweeps for chains longer than maxChainSearch.
+//
+// The resulting sequence ignores memory limits by construction; the GG
+// heuristic then executes it under the capacity like any static order.
+func GilmoreGomoryOrder(tasks []core.Task) []int {
+	n := len(tasks)
+	if n <= 1 {
+		return identity(n)
+	}
+	// City 0 is the dummy task (0,0); cities 1..n are the real tasks.
+	alpha := make([]float64, n+1) // "in" values: communication times
+	beta := make([]float64, n+1)  // "out" values: computation times
+	for i, t := range tasks {
+		alpha[i+1] = t.Comm
+		beta[i+1] = t.Comp
+	}
+
+	// Sort positions: aOrder[p] is the city with the p-th smallest alpha,
+	// bOrder[p] the city with the p-th smallest beta.
+	aOrder := sortedCities(alpha)
+	bOrder := sortedCities(beta)
+
+	// Optimal assignment: successor(bOrder[p]) = aOrder[p].
+	succ := make([]int, n+1)
+	for p := 0; p <= n; p++ {
+		succ[bOrder[p]] = aOrder[p]
+	}
+
+	// Cycle decomposition of the successor permutation.
+	cycleOf := cycles(succ)
+	nCycles := 0
+	for _, c := range cycleOf {
+		if c+1 > nCycles {
+			nCycles = c + 1
+		}
+	}
+	if nCycles > 1 {
+		patchCycles(alpha, beta, aOrder, bOrder, succ, cycleOf, nCycles)
+	}
+
+	// Read the tour starting from the dummy city 0.
+	order := make([]int, 0, n)
+	for c := succ[0]; c != 0; c = succ[c] {
+		order = append(order, c-1)
+	}
+	return order
+}
+
+// NoWaitMakespan returns the makespan of running the tasks in the given
+// order as a 2-machine no-wait flowshop (each computation starts exactly
+// when its transfer ends). It is the objective Gilmore–Gomory minimises.
+func NoWaitMakespan(tasks []core.Task, order []int) float64 {
+	if len(order) == 0 {
+		return 0
+	}
+	sumComm := 0.0
+	for _, t := range tasks {
+		sumComm += t.Comm
+	}
+	extra := 0.0
+	for j := 0; j+1 < len(order); j++ {
+		prev, next := tasks[order[j]], tasks[order[j+1]]
+		if d := prev.Comp - next.Comm; d > 0 {
+			extra += d
+		}
+	}
+	return sumComm + extra + tasks[order[len(order)-1]].Comp
+}
+
+// BestNoWaitPermutation exhaustively minimises NoWaitMakespan; ground truth
+// for GilmoreGomoryOrder in tests. Intended for n <= 8.
+func BestNoWaitPermutation(tasks []core.Task) ([]int, float64) {
+	best := math.Inf(1)
+	var bestOrder []int
+	permute(identity(len(tasks)), 0, func(p []int) {
+		if m := NoWaitMakespan(tasks, p); m < best {
+			best = m
+			bestOrder = append(bestOrder[:0], p...)
+		}
+	})
+	return bestOrder, best
+}
+
+func sortedCities(v []float64) []int {
+	order := identity(len(v))
+	sort.SliceStable(order, func(i, j int) bool { return v[order[i]] < v[order[j]] })
+	return order
+}
+
+// cycles labels each city with the index of its cycle in the successor
+// permutation.
+func cycles(succ []int) []int {
+	label := make([]int, len(succ))
+	for i := range label {
+		label[i] = -1
+	}
+	next := 0
+	for i := range succ {
+		if label[i] >= 0 {
+			continue
+		}
+		for j := i; label[j] < 0; j = succ[j] {
+			label[j] = next
+		}
+		next++
+	}
+	return label
+}
+
+// ggCost is the one-state-variable travel cost.
+func ggCost(out, in float64) float64 {
+	if d := out - in; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// interchangeCost is the Gilmore–Gomory cost of swapping the successors
+// assigned at sorted positions p and p+1.
+func interchangeCost(alpha, beta []float64, aOrder, bOrder []int, p int) float64 {
+	lo := math.Max(beta[bOrder[p]], alpha[aOrder[p]])
+	hi := math.Min(beta[bOrder[p+1]], alpha[aOrder[p+1]])
+	if hi > lo {
+		return hi - lo
+	}
+	return 0
+}
+
+// patchCycles merges the assignment's cycles into a single tour. It runs
+// Kruskal over the interchange arcs (arc p connects the cycles containing
+// sorted positions p and p+1) and then applies each maximal chain of
+// selected arcs in the cheapest order it can find.
+func patchCycles(alpha, beta []float64, aOrder, bOrder, succ, cycleOf []int, nCycles int) {
+	n := len(succ) - 1
+	type arc struct {
+		p    int
+		cost float64
+	}
+	arcs := make([]arc, 0, n)
+	for p := 0; p < n; p++ {
+		arcs = append(arcs, arc{p, interchangeCost(alpha, beta, aOrder, bOrder, p)})
+	}
+	sort.SliceStable(arcs, func(i, j int) bool { return arcs[i].cost < arcs[j].cost })
+
+	parent := identity(nCycles)
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	selected := make([]int, 0, nCycles-1)
+	for _, a := range arcs {
+		cu, cv := find(cycleOf[bOrder[a.p]]), find(cycleOf[bOrder[a.p+1]])
+		if cu != cv {
+			parent[cu] = cv
+			selected = append(selected, a.p)
+			if len(selected) == nCycles-1 {
+				break
+			}
+		}
+	}
+	sort.Ints(selected)
+
+	// Split into maximal chains of consecutive positions; chains commute
+	// with each other, so each is optimised independently.
+	for i := 0; i < len(selected); {
+		j := i
+		for j+1 < len(selected) && selected[j+1] == selected[j]+1 {
+			j++
+		}
+		applyChain(alpha, beta, aOrder, bOrder, succ, selected[i:j+1])
+		i = j + 1
+	}
+}
+
+// maxChainSearch bounds the exhaustive search over application orders of a
+// chain of adjacent interchanges (cost grows factorially).
+const maxChainSearch = 8
+
+// applyChain applies the interchanges at the given consecutive positions to
+// succ, choosing the application order that minimises the realised tour
+// cost over the affected positions.
+func applyChain(alpha, beta []float64, aOrder, bOrder, succ []int, chain []int) {
+	apply := func(order []int) {
+		for _, p := range order {
+			b1, b2 := bOrder[p], bOrder[p+1]
+			succ[b1], succ[b2] = succ[b2], succ[b1]
+		}
+	}
+	if len(chain) == 1 {
+		apply(chain)
+		return
+	}
+	// Positions touched by the chain: chain[0] .. chain[last]+1.
+	lo, hi := chain[0], chain[len(chain)-1]+1
+	costOver := func() float64 {
+		c := 0.0
+		for p := lo; p <= hi; p++ {
+			b := bOrder[p]
+			c += ggCost(beta[b], alpha[succ[b]])
+		}
+		return c
+	}
+	// Snapshot the successors of the touched positions.
+	saved := make([]int, hi-lo+1)
+	restore := func() {
+		for p := lo; p <= hi; p++ {
+			succ[bOrder[p]] = saved[p-lo]
+		}
+	}
+	for p := lo; p <= hi; p++ {
+		saved[p-lo] = succ[bOrder[p]]
+	}
+
+	var bestOrder []int
+	best := math.Inf(1)
+	tryOrder := func(order []int) {
+		apply(order)
+		if c := costOver(); c < best {
+			best = c
+			bestOrder = append(bestOrder[:0], order...)
+		}
+		restore()
+	}
+	if len(chain) <= maxChainSearch {
+		work := append([]int(nil), chain...)
+		permute(work, 0, func(p []int) { tryOrder(p) })
+	} else {
+		// Directional sweeps: increasing, decreasing, and the two
+		// centre-out variants. GG's construction is realised by one of the
+		// monotone sweeps in the common cases; this fallback keeps the
+		// heuristic near-optimal on pathological long chains.
+		inc := append([]int(nil), chain...)
+		dec := reversed(chain)
+		tryOrder(inc)
+		tryOrder(dec)
+		for cut := 1; cut < len(chain); cut++ {
+			mix := append(reversed(chain[:cut]), chain[cut:]...)
+			tryOrder(mix)
+		}
+	}
+	apply(bestOrder)
+}
+
+func reversed(s []int) []int {
+	out := make([]int, len(s))
+	for i, v := range s {
+		out[len(s)-1-i] = v
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package flowshop
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"transched/internal/core"
+	"transched/internal/testutil"
+)
+
+func TestNoWaitMakespanByHand(t *testing.T) {
+	// Two tasks: X(comm 2, comp 3), Y(comm 4, comp 1).
+	// Order X,Y: 2+4 (comm) + max(0, 3-4) + 1 = 7.
+	// Order Y,X: 6 + max(0, 1-2) + 3 = 9.
+	tasks := []core.Task{core.NewTask("X", 2, 3), core.NewTask("Y", 4, 1)}
+	if got := NoWaitMakespan(tasks, []int{0, 1}); got != 7 {
+		t.Errorf("NoWaitMakespan(X,Y) = %g, want 7", got)
+	}
+	if got := NoWaitMakespan(tasks, []int{1, 0}); got != 9 {
+		t.Errorf("NoWaitMakespan(Y,X) = %g, want 9", got)
+	}
+	if got := NoWaitMakespan(tasks, nil); got != 0 {
+		t.Errorf("NoWaitMakespan(empty) = %g, want 0", got)
+	}
+}
+
+func TestGilmoreGomoryTrivialSizes(t *testing.T) {
+	if got := GilmoreGomoryOrder(nil); len(got) != 0 {
+		t.Errorf("empty order = %v", got)
+	}
+	one := []core.Task{core.NewTask("A", 2, 3)}
+	if got := GilmoreGomoryOrder(one); len(got) != 1 || got[0] != 0 {
+		t.Errorf("single-task order = %v", got)
+	}
+}
+
+func TestGilmoreGomoryIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		tasks := testutil.RandomTasks(rng, n, 100)
+		order := GilmoreGomoryOrder(tasks)
+		if len(order) != n {
+			t.Fatalf("trial %d: order has %d entries for %d tasks", trial, len(order), n)
+		}
+		seen := make([]bool, n)
+		for _, i := range order {
+			if i < 0 || i >= n || seen[i] {
+				t.Fatalf("trial %d: order %v is not a permutation", trial, order)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+// TestGilmoreGomoryOptimal compares GG against exhaustive search of the
+// no-wait makespan on random instances. Gilmore–Gomory is exact for this
+// problem.
+func TestGilmoreGomoryOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(7)
+		tasks := testutil.RandomTasks(rng, n, 10)
+		_, best := BestNoWaitPermutation(tasks)
+		got := NoWaitMakespan(tasks, GilmoreGomoryOrder(tasks))
+		if math.Abs(got-best) > 1e-9 {
+			t.Fatalf("trial %d: GG makespan %g, optimal %g, tasks %v",
+				trial, got, best, tasks)
+		}
+	}
+}
+
+// TestGilmoreGomoryOptimalInts repeats the comparison with small integer
+// durations, which produce many ties and multi-cycle assignments.
+func TestGilmoreGomoryOptimalInts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 600; trial++ {
+		n := 2 + rng.Intn(6)
+		tasks := testutil.RandomIntTasks(rng, n, 4)
+		_, best := BestNoWaitPermutation(tasks)
+		got := NoWaitMakespan(tasks, GilmoreGomoryOrder(tasks))
+		if math.Abs(got-best) > 1e-9 {
+			t.Fatalf("trial %d: GG makespan %g, optimal %g, tasks %v",
+				trial, got, best, tasks)
+		}
+	}
+}
+
+func TestGilmoreGomoryQuick(t *testing.T) {
+	f := func(pairs [5][2]uint8) bool {
+		tasks := make([]core.Task, 0, 5)
+		for i, p := range pairs {
+			tasks = append(tasks, core.NewTask(string(rune('A'+i)), float64(p[0]%9), float64(p[1]%9)))
+		}
+		_, best := BestNoWaitPermutation(tasks)
+		return math.Abs(NoWaitMakespan(tasks, GilmoreGomoryOrder(tasks))-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGilmoreGomoryLargeRuns exercises the patching machinery (including
+// long chains) on sizes where only feasibility can be asserted.
+func TestGilmoreGomoryLargeRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tasks := testutil.RandomIntTasks(rng, 500, 3) // heavy ties => many cycles
+	order := GilmoreGomoryOrder(tasks)
+	seen := make([]bool, len(tasks))
+	for _, i := range order {
+		seen[i] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("task %d missing from GG order", i)
+		}
+	}
+	// The GG makespan must be at least the trivial lower bound and at most
+	// the sequential upper bound.
+	in := core.NewInstance(tasks, 0)
+	m := NoWaitMakespan(tasks, order)
+	if m < in.ResourceLowerBound()-1e-9 || m > in.SequentialMakespan()+1e-9 {
+		t.Errorf("GG makespan %g outside [%g, %g]", m, in.ResourceLowerBound(), in.SequentialMakespan())
+	}
+}

@@ -1,0 +1,110 @@
+// Package flowshop implements the 2-machine flowshop algorithms the paper
+// builds on: Johnson's rule (optimal with unlimited memory, paper Alg 1),
+// the Gilmore–Gomory no-wait sequencing algorithm (paper §4.4), and
+// exhaustive optimal schedulers used as ground truth in tests and for the
+// small counter-example instances.
+package flowshop
+
+import (
+	"sort"
+
+	"transched/internal/core"
+)
+
+// JohnsonOrder returns the task indices in Johnson's order (paper
+// Algorithm 1): compute-intensive tasks (CP >= CM) sorted by non-decreasing
+// communication time, followed by communication-intensive tasks sorted by
+// non-increasing computation time. With unlimited memory this order attains
+// the optimal makespan (paper Theorem 1).
+//
+// Ties are broken by submission index so the order is deterministic.
+func JohnsonOrder(tasks []core.Task) []int {
+	var s1, s2 []int
+	for i, t := range tasks {
+		if t.ComputeIntensive() {
+			s1 = append(s1, i)
+		} else {
+			s2 = append(s2, i)
+		}
+	}
+	sort.SliceStable(s1, func(a, b int) bool {
+		return tasks[s1[a]].Comm < tasks[s1[b]].Comm
+	})
+	sort.SliceStable(s2, func(a, b int) bool {
+		return tasks[s2[a]].Comp > tasks[s2[b]].Comp
+	})
+	return append(s1, s2...)
+}
+
+// ScheduleOrderUnlimited builds the schedule obtained by processing tasks
+// in the given order on both resources with no memory constraint: each
+// transfer starts as soon as the link is free, each computation as soon as
+// both its transfer is done and the processing unit is free (paper
+// Algorithm 1, lines 5–13).
+func ScheduleOrderUnlimited(tasks []core.Task, order []int) *core.Schedule {
+	s := core.NewSchedule(infinity)
+	tauComm, tauComp := 0.0, 0.0
+	for _, i := range order {
+		t := tasks[i]
+		commStart := tauComm
+		compStart := commStart + t.Comm
+		if tauComp > compStart {
+			compStart = tauComp
+		}
+		s.Append(core.Assignment{Task: t, CommStart: commStart, CompStart: compStart})
+		tauComm = commStart + t.Comm
+		tauComp = compStart + t.Comp
+	}
+	return s
+}
+
+// infinity is a capacity large enough to never constrain any instance in
+// practice while staying finite (so schedule validation arithmetic stays
+// well-defined).
+const infinity = 1e300
+
+// OMIM (optimal makespan, infinite memory) returns the makespan of
+// Johnson's schedule for the instance's tasks, ignoring the memory
+// capacity. It is the lower bound every heuristic is measured against
+// (ratio to optimal, paper §6).
+func OMIM(tasks []core.Task) float64 {
+	return ScheduleOrderUnlimited(tasks, JohnsonOrder(tasks)).Makespan()
+}
+
+// MakespanOrderUnlimited returns the makespan of executing the given order
+// on both resources with no memory constraint, without materialising the
+// schedule. It is the inner loop of the exhaustive searches.
+func MakespanOrderUnlimited(tasks []core.Task, order []int) float64 {
+	tauComm, tauComp := 0.0, 0.0
+	for _, i := range order {
+		t := tasks[i]
+		compStart := tauComm + t.Comm
+		if tauComp > compStart {
+			compStart = tauComp
+		}
+		tauComm += t.Comm
+		tauComp = compStart + t.Comp
+	}
+	return tauComp
+}
+
+// SwapDoesNotImprove reports whether swapping the contiguous tasks A then B
+// cannot improve the makespan, per the three sufficient conditions of
+// paper Lemma 1:
+//
+//	(i)   CP_A >= CM_A, CP_B >= CM_B, CM_A <= CM_B
+//	(ii)  CP_A <  CM_A, CP_B <  CM_B, CP_A >= CP_B
+//	(iii) CP_A >= CM_A, CP_B <  CM_B
+//
+// The property tests exercise the lemma by simulating both orders.
+func SwapDoesNotImprove(a, b core.Task) bool {
+	switch {
+	case a.Comp >= a.Comm && b.Comp >= b.Comm && a.Comm <= b.Comm:
+		return true
+	case a.Comp < a.Comm && b.Comp < b.Comm && a.Comp >= b.Comp:
+		return true
+	case a.Comp >= a.Comm && b.Comp < b.Comm:
+		return true
+	}
+	return false
+}

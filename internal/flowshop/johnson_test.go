@@ -1,0 +1,165 @@
+package flowshop
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"transched/internal/core"
+	"transched/internal/paperdata"
+	"transched/internal/testutil"
+)
+
+func TestJohnsonOrderTable3(t *testing.T) {
+	in := paperdata.Table3()
+	order := JohnsonOrder(in.Tasks)
+	// Compute-intensive sorted by increasing comm: B(1,3), C(4,4);
+	// communication-intensive sorted by decreasing comp: A(3,2), D(2,1).
+	want := []string{"B", "C", "A", "D"}
+	for i, idx := range order {
+		if in.Tasks[idx].Name != want[i] {
+			t.Fatalf("Johnson order = %v, want %v", names(in.Tasks, order), want)
+		}
+	}
+}
+
+func TestJohnsonOrderTable5(t *testing.T) {
+	in := paperdata.Table5()
+	order := JohnsonOrder(in.Tasks)
+	want := []string{"B", "C", "D", "E", "A"}
+	for i, idx := range order {
+		if in.Tasks[idx].Name != want[i] {
+			t.Fatalf("Johnson order = %v, want %v (paper Fig 6 discussion)", names(in.Tasks, order), want)
+		}
+	}
+}
+
+func names(tasks []core.Task, order []int) []string {
+	out := make([]string, len(order))
+	for i, idx := range order {
+		out[i] = tasks[idx].Name
+	}
+	return out
+}
+
+func TestOMIMTable3(t *testing.T) {
+	in := paperdata.Table3()
+	if got := OMIM(in.Tasks); got != paperdata.Table3Makespans["OMIM"] {
+		t.Errorf("OMIM = %g, want %g (paper Fig 4a)", got, paperdata.Table3Makespans["OMIM"])
+	}
+}
+
+func TestScheduleOrderUnlimitedFig4a(t *testing.T) {
+	in := paperdata.Table3()
+	s := ScheduleOrderUnlimited(in.Tasks, JohnsonOrder(in.Tasks))
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Johnson schedule invalid: %v", err)
+	}
+	// Fig 4a: comm B[0,1) C[1,5) A[5,8) D[8,10); comp B[1,4) C[5,9) A[9,11) D[11,12).
+	wantComm := map[string]float64{"B": 0, "C": 1, "A": 5, "D": 8}
+	wantComp := map[string]float64{"B": 1, "C": 5, "A": 9, "D": 11}
+	for _, a := range s.Assignments {
+		if a.CommStart != wantComm[a.Task.Name] || a.CompStart != wantComp[a.Task.Name] {
+			t.Errorf("task %s: comm %g comp %g, want comm %g comp %g",
+				a.Task.Name, a.CommStart, a.CompStart, wantComm[a.Task.Name], wantComp[a.Task.Name])
+		}
+	}
+}
+
+// TestJohnsonOptimal checks Theorem 1: Johnson's makespan equals the
+// brute-force optimum over all permutations with unlimited memory.
+func TestJohnsonOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(6)
+		tasks := testutil.RandomTasks(rng, n, 10)
+		_, best := BestPermutationUnlimited(tasks)
+		if got := OMIM(tasks); math.Abs(got-best) > 1e-9 {
+			t.Fatalf("trial %d: Johnson = %g, brute force = %g, tasks %v", trial, got, best, tasks)
+		}
+	}
+}
+
+// TestJohnsonOptimalQuick re-checks Theorem 1 through testing/quick's
+// generator machinery on integer-valued tasks.
+func TestJohnsonOptimalQuick(t *testing.T) {
+	f := func(pairs [6][2]uint8) bool {
+		tasks := make([]core.Task, 0, 6)
+		for i, p := range pairs {
+			tasks = append(tasks, core.NewTask(string(rune('A'+i)), float64(p[0]%20), float64(p[1]%20)))
+		}
+		_, best := BestPermutationUnlimited(tasks)
+		return math.Abs(OMIM(tasks)-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSwapLemma verifies Lemma 1: whenever a condition holds for adjacent
+// tasks A, B, swapping them does not improve the makespan, for arbitrary
+// prefixes of other tasks.
+func TestSwapLemma(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(4)
+		tasks := testutil.RandomTasks(rng, n, 10)
+		pos := rng.Intn(n - 1)
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		a, b := tasks[order[pos]], tasks[order[pos+1]]
+		if !SwapDoesNotImprove(a, b) {
+			continue
+		}
+		orig := MakespanOrderUnlimited(tasks, order)
+		order[pos], order[pos+1] = order[pos+1], order[pos]
+		swapped := MakespanOrderUnlimited(tasks, order)
+		if swapped < orig-1e-9 {
+			t.Fatalf("trial %d: swap improved makespan %g -> %g for A=%v B=%v",
+				trial, orig, swapped, a, b)
+		}
+	}
+}
+
+func TestSwapLemmaConditions(t *testing.T) {
+	// One witness per condition of Lemma 1.
+	caseI := SwapDoesNotImprove(core.NewTask("A", 1, 2), core.NewTask("B", 3, 4))
+	caseII := SwapDoesNotImprove(core.NewTask("A", 5, 4), core.NewTask("B", 6, 2))
+	caseIII := SwapDoesNotImprove(core.NewTask("A", 1, 2), core.NewTask("B", 6, 2))
+	if !caseI || !caseII || !caseIII {
+		t.Errorf("lemma conditions = %v %v %v, want all true", caseI, caseII, caseIII)
+	}
+	// A communication-intensive before compute-intensive pair matches no
+	// condition (the reverse of condition iii).
+	if SwapDoesNotImprove(core.NewTask("A", 6, 2), core.NewTask("B", 1, 2)) {
+		t.Error("reverse of condition iii should not be covered")
+	}
+}
+
+func TestMakespanOrderUnlimitedMatchesSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		tasks := testutil.RandomTasks(rng, 1+rng.Intn(7), 5)
+		order := rng.Perm(len(tasks))
+		fast := MakespanOrderUnlimited(tasks, order)
+		full := ScheduleOrderUnlimited(tasks, order).Makespan()
+		if math.Abs(fast-full) > 1e-9 {
+			t.Fatalf("fast makespan %g != schedule makespan %g", fast, full)
+		}
+	}
+}
+
+func TestOMIMIsLowerBoundForLimitedSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		in := testutil.RandomInstance(rng, 1+rng.Intn(6), 10)
+		omim := OMIM(in.Tasks)
+		_, best := BestPermutationLimited(in.Tasks, in.Capacity)
+		if best < omim-1e-9 {
+			t.Fatalf("limited-memory optimum %g below OMIM %g", best, omim)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package gantt renders schedules as two-row ASCII Gantt charts in the
+// style of the paper's figures: one row for the communication link, one
+// for the processing unit, with task names inside their intervals and a
+// time axis underneath.
+package gantt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"transched/internal/core"
+)
+
+// Render draws the schedule scaled to the given width in characters
+// (minimum 20; 72 is a good default for 80-column terminals).
+func Render(s *core.Schedule, width int) string {
+	if width < 20 {
+		width = 72
+	}
+	makespan := s.Makespan()
+	if makespan <= 0 || len(s.Assignments) == 0 {
+		return "(empty schedule)\n"
+	}
+	scale := func(t float64) int {
+		x := int(math.Round(t / makespan * float64(width)))
+		if x < 0 {
+			x = 0
+		}
+		if x > width {
+			x = width
+		}
+		return x
+	}
+
+	comm := []byte(strings.Repeat(" ", width+1))
+	comp := []byte(strings.Repeat(" ", width+1))
+	draw := func(row []byte, from, to float64, name string) {
+		a, b := scale(from), scale(to)
+		if b <= a { // zero-length event: mark with a tick
+			if a < len(row) {
+				if row[a] == ' ' {
+					row[a] = '.'
+				}
+			}
+			return
+		}
+		for x := a; x < b && x < len(row); x++ {
+			row[x] = '-'
+		}
+		row[a] = '|'
+		if b < len(row) {
+			row[b] = '|'
+		}
+		// Place the task name inside the bar when it fits.
+		label := name
+		if len(label) > b-a-1 {
+			if b-a-1 <= 0 {
+				return
+			}
+			label = label[:b-a-1]
+		}
+		start := a + 1 + (b-a-1-len(label))/2
+		copy(row[start:], label)
+	}
+
+	idx := make([]int, len(s.Assignments))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return s.Assignments[idx[a]].CommStart < s.Assignments[idx[b]].CommStart
+	})
+	for _, i := range idx {
+		a := s.Assignments[i]
+		if a.Task.Comm > 0 {
+			draw(comm, a.CommStart, a.CommEnd(), a.Task.Name)
+		} else {
+			draw(comm, a.CommStart, a.CommStart, a.Task.Name)
+		}
+		if a.Task.Comp > 0 {
+			draw(comp, a.CompStart, a.CompEnd(), a.Task.Name)
+		}
+	}
+
+	// Time axis with ticks at event boundaries.
+	axis := []byte(strings.Repeat(" ", width+1))
+	events := eventTimes(s)
+	for _, t := range events {
+		axis[scale(t)] = '+'
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "comm  %s\n", string(comm))
+	fmt.Fprintf(&b, "comp  %s\n", string(comp))
+	fmt.Fprintf(&b, "      %s\n", string(axis))
+	fmt.Fprintf(&b, "      0%s%g\n", strings.Repeat(" ", maxInt(1, width-len(fmt.Sprintf("%g", makespan)))), makespan)
+	return b.String()
+}
+
+// RenderWithLegend appends per-task timing lines to the chart.
+func RenderWithLegend(s *core.Schedule, width int) string {
+	var b strings.Builder
+	b.WriteString(Render(s, width))
+	idx := make([]int, len(s.Assignments))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, c int) bool {
+		return s.Assignments[idx[a]].CommStart < s.Assignments[idx[c]].CommStart
+	})
+	for _, i := range idx {
+		a := s.Assignments[i]
+		fmt.Fprintf(&b, "  %-8s comm [%g, %g)  comp [%g, %g)\n",
+			a.Task.Name, a.CommStart, a.CommEnd(), a.CompStart, a.CompEnd())
+	}
+	return b.String()
+}
+
+func eventTimes(s *core.Schedule) []float64 {
+	set := map[float64]struct{}{}
+	for _, a := range s.Assignments {
+		set[a.CommStart] = struct{}{}
+		set[a.CommEnd()] = struct{}{}
+		set[a.CompStart] = struct{}{}
+		set[a.CompEnd()] = struct{}{}
+	}
+	out := make([]float64, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,86 @@
+package gantt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"transched/internal/threestage"
+)
+
+// Render3 draws a 3-stage schedule as three rows (inbound link,
+// processing unit, outbound link) with a shared time axis.
+func Render3(s *threestage.Schedule, width int) string {
+	if width < 20 {
+		width = 72
+	}
+	makespan := s.Makespan()
+	if makespan <= 0 || len(s.Assignments) == 0 {
+		return "(empty schedule)\n"
+	}
+	scale := func(t float64) int {
+		x := int(math.Round(t / makespan * float64(width)))
+		if x < 0 {
+			x = 0
+		}
+		if x > width {
+			x = width
+		}
+		return x
+	}
+	rows := [3][]byte{
+		[]byte(strings.Repeat(" ", width+1)),
+		[]byte(strings.Repeat(" ", width+1)),
+		[]byte(strings.Repeat(" ", width+1)),
+	}
+	draw := func(row []byte, from, to float64, name string) {
+		a, b := scale(from), scale(to)
+		if b <= a {
+			if a < len(row) && row[a] == ' ' {
+				row[a] = '.'
+			}
+			return
+		}
+		for x := a; x < b && x < len(row); x++ {
+			row[x] = '-'
+		}
+		row[a] = '|'
+		if b < len(row) {
+			row[b] = '|'
+		}
+		label := name
+		if len(label) > b-a-1 {
+			if b-a-1 <= 0 {
+				return
+			}
+			label = label[:b-a-1]
+		}
+		copy(row[a+1+(b-a-1-len(label))/2:], label)
+	}
+
+	idx := make([]int, len(s.Assignments))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return s.Assignments[idx[a]].InStart < s.Assignments[idx[b]].InStart
+	})
+	for _, i := range idx {
+		a := s.Assignments[i]
+		draw(rows[0], a.InStart, a.InEnd(), a.Task.Name)
+		if a.Task.Comp > 0 {
+			draw(rows[1], a.CompStart, a.CompEnd(), a.Task.Name)
+		}
+		if a.Task.Out > 0 {
+			draw(rows[2], a.OutStart, a.OutEnd(), a.Task.Name)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "in    %s\n", string(rows[0]))
+	fmt.Fprintf(&b, "comp  %s\n", string(rows[1]))
+	fmt.Fprintf(&b, "out   %s\n", string(rows[2]))
+	fmt.Fprintf(&b, "      0%s%g\n", strings.Repeat(" ", maxInt(1, width-len(fmt.Sprintf("%g", makespan)))), makespan)
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package gantt
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"transched/internal/threestage"
+)
+
+func TestRender3(t *testing.T) {
+	tasks := []threestage.Task{
+		threestage.NewTask("A", 2, 3, 1),
+		threestage.NewTask("B", 3, 2, 2),
+	}
+	in := threestage.NewInstance(tasks, 100, math.Inf(1))
+	s, ok := threestage.ScheduleOrder(in, []int{0, 1})
+	if !ok {
+		t.Fatal("unschedulable")
+	}
+	out := Render3(s, 60)
+	for _, want := range []string{"in ", "comp", "out", "A", "B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRender3Empty(t *testing.T) {
+	if out := Render3(&threestage.Schedule{}, 40); !strings.Contains(out, "empty") {
+		t.Errorf("empty render = %q", out)
+	}
+}
+
+func TestRender3ZeroStages(t *testing.T) {
+	tasks := []threestage.Task{threestage.NewTask("A", 0, 5, 0)}
+	in := threestage.NewInstance(tasks, 100, 100)
+	s, ok := threestage.ScheduleOrder(in, []int{0})
+	if !ok {
+		t.Fatal("unschedulable")
+	}
+	out := Render3(s, 5) // narrow width falls back
+	if len(out) == 0 {
+		t.Fatal("empty output")
+	}
+}

@@ -1,0 +1,64 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+
+	"transched/internal/core"
+	"transched/internal/flowshop"
+	"transched/internal/paperdata"
+)
+
+func fig4b() *core.Schedule {
+	in := paperdata.Table3()
+	s, _ := flowshop.ScheduleOrderLimited(in.Tasks, flowshop.JohnsonOrder(in.Tasks), in.Capacity)
+	return s
+}
+
+func TestRenderContainsRowsAndNames(t *testing.T) {
+	out := Render(fig4b(), 72)
+	if !strings.Contains(out, "comm") || !strings.Contains(out, "comp") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	for _, name := range []string{"B", "C", "A", "D"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing task %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "15") {
+		t.Errorf("missing makespan 15:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := Render(core.NewSchedule(1), 40); !strings.Contains(out, "empty") {
+		t.Errorf("empty render = %q", out)
+	}
+}
+
+func TestRenderZeroLengthTransfer(t *testing.T) {
+	s := core.NewSchedule(10)
+	s.Append(core.Assignment{Task: core.NewTask("A", 0, 5), CommStart: 0, CompStart: 0})
+	s.Append(core.Assignment{Task: core.NewTask("B", 4, 3), CommStart: 0, CompStart: 5})
+	out := Render(s, 40)
+	if !strings.Contains(out, "B") {
+		t.Errorf("zero-length transfer render:\n%s", out)
+	}
+}
+
+func TestRenderWithLegend(t *testing.T) {
+	out := RenderWithLegend(fig4b(), 60)
+	for _, want := range []string{"comm [0, 1)", "comp [12, 14)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("legend missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderNarrowWidthClamped(t *testing.T) {
+	// Very small widths fall back to a sane default without panicking.
+	out := Render(fig4b(), 5)
+	if len(out) == 0 {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,157 @@
+package heuristics
+
+import (
+	"sort"
+
+	"transched/internal/core"
+	"transched/internal/flowshop"
+)
+
+// Regime classifies the memory capacity the way paper Table 6 does.
+type Regime int
+
+const (
+	// Unrestricted: the capacity is at least the peak memory of the
+	// optimal infinite-memory (Johnson) schedule, so memory never binds.
+	Unrestricted Regime = iota
+	// Moderate: constrained, but close to the OMIM schedule's peak.
+	Moderate
+	// Limited: close to the minimum capacity mc that can run the tasks.
+	Limited
+)
+
+func (r Regime) String() string {
+	switch r {
+	case Unrestricted:
+		return "unrestricted"
+	case Moderate:
+		return "moderate"
+	case Limited:
+		return "limited"
+	}
+	return "unknown"
+}
+
+// Profile summarises the workload features Table 6 keys on.
+type Profile struct {
+	Regime Regime
+	// FracCompute is the fraction of tasks with CP >= CM.
+	FracCompute float64
+	// FracComputeSmallComm is the fraction of compute-intensive tasks
+	// among those with below-median communication time.
+	FracComputeSmallComm float64
+	// FracComputeLargeComm is the fraction of compute-intensive tasks
+	// among those with above-median communication time.
+	FracComputeLargeComm float64
+	// OMIMPeak is the peak memory of the Johnson schedule.
+	OMIMPeak float64
+	// MinCapacity is mc, the largest single-task requirement.
+	MinCapacity float64
+}
+
+// Profiles computes the Table 6 features of an instance.
+func Profiles(in *core.Instance) Profile {
+	tasks := in.Tasks
+	p := Profile{MinCapacity: in.MinCapacity()}
+	js := flowshop.ScheduleOrderUnlimited(tasks, flowshop.JohnsonOrder(tasks))
+	p.OMIMPeak = js.PeakMemory()
+
+	if len(tasks) == 0 {
+		return p
+	}
+	nCompute := 0
+	for _, t := range tasks {
+		if t.ComputeIntensive() {
+			nCompute++
+		}
+	}
+	p.FracCompute = float64(nCompute) / float64(len(tasks))
+
+	median := medianComm(tasks)
+	var small, smallCompute, large, largeCompute int
+	for _, t := range tasks {
+		if t.Comm <= median {
+			small++
+			if t.ComputeIntensive() {
+				smallCompute++
+			}
+		} else {
+			large++
+			if t.ComputeIntensive() {
+				largeCompute++
+			}
+		}
+	}
+	if small > 0 {
+		p.FracComputeSmallComm = float64(smallCompute) / float64(small)
+	}
+	if large > 0 {
+		p.FracComputeLargeComm = float64(largeCompute) / float64(large)
+	}
+
+	switch {
+	case in.Capacity >= p.OMIMPeak:
+		p.Regime = Unrestricted
+	case in.Capacity >= p.MinCapacity+(p.OMIMPeak-p.MinCapacity)/2:
+		p.Regime = Moderate
+	default:
+		p.Regime = Limited
+	}
+	return p
+}
+
+func medianComm(tasks []core.Task) float64 {
+	vals := make([]float64, len(tasks))
+	for i, t := range tasks {
+		vals[i] = t.Comm
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// Advise recommends heuristics for an instance following paper Table 6.
+// It returns acronyms in preference order; callers typically try the first
+// and fall back to a sweep when unsure.
+func Advise(in *core.Instance) []string {
+	p := Profiles(in)
+	const significant = 0.3
+	switch p.Regime {
+	case Unrestricted:
+		// OOSIM is optimal; IOCMS/DOCPS are optimal for pure workloads.
+		switch {
+		case p.FracCompute >= 1:
+			return []string{"OOSIM", "IOCMS"}
+		case p.FracCompute <= 0:
+			return []string{"OOSIM", "DOCPS"}
+		default:
+			return []string{"OOSIM"}
+		}
+	case Moderate:
+		recs := make([]string, 0, 4)
+		mixed := p.FracCompute >= significant && p.FracCompute <= 1-significant
+		switch {
+		case mixed:
+			recs = append(recs, "OOMAMR", "OOLCMR", "OOSCMR")
+		case p.FracCompute > 1-significant:
+			recs = append(recs, "OOSCMR", "IOCCS")
+		default:
+			recs = append(recs, "OOLCMR", "DOCCS")
+		}
+		return recs
+	default: // Limited
+		switch {
+		case p.FracComputeLargeComm >= significant && p.FracComputeSmallComm >= significant:
+			return []string{"MAMR", "LCMR", "SCMR"}
+		case p.FracComputeLargeComm >= significant:
+			return []string{"LCMR", "MAMR"}
+		case p.FracComputeSmallComm >= significant:
+			return []string{"SCMR", "MAMR"}
+		default:
+			return []string{"MAMR", "BP"}
+		}
+	}
+}

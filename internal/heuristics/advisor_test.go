@@ -1,0 +1,114 @@
+package heuristics
+
+import (
+	"math/rand"
+	"testing"
+
+	"transched/internal/core"
+	"transched/internal/testutil"
+)
+
+func TestRegimeString(t *testing.T) {
+	for r, want := range map[Regime]string{
+		Unrestricted: "unrestricted", Moderate: "moderate", Limited: "limited",
+		Regime(7): "unknown",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("Regime(%d).String() = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+func TestProfilesRegimes(t *testing.T) {
+	tasks := []core.Task{
+		core.NewTask("A", 3, 2),
+		core.NewTask("B", 1, 3),
+		core.NewTask("C", 4, 4),
+		core.NewTask("D", 2, 1),
+	}
+	// Johnson order B C A D: at t=8 tasks C(4), A(3), D(2) are resident,
+	// so the OMIM schedule's peak memory is 9; mc is 4.
+	unconstrained := Profiles(core.NewInstance(tasks, 9))
+	if unconstrained.Regime != Unrestricted {
+		t.Errorf("capacity 9 regime = %v, want unrestricted (peak %g)", unconstrained.Regime, unconstrained.OMIMPeak)
+	}
+	tight := Profiles(core.NewInstance(tasks, 4))
+	if tight.Regime != Limited {
+		t.Errorf("capacity 4 (= mc) regime = %v, want limited", tight.Regime)
+	}
+	mid := Profiles(core.NewInstance(tasks, 7))
+	if mid.Regime != Moderate {
+		t.Errorf("capacity 7 regime = %v, want moderate", mid.Regime)
+	}
+}
+
+func TestProfilesFractions(t *testing.T) {
+	tasks := []core.Task{
+		core.NewTask("A", 1, 5), // compute intensive, small comm
+		core.NewTask("B", 2, 5), // compute intensive, small comm
+		core.NewTask("C", 8, 1), // communication intensive, large comm
+		core.NewTask("D", 9, 1), // communication intensive, large comm
+	}
+	p := Profiles(core.NewInstance(tasks, 100))
+	if p.FracCompute != 0.5 {
+		t.Errorf("FracCompute = %g, want 0.5", p.FracCompute)
+	}
+	if p.FracComputeSmallComm != 1 {
+		t.Errorf("FracComputeSmallComm = %g, want 1", p.FracComputeSmallComm)
+	}
+	if p.FracComputeLargeComm != 0 {
+		t.Errorf("FracComputeLargeComm = %g, want 0", p.FracComputeLargeComm)
+	}
+}
+
+func TestProfilesEmpty(t *testing.T) {
+	p := Profiles(core.NewInstance(nil, 1))
+	if p.FracCompute != 0 || p.OMIMPeak != 0 {
+		t.Errorf("empty profile = %+v", p)
+	}
+}
+
+func TestAdviseReturnsKnownHeuristics(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	known := map[string]bool{}
+	for _, n := range Names() {
+		known[n] = true
+	}
+	for trial := 0; trial < 100; trial++ {
+		in := testutil.RandomInstance(rng, 1+rng.Intn(20), 10)
+		recs := Advise(in)
+		if len(recs) == 0 {
+			t.Fatalf("trial %d: no advice", trial)
+		}
+		for _, r := range recs {
+			if !known[r] {
+				t.Fatalf("trial %d: unknown heuristic %q", trial, r)
+			}
+		}
+	}
+}
+
+func TestAdviseUnrestrictedPrefersOOSIM(t *testing.T) {
+	tasks := []core.Task{core.NewTask("A", 1, 2), core.NewTask("B", 2, 3)}
+	in := core.NewInstance(tasks, 1e9)
+	recs := Advise(in)
+	if recs[0] != "OOSIM" {
+		t.Errorf("unrestricted advice = %v, want OOSIM first", recs)
+	}
+}
+
+func TestAdviseLimitedMixed(t *testing.T) {
+	// Half compute-intensive small-comm, half compute-intensive large-comm
+	// => MAMR first per Table 6.
+	tasks := []core.Task{
+		core.NewTask("A", 1, 5),
+		core.NewTask("B", 2, 6),
+		core.NewTask("C", 8, 9),
+		core.NewTask("D", 9, 10),
+	}
+	in := core.NewInstance(tasks, 9) // mc = 9: as tight as possible
+	recs := Advise(in)
+	if recs[0] != "MAMR" {
+		t.Errorf("limited mixed advice = %v, want MAMR first", recs)
+	}
+}

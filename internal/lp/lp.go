@@ -1,0 +1,292 @@
+// Package lp is a dense two-phase primal simplex solver for linear
+// programs, written against the standard library only. It stands in for
+// the GLPK v4.65 solver the paper uses for its mixed-integer formulation
+// (§4.5); package milp adds branch and bound on top.
+//
+// Problems are stated as
+//
+//	minimize    cᵀx
+//	subject to  aᵢᵀx (≤ | = | ≥) bᵢ      for every row i
+//	            lo ≤ x ≤ hi             (lo defaults to 0, hi to +∞)
+//
+// The solver preprocesses bounds (substituting fixed variables, shifting
+// lower bounds, materialising upper bounds as rows), normalises the rows,
+// and runs phase 1 / phase 2 full-tableau simplex with a Dantzig pivot
+// rule falling back to Bland's rule to guarantee termination.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is a row's comparison operator.
+type Sense int
+
+const (
+	// LE is aᵀx ≤ b.
+	LE Sense = iota
+	// EQ is aᵀx = b.
+	EQ
+	// GE is aᵀx ≥ b.
+	GE
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case EQ:
+		return "=="
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// Entry is one nonzero coefficient of a row.
+type Entry struct {
+	Var int
+	Val float64
+}
+
+// Row is one linear constraint.
+type Row struct {
+	Coef  []Entry
+	Sense Sense
+	RHS   float64
+	// Name is optional, used in error messages.
+	Name string
+}
+
+// Problem is a linear program in the form documented on the package.
+type Problem struct {
+	// NumVars is the number of decision variables.
+	NumVars int
+	// Objective holds the minimisation coefficients (length NumVars;
+	// missing entries are zero).
+	Objective []float64
+	// Rows are the constraints.
+	Rows []Row
+	// Lower and Upper are optional variable bounds. Nil slices mean all
+	// zeros (Lower) and all +Inf (Upper).
+	Lower, Upper []float64
+}
+
+// AddRow appends a constraint and returns its index.
+func (p *Problem) AddRow(sense Sense, rhs float64, name string, entries ...Entry) int {
+	p.Rows = append(p.Rows, Row{Coef: entries, Sense: sense, RHS: rhs, Name: name})
+	return len(p.Rows) - 1
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal: an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible: the constraints admit no solution.
+	Infeasible
+	// Unbounded: the objective decreases without bound.
+	Unbounded
+	// IterLimit: the pivot budget was exhausted.
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return "unknown"
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	// X has the optimal variable values in the original problem space
+	// (only meaningful when Status == Optimal).
+	X []float64
+}
+
+const (
+	eps = 1e-9
+	// pivotEps guards against dividing by tiny pivots.
+	pivotEps = 1e-7
+)
+
+// Solve solves the problem. It never mutates p.
+func Solve(p *Problem) (*Solution, error) {
+	if err := check(p); err != nil {
+		return nil, err
+	}
+	pp, err := preprocess(p)
+	if err != nil {
+		return nil, err
+	}
+	if pp.infeasible {
+		return &Solution{Status: Infeasible}, nil
+	}
+	sol := pp.tableau.solve()
+	switch sol.Status {
+	case Optimal:
+		// The recovered x is in the original variable space, so the
+		// objective is evaluated directly on it (no shift constant).
+		x := pp.recover(sol.X)
+		obj := 0.0
+		for j, c := range p.Objective {
+			obj += c * x[j]
+		}
+		return &Solution{Status: Optimal, Objective: obj, X: x}, nil
+	default:
+		return &Solution{Status: sol.Status}, nil
+	}
+}
+
+func check(p *Problem) error {
+	if p.NumVars < 0 {
+		return fmt.Errorf("lp: negative NumVars")
+	}
+	if len(p.Objective) > p.NumVars {
+		return fmt.Errorf("lp: objective has %d coefficients for %d variables", len(p.Objective), p.NumVars)
+	}
+	if p.Lower != nil && len(p.Lower) != p.NumVars {
+		return fmt.Errorf("lp: Lower has length %d, want %d", len(p.Lower), p.NumVars)
+	}
+	if p.Upper != nil && len(p.Upper) != p.NumVars {
+		return fmt.Errorf("lp: Upper has length %d, want %d", len(p.Upper), p.NumVars)
+	}
+	for i, r := range p.Rows {
+		if math.IsNaN(r.RHS) {
+			return fmt.Errorf("lp: row %d (%s) has NaN rhs", i, r.Name)
+		}
+		for _, e := range r.Coef {
+			if e.Var < 0 || e.Var >= p.NumVars {
+				return fmt.Errorf("lp: row %d (%s) references variable %d of %d", i, r.Name, e.Var, p.NumVars)
+			}
+			if math.IsNaN(e.Val) || math.IsInf(e.Val, 0) {
+				return fmt.Errorf("lp: row %d (%s) has bad coefficient for x%d", i, r.Name, e.Var)
+			}
+		}
+	}
+	return nil
+}
+
+// prepped is the bound-preprocessed problem plus the recovery mapping.
+type prepped struct {
+	tableau    *tableau
+	infeasible bool
+	// col[j] is the tableau column of original variable j, or -1 if j was
+	// substituted out; shift[j] is its lower bound (x = shift + x̂).
+	col   []int
+	shift []float64
+	fixed []float64
+	nOrig int
+}
+
+func (pp *prepped) recover(xhat []float64) []float64 {
+	x := make([]float64, pp.nOrig)
+	for j := 0; j < pp.nOrig; j++ {
+		if pp.col[j] < 0 {
+			x[j] = pp.fixed[j]
+		} else {
+			x[j] = pp.shift[j] + xhat[pp.col[j]]
+		}
+	}
+	return x
+}
+
+func preprocess(p *Problem) (*prepped, error) {
+	n := p.NumVars
+	pp := &prepped{
+		col:   make([]int, n),
+		shift: make([]float64, n),
+		fixed: make([]float64, n),
+		nOrig: n,
+	}
+	lower := func(j int) float64 {
+		if p.Lower == nil {
+			return 0
+		}
+		return p.Lower[j]
+	}
+	upper := func(j int) float64 {
+		if p.Upper == nil {
+			return math.Inf(1)
+		}
+		return p.Upper[j]
+	}
+
+	ncols := 0
+	for j := 0; j < n; j++ {
+		lo, hi := lower(j), upper(j)
+		if math.IsInf(lo, -1) {
+			return nil, fmt.Errorf("lp: variable %d has -Inf lower bound (free variables unsupported)", j)
+		}
+		if hi < lo-eps {
+			pp.infeasible = true
+			return pp, nil
+		}
+		if hi-lo <= eps { // fixed variable: substitute out
+			pp.col[j] = -1
+			pp.fixed[j] = lo
+			continue
+		}
+		pp.col[j] = ncols
+		pp.shift[j] = lo
+		ncols++
+	}
+
+	// Build the shifted rows, then append upper-bound rows.
+	type nrow struct {
+		coef  []float64
+		sense Sense
+		rhs   float64
+	}
+	rows := make([]nrow, 0, len(p.Rows)+ncols)
+	for _, r := range p.Rows {
+		coef := make([]float64, ncols)
+		rhs := r.RHS
+		for _, e := range r.Coef {
+			j := e.Var
+			if pp.col[j] < 0 {
+				rhs -= e.Val * pp.fixed[j]
+				continue
+			}
+			coef[pp.col[j]] += e.Val
+			rhs -= e.Val * pp.shift[j]
+		}
+		rows = append(rows, nrow{coef, r.Sense, rhs})
+	}
+	for j := 0; j < n; j++ {
+		hi := upper(j)
+		if pp.col[j] >= 0 && !math.IsInf(hi, 1) {
+			coef := make([]float64, ncols)
+			coef[pp.col[j]] = 1
+			rows = append(rows, nrow{coef, LE, hi - pp.shift[j]})
+		}
+	}
+
+	// Shifted objective.
+	obj := make([]float64, ncols)
+	for j, c := range p.Objective {
+		if pp.col[j] >= 0 {
+			obj[pp.col[j]] += c
+		}
+	}
+
+	t := newTableau(ncols, len(rows))
+	for i, r := range rows {
+		t.setRow(i, r.coef, r.sense, r.rhs)
+	}
+	t.setObjective(obj)
+	pp.tableau = t
+	return pp, nil
+}

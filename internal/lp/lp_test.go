@@ -1,0 +1,396 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOrDie(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSimpleLE(t *testing.T) {
+	// maximize x+y s.t. x+2y<=4, 3x+y<=6  => minimize -(x+y).
+	// Optimum at intersection: x=8/5, y=6/5, value 14/5.
+	p := &Problem{NumVars: 2, Objective: []float64{-1, -1}}
+	p.AddRow(LE, 4, "r1", Entry{0, 1}, Entry{1, 2})
+	p.AddRow(LE, 6, "r2", Entry{0, 3}, Entry{1, 1})
+	s := solveOrDie(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if math.Abs(s.Objective+14.0/5) > 1e-7 {
+		t.Errorf("objective %g, want %g", s.Objective, -14.0/5)
+	}
+	if math.Abs(s.X[0]-1.6) > 1e-7 || math.Abs(s.X[1]-1.2) > 1e-7 {
+		t.Errorf("x = %v, want [1.6 1.2]", s.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// minimize 2x+3y s.t. x+y=10, x>=4 => x=10,y=0? No: min 2x+3y with
+	// x+y=10 prefers x big: x=10, y=0, obj 20. x>=4 inactive.
+	p := &Problem{NumVars: 2, Objective: []float64{2, 3}}
+	p.AddRow(EQ, 10, "sum", Entry{0, 1}, Entry{1, 1})
+	p.AddRow(GE, 4, "xmin", Entry{0, 1})
+	s := solveOrDie(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-20) > 1e-7 {
+		t.Fatalf("status %v obj %g, want optimal 20", s.Status, s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddRow(GE, 5, "hi", Entry{0, 1})
+	p.AddRow(LE, 3, "lo", Entry{0, 1})
+	s := solveOrDie(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{NumVars: 1, Objective: []float64{-1}}
+	p.AddRow(GE, 0, "r", Entry{0, 1})
+	s := solveOrDie(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", s.Status)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	// minimize -x with 2 <= x <= 5 => x=5.
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{-1},
+		Lower:     []float64{2},
+		Upper:     []float64{5},
+	}
+	s := solveOrDie(t, p)
+	if s.Status != Optimal || math.Abs(s.X[0]-5) > 1e-7 {
+		t.Fatalf("x = %v (%v), want 5", s.X, s.Status)
+	}
+}
+
+func TestFixedVariableSubstitution(t *testing.T) {
+	// y fixed to 3; minimize x s.t. x + y >= 7 => x = 4.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 0},
+		Lower:     []float64{0, 3},
+		Upper:     []float64{math.Inf(1), 3},
+	}
+	p.AddRow(GE, 7, "r", Entry{0, 1}, Entry{1, 1})
+	s := solveOrDie(t, p)
+	if s.Status != Optimal || math.Abs(s.X[0]-4) > 1e-7 || s.X[1] != 3 {
+		t.Fatalf("x = %v (%v), want [4 3]", s.X, s.Status)
+	}
+}
+
+func TestConflictingBoundsInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars: 1, Objective: []float64{1},
+		Lower: []float64{5}, Upper: []float64{2},
+	}
+	s := solveOrDie(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestDegenerateRedundantRows(t *testing.T) {
+	// Duplicate equality rows force redundant artificials.
+	p := &Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddRow(EQ, 4, "a", Entry{0, 1}, Entry{1, 1})
+	p.AddRow(EQ, 4, "b", Entry{0, 1}, Entry{1, 1})
+	p.AddRow(EQ, 8, "c", Entry{0, 2}, Entry{1, 2})
+	s := solveOrDie(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-4) > 1e-7 {
+		t.Fatalf("status %v obj %g, want optimal 4", s.Status, s.Objective)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// -x <= -3  <=>  x >= 3; minimize x => 3.
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddRow(LE, -3, "r", Entry{0, -1})
+	s := solveOrDie(t, p)
+	if s.Status != Optimal || math.Abs(s.X[0]-3) > 1e-7 {
+		t.Fatalf("x = %v, want 3", s.X)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []*Problem{
+		{NumVars: -1},
+		{NumVars: 1, Objective: []float64{1, 2}},
+		{NumVars: 1, Lower: []float64{0, 0}},
+		{NumVars: 1, Upper: []float64{0, 0}},
+	}
+	for i, p := range bad {
+		if _, err := Solve(p); err == nil {
+			t.Errorf("problem %d should be rejected", i)
+		}
+	}
+	p := &Problem{NumVars: 1}
+	p.AddRow(LE, 1, "r", Entry{5, 1})
+	if _, err := Solve(p); err == nil {
+		t.Error("out-of-range variable should be rejected")
+	}
+	p2 := &Problem{NumVars: 1}
+	p2.AddRow(LE, math.NaN(), "r", Entry{0, 1})
+	if _, err := Solve(p2); err == nil {
+		t.Error("NaN rhs should be rejected")
+	}
+	p3 := &Problem{NumVars: 1, Lower: []float64{math.Inf(-1)}}
+	if _, err := Solve(p3); err == nil {
+		t.Error("free variable should be rejected")
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	s := solveOrDie(t, &Problem{NumVars: 0})
+	if s.Status != Optimal || s.Objective != 0 {
+		t.Fatalf("empty problem: %v %g", s.Status, s.Objective)
+	}
+}
+
+func TestSenseStrings(t *testing.T) {
+	if LE.String() != "<=" || EQ.String() != "==" || GE.String() != ">=" || Sense(9).String() != "?" {
+		t.Error("Sense.String broken")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || IterLimit.String() != "iteration-limit" ||
+		Status(9).String() != "unknown" {
+		t.Error("Status.String broken")
+	}
+}
+
+// --- Reference check: brute-force vertex enumeration on random LPs. ---
+
+// bruteForceLP minimises c over {x >= 0, Ax <= b} by enumerating all basic
+// solutions: choose n constraints (rows or axes) to make tight, solve the
+// linear system, keep feasible points. Returns (value, found).
+func bruteForceLP(c []float64, a [][]float64, b []float64) (float64, bool) {
+	n := len(c)
+	m := len(a)
+	// Build the full constraint list: rows a_i x <= b_i and axes -x_j <= 0.
+	rows := make([][]float64, 0, m+n)
+	rhs := make([]float64, 0, m+n)
+	for i := 0; i < m; i++ {
+		rows = append(rows, a[i])
+		rhs = append(rhs, b[i])
+	}
+	for j := 0; j < n; j++ {
+		ax := make([]float64, n)
+		ax[j] = -1
+		rows = append(rows, ax)
+		rhs = append(rhs, 0)
+	}
+	best := math.Inf(1)
+	found := false
+	idx := make([]int, n)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == n {
+			x, ok := solveSquare(rows, rhs, idx)
+			if !ok {
+				return
+			}
+			for j := 0; j < n; j++ {
+				if x[j] < -1e-7 {
+					return
+				}
+			}
+			for i := 0; i < len(rows); i++ {
+				dot := 0.0
+				for j := 0; j < n; j++ {
+					dot += rows[i][j] * x[j]
+				}
+				if dot > rhs[i]+1e-6 {
+					return
+				}
+			}
+			v := 0.0
+			for j := 0; j < n; j++ {
+				v += c[j] * x[j]
+			}
+			if v < best {
+				best = v
+			}
+			found = true
+			return
+		}
+		for i := start; i < len(rows); i++ {
+			idx[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return best, found
+}
+
+// solveSquare solves the n x n system formed by the selected rows.
+func solveSquare(rows [][]float64, rhs []float64, idx []int) ([]float64, bool) {
+	n := len(idx)
+	m := make([][]float64, n)
+	for i, r := range idx {
+		m[i] = append(append([]float64{}, rows[r]...), rhs[r])
+	}
+	for col := 0; col < n; col++ {
+		p := -1
+		for r := col; r < n; r++ {
+			if math.Abs(m[r][col]) > 1e-9 && (p < 0 || math.Abs(m[r][col]) > math.Abs(m[p][col])) {
+				p = r
+			}
+		}
+		if p < 0 {
+			return nil, false
+		}
+		m[col], m[p] = m[p], m[col]
+		pv := m[col][col]
+		for j := col; j <= n; j++ {
+			m[col][j] /= pv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col]
+			for j := col; j <= n; j++ {
+				m[r][j] -= f * m[col][j]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = m[i][n]
+	}
+	return x, true
+}
+
+// TestRandomLPsAgainstVertexEnumeration compares the simplex solver to
+// exhaustive vertex enumeration on random bounded LPs.
+func TestRandomLPsAgainstVertexEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(5)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = math.Floor(rng.Float64()*21) - 10
+		}
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		boxed := false
+		for i := range a {
+			a[i] = make([]float64, n)
+			allPos := true
+			for j := range a[i] {
+				a[i][j] = math.Floor(rng.Float64()*11) - 5
+				if a[i][j] <= 0 {
+					allPos = false
+				}
+			}
+			b[i] = math.Floor(rng.Float64() * 20)
+			if allPos {
+				boxed = true
+			}
+		}
+		if !boxed {
+			// Add a box row so the LP is bounded and the vertex
+			// enumeration is exact.
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = 1
+			}
+			a = append(a, row)
+			b = append(b, 50)
+		}
+
+		p := &Problem{NumVars: n, Objective: c}
+		for i := range a {
+			entries := make([]Entry, 0, n)
+			for j, v := range a[i] {
+				if v != 0 {
+					entries = append(entries, Entry{j, v})
+				}
+			}
+			p.AddRow(LE, b[i], "r", entries...)
+		}
+		got := solveOrDie(t, p)
+		want, feasible := bruteForceLP(c, a, b)
+		if !feasible {
+			if got.Status != Infeasible {
+				t.Fatalf("trial %d: want infeasible, got %v (obj %g)", trial, got.Status, got.Objective)
+			}
+			continue
+		}
+		if got.Status != Optimal {
+			t.Fatalf("trial %d: status %v, want optimal %g", trial, got.Status, want)
+		}
+		if math.Abs(got.Objective-want) > 1e-5 {
+			t.Fatalf("trial %d: objective %g, want %g (n=%d m=%d c=%v a=%v b=%v)",
+				trial, got.Objective, want, n, m, c, a, b)
+		}
+	}
+}
+
+// TestRandomFeasibilityWithEqualities stresses phase 1 with equality rows
+// built from a known feasible point, so the LP is always feasible and the
+// solver must find it.
+func TestRandomFeasibilityWithEqualities(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(4)
+		x0 := make([]float64, n)
+		for j := range x0 {
+			x0[j] = math.Floor(rng.Float64() * 5)
+		}
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64()*4 - 2
+		}
+		m := 1 + rng.Intn(3)
+		for i := 0; i < m; i++ {
+			entries := make([]Entry, 0, n)
+			rhs := 0.0
+			for j := 0; j < n; j++ {
+				v := math.Floor(rng.Float64()*7) - 3
+				if v != 0 {
+					entries = append(entries, Entry{j, v})
+					rhs += v * x0[j]
+				}
+			}
+			p.AddRow(EQ, rhs, "eq", entries...)
+		}
+		// Bound the feasible region so minimisation cannot be unbounded.
+		all := make([]Entry, n)
+		for j := 0; j < n; j++ {
+			all[j] = Entry{j, 1}
+		}
+		sum := 0.0
+		for _, v := range x0 {
+			sum += v
+		}
+		p.AddRow(LE, sum+25, "box", all...)
+		s := solveOrDie(t, p)
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v for a feasible bounded LP", trial, s.Status)
+		}
+		// The optimum is at most the objective at x0.
+		at0 := 0.0
+		for j := range x0 {
+			at0 += p.Objective[j] * x0[j]
+		}
+		if s.Objective > at0+1e-6 {
+			t.Fatalf("trial %d: objective %g worse than feasible point %g", trial, s.Objective, at0)
+		}
+	}
+}

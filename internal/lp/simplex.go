@@ -1,0 +1,278 @@
+package lp
+
+import "math"
+
+// tableau is a dense full-tableau simplex over the preprocessed problem:
+// all variables non-negative, rows already shifted, upper bounds already
+// materialised as rows.
+type tableau struct {
+	nStruct int // structural columns
+	m       int // rows
+	// a is m x nCols with slack and artificial columns appended to the
+	// structural ones; b is the rhs column.
+	a     [][]float64
+	b     []float64
+	basis []int
+	// obj is the phase-2 reduced-cost row and obj1 the phase-1 row (both
+	// length nCols); the objective value itself is recomputed from the
+	// recovered solution, so no running constant is tracked.
+	obj  []float64
+	obj1 []float64
+
+	artStart int // first artificial column
+	nCols    int
+
+	rawRows  [][]float64
+	rawSense []Sense
+	rawRHS   []float64
+	rawObj   []float64
+}
+
+func newTableau(nStruct, m int) *tableau {
+	return &tableau{
+		nStruct:  nStruct,
+		m:        m,
+		rawRows:  make([][]float64, m),
+		rawSense: make([]Sense, m),
+		rawRHS:   make([]float64, m),
+	}
+}
+
+func (t *tableau) setRow(i int, coef []float64, sense Sense, rhs float64) {
+	t.rawRows[i] = coef
+	t.rawSense[i] = sense
+	t.rawRHS[i] = rhs
+}
+
+func (t *tableau) setObjective(obj []float64) { t.rawObj = obj }
+
+// build assembles the simplex tableau with slacks and artificials and the
+// two objective rows.
+func (t *tableau) build() {
+	// Normalise rhs >= 0.
+	senses := make([]Sense, t.m)
+	copy(senses, t.rawSense)
+	for i := 0; i < t.m; i++ {
+		if t.rawRHS[i] < 0 {
+			for j := range t.rawRows[i] {
+				t.rawRows[i][j] = -t.rawRows[i][j]
+			}
+			t.rawRHS[i] = -t.rawRHS[i]
+			switch senses[i] {
+			case LE:
+				senses[i] = GE
+			case GE:
+				senses[i] = LE
+			}
+		}
+	}
+	nSlack := 0
+	nArt := 0
+	for i := 0; i < t.m; i++ {
+		switch senses[i] {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	t.artStart = t.nStruct + nSlack
+	t.nCols = t.artStart + nArt
+
+	t.a = make([][]float64, t.m)
+	t.b = make([]float64, t.m)
+	t.basis = make([]int, t.m)
+	slack, art := t.nStruct, t.artStart
+	for i := 0; i < t.m; i++ {
+		row := make([]float64, t.nCols)
+		copy(row, t.rawRows[i])
+		t.b[i] = t.rawRHS[i]
+		switch senses[i] {
+		case LE:
+			row[slack] = 1
+			t.basis[i] = slack
+			slack++
+		case GE:
+			row[slack] = -1
+			slack++
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		case EQ:
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		}
+		t.a[i] = row
+	}
+
+	// Phase-2 reduced costs start as the raw objective.
+	t.obj = make([]float64, t.nCols)
+	copy(t.obj, t.rawObj)
+
+	// Phase-1 reduced costs: minimise the sum of artificials; zero out the
+	// basic artificial columns by subtracting their rows.
+	t.obj1 = make([]float64, t.nCols)
+	for j := t.artStart; j < t.nCols; j++ {
+		t.obj1[j] = 1
+	}
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] >= t.artStart {
+			for j := 0; j < t.nCols; j++ {
+				t.obj1[j] -= t.a[i][j]
+			}
+		}
+	}
+}
+
+// pivot performs a pivot on (r, c), updating both objective rows.
+func (t *tableau) pivot(r, c int) {
+	pr := t.a[r]
+	inv := 1 / pr[c]
+	for j := 0; j < t.nCols; j++ {
+		pr[j] *= inv
+	}
+	t.b[r] *= inv
+	pr[c] = 1 // fight round-off
+	for i := 0; i < t.m; i++ {
+		if i == r {
+			continue
+		}
+		f := t.a[i][c]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := 0; j < t.nCols; j++ {
+			ri[j] -= f * pr[j]
+		}
+		ri[c] = 0
+		t.b[i] -= f * t.b[r]
+	}
+	for _, objRow := range [2]*[]float64{&t.obj, &t.obj1} {
+		o := *objRow
+		f := o[c]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.nCols; j++ {
+			o[j] -= f * pr[j]
+		}
+		o[c] = 0
+	}
+	t.basis[r] = c
+}
+
+// entering chooses an entering column with negative reduced cost in objRow
+// among columns < limit, or -1 at optimality. Dantzig rule, Bland when
+// bland is true.
+func (t *tableau) entering(objRow []float64, limit int, bland bool) int {
+	best, bestVal := -1, -eps
+	for j := 0; j < limit; j++ {
+		v := objRow[j]
+		if v < -eps {
+			if bland {
+				return j
+			}
+			if v < bestVal {
+				best, bestVal = j, v
+			}
+		}
+	}
+	return best
+}
+
+// leaving runs the ratio test for entering column c; returns -1 when the
+// column is unbounded. Ties prefer the row whose basic variable has the
+// smallest index (lexicographic Bland tie-break prevents cycling).
+func (t *tableau) leaving(c int) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.m; i++ {
+		aic := t.a[i][c]
+		if aic <= pivotEps {
+			continue
+		}
+		ratio := t.b[i] / aic
+		if ratio < bestRatio-eps || (ratio < bestRatio+eps && (best < 0 || t.basis[i] < t.basis[best])) {
+			best, bestRatio = i, ratio
+		}
+	}
+	return best
+}
+
+// iterate runs simplex iterations on the given objective row until
+// optimality, unboundedness, or the iteration cap.
+func (t *tableau) iterate(objRow []float64, limit int, maxIter int) Status {
+	blandAfter := maxIter / 2
+	for iter := 0; iter < maxIter; iter++ {
+		c := t.entering(objRow, limit, iter > blandAfter)
+		if c < 0 {
+			return Optimal
+		}
+		r := t.leaving(c)
+		if r < 0 {
+			return Unbounded
+		}
+		t.pivot(r, c)
+	}
+	return IterLimit
+}
+
+// solve runs phase 1 then phase 2 and extracts the solution.
+func (t *tableau) solve() *Solution {
+	t.build()
+	maxIter := 200*(t.m+t.nCols) + 2000
+
+	if t.artStart < t.nCols {
+		status := t.iterate(t.obj1, t.nCols, maxIter)
+		if status == IterLimit {
+			return &Solution{Status: IterLimit}
+		}
+		// Phase-1 objective value = -(sum of artificial basics).
+		phase1 := 0.0
+		for i := 0; i < t.m; i++ {
+			if t.basis[i] >= t.artStart {
+				phase1 += t.b[i]
+			}
+		}
+		if phase1 > 1e-7 {
+			return &Solution{Status: Infeasible}
+		}
+		t.driveOutArtificials()
+	}
+
+	status := t.iterate(t.obj, t.artStart, maxIter)
+	if status != Optimal {
+		return &Solution{Status: status}
+	}
+	x := make([]float64, t.nStruct)
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.nStruct {
+			x[t.basis[i]] = t.b[i]
+		}
+	}
+	return &Solution{Status: Optimal, X: x}
+}
+
+// driveOutArtificials pivots zero-valued basic artificials onto
+// non-artificial columns so phase 2 can ignore artificial columns
+// entirely; rows that cannot be pivoted are redundant and left inert.
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[i][j]) > pivotEps {
+				t.pivot(i, j)
+				break
+			}
+		}
+		// If no pivot column exists the row is all zeros over the
+		// non-artificial columns with b ~ 0: redundant, harmless.
+	}
+}

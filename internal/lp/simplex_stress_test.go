@@ -1,0 +1,167 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestBealeCycling solves Beale's classic cycling example; the Bland
+// fallback must terminate at the optimum.
+//
+//	min -0.75x4 + 150x5 - 0.02x6 + 6x7
+//	s.t. 0.25x4 - 60x5 - 0.04x6 + 9x7 <= 0
+//	     0.5x4  - 90x5 - 0.02x6 + 3x7 <= 0
+//	     x6 <= 1
+//
+// Optimum: -0.05 at x6 = 1 (x4 = x5 = x7 chosen accordingly).
+func TestBealeCycling(t *testing.T) {
+	p := &Problem{NumVars: 4, Objective: []float64{-0.75, 150, -0.02, 6}}
+	p.AddRow(LE, 0, "r1", Entry{0, 0.25}, Entry{1, -60}, Entry{2, -0.04}, Entry{3, 9})
+	p.AddRow(LE, 0, "r2", Entry{0, 0.5}, Entry{1, -90}, Entry{2, -0.02}, Entry{3, 3})
+	p.AddRow(LE, 1, "r3", Entry{2, 1})
+	s := solveOrDie(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if math.Abs(s.Objective-(-0.05)) > 1e-6 {
+		t.Fatalf("objective %g, want -0.05", s.Objective)
+	}
+}
+
+// TestKleeMinty solves the Klee-Minty cube in 6 dimensions; Dantzig's rule
+// visits many vertices but must still reach the optimum 5^6... the
+// standard form: max x_n over the deformed cube.
+func TestKleeMinty(t *testing.T) {
+	const n = 6
+	p := &Problem{NumVars: n, Objective: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		p.Objective[j] = -math.Pow(2, float64(n-1-j))
+	}
+	for i := 0; i < n; i++ {
+		entries := make([]Entry, 0, i+1)
+		for j := 0; j < i; j++ {
+			entries = append(entries, Entry{j, math.Pow(2, float64(i+1-j))})
+		}
+		entries = append(entries, Entry{i, 1})
+		p.AddRow(LE, math.Pow(5, float64(i+1)), "km", entries...)
+	}
+	s := solveOrDie(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	// The optimum of max Σ 2^{n-1-j} x_j is 5^n (all at the last vertex).
+	if math.Abs(-s.Objective-math.Pow(5, n)) > 1e-5 {
+		t.Fatalf("objective %g, want %g", -s.Objective, math.Pow(5, n))
+	}
+}
+
+// TestLargeRandomFeasible builds bigger LPs from known feasible points to
+// stress phase 1/2 at the sizes the MILP windows produce.
+func TestLargeRandomFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 10; trial++ {
+		n := 40 + rng.Intn(40)
+		m := 60 + rng.Intn(60)
+		x0 := make([]float64, n)
+		for j := range x0 {
+			x0[j] = rng.Float64() * 10
+		}
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64()*2 - 1
+		}
+		for i := 0; i < m; i++ {
+			entries := make([]Entry, 0, 6)
+			lhs := 0.0
+			for k := 0; k < 5; k++ {
+				j := rng.Intn(n)
+				v := rng.Float64()*4 - 2
+				entries = append(entries, Entry{j, v})
+				lhs += v * x0[j]
+			}
+			// Slack the row so x0 stays feasible.
+			p.AddRow(LE, lhs+rng.Float64()*5, "r", entries...)
+		}
+		// Box to keep it bounded.
+		all := make([]Entry, n)
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			all[j] = Entry{j, 1}
+			sum += x0[j]
+		}
+		p.AddRow(LE, sum+100, "box", all...)
+		s := solveOrDie(t, p)
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v (n=%d m=%d)", trial, s.Status, n, m)
+		}
+		at0 := 0.0
+		for j := range x0 {
+			at0 += p.Objective[j] * x0[j]
+		}
+		if s.Objective > at0+1e-6 {
+			t.Fatalf("trial %d: solver %g worse than known point %g", trial, s.Objective, at0)
+		}
+		// The reported solution must itself be feasible.
+		for _, r := range p.Rows {
+			dot := 0.0
+			for _, e := range r.Coef {
+				dot += e.Val * s.X[e.Var]
+			}
+			if dot > r.RHS+1e-6 {
+				t.Fatalf("trial %d: returned point violates a row by %g", trial, dot-r.RHS)
+			}
+		}
+	}
+}
+
+// TestDegenerateTies builds LPs with many identical rows and zero RHS to
+// stress degenerate pivoting.
+func TestDegenerateTies(t *testing.T) {
+	p := &Problem{NumVars: 3, Objective: []float64{-1, -1, -1}}
+	for i := 0; i < 8; i++ {
+		p.AddRow(LE, 0, "deg", Entry{0, 1}, Entry{1, -1})
+	}
+	p.AddRow(LE, 5, "cap", Entry{0, 1}, Entry{1, 1}, Entry{2, 1})
+	s := solveOrDie(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective+5) > 1e-7 {
+		t.Fatalf("status %v obj %g, want optimal -5", s.Status, s.Objective)
+	}
+}
+
+func BenchmarkSimplexSmall(b *testing.B) {
+	p := &Problem{NumVars: 2, Objective: []float64{-1, -1}}
+	p.AddRow(LE, 4, "r1", Entry{0, 1}, Entry{1, 2})
+	p.AddRow(LE, 6, "r2", Entry{0, 3}, Entry{1, 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplexWindowSized(b *testing.B) {
+	// Roughly the size of an lp.4 window MILP relaxation.
+	rng := rand.New(rand.NewSource(1))
+	n, m := 80, 200
+	p := &Problem{NumVars: n, Objective: make([]float64, n), Upper: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		p.Objective[j] = rng.Float64()*2 - 1
+		p.Upper[j] = 10
+	}
+	for i := 0; i < m; i++ {
+		entries := make([]Entry, 0, 6)
+		for k := 0; k < 5; k++ {
+			entries = append(entries, Entry{rng.Intn(n), rng.Float64()*4 - 2})
+		}
+		p.AddRow(LE, rng.Float64()*20+1, "r", entries...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Solve(p)
+		if err != nil || s.Status == IterLimit {
+			b.Fatalf("%v %v", err, s.Status)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package lpsched
+
+import (
+	"math"
+	"testing"
+
+	"transched/internal/core"
+	"transched/internal/milp"
+)
+
+// countFixed returns how many of the formulation's integer variables have
+// been pre-fixed through equal bounds.
+func countFixed(f *formulation) int {
+	n := 0
+	for _, j := range f.prob.Integer {
+		if f.prob.LP.Lower[j] == f.prob.LP.Upper[j] {
+			n++
+		}
+	}
+	return n
+}
+
+func TestFormulationSizes(t *testing.T) {
+	wts := []winTask{
+		{task: core.NewTask("A", 1, 2)},
+		{task: core.NewTask("B", 3, 4)},
+		{task: core.NewTask("C", 5, 6)},
+	}
+	f := buildFormulation(wts, 10)
+	n := 3
+	// Variables: 2n starts + 1 makespan + 3n(n-1) booleans.
+	wantVars := 2*n + 1 + 3*n*(n-1)
+	if f.prob.LP.NumVars != wantVars {
+		t.Fatalf("NumVars = %d, want %d", f.prob.LP.NumVars, wantVars)
+	}
+	if len(f.prob.Integer) != 3*n*(n-1) {
+		t.Fatalf("%d integer vars, want %d", len(f.prob.Integer), 3*n*(n-1))
+	}
+	// Rows: 2n (completion+validity) + 4n(n-1) (link/unit/c-def/c-neg)
+	// + 3*C(n,2) (aone/bone/cone) + 2n(n-1) (ca/cb) + n (memory).
+	wantRows := 2*n + 4*n*(n-1) + 3*n*(n-1)/2 + 2*n*(n-1) + n
+	if len(f.prob.LP.Rows) != wantRows {
+		t.Fatalf("%d rows, want %d", len(f.prob.LP.Rows), wantRows)
+	}
+	// Fully free window: nothing pre-fixed.
+	if got := countFixed(f); got != 0 {
+		t.Fatalf("%d booleans pre-fixed in a free window", got)
+	}
+}
+
+func TestPrefixBooleansFixedPairs(t *testing.T) {
+	// Two fully committed tasks plus one free one: the a/b/c booleans of
+	// the committed pair are fixed, as are the orderings of committed vs
+	// free events.
+	wts := []winTask{
+		{task: core.NewTask("A", 2, 1), commFixed: true, commStart: 0, compFixed: true, compStart: 2},
+		{task: core.NewTask("B", 1, 1), commFixed: true, commStart: 2, compFixed: true, compStart: 3},
+		{task: core.NewTask("C", 1, 1), boundary: 3},
+	}
+	f := buildFormulation(wts, 10)
+	mustFixed := func(v int, val float64) {
+		t.Helper()
+		if f.prob.LP.Lower[v] != val || f.prob.LP.Upper[v] != val {
+			t.Fatalf("var %d bounds [%g,%g], want fixed %g",
+				v, f.prob.LP.Lower[v], f.prob.LP.Upper[v], val)
+		}
+	}
+	// a[1][0] = 1: A's transfer [0,2) precedes B's [2,3).
+	mustFixed(f.aVar[1][0], 1)
+	mustFixed(f.aVar[0][1], 0)
+	// b[1][0] = 1: A computes [2,3) before B [3,4).
+	mustFixed(f.bVar[1][0], 1)
+	// c[1][0] = 0: A's computation (ends 3) has not finished by B's
+	// transfer start (2).
+	mustFixed(f.cVar[1][0], 0)
+	// Free task C follows all committed transfers: a[2][0] = a[2][1] = 1.
+	mustFixed(f.aVar[2][0], 1)
+	mustFixed(f.aVar[2][1], 1)
+	mustFixed(f.aVar[0][2], 0)
+	// Committed vs free c: a committed transfer cannot wait for a free
+	// computation: c[0][2] = 0.
+	mustFixed(f.cVar[0][2], 0)
+}
+
+func TestFormulationSolvesTinyInstanceExactly(t *testing.T) {
+	// One task: makespan = comm + comp.
+	wts := []winTask{{task: core.NewTask("A", 2, 3)}}
+	f := buildFormulation(wts, 10)
+	sol, err := milp.Solve(&f.prob, milp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != milp.Optimal || math.Abs(sol.Objective-5) > 1e-6 {
+		t.Fatalf("status %v obj %g, want optimal 5", sol.Status, sol.Objective)
+	}
+}
+
+func TestFormulationMemoryConstraintBinds(t *testing.T) {
+	// Two tasks of memory 3 with capacity 4: transfers cannot be resident
+	// together, forcing serialisation: makespan 3+1 for the first, then
+	// the second transfer waits for the first computation end (4) =>
+	// 4+3+1 = 8. With capacity 6 both prefetch: makespan 3+3+1 = 7.
+	mk := func(capacity float64) float64 {
+		wts := []winTask{
+			{task: core.NewTask("A", 3, 1)},
+			{task: core.NewTask("B", 3, 1)},
+		}
+		f := buildFormulation(wts, capacity)
+		sol, err := milp.Solve(&f.prob, milp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != milp.Optimal {
+			t.Fatalf("status %v", sol.Status)
+		}
+		return sol.Objective
+	}
+	if got := mk(4); math.Abs(got-8) > 1e-6 {
+		t.Fatalf("capacity 4: %g, want 8", got)
+	}
+	if got := mk(6); math.Abs(got-7) > 1e-6 {
+		t.Fatalf("capacity 6: %g, want 7", got)
+	}
+}
+
+func TestGreedyCompletionRespectsCommitments(t *testing.T) {
+	wts := []winTask{
+		{task: core.NewTask("A", 2, 5), commFixed: true, commStart: 0}, // comp flexible
+		{task: core.NewTask("B", 1, 1), boundary: 2},
+	}
+	sVals, spVals, obj := greedyCompletion(wts, 10)
+	if sVals[0] != 0 {
+		t.Fatalf("committed transfer moved to %g", sVals[0])
+	}
+	if spVals[0] < 2 {
+		t.Fatalf("A computes at %g before its transfer ends", spVals[0])
+	}
+	if sVals[1] < 2 {
+		t.Fatalf("B transfers at %g before the boundary", sVals[1])
+	}
+	if obj < spVals[0]+5-1e-9 {
+		t.Fatalf("objective %g below A's completion", obj)
+	}
+	// The completion is feasible as an LP incumbent: rebuild a schedule
+	// and validate.
+	s := core.NewSchedule(10)
+	for i, w := range wts {
+		s.Append(core.Assignment{Task: w.task, CommStart: sVals[i], CompStart: spVals[i]})
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("greedy completion infeasible: %v", err)
+	}
+}
+
+func TestBeforeTieBreak(t *testing.T) {
+	// Two zero-length transfers at the same instant: exactly one order.
+	ab := before(1, 0, 1, 0, 1)
+	ba := before(1, 0, 1, 1, 0)
+	if ab == ba {
+		t.Fatalf("tie-break inconsistent: %v %v", ab, ba)
+	}
+}

@@ -1,0 +1,218 @@
+package lpsched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"transched/internal/core"
+	"transched/internal/flowshop"
+	"transched/internal/paperdata"
+	"transched/internal/testutil"
+)
+
+// TestExactTable2 solves the paper's Prop 1 instance to optimality: the
+// MILP (which may order the two resources differently) reaches makespan
+// 22, strictly better than the best common-order schedule, and the
+// resulting schedule is not a permutation schedule.
+func TestExactTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact MILP on 6 tasks takes ~15s")
+	}
+	in := paperdata.Table2()
+	s, sol, err := SolveExact(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-paperdata.Table2DifferentOrderMakespan) > 1e-6 {
+		t.Fatalf("MILP objective = %g, want %g", sol.Objective, paperdata.Table2DifferentOrderMakespan)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("repaired MILP schedule invalid: %v\n%s", err, s)
+	}
+	if math.Abs(s.Makespan()-22) > 1e-6 {
+		t.Fatalf("makespan = %g, want 22", s.Makespan())
+	}
+	if s.Permutation() {
+		t.Error("optimal Table 2 schedule should order resources differently (paper Prop 1)")
+	}
+}
+
+// TestExactMatchesBruteForceSmall: on tiny instances, the exact MILP is at
+// least as good as the best common-order schedule and at least OMIM.
+func TestExactMatchesBruteForceSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 12; trial++ {
+		n := 2 + rng.Intn(3) // 2..4 tasks keeps each solve fast
+		in := testutil.RandomInstance(rng, n, 5)
+		s, sol, err := SolveExact(in, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid: %v\n%s", trial, err, s)
+		}
+		_, common := flowshop.BestPermutationLimited(in.Tasks, in.Capacity)
+		omim := flowshop.OMIM(in.Tasks)
+		if sol.Objective > common+1e-6 {
+			t.Fatalf("trial %d: MILP %g worse than best common order %g", trial, sol.Objective, common)
+		}
+		if sol.Objective < omim-1e-6 {
+			t.Fatalf("trial %d: MILP %g below OMIM %g", trial, sol.Objective, omim)
+		}
+		if s.Makespan() > sol.Objective+1e-6 {
+			t.Fatalf("trial %d: repaired makespan %g above MILP objective %g", trial, s.Makespan(), sol.Objective)
+		}
+	}
+}
+
+// TestWindowedFeasible: lp.k yields valid schedules containing all tasks,
+// at or above OMIM, for several window sizes.
+func TestWindowedFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	trials := 8
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		in := testutil.RandomInstance(rng, 6+rng.Intn(6), 5)
+		omim := flowshop.OMIM(in.Tasks)
+		for _, k := range []int{3, 4} {
+			res, err := Solve(in, Options{K: k, MaxNodesPerWindow: 1000})
+			if err != nil {
+				t.Fatalf("trial %d k=%d: %v", trial, k, err)
+			}
+			s := res.Schedule
+			if err := s.Validate(); err != nil {
+				t.Fatalf("trial %d k=%d: invalid: %v\n%s", trial, k, err, s)
+			}
+			if len(s.Assignments) != in.N() {
+				t.Fatalf("trial %d k=%d: %d assignments for %d tasks", trial, k, len(s.Assignments), in.N())
+			}
+			if s.Makespan() < omim-1e-6 {
+				t.Fatalf("trial %d k=%d: makespan %g below OMIM %g", trial, k, s.Makespan(), omim)
+			}
+			if res.Windows != (in.N()+k-1)/k {
+				t.Fatalf("trial %d k=%d: %d windows for %d tasks", trial, k, res.Windows, in.N())
+			}
+		}
+	}
+}
+
+// TestWindowedSingleWindowIsExact: with k >= n and no node cap pressure,
+// lp.k solves the whole instance at once and matches SolveExact.
+func TestWindowedSingleWindowIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	for trial := 0; trial < 6; trial++ {
+		in := testutil.RandomInstance(rng, 3+rng.Intn(2), 5)
+		res, err := Solve(in, Options{K: in.N(), MaxNodesPerWindow: 200000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, sol, err := SolveExact(in, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Schedule.Makespan()-sol.Objective) > 1e-6 {
+			t.Fatalf("trial %d: single-window lp.k %g != exact %g",
+				trial, res.Schedule.Makespan(), sol.Objective)
+		}
+	}
+}
+
+// TestWindowedTable3: lp.k on the Table 3 instance stays between OMIM and
+// the sequential bound for every k the paper uses.
+func TestWindowedTable3(t *testing.T) {
+	in := paperdata.Table3()
+	for _, k := range []int{3, 4, 5, 6} {
+		res, err := Solve(in, Options{K: k})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := res.Schedule.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		m := res.Schedule.Makespan()
+		if m < paperdata.Table3Makespans["OMIM"]-1e-6 || m > in.SequentialMakespan()+1e-6 {
+			t.Errorf("k=%d: makespan %g outside [%g, %g]",
+				k, m, paperdata.Table3Makespans["OMIM"], in.SequentialMakespan())
+		}
+	}
+}
+
+func TestSolveRejectsInvalidInstance(t *testing.T) {
+	in := core.NewInstance([]core.Task{core.NewTask("A", 5, 1)}, 2)
+	if _, err := Solve(in, Options{}); err == nil {
+		t.Error("want error for task larger than capacity")
+	}
+	if _, _, err := SolveExact(in, 0); err == nil {
+		t.Error("want error for task larger than capacity (exact)")
+	}
+}
+
+func TestRepairIdempotentOnCleanSchedule(t *testing.T) {
+	// A clean hand schedule must survive repair unchanged in makespan.
+	s := paperdata.Table2DifferentOrderSchedule()
+	r := repair(s)
+	if err := r.Validate(); err != nil {
+		t.Fatalf("repair broke a valid schedule: %v\n%s", err, r)
+	}
+	if r.Makespan() > s.Makespan()+1e-9 {
+		t.Errorf("repair increased makespan %g -> %g", s.Makespan(), r.Makespan())
+	}
+}
+
+func TestRepairFixesNoise(t *testing.T) {
+	// Perturb a valid schedule by solver-scale noise; repair must produce
+	// an exactly feasible schedule with (at most) the same makespan.
+	rng := rand.New(rand.NewSource(313))
+	for trial := 0; trial < 100; trial++ {
+		in := testutil.RandomInstance(rng, 2+rng.Intn(6), 5)
+		base, ok := flowshop.ScheduleOrderLimited(in.Tasks, rng.Perm(in.N()), in.Capacity)
+		if !ok {
+			t.Fatal("unschedulable random instance")
+		}
+		noisy := core.NewSchedule(in.Capacity)
+		for _, a := range base.Assignments {
+			a.CommStart += (rng.Float64() - 0.5) * 1e-7
+			if a.CommStart < 0 {
+				a.CommStart = 0
+			}
+			a.CompStart += (rng.Float64() - 0.5) * 1e-7
+			if a.CompStart < a.CommEnd() {
+				a.CompStart = a.CommEnd()
+			}
+			noisy.Append(a)
+		}
+		r := repair(noisy)
+		if err := r.Validate(); err != nil {
+			t.Fatalf("trial %d: repaired schedule invalid: %v", trial, err)
+		}
+		if r.Makespan() > base.Makespan()+1e-6 {
+			t.Fatalf("trial %d: repair makespan %g above original %g", trial, r.Makespan(), base.Makespan())
+		}
+	}
+}
+
+func TestWindowedBoundaryCommitment(t *testing.T) {
+	// Transfers committed in earlier windows must not move: run lp.3 and
+	// check the final transfer order respects window grouping (a window's
+	// transfers all start no earlier than every earlier window's).
+	rng := rand.New(rand.NewSource(317))
+	in := testutil.RandomInstance(rng, 9, 5)
+	res, err := Solve(in, Options{K: 3, MaxNodesPerWindow: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nameWindow := map[string]int{}
+	for i, task := range in.Tasks {
+		nameWindow[task.Name] = i / 3
+	}
+	order := res.Schedule.CommOrder()
+	for i := 1; i < len(order); i++ {
+		if nameWindow[order[i]] < nameWindow[order[i-1]] {
+			t.Fatalf("transfer %s (window %d) after %s (window %d)",
+				order[i], nameWindow[order[i]], order[i-1], nameWindow[order[i-1]])
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package lpsched
+
+import (
+	"sort"
+
+	"transched/internal/core"
+)
+
+// repair rebuilds exact event times from the structure of an approximate
+// (MILP-produced) schedule. Big-M MILP solutions carry numeric noise on
+// the order of the solver tolerances, which would trip the exact
+// feasibility validator; repair extracts the decisions — the transfer
+// order, the computation order, and which computations complete before
+// which transfers (the c booleans) — and recomputes the earliest times
+// consistent with them.
+//
+// Every extracted constraint is satisfied by the input times, so the
+// recomputed times are a pointwise lower bound of the input: the makespan
+// never grows beyond the solver's answer (modulo the solver's own
+// tolerance), and the memory constraint keeps holding because a task is
+// resident at a transfer start in the repaired schedule only if it was
+// resident (and therefore counted) in the solver's solution.
+func repair(s *core.Schedule) *core.Schedule {
+	n := len(s.Assignments)
+	if n == 0 {
+		return s
+	}
+	as := s.Assignments
+
+	commOrder := make([]int, n)
+	compOrder := make([]int, n)
+	for i := range commOrder {
+		commOrder[i] = i
+		compOrder[i] = i
+	}
+	sort.SliceStable(commOrder, func(a, b int) bool {
+		return as[commOrder[a]].CommStart < as[commOrder[b]].CommStart
+	})
+	sort.SliceStable(compOrder, func(a, b int) bool {
+		return as[compOrder[a]].CompStart < as[compOrder[b]].CompStart
+	})
+
+	// releaseBefore[i] lists tasks whose computation completed before i's
+	// transfer started in the input schedule.
+	releaseBefore := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if as[j].CompEnd() <= as[i].CommStart+tol {
+				releaseBefore[i] = append(releaseBefore[i], j)
+			}
+		}
+	}
+
+	comm := make([]float64, n)
+	comp := make([]float64, n)
+	// Least-fixed-point iteration: all constraints are x >= expr over
+	// earlier events, so n rounds suffice (each round finalises at least
+	// the next event in global time order).
+	for round := 0; round < n+1; round++ {
+		changed := false
+		raise := func(x *float64, v float64) {
+			if v > *x {
+				*x = v
+				changed = true
+			}
+		}
+		for p, i := range commOrder {
+			if p > 0 {
+				prev := commOrder[p-1]
+				raise(&comm[i], comm[prev]+as[prev].Task.Comm)
+			}
+			for _, j := range releaseBefore[i] {
+				raise(&comm[i], comp[j]+as[j].Task.Comp)
+			}
+		}
+		for q, i := range compOrder {
+			raise(&comp[i], comm[i]+as[i].Task.Comm)
+			if q > 0 {
+				prev := compOrder[q-1]
+				raise(&comp[i], comp[prev]+as[prev].Task.Comp)
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	out := core.NewSchedule(s.Capacity)
+	for _, p := range commOrder {
+		out.Append(core.Assignment{Task: as[p].Task, CommStart: comm[p], CompStart: comp[p]})
+	}
+	return out
+}

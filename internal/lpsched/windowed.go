@@ -1,0 +1,297 @@
+package lpsched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"transched/internal/core"
+	"transched/internal/milp"
+)
+
+// Options tunes the windowed MILP heuristic.
+type Options struct {
+	// K is the window size (the paper evaluates k = 3, 4, 5, 6).
+	K int
+	// MaxNodesPerWindow caps branch and bound per window (0 = 20000).
+	MaxNodesPerWindow int
+	// NoIncumbentSeed disables seeding each window's branch and bound with
+	// the greedy completion's objective (ablation knob; seeding on is the
+	// production configuration).
+	NoIncumbentSeed bool
+}
+
+// Result carries the schedule plus solver statistics.
+type Result struct {
+	Schedule *core.Schedule
+	// Windows is the number of MILP windows solved.
+	Windows int
+	// Nodes is the total number of branch-and-bound nodes.
+	Nodes int
+	// Fallbacks counts windows where the node budget expired before any
+	// integer solution was found and the greedy completion was used.
+	Fallbacks int
+}
+
+// Solve runs the iterative windowed MILP heuristic lp.k (paper §4.5):
+// tasks are taken in submission order in windows of k; each window is
+// scheduled by the MILP together with the still-resident and
+// still-flexible tasks of earlier windows; at the window boundary, events
+// that started before the boundary are fixed and later events remain
+// flexible.
+func Solve(in *core.Instance, opts Options) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	k := opts.K
+	if k <= 0 {
+		k = 3
+	}
+	maxNodes := opts.MaxNodesPerWindow
+	if maxNodes <= 0 {
+		maxNodes = 20000
+	}
+
+	type slot struct {
+		task      core.Task
+		commStart float64
+		compStart float64
+		compFixed bool
+	}
+	var committed []slot // tasks with committed transfers (comm fixed)
+	boundary := 0.0      // all committed transfers end at or before this
+	res := &Result{}
+
+	for lo := 0; lo < in.N(); lo += k {
+		hi := lo + k
+		if hi > in.N() {
+			hi = in.N()
+		}
+
+		// Assemble the window: carryovers still visible to the MILP are
+		// those whose computation is flexible or still occupying memory or
+		// the processing unit at/after the boundary.
+		var wts []winTask
+		carryIdx := make([]int, 0, len(committed))
+		for ci := range committed {
+			c := &committed[ci]
+			active := !c.compFixed || c.compStart+c.task.Comp > boundary-tol
+			if !active {
+				continue
+			}
+			wts = append(wts, winTask{
+				task:      c.task,
+				commFixed: true,
+				commStart: c.commStart,
+				compFixed: c.compFixed,
+				compStart: c.compStart,
+			})
+			carryIdx = append(carryIdx, ci)
+		}
+		nCarry := len(wts)
+		for i := lo; i < hi; i++ {
+			wts = append(wts, winTask{task: in.Tasks[i], boundary: boundary})
+		}
+
+		f := buildFormulation(wts, in.Capacity)
+
+		// Greedy fallback completion doubles as the incumbent seed.
+		fbS, fbSp, fbObj := greedyCompletion(wts, in.Capacity)
+
+		sol, err := milp.Solve(&f.prob, milp.Options{
+			MaxNodes:           maxNodes,
+			IncumbentObjective: fbObj + 1e-7,
+			IncumbentSet:       !opts.NoIncumbentSeed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lpsched: window [%d,%d): %w", lo, hi, err)
+		}
+		res.Windows++
+		res.Nodes += sol.Nodes
+
+		sVals, spVals := fbS, fbSp
+		switch sol.Status {
+		case milp.Optimal, milp.Feasible:
+			sVals = make([]float64, len(wts))
+			spVals = make([]float64, len(wts))
+			for i := range wts {
+				sVals[i] = sol.X[f.sVar[i]]
+				spVals[i] = sol.X[f.spVar[i]]
+			}
+		case milp.Infeasible:
+			// Nothing beat the greedy incumbent; keep the fallback values.
+			res.Fallbacks++
+		default:
+			return nil, fmt.Errorf("lpsched: window [%d,%d): unexpected status %v", lo, hi, sol.Status)
+		}
+
+		// Commit the new tasks' transfers and update flexible carryovers.
+		for w, ci := range carryIdx {
+			if !committed[ci].compFixed {
+				committed[ci].compStart = spVals[w]
+			}
+		}
+		for i := lo; i < hi; i++ {
+			w := nCarry + i - lo
+			committed = append(committed, slot{
+				task:      in.Tasks[i],
+				commStart: sVals[w],
+				compStart: spVals[w],
+			})
+		}
+
+		// New boundary: the end of the last committed transfer. Fix every
+		// computation that starts before it.
+		for _, c := range committed {
+			if e := c.commStart + c.task.Comm; e > boundary {
+				boundary = e
+			}
+		}
+		for ci := range committed {
+			if !committed[ci].compFixed && committed[ci].compStart < boundary-tol {
+				committed[ci].compFixed = true
+			}
+		}
+	}
+
+	s := core.NewSchedule(in.Capacity)
+	for _, c := range committed {
+		s.Append(core.Assignment{Task: c.task, CommStart: c.commStart, CompStart: c.compStart})
+	}
+	res.Schedule = repair(s)
+	return res, nil
+}
+
+// SolveExact runs the MILP over the entire instance in one window with no
+// carryovers — the paper's full formulation. Only practical for small
+// instances; it is the ground truth the unit tests compare against.
+func SolveExact(in *core.Instance, maxNodes int) (*core.Schedule, *milp.Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, nil, err
+	}
+	wts := make([]winTask, in.N())
+	for i, t := range in.Tasks {
+		wts[i] = winTask{task: t}
+	}
+	f := buildFormulation(wts, in.Capacity)
+	if maxNodes <= 0 {
+		maxNodes = 500000
+	}
+	sol, err := milp.Solve(&f.prob, milp.Options{MaxNodes: maxNodes})
+	if err != nil {
+		return nil, nil, err
+	}
+	if sol.Status != milp.Optimal && sol.Status != milp.Feasible {
+		return nil, sol, fmt.Errorf("lpsched: exact solve ended with status %v", sol.Status)
+	}
+	s := core.NewSchedule(in.Capacity)
+	for i := range wts {
+		s.Append(core.Assignment{
+			Task:      wts[i].task,
+			CommStart: sol.X[f.sVar[i]],
+			CompStart: sol.X[f.spVar[i]],
+		})
+	}
+	return repair(s), sol, nil
+}
+
+// greedyCompletion schedules the window's flexible events greedily —
+// committed transfers in place, flexible computations and new tasks in
+// submission order, each at the earliest feasible time — and returns the
+// start times plus the resulting window makespan. It both seeds the
+// branch-and-bound incumbent and serves as the fallback when the node
+// budget expires.
+func greedyCompletion(wts []winTask, capacity float64) (sVals, spVals []float64, obj float64) {
+	n := len(wts)
+	sVals = make([]float64, n)
+	spVals = make([]float64, n)
+
+	// Committed events first.
+	type rel struct{ at, mem float64 }
+	var releases []rel
+	tauComm, tauComp := 0.0, 0.0
+	for i, w := range wts {
+		if w.commFixed {
+			sVals[i] = w.commStart
+			if e := w.commStart + w.task.Comm; e > tauComm {
+				tauComm = e
+			}
+		}
+		if w.compFixed {
+			spVals[i] = w.compStart
+			if e := w.compStart + w.task.Comp; e > tauComp {
+				tauComp = e
+			}
+		}
+	}
+
+	memAt := func(t float64) float64 {
+		use := 0.0
+		for _, r := range releases {
+			if r.at > t+tol {
+				use += r.mem
+			}
+		}
+		return use
+	}
+	// Pre-register fully committed tasks as releases.
+	for _, w := range wts {
+		if w.commFixed && w.compFixed {
+			releases = append(releases, rel{at: w.compStart + w.task.Comp, mem: w.task.Mem})
+		}
+	}
+
+	// Flexible computations of committed transfers, in transfer order.
+	type flexComp struct {
+		idx   int
+		start float64
+	}
+	var flex []flexComp
+	for i, w := range wts {
+		if w.commFixed && !w.compFixed {
+			flex = append(flex, flexComp{idx: i, start: w.commStart})
+		}
+	}
+	sort.SliceStable(flex, func(a, b int) bool { return flex[a].start < flex[b].start })
+	for _, fc := range flex {
+		w := wts[fc.idx]
+		start := math.Max(w.commStart+w.task.Comm, tauComp)
+		spVals[fc.idx] = start
+		tauComp = start + w.task.Comp
+		releases = append(releases, rel{at: tauComp, mem: w.task.Mem})
+	}
+
+	// New tasks in submission order, waiting for memory releases.
+	for i, w := range wts {
+		if w.commFixed {
+			continue
+		}
+		start := math.Max(tauComm, w.boundary)
+		for memAt(start)+w.task.Mem > capacity+tol {
+			// Advance to the next release strictly after start.
+			next := math.Inf(1)
+			for _, r := range releases {
+				if r.at > start+tol && r.at < next {
+					next = r.at
+				}
+			}
+			if math.IsInf(next, 1) {
+				break // cannot happen when Mem <= capacity
+			}
+			start = next
+		}
+		sVals[i] = start
+		tauComm = start + w.task.Comm
+		comp := math.Max(tauComm, tauComp)
+		spVals[i] = comp
+		tauComp = comp + w.task.Comp
+		releases = append(releases, rel{at: tauComp, mem: w.task.Mem})
+	}
+
+	for i, w := range wts {
+		if e := spVals[i] + w.task.Comp; e > obj {
+			obj = e
+		}
+	}
+	return sVals, spVals, obj
+}

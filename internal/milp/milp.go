@@ -1,0 +1,264 @@
+// Package milp solves mixed-integer linear programs by LP-relaxation
+// branch and bound over the package lp simplex solver. Together they stand
+// in for the GLPK v4.65 solver the paper drives its §4.5 formulation with.
+//
+// The search is best-first on the relaxation bound, branches on the most
+// fractional integer variable, and supports an incumbent cutoff seeded
+// from a known feasible solution (the windowed heuristic seeds it with the
+// best heuristic schedule) plus node and improvement budgets — mirroring
+// how the paper had to cap GLPK ("the solver was unable to solve this MILP
+// at the scale of our interest in limited time").
+package milp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"transched/internal/lp"
+)
+
+// Problem is an LP plus integrality requirements.
+type Problem struct {
+	LP lp.Problem
+	// Integer lists the variables required to take integer values.
+	Integer []int
+}
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	// MaxNodes caps the number of explored nodes (0 means 200000).
+	MaxNodes int
+	// IncumbentObjective, when IncumbentSet, prunes nodes whose relaxation
+	// bound is not below it (a feasible objective known from outside, e.g.
+	// a heuristic schedule).
+	IncumbentObjective float64
+	IncumbentSet       bool
+	// Gap is the relative optimality gap at which search stops (0 = exact).
+	Gap float64
+}
+
+// Status reports the outcome of a MILP solve.
+type Status int
+
+const (
+	// Optimal: proven optimal within the gap.
+	Optimal Status = iota
+	// Feasible: a feasible solution was found but the node budget ran out
+	// before proving optimality.
+	Feasible
+	// Infeasible: no integer-feasible solution exists (or none better than
+	// the incumbent cutoff).
+	Infeasible
+	// Unbounded: the relaxation is unbounded.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	X         []float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+	// Bound is the best lower bound proven (useful when Status==Feasible).
+	Bound float64
+}
+
+const intEps = 1e-6
+
+type node struct {
+	lower, upper []float64
+	bound        float64
+	index        int // heap bookkeeping
+}
+
+type nodeQueue []*node
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].bound < q[j].bound }
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
+func (q *nodeQueue) Push(x interface{}) { n := x.(*node); n.index = len(*q); *q = append(*q, n) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return n
+}
+
+// Solve runs branch and bound. The problem's own Lower/Upper bounds are
+// respected; branching tightens copies of them.
+func Solve(p *Problem, opts Options) (*Solution, error) {
+	n := p.LP.NumVars
+	for _, j := range p.Integer {
+		if j < 0 || j >= n {
+			return nil, fmt.Errorf("milp: integer variable %d out of range", j)
+		}
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+
+	baseLower := make([]float64, n)
+	baseUpper := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if p.LP.Lower != nil {
+			baseLower[j] = p.LP.Lower[j]
+		}
+		if p.LP.Upper != nil {
+			baseUpper[j] = p.LP.Upper[j]
+		} else {
+			baseUpper[j] = math.Inf(1)
+		}
+	}
+
+	best := math.Inf(1)
+	if opts.IncumbentSet {
+		best = opts.IncumbentObjective
+	}
+	var bestX []float64
+
+	relax := func(lo, hi []float64) (*lp.Solution, error) {
+		q := p.LP // shallow copy; bounds replaced
+		q.Lower = lo
+		q.Upper = hi
+		return lp.Solve(&q)
+	}
+
+	root := &node{lower: baseLower, upper: baseUpper}
+	sol, err := relax(root.lower, root.upper)
+	if err != nil {
+		return nil, err
+	}
+	switch sol.Status {
+	case lp.Unbounded:
+		return &Solution{Status: Unbounded}, nil
+	case lp.Infeasible:
+		return &Solution{Status: Infeasible}, nil
+	case lp.IterLimit:
+		return nil, fmt.Errorf("milp: simplex iteration limit at root")
+	}
+	root.bound = sol.Objective
+	rootX := sol.X
+
+	queue := &nodeQueue{}
+	heap.Init(queue)
+	pushNode := func(nd *node) { heap.Push(queue, nd) }
+
+	// Check the root before branching.
+	if j := mostFractional(rootX, p.Integer); j < 0 {
+		if sol.Objective < best-intEps {
+			return &Solution{Status: Optimal, Objective: sol.Objective, X: rootX, Nodes: 1, Bound: sol.Objective}, nil
+		}
+		// The root is integral but no better than the seeded incumbent.
+		return &Solution{Status: Infeasible, Objective: best, Nodes: 1, Bound: sol.Objective}, nil
+	}
+	pushNode(root)
+
+	nodes := 1
+	provenBound := root.bound
+	for queue.Len() > 0 && nodes < maxNodes {
+		nd := heap.Pop(queue).(*node)
+		provenBound = nd.bound
+		if !(nd.bound < best-intEps) {
+			// Best-first: every remaining node is at least as bad.
+			provenBound = nd.bound
+			queue = &nodeQueue{}
+			break
+		}
+		if opts.Gap > 0 && best < math.Inf(1) && (best-nd.bound) <= opts.Gap*math.Abs(best) {
+			break
+		}
+		// Re-solve to get the fractional solution for branching (bounds
+		// were computed when the node was created; solving again keeps
+		// node memory small: two bound slices instead of a full X).
+		sol, err := relax(nd.lower, nd.upper)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status != lp.Optimal {
+			continue
+		}
+		j := mostFractional(sol.X, p.Integer)
+		if j < 0 { // integer feasible
+			if sol.Objective < best-intEps {
+				best = sol.Objective
+				bestX = sol.X
+			}
+			continue
+		}
+		floor := math.Floor(sol.X[j])
+		for side := 0; side < 2; side++ {
+			lo := append([]float64(nil), nd.lower...)
+			hi := append([]float64(nil), nd.upper...)
+			if side == 0 {
+				hi[j] = floor
+			} else {
+				lo[j] = floor + 1
+			}
+			if lo[j] > hi[j]+intEps {
+				continue
+			}
+			child, err := relax(lo, hi)
+			if err != nil {
+				return nil, err
+			}
+			nodes++
+			if child.Status != lp.Optimal {
+				continue
+			}
+			if !(child.Objective < best-intEps) {
+				continue
+			}
+			if jj := mostFractional(child.X, p.Integer); jj < 0 {
+				if child.Objective < best-intEps {
+					best = child.Objective
+					bestX = child.X
+				}
+				continue
+			}
+			pushNode(&node{lower: lo, upper: hi, bound: child.Objective})
+		}
+	}
+
+	switch {
+	case bestX == nil && !opts.IncumbentSet:
+		return &Solution{Status: Infeasible, Nodes: nodes, Bound: provenBound}, nil
+	case bestX == nil:
+		// Nothing better than the seeded incumbent was found.
+		return &Solution{Status: Infeasible, Objective: best, Nodes: nodes, Bound: provenBound}, nil
+	case queue.Len() == 0:
+		return &Solution{Status: Optimal, Objective: best, X: bestX, Nodes: nodes, Bound: best}, nil
+	default:
+		return &Solution{Status: Feasible, Objective: best, X: bestX, Nodes: nodes, Bound: provenBound}, nil
+	}
+}
+
+// mostFractional returns the integer-constrained variable farthest from an
+// integer value, or -1 if all are integral.
+func mostFractional(x []float64, integers []int) int {
+	best, bestDist := -1, intEps
+	for _, j := range integers {
+		f := x[j] - math.Floor(x[j])
+		dist := math.Min(f, 1-f)
+		if dist > bestDist {
+			best, bestDist = j, dist
+		}
+	}
+	return best
+}

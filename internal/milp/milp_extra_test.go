@@ -1,0 +1,152 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"transched/internal/lp"
+)
+
+// knapsackProblem builds a random 0/1 knapsack MILP (minimising negated
+// value) with n items.
+func knapsackProblem(rng *rand.Rand, n int) *Problem {
+	p := &Problem{
+		LP: lp.Problem{
+			NumVars:   n,
+			Objective: make([]float64, n),
+			Upper:     make([]float64, n),
+		},
+	}
+	entries := make([]lp.Entry, n)
+	for j := 0; j < n; j++ {
+		p.LP.Objective[j] = -(1 + math.Floor(rng.Float64()*20))
+		p.LP.Upper[j] = 1
+		p.Integer = append(p.Integer, j)
+		entries[j] = lp.Entry{Var: j, Val: 1 + math.Floor(rng.Float64()*10)}
+	}
+	cap := 0.0
+	for _, e := range entries {
+		cap += e.Val
+	}
+	p.LP.AddRow(lp.LE, math.Floor(cap/2), "cap", entries...)
+	return p
+}
+
+// TestGapTermination: with a loose relative gap, the solver may stop
+// early but must return a feasible solution within the gap of the bound.
+func TestGapTermination(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 30; trial++ {
+		p := knapsackProblem(rng, 12)
+		exact, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Status != Optimal {
+			t.Fatalf("trial %d: exact status %v", trial, exact.Status)
+		}
+		gapped, err := Solve(p, Options{Gap: 0.10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gapped.Status != Optimal && gapped.Status != Feasible {
+			t.Fatalf("trial %d: gapped status %v", trial, gapped.Status)
+		}
+		// Within 10% of the true optimum (both negative values).
+		if gapped.Objective > exact.Objective*(1-0.10)+1e-9 {
+			t.Fatalf("trial %d: gapped %g vs exact %g exceeds 10%%",
+				trial, gapped.Objective, exact.Objective)
+		}
+	}
+}
+
+// TestNodeLimitReturnsFeasible: a tiny node budget on a nontrivial
+// problem yields Feasible (an incumbent without proof) or Optimal, never
+// silently wrong.
+func TestNodeLimitReturnsFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	sawFeasible := false
+	for trial := 0; trial < 50; trial++ {
+		p := knapsackProblem(rng, 16)
+		s, err := Solve(p, Options{MaxNodes: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch s.Status {
+		case Feasible:
+			sawFeasible = true
+			if s.Bound > s.Objective+1e-9 {
+				t.Fatalf("trial %d: bound %g above incumbent %g", trial, s.Bound, s.Objective)
+			}
+			// The incumbent must be integer feasible.
+			for _, j := range p.Integer {
+				if f := s.X[j] - math.Floor(s.X[j]); f > 1e-6 && f < 1-1e-6 {
+					t.Fatalf("trial %d: fractional incumbent x[%d]=%g", trial, j, s.X[j])
+				}
+			}
+		case Optimal, Infeasible:
+			// fine
+		default:
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+	}
+	if !sawFeasible {
+		t.Log("node limit never bound — acceptable but unexpected")
+	}
+}
+
+// TestBoundNeverAboveOptimum: on solved instances the reported bound
+// equals the objective.
+func TestBoundNeverAboveOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(227))
+	for trial := 0; trial < 30; trial++ {
+		p := knapsackProblem(rng, 10)
+		s, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Status == Optimal && math.Abs(s.Bound-s.Objective) > 1e-6 {
+			t.Fatalf("trial %d: optimal but bound %g != objective %g", trial, s.Bound, s.Objective)
+		}
+	}
+}
+
+// TestMixedIntegerContinuous: only some variables integral.
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min -x - 2y, x integer in [0,3], y continuous in [0, 2.5],
+	// x + y <= 4.2 => x = 3, y = 1.2? x+y<=4.2: x=3 -> y <= 1.2 and y <= 2.5
+	// => y = 1.2, objective -5.4. Or x=2 -> y=2.2? y<=2.5: obj -6.4. Or
+	// x=1 -> y=2.5 (cap), obj -6. x=2,y=2.2: -6.4 is best.
+	p := &Problem{
+		LP: lp.Problem{
+			NumVars:   2,
+			Objective: []float64{-1, -2},
+			Upper:     []float64{3, 2.5},
+		},
+		Integer: []int{0},
+	}
+	p.LP.AddRow(lp.LE, 4.2, "cap", lp.Entry{Var: 0, Val: 1}, lp.Entry{Var: 1, Val: 1})
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || math.Abs(s.Objective+6.4) > 1e-6 {
+		t.Fatalf("status %v obj %g, want optimal -6.4", s.Status, s.Objective)
+	}
+	if math.Abs(s.X[0]-2) > 1e-6 || math.Abs(s.X[1]-2.2) > 1e-6 {
+		t.Fatalf("x = %v, want [2 2.2]", s.X)
+	}
+}
+
+func BenchmarkBranchAndBoundKnapsack(b *testing.B) {
+	rng := rand.New(rand.NewSource(229))
+	p := knapsackProblem(rng, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Solve(p, Options{})
+		if err != nil || s.Status != Optimal {
+			b.Fatalf("%v %v", err, s.Status)
+		}
+	}
+}

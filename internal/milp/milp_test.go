@@ -1,0 +1,267 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"transched/internal/lp"
+)
+
+func TestKnapsack(t *testing.T) {
+	// maximize 10a + 6b + 4c s.t. a+b+c <= 2, a,b,c binary
+	// => minimize the negation; optimum a=b=1 => -16.
+	p := &Problem{
+		LP: lp.Problem{
+			NumVars:   3,
+			Objective: []float64{-10, -6, -4},
+			Upper:     []float64{1, 1, 1},
+		},
+		Integer: []int{0, 1, 2},
+	}
+	p.LP.AddRow(lp.LE, 2, "cap", lp.Entry{Var: 0, Val: 1}, lp.Entry{Var: 1, Val: 1}, lp.Entry{Var: 2, Val: 1})
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || math.Abs(s.Objective+16) > 1e-6 {
+		t.Fatalf("status %v obj %g, want optimal -16", s.Status, s.Objective)
+	}
+	if math.Abs(s.X[0]-1) > 1e-6 || math.Abs(s.X[1]-1) > 1e-6 || math.Abs(s.X[2]) > 1e-6 {
+		t.Errorf("x = %v, want [1 1 0]", s.X)
+	}
+}
+
+func TestFractionalKnapsackNeedsBranching(t *testing.T) {
+	// maximize 5a + 4b s.t. 3a + 2b <= 4, binaries: LP relax picks
+	// fractional a; integer optimum is b=1, a=0? value 4 vs a=1: 3a=3<=4
+	// value 5. So optimum a=1, b fractional? b must be integer: a=1 uses 3,
+	// remaining 1 < 2 so b=0: value 5. => min -5.
+	p := &Problem{
+		LP: lp.Problem{
+			NumVars:   2,
+			Objective: []float64{-5, -4},
+			Upper:     []float64{1, 1},
+		},
+		Integer: []int{0, 1},
+	}
+	p.LP.AddRow(lp.LE, 4, "cap", lp.Entry{Var: 0, Val: 3}, lp.Entry{Var: 1, Val: 2})
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || math.Abs(s.Objective+5) > 1e-6 {
+		t.Fatalf("status %v obj %g, want optimal -5", s.Status, s.Objective)
+	}
+}
+
+func TestIntegerInfeasible(t *testing.T) {
+	// 0.4 <= x <= 0.6, x integer: infeasible.
+	p := &Problem{
+		LP: lp.Problem{
+			NumVars:   1,
+			Objective: []float64{1},
+			Lower:     []float64{0.4},
+			Upper:     []float64{0.6},
+		},
+		Integer: []int{0},
+	}
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestLPInfeasible(t *testing.T) {
+	p := &Problem{LP: lp.Problem{NumVars: 1, Objective: []float64{1}}}
+	p.LP.AddRow(lp.GE, 5, "a", lp.Entry{Var: 0, Val: 1})
+	p.LP.AddRow(lp.LE, 1, "b", lp.Entry{Var: 0, Val: 1})
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnboundedRelaxation(t *testing.T) {
+	p := &Problem{LP: lp.Problem{NumVars: 1, Objective: []float64{-1}}, Integer: []int{0}}
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", s.Status)
+	}
+}
+
+func TestIncumbentCutoff(t *testing.T) {
+	// Optimum is -16 (TestKnapsack); an incumbent of -20 prunes everything.
+	p := &Problem{
+		LP: lp.Problem{
+			NumVars:   3,
+			Objective: []float64{-10, -6, -4},
+			Upper:     []float64{1, 1, 1},
+		},
+		Integer: []int{0, 1, 2},
+	}
+	p.LP.AddRow(lp.LE, 2, "cap", lp.Entry{Var: 0, Val: 1}, lp.Entry{Var: 1, Val: 1}, lp.Entry{Var: 2, Val: 1})
+	s, err := Solve(p, Options{IncumbentObjective: -20, IncumbentSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible (nothing beats the incumbent)", s.Status)
+	}
+	// An incumbent of -10 is beaten by the true optimum.
+	s, err = Solve(p, Options{IncumbentObjective: -10, IncumbentSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || math.Abs(s.Objective+16) > 1e-6 {
+		t.Fatalf("status %v obj %g, want optimal -16", s.Status, s.Objective)
+	}
+}
+
+func TestBadIntegerIndex(t *testing.T) {
+	p := &Problem{LP: lp.Problem{NumVars: 1}, Integer: []int{3}}
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("want error for out-of-range integer index")
+	}
+}
+
+func TestAlreadyIntegerRoot(t *testing.T) {
+	// Relaxation optimum is integral: no branching needed.
+	p := &Problem{
+		LP: lp.Problem{
+			NumVars:   1,
+			Objective: []float64{1},
+			Lower:     []float64{2},
+			Upper:     []float64{9},
+		},
+		Integer: []int{0},
+	}
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || s.Nodes != 1 || math.Abs(s.Objective-2) > 1e-6 {
+		t.Fatalf("got %v obj %g nodes %d, want optimal 2 in 1 node", s.Status, s.Objective, s.Nodes)
+	}
+}
+
+// bruteForceMILP enumerates all integer assignments in [0,ub] for the
+// integer vars of a pure integer problem (all vars integer) and returns
+// the best objective over feasible points.
+func bruteForceMILP(c []float64, rows []lp.Row, ub int, n int) (float64, bool) {
+	best := math.Inf(1)
+	found := false
+	x := make([]float64, n)
+	var rec func(j int)
+	rec = func(j int) {
+		if j == n {
+			for _, r := range rows {
+				dot := 0.0
+				for _, e := range r.Coef {
+					dot += e.Val * x[e.Var]
+				}
+				switch r.Sense {
+				case lp.LE:
+					if dot > r.RHS+1e-9 {
+						return
+					}
+				case lp.GE:
+					if dot < r.RHS-1e-9 {
+						return
+					}
+				case lp.EQ:
+					if math.Abs(dot-r.RHS) > 1e-9 {
+						return
+					}
+				}
+			}
+			v := 0.0
+			for j := range c {
+				v += c[j] * x[j]
+			}
+			if v < best {
+				best = v
+			}
+			found = true
+			return
+		}
+		for v := 0; v <= ub; v++ {
+			x[j] = float64(v)
+			rec(j + 1)
+		}
+	}
+	rec(0)
+	return best, found
+}
+
+// TestRandomMILPsAgainstEnumeration cross-checks branch and bound against
+// exhaustive enumeration of bounded integer programs.
+func TestRandomMILPsAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		const ub = 3
+		p := &Problem{
+			LP: lp.Problem{
+				NumVars:   n,
+				Objective: make([]float64, n),
+				Upper:     make([]float64, n),
+			},
+		}
+		for j := 0; j < n; j++ {
+			p.LP.Objective[j] = math.Floor(rng.Float64()*11) - 5
+			p.LP.Upper[j] = ub
+			p.Integer = append(p.Integer, j)
+		}
+		for i := 0; i < m; i++ {
+			entries := make([]lp.Entry, 0, n)
+			for j := 0; j < n; j++ {
+				v := math.Floor(rng.Float64()*7) - 3
+				if v != 0 {
+					entries = append(entries, lp.Entry{Var: j, Val: v})
+				}
+			}
+			sense := lp.Sense(rng.Intn(2)) // LE or EQ
+			rhs := math.Floor(rng.Float64()*12) - 2
+			p.LP.AddRow(sense, rhs, "r", entries...)
+		}
+		want, feasible := bruteForceMILP(p.LP.Objective, p.LP.Rows, ub, n)
+		got, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !feasible {
+			if got.Status != Infeasible {
+				t.Fatalf("trial %d: want infeasible, got %v obj %g", trial, got.Status, got.Objective)
+			}
+			continue
+		}
+		if got.Status != Optimal {
+			t.Fatalf("trial %d: status %v, want optimal (%g)", trial, got.Status, want)
+		}
+		if math.Abs(got.Objective-want) > 1e-5 {
+			t.Fatalf("trial %d: objective %g, want %g (problem %+v)", trial, got.Objective, want, p.LP)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		Optimal: "optimal", Feasible: "feasible", Infeasible: "infeasible",
+		Unbounded: "unbounded", Status(9): "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("Status(%d) = %q, want %q", int(s), got, want)
+		}
+	}
+}

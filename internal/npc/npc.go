@@ -1,0 +1,267 @@
+// Package npc materialises the paper's NP-completeness apparatus (§3.2,
+// Theorem 2): 3-Partition instances, the polynomial reduction from
+// 3-Partition to the data-transfer problem DT (Table 1), and converters
+// between 3-Partition solutions and zero-idle schedules of the reduced
+// instance. The unit tests walk both directions of the equivalence on
+// small instances, which is as close as executable code gets to checking
+// the theorem.
+package npc
+
+import (
+	"fmt"
+	"sort"
+
+	"transched/internal/core"
+)
+
+// ThreePartition is an instance of the 3-Partition problem: can A be
+// split into m triplets each summing to b = sum(A)/m?
+type ThreePartition struct {
+	A []int
+}
+
+// M returns the number of triplets (len(A)/3).
+func (tp ThreePartition) M() int { return len(tp.A) / 3 }
+
+// B returns the target triplet sum b, and whether it is integral.
+func (tp ThreePartition) B() (int, bool) {
+	if len(tp.A) == 0 || len(tp.A)%3 != 0 {
+		return 0, false
+	}
+	sum := 0
+	for _, a := range tp.A {
+		sum += a
+	}
+	if sum%tp.M() != 0 {
+		return 0, false
+	}
+	return sum / tp.M(), true
+}
+
+// Validate checks the structural requirements of the reduction: 3m
+// positive integers (the paper scales instances so every a_i > 1; the
+// reduction here only needs positivity) with an integral triplet sum.
+func (tp ThreePartition) Validate() error {
+	if len(tp.A) == 0 || len(tp.A)%3 != 0 {
+		return fmt.Errorf("npc: need 3m integers, got %d", len(tp.A))
+	}
+	for i, a := range tp.A {
+		if a <= 0 {
+			return fmt.Errorf("npc: a[%d] = %d must be positive", i, a)
+		}
+	}
+	if _, ok := tp.B(); !ok {
+		return fmt.Errorf("npc: sum not divisible by m")
+	}
+	return nil
+}
+
+// SolveBruteForce finds a valid partition into triplets by exhaustive
+// search, returning the triplets as index triples, or ok=false. Intended
+// for small m (the tests use m <= 4).
+func (tp ThreePartition) SolveBruteForce() ([][3]int, bool) {
+	if tp.Validate() != nil {
+		return nil, false
+	}
+	b, _ := tp.B()
+	n := len(tp.A)
+	used := make([]bool, n)
+	var out [][3]int
+	var rec func(remaining int) bool
+	rec = func(remaining int) bool {
+		if remaining == 0 {
+			return true
+		}
+		// First unused index anchors the next triplet (canonical order
+		// avoids revisiting symmetric assignments).
+		first := -1
+		for i := 0; i < n; i++ {
+			if !used[i] {
+				first = i
+				break
+			}
+		}
+		used[first] = true
+		for j := first + 1; j < n; j++ {
+			if used[j] || tp.A[first]+tp.A[j] >= b {
+				continue
+			}
+			used[j] = true
+			for k := j + 1; k < n; k++ {
+				if used[k] || tp.A[first]+tp.A[j]+tp.A[k] != b {
+					continue
+				}
+				used[k] = true
+				out = append(out, [3]int{first, j, k})
+				if rec(remaining - 1) {
+					return true
+				}
+				out = out[:len(out)-1]
+				used[k] = false
+			}
+			used[j] = false
+		}
+		used[first] = false
+		return false
+	}
+	if rec(tp.M()) {
+		return out, true
+	}
+	return nil, false
+}
+
+// Reduction is the DT instance produced from a 3-Partition instance by
+// the paper's Table 1 construction, plus the parameters needed to read
+// schedules back.
+type Reduction struct {
+	Instance *core.Instance
+	// M, B, X, BPrime echo the construction: m triplets, triplet sum b,
+	// x = max a_i, b' = b + 6x.
+	M, B, X int
+	BPrime  int
+	// Target is the decision threshold L = m(b' + 3).
+	Target float64
+	// KTasks[i] is the index (in Instance.Tasks) of K_i; ATasks[j] of A_j.
+	KTasks []int
+	ATasks []int
+}
+
+// Reduce builds the Table 1 instance:
+//
+//	K_0:            CM 0,  CP 3
+//	K_1..K_{m-1}:   CM b', CP 3
+//	K_m:            CM b', CP 0
+//	A_i (3m tasks): CM 1,  CP a_i + 2x
+//	capacity C = b' + 3, target L = m(b' + 3), with memory = CM.
+func Reduce(tp ThreePartition) (*Reduction, error) {
+	if err := tp.Validate(); err != nil {
+		return nil, err
+	}
+	b, _ := tp.B()
+	m := tp.M()
+	x := 0
+	for _, a := range tp.A {
+		if a > x {
+			x = a
+		}
+	}
+	bp := b + 6*x
+
+	red := &Reduction{M: m, B: b, X: x, BPrime: bp, Target: float64(m * (bp + 3))}
+	var tasks []core.Task
+	for i := 0; i <= m; i++ {
+		var t core.Task
+		switch {
+		case i == 0:
+			t = core.NewTask("K0", 0, 3)
+		case i == m:
+			t = core.NewTask(fmt.Sprintf("K%d", i), float64(bp), 0)
+		default:
+			t = core.NewTask(fmt.Sprintf("K%d", i), float64(bp), 3)
+		}
+		red.KTasks = append(red.KTasks, len(tasks))
+		tasks = append(tasks, t)
+	}
+	for j, a := range tp.A {
+		red.ATasks = append(red.ATasks, len(tasks))
+		tasks = append(tasks, core.NewTask(fmt.Sprintf("A%d", j), 1, float64(a+2*x)))
+	}
+	red.Instance = core.NewInstance(tasks, float64(bp+3))
+	return red, nil
+}
+
+// ScheduleFromPartition builds the zero-idle schedule of Fig 2 from a
+// valid triplet partition: the transfers of triplet i overlap the
+// computation of K_{i-1}, and the computations of triplet i overlap the
+// transfer of K_i. The schedule meets the target makespan exactly.
+func (red *Reduction) ScheduleFromPartition(triplets [][3]int) (*core.Schedule, error) {
+	if len(triplets) != red.M {
+		return nil, fmt.Errorf("npc: %d triplets for m=%d", len(triplets), red.M)
+	}
+	in := red.Instance
+	s := core.NewSchedule(in.Capacity)
+	bp := float64(red.BPrime)
+
+	// K_i: transfer of K_i occupies [3 + (i-1)(b'+3) .. +b'] for i >= 1;
+	// K_0 computes during [0,3); K_i (1<=i<m) computes during
+	// [i(b'+3) .. +3); K_m computes nothing.
+	s.Append(core.Assignment{Task: in.Tasks[red.KTasks[0]], CommStart: 0, CompStart: 0})
+	for i := 1; i <= red.M; i++ {
+		commStart := 3 + float64(i-1)*(bp+3)
+		compStart := commStart + bp
+		s.Append(core.Assignment{Task: in.Tasks[red.KTasks[i]], CommStart: commStart, CompStart: compStart})
+	}
+
+	// Triplet i (1-based): its three transfers run back-to-back in the
+	// 3-unit computation window of K_{i-1}; its computations run
+	// back-to-back through the b'-long transfer window of K_i.
+	for i, tri := range triplets {
+		commStart := float64(i) * (bp + 3)
+		compStart := commStart + 3
+		for slot, j := range tri {
+			task := in.Tasks[red.ATasks[j]]
+			s.Append(core.Assignment{
+				Task:      task,
+				CommStart: commStart + float64(slot),
+				CompStart: compStart,
+			})
+			compStart += task.Comp
+		}
+	}
+	return s, nil
+}
+
+// PartitionFromSchedule extracts a triplet partition from a feasible
+// schedule with makespan at most the target: the tasks computing during
+// the transfer window of K_i form triplet i (the paper's converse
+// direction). It fails if the schedule does not have the zero-idle
+// structure the proof forces.
+func (red *Reduction) PartitionFromSchedule(s *core.Schedule) ([][3]int, error) {
+	if s.Makespan() > red.Target+1e-9 {
+		return nil, fmt.Errorf("npc: makespan %g exceeds target %g", s.Makespan(), red.Target)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	// Locate every task's assignment.
+	byName := map[string]core.Assignment{}
+	for _, a := range s.Assignments {
+		byName[a.Task.Name] = a
+	}
+	var triplets [][3]int
+	bp := float64(red.BPrime)
+	for i := 1; i <= red.M; i++ {
+		k := byName[fmt.Sprintf("K%d", i)]
+		win0, win1 := k.CommStart, k.CommStart+bp
+		var members []int
+		for j := range red.ATasks {
+			a := byName[fmt.Sprintf("A%d", j)]
+			if a.CompStart >= win0-1e-9 && a.CompEnd() <= win1+1e-9 {
+				members = append(members, j)
+			}
+		}
+		if len(members) != 3 {
+			return nil, fmt.Errorf("npc: window of K%d holds %d tasks, want 3", i, len(members))
+		}
+		sum := 0
+		for _, j := range members {
+			sum += red.A()[j]
+		}
+		if sum != red.B {
+			return nil, fmt.Errorf("npc: triplet %d sums to %d, want %d", i, sum, red.B)
+		}
+		sort.Ints(members)
+		triplets = append(triplets, [3]int{members[0], members[1], members[2]})
+	}
+	return triplets, nil
+}
+
+// A returns the original 3-Partition values recovered from the reduced
+// tasks (CP_i = a_i + 2x).
+func (red *Reduction) A() []int {
+	out := make([]int, len(red.ATasks))
+	for j, idx := range red.ATasks {
+		out[j] = int(red.Instance.Tasks[idx].Comp) - 2*red.X
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package npc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"transched/internal/flowshop"
+)
+
+func yesInstance() ThreePartition {
+	// Two triplets summing to 12 each: {2,4,6} and {3,4,5}.
+	return ThreePartition{A: []int{2, 4, 6, 3, 4, 5}}
+}
+
+func noInstance() ThreePartition {
+	// Sum 24, m=2, b=12, but 9+8=17 and 9+8+... {9,9,2,2,1,1}: triplets
+	// must sum to 12: 9+2+1 = 12 twice — that IS solvable. Use
+	// {10,10,1,1,1,1}: b=12, any triplet with both 10s sums >= 21; a
+	// triplet with one 10 needs 2 from {1,1,1,1}: 10+1+1 = 12 ✓ twice —
+	// also solvable! Use {7,7,7,1,1,1}: b=8, triplet {7,7,..} too big;
+	// {7,1,..} needs 0: impossible => unsolvable.
+	return ThreePartition{A: []int{7, 7, 7, 1, 1, 1}}
+}
+
+func TestThreePartitionValidate(t *testing.T) {
+	if err := yesInstance().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ThreePartition{
+		{A: []int{1, 2}},             // not 3m
+		{A: []int{0, 1, 2}},          // non-positive
+		{A: []int{1, 1, 2, 1, 1, 1}}, // sum 7 not divisible by 2
+	}
+	for i, tp := range bad {
+		if err := tp.Validate(); err == nil {
+			t.Errorf("instance %d should be invalid", i)
+		}
+	}
+}
+
+func TestSolveBruteForce(t *testing.T) {
+	tri, ok := yesInstance().SolveBruteForce()
+	if !ok || len(tri) != 2 {
+		t.Fatalf("yes instance unsolved: %v %v", tri, ok)
+	}
+	b, _ := yesInstance().B()
+	for _, tr := range tri {
+		sum := 0
+		for _, j := range tr {
+			sum += yesInstance().A[j]
+		}
+		if sum != b {
+			t.Errorf("triplet %v sums to %d, want %d", tr, sum, b)
+		}
+	}
+	if _, ok := noInstance().SolveBruteForce(); ok {
+		t.Error("no-instance reported solvable")
+	}
+}
+
+func TestReduceShape(t *testing.T) {
+	red, err := Reduce(yesInstance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := red.Instance
+	// 4m+1 tasks for m=2: 9.
+	if in.N() != 9 {
+		t.Fatalf("reduction has %d tasks, want 9", in.N())
+	}
+	// x = 6, b = 12, b' = 12+36 = 48, C = 51, L = 2*51 = 102.
+	if red.X != 6 || red.B != 12 || red.BPrime != 48 {
+		t.Fatalf("parameters m=%d b=%d x=%d b'=%d", red.M, red.B, red.X, red.BPrime)
+	}
+	if in.Capacity != 51 || red.Target != 102 {
+		t.Fatalf("C=%g L=%g, want 51, 102", in.Capacity, red.Target)
+	}
+	// Sum of transfers == sum of computations == L (zero idle on both).
+	if math.Abs(in.SumComm()-red.Target) > 1e-9 || math.Abs(in.SumComp()-red.Target) > 1e-9 {
+		t.Fatalf("sum comm %g, sum comp %g, want both %g", in.SumComm(), in.SumComp(), red.Target)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestYesMapsToZeroIdleSchedule: forward direction of Theorem 2 — a valid
+// partition yields a feasible schedule meeting the target exactly.
+func TestYesMapsToZeroIdleSchedule(t *testing.T) {
+	tp := yesInstance()
+	red, err := Reduce(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri, ok := tp.SolveBruteForce()
+	if !ok {
+		t.Fatal("expected solvable")
+	}
+	s, err := red.ScheduleFromPartition(tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("schedule from partition invalid: %v\n%s", err, s)
+	}
+	if math.Abs(s.Makespan()-red.Target) > 1e-9 {
+		t.Fatalf("makespan %g, want target %g", s.Makespan(), red.Target)
+	}
+	if idle := s.IdleComm(); idle > 1e-9 {
+		t.Errorf("communication idle %g, want 0", idle)
+	}
+	if idle := s.IdleComp(); idle > 1e-9 {
+		t.Errorf("computation idle %g, want 0", idle)
+	}
+}
+
+// TestScheduleMapsBackToPartition: converse direction — reading the
+// zero-idle schedule back yields a valid partition.
+func TestScheduleMapsBackToPartition(t *testing.T) {
+	tp := yesInstance()
+	red, _ := Reduce(tp)
+	tri, _ := tp.SolveBruteForce()
+	s, err := red.ScheduleFromPartition(tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := red.PartitionFromSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != tp.M() {
+		t.Fatalf("recovered %d triplets, want %d", len(back), tp.M())
+	}
+	b, _ := tp.B()
+	seen := map[int]bool{}
+	for _, tr := range back {
+		sum := 0
+		for _, j := range tr {
+			if seen[j] {
+				t.Fatalf("index %d used twice", j)
+			}
+			seen[j] = true
+			sum += tp.A[j]
+		}
+		if sum != b {
+			t.Fatalf("recovered triplet %v sums to %d, want %d", tr, sum, b)
+		}
+	}
+}
+
+// TestNoInstanceHeuristicsMissTarget: on an unsolvable 3-Partition
+// instance, no common-order schedule reaches the target (the theorem says
+// no schedule at all does; common orders are a subset, and small enough to
+// enumerate).
+func TestNoInstanceHeuristicsMissTarget(t *testing.T) {
+	tp := noInstance()
+	red, err := Reduce(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, best := flowshop.BestPermutationLimited(red.Instance.Tasks, red.Instance.Capacity)
+	if best <= red.Target+1e-9 {
+		t.Fatalf("best common order %g meets target %g on a NO instance", best, red.Target)
+	}
+}
+
+// TestYesInstanceBruteForceMeetsTarget: on the YES instance, the best
+// common-order schedule meets the target (the Fig 2 pattern is a common
+// order: transfers and computations follow the same task sequence).
+func TestYesInstanceBruteForceMeetsTarget(t *testing.T) {
+	tp := ThreePartition{A: []int{1, 2, 3, 1, 2, 3}} // b=6: {1,2,3} twice
+	red, err := Reduce(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 tasks: exhaustive over 9! common orders is 362k simulations — ok.
+	_, best := flowshop.BestPermutationLimited(red.Instance.Tasks, red.Instance.Capacity)
+	if math.Abs(best-red.Target) > 1e-9 {
+		t.Fatalf("best common order %g, want target %g", best, red.Target)
+	}
+}
+
+func TestOMIMEqualsTargetOnReductions(t *testing.T) {
+	// With zero idle possible, OMIM (infinite memory) also equals L on YES
+	// instances; on any reduction OMIM >= max(sum comm, sum comp) = L, so
+	// OMIM == L iff full overlap is achievable with infinite memory, which
+	// the K/A structure always allows.
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 20; trial++ {
+		m := 1 + rng.Intn(2)
+		a := make([]int, 3*m)
+		sum := 0
+		for j := range a {
+			a[j] = 2 + rng.Intn(8)
+			sum += a[j]
+		}
+		// Pad the last element so the sum is divisible by m.
+		if r := sum % m; r != 0 {
+			a[len(a)-1] += m - r
+		}
+		red, err := Reduce(ThreePartition{A: a})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		omim := flowshop.OMIM(red.Instance.Tasks)
+		if omim < red.Target-1e-9 {
+			t.Fatalf("trial %d: OMIM %g below L %g", trial, omim, red.Target)
+		}
+	}
+}
+
+func TestPartitionFromScheduleRejectsBadSchedules(t *testing.T) {
+	tp := yesInstance()
+	red, _ := Reduce(tp)
+	// A sequential schedule is feasible but far above the target.
+	var order []int
+	for i := range red.Instance.Tasks {
+		order = append(order, i)
+	}
+	s, ok := flowshop.ScheduleOrderLimited(red.Instance.Tasks, order, red.Instance.Capacity)
+	if !ok {
+		t.Fatal("sequential schedule should exist")
+	}
+	if _, err := red.PartitionFromSchedule(s); err == nil {
+		t.Error("above-target schedule should be rejected")
+	}
+}

@@ -1,0 +1,60 @@
+package paperdata
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInstancesValidate(t *testing.T) {
+	for name, in := range map[string]interface{ Validate() error }{
+		"table2": Table2(), "table3": Table3(), "table4": Table4(), "table5": Table5(),
+	} {
+		if err := in.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	in := Table2()
+	if in.N() != 6 || in.Capacity != 10 {
+		t.Fatalf("table 2: %d tasks, capacity %g", in.N(), in.Capacity)
+	}
+	// Task A has no input data (CM = 0), F is the biggest transfer.
+	if in.Tasks[0].Comm != 0 || in.Tasks[5].Comm != 7 {
+		t.Fatalf("table 2 tasks changed: %+v", in.Tasks)
+	}
+	if in.MinCapacity() != 7 {
+		t.Fatalf("mc = %g", in.MinCapacity())
+	}
+}
+
+func TestTable2ScheduleConstants(t *testing.T) {
+	s := Table2DifferentOrderSchedule()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Makespan()-Table2DifferentOrderMakespan) > 1e-9 {
+		t.Fatalf("makespan %g != constant %g", s.Makespan(), Table2DifferentOrderMakespan)
+	}
+	if Table2BestCommonMakespan <= Table2DifferentOrderMakespan {
+		t.Fatal("Prop 1 constants inconsistent")
+	}
+	if Table2PaperReportedCommonMakespan != 23 {
+		t.Fatal("paper-reported constant changed")
+	}
+}
+
+func TestMakespanTablesComplete(t *testing.T) {
+	if len(Table3Makespans) != 6 { // OMIM + 5 static heuristics
+		t.Errorf("table 3 makespans: %d entries", len(Table3Makespans))
+	}
+	if len(Table4Makespans) != 3 || len(Table5Makespans) != 3 {
+		t.Errorf("table 4/5 makespans incomplete")
+	}
+	for name, v := range Table3Makespans {
+		if v < Table3Makespans["OMIM"] {
+			t.Errorf("%s below OMIM", name)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package rts is a small runtime system over the scheduling machinery —
+// the component the paper's conclusion announces ("a runtime system
+// aiming at exposing different heuristics to maximize the communication-
+// computation overlap at the developer level and automatically selecting
+// the best one is currently underway").
+//
+// A Runtime accepts task submissions (safely from multiple goroutines),
+// groups them into batches the way a task-based runtime sees ready tasks
+// (paper §6.3), and schedules each batch either with a fixed policy or by
+// automatic selection: it clones the executor, trial-runs every candidate
+// heuristic on the pending batch, and commits the one with the lowest
+// resulting makespan. The executor carries link, processing-unit and
+// memory state across batches, so decisions account for still-resident
+// transfers.
+package rts
+
+import (
+	"fmt"
+	"sync"
+
+	"transched/internal/core"
+	"transched/internal/flowshop"
+	"transched/internal/heuristics"
+	"transched/internal/simulate"
+)
+
+// Selection chooses how each batch's policy is picked.
+type Selection int
+
+const (
+	// Fixed uses Config.Policy for every batch.
+	Fixed Selection = iota
+	// Auto trial-runs every candidate on a clone and keeps the best.
+	Auto
+)
+
+// Candidate is a named policy competing under Auto selection.
+type Candidate struct {
+	Name   string
+	Policy simulate.Policy
+}
+
+// DefaultCandidates returns one strong heuristic per paper category:
+// BP (static), LCMR and SCMR (dynamic), and the three corrected variants.
+func DefaultCandidates(capacity float64) []Candidate {
+	pick := []string{"BP", "LCMR", "SCMR", "OOLCMR", "OOSCMR", "OOMAMR"}
+	out := make([]Candidate, 0, len(pick))
+	for _, name := range pick {
+		h, err := heuristics.ByName(name, capacity)
+		if err != nil {
+			continue // unreachable: the registry contains all six
+		}
+		out = append(out, Candidate{Name: h.Name, Policy: h.Policy})
+	}
+	return out
+}
+
+// Config sizes a Runtime.
+type Config struct {
+	// Capacity is the target memory capacity.
+	Capacity float64
+	// BatchSize is the number of pending tasks that triggers scheduling
+	// (<= 0 means 100, the paper's batch size).
+	BatchSize int
+	// Selection picks Fixed or Auto.
+	Selection Selection
+	// Policy is the fixed policy (Fixed mode).
+	Policy simulate.Policy
+	// Candidates competes in Auto mode; nil means DefaultCandidates.
+	Candidates []Candidate
+}
+
+// Runtime is an online data-transfer scheduler. It is safe for concurrent
+// use.
+type Runtime struct {
+	mu      sync.Mutex
+	cfg     Config
+	exec    *simulate.Executor
+	pending []core.Task
+	choices []string
+	nTasks  int
+	closed  bool
+}
+
+// New validates the configuration and returns a runtime.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("rts: capacity must be positive")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 100
+	}
+	switch cfg.Selection {
+	case Fixed:
+		if cfg.Policy.Order == nil && cfg.Policy.Crit == nil {
+			return nil, fmt.Errorf("rts: fixed selection needs a policy")
+		}
+	case Auto:
+		if cfg.Candidates == nil {
+			cfg.Candidates = DefaultCandidates(cfg.Capacity)
+		}
+		if len(cfg.Candidates) == 0 {
+			return nil, fmt.Errorf("rts: auto selection needs candidates")
+		}
+	default:
+		return nil, fmt.Errorf("rts: unknown selection mode %d", cfg.Selection)
+	}
+	return &Runtime{cfg: cfg, exec: simulate.NewExecutor(cfg.Capacity)}, nil
+}
+
+// Submit queues tasks; full batches are scheduled immediately. It fails
+// without state changes if a task cannot ever fit in memory or the
+// runtime is closed.
+func (r *Runtime) Submit(tasks ...core.Task) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("rts: runtime is closed")
+	}
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if t.Mem > r.cfg.Capacity {
+			return fmt.Errorf("rts: task %q needs %g memory, capacity %g", t.Name, t.Mem, r.cfg.Capacity)
+		}
+	}
+	r.pending = append(r.pending, tasks...)
+	for len(r.pending) >= r.cfg.BatchSize {
+		batch := r.pending[:r.cfg.BatchSize]
+		if err := r.scheduleLocked(batch); err != nil {
+			return err
+		}
+		r.pending = r.pending[r.cfg.BatchSize:]
+	}
+	return nil
+}
+
+// Flush schedules any pending tasks as a final (possibly short) batch.
+func (r *Runtime) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flushLocked()
+}
+
+func (r *Runtime) flushLocked() error {
+	if len(r.pending) == 0 {
+		return nil
+	}
+	err := r.scheduleLocked(r.pending)
+	r.pending = nil
+	return err
+}
+
+func (r *Runtime) scheduleLocked(batch []core.Task) error {
+	switch r.cfg.Selection {
+	case Fixed:
+		if err := r.exec.RunBatch(r.cfg.Policy, batch); err != nil {
+			return err
+		}
+		r.choices = append(r.choices, "fixed")
+	case Auto:
+		bestIdx := -1
+		bestSpan := 0.0
+		for i, c := range r.cfg.Candidates {
+			trial := r.exec.Clone()
+			if err := trial.RunBatch(c.Policy, batch); err != nil {
+				continue
+			}
+			if span := trial.Makespan(); bestIdx < 0 || span < bestSpan {
+				bestIdx, bestSpan = i, span
+			}
+		}
+		if bestIdx < 0 {
+			return fmt.Errorf("rts: no candidate could schedule the batch")
+		}
+		if err := r.exec.RunBatch(r.cfg.Candidates[bestIdx].Policy, batch); err != nil {
+			return err
+		}
+		r.choices = append(r.choices, r.cfg.Candidates[bestIdx].Name)
+	}
+	r.nTasks += len(batch)
+	return nil
+}
+
+// Close flushes pending tasks and returns the final schedule. Further
+// submissions fail; Close is idempotent.
+func (r *Runtime) Close() (*core.Schedule, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.closed {
+		if err := r.flushLocked(); err != nil {
+			return nil, err
+		}
+		r.closed = true
+	}
+	return r.exec.Schedule(), nil
+}
+
+// Choices reports, per scheduled batch, which candidate Auto selection
+// committed ("fixed" in Fixed mode).
+func (r *Runtime) Choices() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.choices...)
+}
+
+// Scheduled returns the number of tasks scheduled so far (not pending).
+func (r *Runtime) Scheduled() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nTasks
+}
+
+// Pending returns the number of submitted-but-unscheduled tasks.
+func (r *Runtime) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// Makespan returns the makespan of the schedule built so far.
+func (r *Runtime) Makespan() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.exec.Makespan()
+}
+
+// RatioToOptimal returns the current makespan over the infinite-memory
+// optimum of every task scheduled so far (the paper's quality metric).
+func (r *Runtime) RatioToOptimal() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tasks := make([]core.Task, 0, r.nTasks)
+	for _, a := range r.exec.Schedule().Assignments {
+		tasks = append(tasks, a.Task)
+	}
+	if len(tasks) == 0 {
+		return 1
+	}
+	omim := flowshop.OMIM(tasks)
+	if omim <= 0 {
+		return 1
+	}
+	return r.exec.Makespan() / omim
+}

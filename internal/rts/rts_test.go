@@ -1,0 +1,260 @@
+package rts
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"transched/internal/core"
+	"transched/internal/flowshop"
+	"transched/internal/heuristics"
+	"transched/internal/simulate"
+	"transched/internal/testutil"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(Config{Capacity: 1, Selection: Fixed}); err == nil {
+		t.Error("fixed mode without policy accepted")
+	}
+	if _, err := New(Config{Capacity: 1, Selection: Auto, Candidates: []Candidate{}}); err == nil {
+		t.Error("auto mode with empty candidate list accepted")
+	}
+	if _, err := New(Config{Capacity: 1, Selection: Selection(9)}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := New(Config{Capacity: 1, Selection: Auto}); err != nil {
+		t.Errorf("auto with default candidates rejected: %v", err)
+	}
+}
+
+func TestDefaultCandidates(t *testing.T) {
+	cands := DefaultCandidates(10)
+	if len(cands) != 6 {
+		t.Fatalf("%d candidates", len(cands))
+	}
+	want := map[string]bool{"BP": true, "LCMR": true, "SCMR": true,
+		"OOLCMR": true, "OOSCMR": true, "OOMAMR": true}
+	for _, c := range cands {
+		if !want[c.Name] {
+			t.Errorf("unexpected candidate %s", c.Name)
+		}
+	}
+}
+
+func TestFixedModeMatchesRunBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	in := testutil.RandomInstance(rng, 57, 10)
+	p := simulate.Policy{Crit: simulate.LargestComm}
+
+	r, err := New(Config{Capacity: in.Capacity, BatchSize: 10, Selection: Fixed, Policy: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range in.Tasks {
+		if err := r.Submit(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := simulate.RunBatches(in, 10, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Makespan()-want.Makespan()) > 1e-9 {
+		t.Fatalf("runtime %g != RunBatches %g", s.Makespan(), want.Makespan())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	choices := r.Choices()
+	if len(choices) != 6 { // 5 full batches + 1 flush of 7
+		t.Fatalf("choices = %v", choices)
+	}
+}
+
+// TestAutoNeverWorseThanEveryCandidate: per batch, auto picks the best
+// candidate, so the final makespan is at most the worst single-candidate
+// run and at least OMIM.
+func TestAutoSelectsReasonably(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 20; trial++ {
+		in := testutil.RandomInstance(rng, 40+rng.Intn(40), 10)
+		r, err := New(Config{Capacity: in.Capacity, BatchSize: 20, Selection: Auto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Submit(in.Tasks...); err != nil {
+			t.Fatal(err)
+		}
+		s, err := r.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		auto := s.Makespan()
+		worst, bestFixed := 0.0, math.Inf(1)
+		for _, c := range DefaultCandidates(in.Capacity) {
+			f, err := simulate.RunBatches(in, 20, c.Policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			worst = math.Max(worst, f.Makespan())
+			bestFixed = math.Min(bestFixed, f.Makespan())
+		}
+		if auto > worst+1e-9 {
+			t.Fatalf("trial %d: auto %g worse than the worst fixed candidate %g", trial, auto, worst)
+		}
+		if auto < flowshop.OMIM(in.Tasks)-1e-9 {
+			t.Fatalf("trial %d: auto beat the lower bound", trial)
+		}
+		// Greedy per-batch selection need not beat the best fixed policy,
+		// but it should stay close.
+		if auto > bestFixed*1.25 {
+			t.Fatalf("trial %d: auto %g far above best fixed %g", trial, auto, bestFixed)
+		}
+	}
+}
+
+func TestAutoRecordsChoices(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	in := testutil.RandomInstance(rng, 30, 10)
+	r, err := New(Config{Capacity: in.Capacity, BatchSize: 10, Selection: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(in.Tasks...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{}
+	for _, n := range heuristics.Names() {
+		known[n] = true
+	}
+	choices := r.Choices()
+	if len(choices) != 3 {
+		t.Fatalf("choices = %v", choices)
+	}
+	for _, c := range choices {
+		if !known[c] {
+			t.Errorf("unknown choice %q", c)
+		}
+	}
+}
+
+func TestSubmitRejections(t *testing.T) {
+	r, err := New(Config{Capacity: 2, Selection: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(core.NewTask("big", 5, 1)); err == nil {
+		t.Error("oversize task accepted")
+	}
+	if err := r.Submit(core.Task{Name: "neg", Comm: -1}); err == nil {
+		t.Error("invalid task accepted")
+	}
+	if _, err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(core.NewTask("late", 1, 1)); err == nil {
+		t.Error("submission after close accepted")
+	}
+	// Close is idempotent.
+	if _, err := r.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPendingAndScheduledCounters(t *testing.T) {
+	r, err := New(Config{Capacity: 10, BatchSize: 4, Selection: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := r.Submit(core.NewTask(name(i), 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Scheduled() != 4 || r.Pending() != 2 {
+		t.Fatalf("scheduled %d pending %d, want 4 and 2", r.Scheduled(), r.Pending())
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Scheduled() != 6 || r.Pending() != 0 {
+		t.Fatalf("after flush: scheduled %d pending %d", r.Scheduled(), r.Pending())
+	}
+	if r.Makespan() <= 0 {
+		t.Error("makespan should be positive")
+	}
+	if ratio := r.RatioToOptimal(); ratio < 1-1e-9 {
+		t.Errorf("ratio %g below 1", ratio)
+	}
+}
+
+func name(i int) string { return string(rune('A' + i)) }
+
+// TestConcurrentSubmit hammers Submit from several goroutines; the final
+// schedule must contain every task exactly once and be feasible.
+func TestConcurrentSubmit(t *testing.T) {
+	const producers, perProducer = 8, 50
+	r, err := New(Config{Capacity: 20, BatchSize: 33, Selection: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(p)))
+			for i := 0; i < perProducer; i++ {
+				task := core.Task{
+					Name: string(rune('a'+p)) + "-" + name(i%26) + name(i/26),
+					Comm: rng.Float64() * 5,
+					Comp: rng.Float64() * 5,
+					Mem:  rng.Float64() * 20,
+				}
+				if err := r.Submit(task); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	s, err := r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Assignments) != producers*perProducer {
+		t.Fatalf("%d assignments, want %d", len(s.Assignments), producers*perProducer)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyClose(t *testing.T) {
+	r, err := New(Config{Capacity: 1, Selection: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.Close()
+	if err != nil || len(s.Assignments) != 0 {
+		t.Fatalf("empty close: %v, %d assignments", err, len(s.Assignments))
+	}
+	if r.RatioToOptimal() != 1 {
+		t.Error("empty ratio should be 1")
+	}
+}

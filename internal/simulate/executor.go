@@ -1,0 +1,93 @@
+package simulate
+
+import (
+	"fmt"
+
+	"transched/internal/core"
+)
+
+// Executor is the incremental form of the batch runner: it holds the
+// link, processing-unit and memory state between calls so a runtime
+// system can feed it successive groups of ready tasks, possibly switching
+// policies between groups (the paper's conclusion sketches exactly such a
+// runtime). Clone supports lookahead: a runtime can copy the executor,
+// trial-run a candidate policy on the pending batch, and keep the best.
+type Executor struct {
+	st *state
+}
+
+// NewExecutor returns an executor for a target memory of the given
+// capacity, with both resources free at time zero and no resident tasks.
+func NewExecutor(capacity float64) *Executor {
+	return &Executor{st: newState(capacity)}
+}
+
+// Capacity returns the memory capacity.
+func (e *Executor) Capacity() float64 { return e.st.capacity }
+
+// LinkAvailable returns the time at which the communication link frees.
+func (e *Executor) LinkAvailable() float64 { return e.st.tauComm }
+
+// UnitAvailable returns the time at which the processing unit frees.
+func (e *Executor) UnitAvailable() float64 { return e.st.tauComp }
+
+// MemoryInUse returns the memory held by tasks whose computations have
+// not finished by the link-available time.
+func (e *Executor) MemoryInUse() float64 {
+	use := 0.0
+	for _, r := range e.st.releases {
+		if r.at > e.st.tauComm+eps {
+			use += r.mem
+		}
+	}
+	return use
+}
+
+// Scheduled returns the number of tasks placed so far.
+func (e *Executor) Scheduled() int { return len(e.st.schedule.Assignments) }
+
+// RunBatch schedules one group of ready tasks with the policy, continuing
+// from the current state. Tasks whose memory requirement exceeds the
+// capacity are rejected before any state changes.
+func (e *Executor) RunBatch(p Policy, tasks []core.Task) error {
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if t.Mem > e.st.capacity+eps {
+			return fmt.Errorf("simulate: task %q needs %g memory, capacity %g", t.Name, t.Mem, e.st.capacity)
+		}
+	}
+	switch {
+	case p.Order != nil && p.Crit == nil:
+		return staticInto(e.st, tasks, p.Order(tasks))
+	case p.Order == nil && p.Crit != nil:
+		return dynamicInto(e.st, tasks, p.Crit, p.NoIdleFilter)
+	case p.Order != nil && p.Crit != nil:
+		return correctedInto(e.st, tasks, p.Order(tasks), p.Crit, p.NoIdleFilter)
+	default:
+		return fmt.Errorf("simulate: policy has neither an order nor a criterion")
+	}
+}
+
+// Clone returns an independent copy of the executor (state and schedule),
+// for lookahead trials.
+func (e *Executor) Clone() *Executor {
+	st := &state{
+		capacity: e.st.capacity,
+		tauComm:  e.st.tauComm,
+		tauComp:  e.st.tauComp,
+		used:     e.st.used,
+		releases: append([]release(nil), e.st.releases...),
+		schedule: core.NewSchedule(e.st.capacity),
+	}
+	st.schedule.Assignments = append([]core.Assignment(nil), e.st.schedule.Assignments...)
+	return &Executor{st: st}
+}
+
+// Schedule returns the schedule built so far. The returned value is live:
+// further RunBatch calls extend it.
+func (e *Executor) Schedule() *core.Schedule { return e.st.schedule }
+
+// Makespan returns the completion time of the last computation so far.
+func (e *Executor) Makespan() float64 { return e.st.schedule.Makespan() }

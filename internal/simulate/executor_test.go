@@ -1,0 +1,128 @@
+package simulate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"transched/internal/core"
+	"transched/internal/flowshop"
+	"transched/internal/paperdata"
+	"transched/internal/testutil"
+)
+
+func TestExecutorMatchesRunBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 100; trial++ {
+		in := testutil.RandomInstance(rng, 5+rng.Intn(30), 10)
+		p := Policy{Crit: LargestComm}
+		want, err := RunBatches(in, 7, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewExecutor(in.Capacity)
+		for lo := 0; lo < in.N(); lo += 7 {
+			hi := lo + 7
+			if hi > in.N() {
+				hi = in.N()
+			}
+			if err := e.RunBatch(p, in.Tasks[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if math.Abs(e.Makespan()-want.Makespan()) > 1e-9 {
+			t.Fatalf("trial %d: executor %g != RunBatches %g", trial, e.Makespan(), want.Makespan())
+		}
+	}
+}
+
+func TestExecutorStateAccessors(t *testing.T) {
+	in := paperdata.Table3() // B C A D under OOSIM
+	e := NewExecutor(in.Capacity)
+	if e.Capacity() != 6 || e.Scheduled() != 0 || e.LinkAvailable() != 0 {
+		t.Fatalf("fresh executor state wrong: %+v", e)
+	}
+	order := flowshop.JohnsonOrder(in.Tasks)
+	if err := e.RunBatch(Policy{Order: func([]core.Task) []int { return order }}, in.Tasks); err != nil {
+		t.Fatal(err)
+	}
+	// Fig 4b: last transfer D [12,14), last computation D [14,15).
+	if e.LinkAvailable() != 14 || e.UnitAvailable() != 15 || e.Makespan() != 15 {
+		t.Fatalf("link %g unit %g makespan %g, want 14 15 15",
+			e.LinkAvailable(), e.UnitAvailable(), e.Makespan())
+	}
+	if e.Scheduled() != 4 {
+		t.Fatalf("scheduled %d", e.Scheduled())
+	}
+	// At link-available time 14, tasks A (until 14, released) and D (until
+	// 15) are pending: A's release at exactly tauComm counts as released.
+	if got := e.MemoryInUse(); got != 2 {
+		t.Fatalf("MemoryInUse = %g, want 2 (only D resident)", got)
+	}
+}
+
+func TestExecutorCloneIndependence(t *testing.T) {
+	in := paperdata.Table4()
+	e := NewExecutor(in.Capacity)
+	if err := e.RunBatch(Policy{Crit: LargestComm}, in.Tasks[:2]); err != nil {
+		t.Fatal(err)
+	}
+	c := e.Clone()
+	if err := c.RunBatch(Policy{Crit: SmallestComm}, in.Tasks[2:]); err != nil {
+		t.Fatal(err)
+	}
+	if e.Scheduled() != 2 {
+		t.Fatalf("clone mutated the original: %d scheduled", e.Scheduled())
+	}
+	if c.Scheduled() != 4 {
+		t.Fatalf("clone lost tasks: %d", c.Scheduled())
+	}
+	// Continue the original separately; both must be feasible.
+	if err := e.RunBatch(Policy{Crit: LargestComm}, in.Tasks[2:]); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []*Executor{e, c} {
+		if err := x.Schedule().Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExecutorRejectsOversizeAndEmptyPolicy(t *testing.T) {
+	e := NewExecutor(2)
+	err := e.RunBatch(Policy{Crit: LargestComm}, []core.Task{core.NewTask("X", 5, 1)})
+	if err == nil {
+		t.Error("oversize task accepted")
+	}
+	if e.Scheduled() != 0 {
+		t.Error("state changed on rejected batch")
+	}
+	if err := e.RunBatch(Policy{}, []core.Task{core.NewTask("X", 1, 1)}); err == nil {
+		t.Error("empty policy accepted")
+	}
+}
+
+// TestExecutorPolicySwitching: a runtime can change policy between
+// batches; every prefix stays feasible.
+func TestExecutorPolicySwitching(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	in := testutil.RandomInstance(rng, 40, 10)
+	e := NewExecutor(in.Capacity)
+	policies := []Policy{
+		{Crit: LargestComm},
+		{Order: func(ts []core.Task) []int { return flowshop.JohnsonOrder(ts) }},
+		{Order: func(ts []core.Task) []int { return flowshop.JohnsonOrder(ts) }, Crit: SmallestComm},
+		{Crit: MaxAccelerated},
+	}
+	for i := 0; i < 4; i++ {
+		if err := e.RunBatch(policies[i], in.Tasks[i*10:(i+1)*10]); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Schedule().Validate(); err != nil {
+			t.Fatalf("after batch %d: %v", i, err)
+		}
+	}
+	if e.Scheduled() != 40 {
+		t.Fatalf("scheduled %d", e.Scheduled())
+	}
+}

@@ -1,0 +1,93 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"transched/internal/core"
+	"transched/internal/flowshop"
+)
+
+// quickTasks decodes raw quick input into a small valid task set.
+func quickTasks(raw [6][2]uint8) []core.Task {
+	tasks := make([]core.Task, 0, len(raw))
+	for i, r := range raw {
+		tasks = append(tasks, core.NewTask(string(rune('A'+i)),
+			float64(r[0]%16), float64(r[1]%16)))
+	}
+	return tasks
+}
+
+// TestQuickExecutorsFeasible: for arbitrary small integer instances and a
+// capacity between mc and 2mc (derived from the input), every executor
+// produces a feasible schedule at or above OMIM.
+func TestQuickExecutorsFeasible(t *testing.T) {
+	f := func(raw [6][2]uint8, capSel uint8) bool {
+		tasks := quickTasks(raw)
+		mc := 0.0
+		for _, task := range tasks {
+			mc = math.Max(mc, task.Mem)
+		}
+		if mc == 0 {
+			mc = 1
+		}
+		in := core.NewInstance(tasks, mc*(1+float64(capSel%9)/8))
+		omim := flowshop.OMIM(tasks)
+		order := flowshop.JohnsonOrder(tasks)
+		for _, run := range []func() (*core.Schedule, error){
+			func() (*core.Schedule, error) { return Static(in, order) },
+			func() (*core.Schedule, error) { return Dynamic(in, MaxAccelerated) },
+			func() (*core.Schedule, error) { return Corrected(in, order, LargestComm) },
+		} {
+			s, err := run()
+			if err != nil {
+				return false
+			}
+			if s.Validate() != nil || s.Makespan() < omim-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBatchInvariance: for a pure static policy with the identity
+// order, batching cannot change the schedule (the identity order is
+// batch-decomposable and memory state carries over).
+func TestQuickBatchInvariance(t *testing.T) {
+	identity := func(ts []core.Task) []int {
+		p := make([]int, len(ts))
+		for i := range p {
+			p[i] = i
+		}
+		return p
+	}
+	f := func(raw [6][2]uint8, batchSel uint8) bool {
+		tasks := quickTasks(raw)
+		mc := 0.0
+		for _, task := range tasks {
+			mc = math.Max(mc, task.Mem)
+		}
+		if mc == 0 {
+			mc = 1
+		}
+		in := core.NewInstance(tasks, 1.5*mc)
+		batch := 1 + int(batchSel%6)
+		a, err := RunBatches(in, batch, Policy{Order: identity})
+		if err != nil {
+			return false
+		}
+		b, err := Static(in, identity(tasks))
+		if err != nil {
+			return false
+		}
+		return math.Abs(a.Makespan()-b.Makespan()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}

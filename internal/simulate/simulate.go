@@ -1,0 +1,304 @@
+// Package simulate executes data-transfer schedules under a memory
+// capacity. It provides the three executor families from paper §4:
+//
+//   - Static: a precomputed permutation is run on both resources, each
+//     transfer starting at the earliest link-free time at which the task's
+//     memory fits (waiting for releases).
+//   - Dynamic: whenever the link goes idle, the next task is chosen among
+//     the unscheduled tasks that currently fit in memory and induce minimum
+//     idle time on the processing unit, using a per-heuristic criterion.
+//   - Static with dynamic corrections: a precomputed order is followed as
+//     long as its head fits; when it does not, a task is selected
+//     dynamically and removed from the remaining order.
+//
+// All three keep the same order on both resources, as in the paper. The
+// batch runner (paper §6.3) feeds tasks to a policy in groups of fixed
+// size, carrying resource and memory state across groups.
+package simulate
+
+import (
+	"fmt"
+	"math"
+
+	"transched/internal/core"
+)
+
+// Criterion ranks candidate tasks during dynamic selection. Higher key
+// wins; ties are broken by submission index (smaller first) so runs are
+// deterministic.
+type Criterion func(t core.Task) float64
+
+// LargestComm prefers the candidate with the largest communication time
+// (the LCMR / OOLCMR criterion).
+func LargestComm(t core.Task) float64 { return t.Comm }
+
+// SmallestComm prefers the candidate with the smallest communication time
+// (the SCMR / OOSCMR criterion).
+func SmallestComm(t core.Task) float64 { return -t.Comm }
+
+// MaxAccelerated prefers the candidate with the largest computation-to-
+// communication ratio (the MAMR / OOMAMR criterion).
+func MaxAccelerated(t core.Task) float64 { return t.Ratio() }
+
+// Policy describes how one heuristic schedules a set of ready tasks.
+//
+//   - Order != nil, Crit == nil: static — execute Order's permutation.
+//   - Order == nil, Crit != nil: dynamic — event-loop selection by Crit.
+//   - both non-nil: static order with dynamic corrections.
+type Policy struct {
+	// Order maps the ready tasks to a permutation of their indices.
+	Order func(tasks []core.Task) []int
+	// Crit ranks fitting candidates during dynamic selection.
+	Crit Criterion
+	// NoIdleFilter disables the paper's minimum-induced-idle pre-filter
+	// during dynamic selection, leaving the criterion alone to choose.
+	// The paper's heuristics all keep the filter; this knob exists for the
+	// ablation study in DESIGN.md §6.
+	NoIdleFilter bool
+}
+
+// Run schedules the whole instance with the policy.
+func Run(in *core.Instance, p Policy) (*core.Schedule, error) {
+	return RunBatches(in, len(in.Tasks), p)
+}
+
+// RunBatches schedules the instance in submission-order batches of the
+// given size (paper §6.3 uses 100): the policy only ever sees one batch of
+// ready tasks, while link availability, processing-unit availability and
+// resident memory carry over between batches. batchSize <= 0 means a
+// single batch.
+func RunBatches(in *core.Instance, batchSize int, p Policy) (*core.Schedule, error) {
+	if err := checkFits(in); err != nil {
+		return nil, err
+	}
+	if batchSize <= 0 {
+		batchSize = len(in.Tasks)
+	}
+	e := NewExecutor(in.Capacity)
+	for lo := 0; lo < len(in.Tasks); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(in.Tasks) {
+			hi = len(in.Tasks)
+		}
+		if err := e.RunBatch(p, in.Tasks[lo:hi]); err != nil {
+			return nil, err
+		}
+	}
+	return e.Schedule(), nil
+}
+
+// Static executes the permutation `order` over in.Tasks under the memory
+// capacity; this is the executor behind every static heuristic (paper
+// §4.1). It returns an error if a task's memory requirement exceeds the
+// capacity.
+func Static(in *core.Instance, order []int) (*core.Schedule, error) {
+	if err := checkFits(in); err != nil {
+		return nil, err
+	}
+	st := newState(in.Capacity)
+	if err := staticInto(st, in.Tasks, order); err != nil {
+		return nil, err
+	}
+	return st.schedule, nil
+}
+
+// Dynamic runs the dynamic-selection event loop (paper §4.2).
+func Dynamic(in *core.Instance, crit Criterion) (*core.Schedule, error) {
+	return Run(in, Policy{Crit: crit})
+}
+
+// Corrected runs a static order with dynamic corrections (paper §4.3).
+func Corrected(in *core.Instance, order []int, crit Criterion) (*core.Schedule, error) {
+	if err := checkFits(in); err != nil {
+		return nil, err
+	}
+	st := newState(in.Capacity)
+	if err := correctedInto(st, in.Tasks, order, crit, false); err != nil {
+		return nil, err
+	}
+	return st.schedule, nil
+}
+
+func checkFits(in *core.Instance) error {
+	for _, t := range in.Tasks {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if t.Mem > in.Capacity+eps {
+			return fmt.Errorf("simulate: task %q needs %g memory, capacity %g", t.Name, t.Mem, in.Capacity)
+		}
+	}
+	return nil
+}
+
+// state tracks the executor's resources while building a schedule.
+type state struct {
+	capacity float64
+	tauComm  float64 // link available time
+	tauComp  float64 // processing unit available time
+	used     float64 // memory currently occupied
+	releases []release
+	schedule *core.Schedule
+}
+
+type release struct {
+	at  float64
+	mem float64
+}
+
+func newState(capacity float64) *state {
+	return &state{capacity: capacity, schedule: core.NewSchedule(capacity)}
+}
+
+// releaseUntil frees the memory of every task whose computation ends at or
+// before time t.
+func (st *state) releaseUntil(t float64) {
+	kept := st.releases[:0]
+	for _, r := range st.releases {
+		if r.at <= t+eps {
+			st.used -= r.mem
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	st.releases = kept
+}
+
+// nextRelease returns the earliest pending memory release time, or +Inf.
+func (st *state) nextRelease() float64 {
+	next := math.Inf(1)
+	for _, r := range st.releases {
+		if r.at < next {
+			next = r.at
+		}
+	}
+	return next
+}
+
+// fits reports whether mem additional memory fits right now.
+func (st *state) fits(mem float64) bool { return st.used+mem <= st.capacity+eps }
+
+// place schedules task t with its transfer starting at time start.
+func (st *state) place(t core.Task, start float64) {
+	compStart := start + t.Comm
+	if st.tauComp > compStart {
+		compStart = st.tauComp
+	}
+	st.schedule.Append(core.Assignment{Task: t, CommStart: start, CompStart: compStart})
+	st.releases = append(st.releases, release{at: compStart + t.Comp, mem: t.Mem})
+	st.used += t.Mem
+	st.tauComm = start + t.Comm
+	st.tauComp = compStart + t.Comp
+}
+
+// idleInduced returns the idle time that starting task t's transfer at
+// time `start` would induce on the processing unit.
+func (st *state) idleInduced(t core.Task, start float64) float64 {
+	if d := start + t.Comm - st.tauComp; d > 0 {
+		return d
+	}
+	return 0
+}
+
+const eps = 1e-9
+
+// errNoFit is only reachable with inconsistent state (checkFits guards the
+// per-task requirement up front).
+var errNoFit = fmt.Errorf("simulate: no remaining task can ever fit in memory")
+
+func staticInto(st *state, tasks []core.Task, order []int) error {
+	if len(order) != len(tasks) {
+		return fmt.Errorf("simulate: order has %d entries for %d tasks", len(order), len(tasks))
+	}
+	for _, i := range order {
+		t := tasks[i]
+		start := st.tauComm
+		st.releaseUntil(start)
+		for !st.fits(t.Mem) {
+			next := st.nextRelease()
+			if math.IsInf(next, 1) {
+				return errNoFit
+			}
+			if next > start {
+				start = next
+			}
+			st.releaseUntil(start)
+		}
+		st.place(t, start)
+	}
+	return nil
+}
+
+func dynamicInto(st *state, tasks []core.Task, crit Criterion, noIdleFilter bool) error {
+	remaining := make([]int, len(tasks))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	return runSelection(st, tasks, remaining, crit, false, noIdleFilter)
+}
+
+func correctedInto(st *state, tasks []core.Task, order []int, crit Criterion, noIdleFilter bool) error {
+	if len(order) != len(tasks) {
+		return fmt.Errorf("simulate: order has %d entries for %d tasks", len(order), len(tasks))
+	}
+	remaining := append([]int(nil), order...)
+	return runSelection(st, tasks, remaining, crit, true, noIdleFilter)
+}
+
+// runSelection is the shared event loop. With followHead, the head of
+// `remaining` is preferred whenever it fits (corrections mode); otherwise
+// every fitting task competes (pure dynamic mode).
+func runSelection(st *state, tasks []core.Task, remaining []int, crit Criterion, followHead, noIdleFilter bool) error {
+	now := st.tauComm
+	for len(remaining) > 0 {
+		if st.tauComm > now {
+			now = st.tauComm
+		}
+		st.releaseUntil(now)
+		if followHead {
+			if head := tasks[remaining[0]]; st.fits(head.Mem) {
+				st.place(head, now)
+				remaining = remaining[1:]
+				continue
+			}
+		}
+		pick := selectCandidate(tasks, remaining, st, now, crit, noIdleFilter)
+		if pick < 0 {
+			next := st.nextRelease()
+			if math.IsInf(next, 1) {
+				return errNoFit
+			}
+			now = next
+			continue
+		}
+		st.place(tasks[remaining[pick]], now)
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+	}
+	return nil
+}
+
+// selectCandidate returns the index *within remaining* of the task that
+// fits at time now, induces minimum idle time on the processing unit, and
+// maximises the criterion — or -1 if nothing fits. With noIdleFilter the
+// idle pre-filter is skipped and the criterion alone decides.
+func selectCandidate(tasks []core.Task, remaining []int, st *state, now float64, crit Criterion, noIdleFilter bool) int {
+	best := -1
+	bestIdle, bestKey := math.Inf(1), math.Inf(-1)
+	for pos, i := range remaining {
+		t := tasks[i]
+		if !st.fits(t.Mem) {
+			continue
+		}
+		idle := 0.0
+		if !noIdleFilter {
+			idle = st.idleInduced(t, now)
+		}
+		key := crit(t)
+		switch {
+		case idle < bestIdle-eps,
+			idle <= bestIdle+eps && key > bestKey+eps:
+			best, bestIdle, bestKey = pos, idle, key
+		}
+	}
+	return best
+}

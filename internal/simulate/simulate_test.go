@@ -1,0 +1,433 @@
+package simulate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"transched/internal/core"
+	"transched/internal/flowshop"
+	"transched/internal/paperdata"
+	"transched/internal/testutil"
+)
+
+// --- Paper Fig 4: static heuristics on Table 3, capacity 6. ---
+
+func staticOrderByName(in *core.Instance, names ...string) []int {
+	idx := map[string]int{}
+	for i, t := range in.Tasks {
+		idx[t.Name] = i
+	}
+	order := make([]int, len(names))
+	for i, n := range names {
+		order[i] = idx[n]
+	}
+	return order
+}
+
+func TestFig4OOSIM(t *testing.T) {
+	in := paperdata.Table3()
+	s, err := Static(in, flowshop.JohnsonOrder(in.Tasks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScheduleExact(t, s, map[string][2]float64{
+		"B": {0, 1}, "C": {1, 5}, "A": {9, 12}, "D": {12, 14},
+	}, paperdata.Table3Makespans["OOSIM"])
+}
+
+func TestFig4IOCMS(t *testing.T) {
+	in := paperdata.Table3()
+	s, err := Static(in, staticOrderByName(in, "B", "D", "A", "C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScheduleExact(t, s, map[string][2]float64{
+		"B": {0, 1}, "D": {1, 4}, "A": {3, 6}, "C": {8, 12},
+	}, paperdata.Table3Makespans["IOCMS"])
+}
+
+func TestFig4DOCPS(t *testing.T) {
+	in := paperdata.Table3()
+	s, err := Static(in, staticOrderByName(in, "C", "B", "A", "D"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScheduleExact(t, s, map[string][2]float64{
+		"C": {0, 4}, "B": {4, 8}, "A": {8, 11}, "D": {11, 13},
+	}, paperdata.Table3Makespans["DOCPS"])
+}
+
+func TestFig4IOCCS(t *testing.T) {
+	in := paperdata.Table3()
+	s, err := Static(in, staticOrderByName(in, "D", "B", "A", "C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScheduleExact(t, s, map[string][2]float64{
+		"D": {0, 2}, "B": {2, 3}, "A": {3, 6}, "C": {8, 12},
+	}, paperdata.Table3Makespans["IOCCS"])
+}
+
+func TestFig4DOCCS(t *testing.T) {
+	in := paperdata.Table3()
+	s, err := Static(in, staticOrderByName(in, "C", "A", "B", "D"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScheduleExact(t, s, map[string][2]float64{
+		"C": {0, 4}, "A": {8, 11}, "B": {11, 13}, "D": {12, 16},
+	}, paperdata.Table3Makespans["DOCCS"])
+}
+
+// assertScheduleExact checks communication and computation start times per
+// task plus the makespan.
+func assertScheduleExact(t *testing.T, s *core.Schedule, wants map[string][2]float64, makespan float64) {
+	t.Helper()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("invalid schedule: %v\n%s", err, s)
+	}
+	for _, a := range s.Assignments {
+		w, ok := wants[a.Task.Name]
+		if !ok {
+			t.Fatalf("unexpected task %q", a.Task.Name)
+		}
+		if math.Abs(a.CommStart-w[0]) > 1e-9 || math.Abs(a.CompStart-w[1]) > 1e-9 {
+			t.Errorf("task %s: comm %g comp %g, want comm %g comp %g\n%s",
+				a.Task.Name, a.CommStart, a.CompStart, w[0], w[1], s)
+		}
+	}
+	if got := s.Makespan(); math.Abs(got-makespan) > 1e-9 {
+		t.Errorf("makespan = %g, want %g\n%s", got, makespan, s)
+	}
+}
+
+// --- Paper Fig 5: dynamic heuristics on Table 4, capacity 6. ---
+
+func TestFig5LCMR(t *testing.T) {
+	s, err := Dynamic(paperdata.Table4(), LargestComm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScheduleExact(t, s, map[string][2]float64{
+		"B": {0, 1}, "D": {1, 7}, "A": {8, 11}, "C": {13, 17},
+	}, paperdata.Table4Makespans["LCMR"])
+}
+
+func TestFig5SCMR(t *testing.T) {
+	s, err := Dynamic(paperdata.Table4(), SmallestComm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScheduleExact(t, s, map[string][2]float64{
+		"B": {0, 1}, "A": {1, 7}, "C": {9, 13}, "D": {19, 24},
+	}, paperdata.Table4Makespans["SCMR"])
+}
+
+func TestFig5MAMR(t *testing.T) {
+	s, err := Dynamic(paperdata.Table4(), MaxAccelerated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScheduleExact(t, s, map[string][2]float64{
+		"B": {0, 1}, "C": {1, 7}, "A": {13, 16}, "D": {18, 23},
+	}, paperdata.Table4Makespans["MAMR"])
+}
+
+// --- Paper Fig 6: corrected heuristics on Table 5, capacity 9. ---
+
+func table5Johnson(t *testing.T) (*core.Instance, []int) {
+	t.Helper()
+	in := paperdata.Table5()
+	return in, flowshop.JohnsonOrder(in.Tasks)
+}
+
+func TestFig6OOLCMR(t *testing.T) {
+	in, order := table5Johnson(t)
+	s, err := Corrected(in, order, LargestComm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Makespan(), paperdata.Table5Makespans["OOLCMR"]; math.Abs(got-want) > 1e-9 {
+		t.Errorf("OOLCMR makespan = %g, want %g\n%s", got, want, s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFig6OOSCMR(t *testing.T) {
+	in, order := table5Johnson(t)
+	s, err := Corrected(in, order, SmallestComm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Makespan(), paperdata.Table5Makespans["OOSCMR"]; math.Abs(got-want) > 1e-9 {
+		t.Errorf("OOSCMR makespan = %g, want %g\n%s", got, want, s)
+	}
+}
+
+func TestFig6OOMAMR(t *testing.T) {
+	in, order := table5Johnson(t)
+	s, err := Corrected(in, order, MaxAccelerated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Makespan(), paperdata.Table5Makespans["OOMAMR"]; math.Abs(got-want) > 1e-9 {
+		t.Errorf("OOMAMR makespan = %g, want %g\n%s", got, want, s)
+	}
+}
+
+// --- Structural and property tests. ---
+
+func TestStaticRejectsOversizeTask(t *testing.T) {
+	in := core.NewInstance([]core.Task{core.NewTask("A", 5, 1)}, 3)
+	if _, err := Static(in, []int{0}); err == nil {
+		t.Error("want error for task larger than capacity")
+	}
+	if _, err := Dynamic(in, LargestComm); err == nil {
+		t.Error("want error for task larger than capacity (dynamic)")
+	}
+	if _, err := Corrected(in, []int{0}, LargestComm); err == nil {
+		t.Error("want error for task larger than capacity (corrected)")
+	}
+}
+
+func TestStaticRejectsBadOrderLength(t *testing.T) {
+	in := paperdata.Table3()
+	if _, err := Static(in, []int{0, 1}); err == nil {
+		t.Error("want error for short order")
+	}
+}
+
+func TestRunRejectsEmptyPolicy(t *testing.T) {
+	if _, err := Run(paperdata.Table3(), Policy{}); err == nil {
+		t.Error("want error for policy with neither order nor criterion")
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	in := core.NewInstance(nil, 1)
+	s, err := Static(in, nil)
+	if err != nil || s.Makespan() != 0 {
+		t.Errorf("empty static: %v, makespan %g", err, s.Makespan())
+	}
+	s, err = Dynamic(in, LargestComm)
+	if err != nil || s.Makespan() != 0 {
+		t.Errorf("empty dynamic: %v", err)
+	}
+}
+
+// identity is a submission-order policy order function.
+func identity(tasks []core.Task) []int {
+	p := make([]int, len(tasks))
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// TestAllExecutorsProduceFeasibleSchedules is the central invariant: every
+// executor, on random instances and random capacities >= mc, produces a
+// schedule that passes full validation, contains every task exactly once,
+// keeps a common order on both resources, and has makespan >= OMIM.
+func TestAllExecutorsProduceFeasibleSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 400; trial++ {
+		in := testutil.RandomInstance(rng, 1+rng.Intn(25), 10)
+		omim := flowshop.OMIM(in.Tasks)
+		runs := []struct {
+			name string
+			run  func() (*core.Schedule, error)
+		}{
+			{"static", func() (*core.Schedule, error) { return Static(in, rng.Perm(in.N())) }},
+			{"dynamic-l", func() (*core.Schedule, error) { return Dynamic(in, LargestComm) }},
+			{"dynamic-s", func() (*core.Schedule, error) { return Dynamic(in, SmallestComm) }},
+			{"dynamic-m", func() (*core.Schedule, error) { return Dynamic(in, MaxAccelerated) }},
+			{"corrected", func() (*core.Schedule, error) {
+				return Corrected(in, flowshop.JohnsonOrder(in.Tasks), LargestComm)
+			}},
+		}
+		for _, r := range runs {
+			s, err := r.run()
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, r.name, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("trial %d %s: invalid schedule: %v\n%s", trial, r.name, err, s)
+			}
+			if len(s.Assignments) != in.N() {
+				t.Fatalf("trial %d %s: %d assignments for %d tasks", trial, r.name, len(s.Assignments), in.N())
+			}
+			if !s.Permutation() {
+				t.Fatalf("trial %d %s: orders differ between resources", trial, r.name)
+			}
+			if s.Makespan() < omim-1e-9 {
+				t.Fatalf("trial %d %s: makespan %g below OMIM %g", trial, r.name, s.Makespan(), omim)
+			}
+		}
+	}
+}
+
+// TestUnconstrainedCapacityMatchesUnlimitedExecutor: with capacity at
+// least the sum of all memory requirements, the static executor must
+// reproduce the unlimited-memory schedule exactly.
+func TestUnconstrainedCapacityMatchesUnlimitedExecutor(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 200; trial++ {
+		tasks := testutil.RandomTasks(rng, 1+rng.Intn(10), 10)
+		total := 0.0
+		for _, task := range tasks {
+			total += task.Mem
+		}
+		in := core.NewInstance(tasks, total+1)
+		order := rng.Perm(len(tasks))
+		limited, err := Static(in, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unlimited := flowshop.ScheduleOrderUnlimited(tasks, order)
+		if math.Abs(limited.Makespan()-unlimited.Makespan()) > 1e-9 {
+			t.Fatalf("trial %d: limited %g != unlimited %g", trial, limited.Makespan(), unlimited.Makespan())
+		}
+	}
+}
+
+// TestCorrectedEqualsStaticWhenUnconstrained: when memory never binds, the
+// corrections never fire, so Corrected == Static on the same order.
+func TestCorrectedEqualsStaticWhenUnconstrained(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		tasks := testutil.RandomTasks(rng, 1+rng.Intn(10), 10)
+		total := 0.0
+		for _, task := range tasks {
+			total += task.Mem
+		}
+		in := core.NewInstance(tasks, total+1)
+		order := flowshop.JohnsonOrder(tasks)
+		a, err := Static(in, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Corrected(in, order, LargestComm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.Makespan()-b.Makespan()) > 1e-9 {
+			t.Fatalf("trial %d: static %g != corrected %g", trial, a.Makespan(), b.Makespan())
+		}
+	}
+}
+
+// TestBatchSingleEqualsRun: one batch covering everything is Run.
+func TestBatchSingleEqualsRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 100; trial++ {
+		in := testutil.RandomInstance(rng, 1+rng.Intn(20), 10)
+		p := Policy{Crit: LargestComm}
+		a, err := Run(in, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunBatches(in, in.N()+5, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.Makespan()-b.Makespan()) > 1e-9 {
+			t.Fatalf("trial %d: run %g != single batch %g", trial, a.Makespan(), b.Makespan())
+		}
+	}
+}
+
+// TestBatchesAreFeasibleAndNoBetter: scheduling in small batches restricts
+// the scheduler's view, so it cannot beat... actually batching CAN beat a
+// poor global heuristic on occasion, but it must remain feasible and at
+// least OMIM.
+func TestBatchesAreFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 150; trial++ {
+		in := testutil.RandomInstance(rng, 5+rng.Intn(40), 10)
+		for _, p := range []Policy{
+			{Order: identity},
+			{Crit: SmallestComm},
+			{Order: func(ts []core.Task) []int { return flowshop.JohnsonOrder(ts) }, Crit: LargestComm},
+		} {
+			s, err := RunBatches(in, 7, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("trial %d: invalid batch schedule: %v", trial, err)
+			}
+			if len(s.Assignments) != in.N() {
+				t.Fatalf("trial %d: lost tasks in batching", trial)
+			}
+			if s.Makespan() < flowshop.OMIM(in.Tasks)-1e-9 {
+				t.Fatalf("trial %d: batch makespan below OMIM", trial)
+			}
+		}
+	}
+}
+
+// TestBatchOrderRespectsBatches: tasks of batch k all start their
+// transfers before any task of batch k+1 (the scheduler only sees one
+// batch at a time).
+func TestBatchOrderRespectsBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	in := testutil.RandomInstance(rng, 30, 10)
+	s, err := RunBatches(in, 10, Policy{Crit: LargestComm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, task := range in.Tasks {
+		pos[task.Name] = i / 10
+	}
+	order := s.CommOrder()
+	for i := 1; i < len(order); i++ {
+		if pos[order[i]] < pos[order[i-1]] {
+			t.Fatalf("task %s (batch %d) started after %s (batch %d)",
+				order[i], pos[order[i]], order[i-1], pos[order[i-1]])
+		}
+	}
+}
+
+// TestDynamicPrefersMinIdle reproduces the Fig 5 situation where the
+// min-idle filter overrides the criterion: at t=8 in LCMR, A (idle 3) is
+// chosen over C (idle 4) even though C has the larger communication time.
+func TestDynamicPrefersMinIdle(t *testing.T) {
+	s, err := Dynamic(paperdata.Table4(), LargestComm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := s.CommOrder()
+	wantOrder := []string{"B", "D", "A", "C"}
+	for i := range wantOrder {
+		if order[i] != wantOrder[i] {
+			t.Fatalf("LCMR order = %v, want %v", order, wantOrder)
+		}
+	}
+}
+
+func TestZeroCommTasks(t *testing.T) {
+	// Tasks with no input data never occupy memory or the link; all
+	// executors must handle them.
+	in := core.NewInstance([]core.Task{
+		core.NewTask("A", 0, 5),
+		core.NewTask("B", 2, 1),
+		core.NewTask("C", 0, 2),
+	}, 2)
+	for name, run := range map[string]func() (*core.Schedule, error){
+		"static":    func() (*core.Schedule, error) { return Static(in, []int{0, 1, 2}) },
+		"dynamic":   func() (*core.Schedule, error) { return Dynamic(in, MaxAccelerated) },
+		"corrected": func() (*core.Schedule, error) { return Corrected(in, []int{0, 1, 2}, SmallestComm) },
+	} {
+		s, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

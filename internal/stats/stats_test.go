@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Type-7 quantiles of 1,2,3,4: q1 = 1.75, med = 2.5, q3 = 3.25.
+	if math.Abs(s.Q1-1.75) > 1e-12 || math.Abs(s.Median-2.5) > 1e-12 || math.Abs(s.Q3-3.25) > 1e-12 {
+		t.Fatalf("quartiles = %g %g %g", s.Q1, s.Median, s.Q3)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Q1 != 7 || s.Median != 7 || s.Q3 != 7 || s.Max != 7 {
+		t.Errorf("single-value summary = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	v := []float64{10, 20, 30}
+	if q := Quantile(v, 0); q != 10 {
+		t.Errorf("q0 = %g", q)
+	}
+	if q := Quantile(v, 1); q != 30 {
+		t.Errorf("q1 = %g", q)
+	}
+	if q := Quantile(v, 0.5); q != 20 {
+		t.Errorf("q0.5 = %g", q)
+	}
+	if q := Quantile(v, 0.25); q != 15 {
+		t.Errorf("q0.25 = %g", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestOutliers(t *testing.T) {
+	vals := []float64{1, 1.01, 1.02, 1.03, 5}
+	out := Outliers(vals)
+	if len(out) != 1 || out[0] != 5 {
+		t.Errorf("outliers = %v, want [5]", out)
+	}
+	if out := Outliers([]float64{1, 1, 1}); len(out) != 0 {
+		t.Errorf("uniform outliers = %v", out)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2}).String()
+	if !strings.Contains(s, "n=2") || !strings.Contains(s, "med=1.5") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table("title", []string{"A", "B"}, []Summary{Summarize([]float64{1}), Summarize([]float64{2})})
+	for _, want := range []string{"title", "heuristic", "A", "B", "1.0000", "2.0000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	sums := []Summary{
+		Summarize([]float64{1, 1.2, 1.4, 1.6, 2}),
+		Summarize([]float64{1.1, 1.1, 1.1}),
+	}
+	out := BoxPlot([]string{"X", "Y"}, sums, 40)
+	if !strings.Contains(out, "X") || !strings.Contains(out, "#") || !strings.Contains(out, "[") {
+		t.Errorf("boxplot rendering:\n%s", out)
+	}
+	// Degenerate range must not panic.
+	_ = BoxPlot([]string{"Z"}, []Summary{Summarize([]float64{1, 1})}, 10)
+	_ = BoxPlot([]string{"E"}, []Summary{{}}, 40)
+}
+
+func TestSeriesTable(t *testing.T) {
+	s := []Series{
+		{Name: "best", X: []float64{1, 2}, Y: []float64{1.5, 1.2}},
+		{Name: "short", X: []float64{1, 2}, Y: []float64{1.9}},
+	}
+	out := SeriesTable("fig", "capacity", s)
+	for _, want := range []string{"fig", "capacity", "best", "1.5000", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series table missing %q:\n%s", want, out)
+		}
+	}
+	if got := SeriesTable("empty", "x", nil); !strings.Contains(got, "empty") {
+		t.Errorf("empty series table: %q", got)
+	}
+}

@@ -1,0 +1,47 @@
+// Package testutil provides deterministic random-instance generators
+// shared by the property tests across packages.
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+
+	"transched/internal/core"
+)
+
+// RandomTasks returns n tasks with communication and computation times
+// drawn uniformly from [0, maxDur) and memory equal to communication time
+// (the paper's convention).
+func RandomTasks(rng *rand.Rand, n int, maxDur float64) []core.Task {
+	tasks := make([]core.Task, n)
+	for i := range tasks {
+		tasks[i] = core.NewTask(fmt.Sprintf("T%d", i), rng.Float64()*maxDur, rng.Float64()*maxDur)
+	}
+	return tasks
+}
+
+// RandomInstance returns a random instance whose capacity is drawn between
+// mc (the largest task requirement) and 2*mc, matching the experimental
+// sweep range of the paper. With all-zero tasks the capacity is 1.
+func RandomInstance(rng *rand.Rand, n int, maxDur float64) *core.Instance {
+	tasks := RandomTasks(rng, n, maxDur)
+	in := core.NewInstance(tasks, 0)
+	mc := in.MinCapacity()
+	if mc == 0 {
+		mc = 1
+	}
+	in.Capacity = mc * (1 + rng.Float64())
+	return in
+}
+
+// RandomIntTasks returns n tasks with small integer durations in [0, maxV]
+// (integer-valued float64s), handy for exact comparisons against brute
+// force.
+func RandomIntTasks(rng *rand.Rand, n, maxV int) []core.Task {
+	tasks := make([]core.Task, n)
+	for i := range tasks {
+		tasks[i] = core.NewTask(fmt.Sprintf("T%d", i),
+			float64(rng.Intn(maxV+1)), float64(rng.Intn(maxV+1)))
+	}
+	return tasks
+}

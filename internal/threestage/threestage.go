@@ -1,0 +1,402 @@
+// Package threestage models the general form of the data-transfer problem
+// the paper opens §3 with: a task's execution is an input transfer, a
+// computation, and an output transfer — a 3-machine flowshop whose
+// makespan minimisation is NP-complete even without memory limits. The
+// paper then argues output data is usually negligible or staged in a
+// preallocated separate buffer and drops it; this package keeps the full
+// model so that claim is executable:
+//
+//   - tasks carry distinct input and output transfer times and memory
+//     footprints;
+//   - the inbound link, the processing unit and the outbound link are
+//     three serial resources (e.g. the two copy engines of a GPU);
+//   - input memory is held from transfer start to computation end (as in
+//     the 2-stage model), output memory is held in a separate buffer from
+//     computation start until the output transfer completes;
+//   - Johnson's 3-machine rule gives the optimal order when the
+//     computation stage is dominated (min input ≥ max compute or
+//     min output ≥ max compute), and any 2-stage heuristic order can be
+//     executed under the full model.
+//
+// Setting every output to zero recovers the paper's 2-stage model exactly
+// (a property test in this package pins that equivalence down).
+package threestage
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"transched/internal/core"
+)
+
+// Task is one unit of work in the 3-stage model.
+type Task struct {
+	Name string
+	// In, Comp, Out are the stage durations.
+	In, Comp, Out float64
+	// InMem is held in the input memory from input-transfer start to
+	// computation end; OutMem is held in the output buffer from
+	// computation start to output-transfer end.
+	InMem, OutMem float64
+}
+
+// Validate rejects negative or non-finite fields.
+func (t Task) Validate() error {
+	for _, v := range [5]float64{t.In, t.Comp, t.Out, t.InMem, t.OutMem} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("threestage: task %q has invalid field %g", t.Name, v)
+		}
+	}
+	return nil
+}
+
+// TwoStage drops the output stage, producing the paper's model DT task.
+func (t Task) TwoStage() core.Task {
+	return core.Task{Name: t.Name, Comm: t.In, Comp: t.Comp, Mem: t.InMem}
+}
+
+// NewTask builds a task with memory footprints equal to the transfer
+// times, mirroring core.NewTask's convention.
+func NewTask(name string, in, comp, out float64) Task {
+	return Task{Name: name, In: in, Comp: comp, Out: out, InMem: in, OutMem: out}
+}
+
+// Instance is a 3-stage problem: tasks plus the two buffer capacities.
+// Use math.Inf(1) for OutCapacity to model the paper's "preallocated
+// separate buffer" assumption.
+type Instance struct {
+	Tasks       []Task
+	InCapacity  float64
+	OutCapacity float64
+}
+
+// NewInstance copies tasks.
+func NewInstance(tasks []Task, inCap, outCap float64) *Instance {
+	ts := make([]Task, len(tasks))
+	copy(ts, tasks)
+	return &Instance{Tasks: ts, InCapacity: inCap, OutCapacity: outCap}
+}
+
+// Validate checks tasks and that each fits both capacities.
+func (in *Instance) Validate() error {
+	for i, t := range in.Tasks {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("threestage: task %d: %w", i, err)
+		}
+		if t.InMem > in.InCapacity {
+			return fmt.Errorf("threestage: task %q input %g exceeds capacity %g", t.Name, t.InMem, in.InCapacity)
+		}
+		if t.OutMem > in.OutCapacity {
+			return fmt.Errorf("threestage: task %q output %g exceeds buffer %g", t.Name, t.OutMem, in.OutCapacity)
+		}
+	}
+	return nil
+}
+
+// SumIn, SumComp and SumOut are the per-resource lower bounds.
+func (in *Instance) SumIn() float64 {
+	s := 0.0
+	for _, t := range in.Tasks {
+		s += t.In
+	}
+	return s
+}
+
+// SumComp returns the total computation time.
+func (in *Instance) SumComp() float64 {
+	s := 0.0
+	for _, t := range in.Tasks {
+		s += t.Comp
+	}
+	return s
+}
+
+// SumOut returns the total output-transfer time.
+func (in *Instance) SumOut() float64 {
+	s := 0.0
+	for _, t := range in.Tasks {
+		s += t.Out
+	}
+	return s
+}
+
+// ResourceLowerBound is max of the three stage sums.
+func (in *Instance) ResourceLowerBound() float64 {
+	return math.Max(in.SumIn(), math.Max(in.SumComp(), in.SumOut()))
+}
+
+// Assignment places one task on the three resources.
+type Assignment struct {
+	Task                         Task
+	InStart, CompStart, OutStart float64
+}
+
+// InEnd returns the input-transfer completion time.
+func (a Assignment) InEnd() float64 { return a.InStart + a.Task.In }
+
+// CompEnd returns the computation completion time (input memory release).
+func (a Assignment) CompEnd() float64 { return a.CompStart + a.Task.Comp }
+
+// OutEnd returns the output-transfer completion time (output release).
+func (a Assignment) OutEnd() float64 { return a.OutStart + a.Task.Out }
+
+// Schedule is a complete 3-stage solution.
+type Schedule struct {
+	InCapacity  float64
+	OutCapacity float64
+	Assignments []Assignment
+}
+
+// Makespan returns the completion time of the last stage of any task.
+func (s *Schedule) Makespan() float64 {
+	m := 0.0
+	for _, a := range s.Assignments {
+		if e := a.OutEnd(); e > m {
+			m = e
+		}
+		if e := a.CompEnd(); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+const tol = 1e-9
+
+// Validate checks stage ordering per task, exclusivity of the three
+// serial resources, and both memory constraints (each checked at the
+// instants where the respective usage can increase).
+func (s *Schedule) Validate() error {
+	for i, a := range s.Assignments {
+		if err := a.Task.Validate(); err != nil {
+			return err
+		}
+		if a.InStart < -tol {
+			return fmt.Errorf("threestage: %q starts at negative time", a.Task.Name)
+		}
+		if a.CompStart < a.InEnd()-tol {
+			return fmt.Errorf("threestage: %q computes before its input arrives", a.Task.Name)
+		}
+		if a.OutStart < a.CompEnd()-tol {
+			return fmt.Errorf("threestage: %q emits output before computing", a.Task.Name)
+		}
+		for j := i + 1; j < len(s.Assignments); j++ {
+			b := s.Assignments[j]
+			if overlap(a.InStart, a.InEnd(), b.InStart, b.InEnd()) {
+				return fmt.Errorf("threestage: input transfers of %q and %q overlap", a.Task.Name, b.Task.Name)
+			}
+			if overlap(a.CompStart, a.CompEnd(), b.CompStart, b.CompEnd()) {
+				return fmt.Errorf("threestage: computations of %q and %q overlap", a.Task.Name, b.Task.Name)
+			}
+			if overlap(a.OutStart, a.OutEnd(), b.OutStart, b.OutEnd()) {
+				return fmt.Errorf("threestage: output transfers of %q and %q overlap", a.Task.Name, b.Task.Name)
+			}
+		}
+	}
+	for _, a := range s.Assignments {
+		if use := s.inMemoryAt(a.InStart); use > s.InCapacity+tol {
+			return fmt.Errorf("threestage: input memory %g exceeds %g at t=%g", use, s.InCapacity, a.InStart)
+		}
+		if use := s.outMemoryAt(a.CompStart); use > s.OutCapacity+tol {
+			return fmt.Errorf("threestage: output buffer %g exceeds %g at t=%g", use, s.OutCapacity, a.CompStart)
+		}
+	}
+	return nil
+}
+
+func (s *Schedule) inMemoryAt(t float64) float64 {
+	use := 0.0
+	for _, a := range s.Assignments {
+		if a.InStart <= t+tol && a.CompEnd() > t+tol {
+			use += a.Task.InMem
+		}
+	}
+	return use
+}
+
+func (s *Schedule) outMemoryAt(t float64) float64 {
+	use := 0.0
+	for _, a := range s.Assignments {
+		if a.CompStart <= t+tol && a.OutEnd() > t+tol {
+			use += a.Task.OutMem
+		}
+	}
+	return use
+}
+
+func overlap(a1, a2, b1, b2 float64) bool {
+	if a2-a1 <= tol || b2-b1 <= tol {
+		return false
+	}
+	return a1 < b2-tol && b1 < a2-tol
+}
+
+// Johnson3Order returns the order given by Johnson's 3-machine rule:
+// 2-machine Johnson applied to the surrogate durations (In+Comp,
+// Comp+Out). It is optimal (without memory limits) when the computation
+// stage is dominated: min In >= max Comp or min Out >= max Comp.
+func Johnson3Order(tasks []Task) []int {
+	var s1, s2 []int
+	a := func(i int) float64 { return tasks[i].In + tasks[i].Comp }
+	b := func(i int) float64 { return tasks[i].Comp + tasks[i].Out }
+	for i := range tasks {
+		if b(i) >= a(i) {
+			s1 = append(s1, i)
+		} else {
+			s2 = append(s2, i)
+		}
+	}
+	sort.SliceStable(s1, func(x, y int) bool { return a(s1[x]) < a(s1[y]) })
+	sort.SliceStable(s2, func(x, y int) bool { return b(s2[x]) > b(s2[y]) })
+	return append(s1, s2...)
+}
+
+// Dominated reports whether Johnson's 3-machine optimality condition
+// holds for the tasks.
+func Dominated(tasks []Task) bool {
+	if len(tasks) == 0 {
+		return true
+	}
+	minIn, minOut, maxComp := math.Inf(1), math.Inf(1), 0.0
+	for _, t := range tasks {
+		minIn = math.Min(minIn, t.In)
+		minOut = math.Min(minOut, t.Out)
+		maxComp = math.Max(maxComp, t.Comp)
+	}
+	return minIn >= maxComp || minOut >= maxComp
+}
+
+// ScheduleOrder executes a common order on all three resources under both
+// memory constraints: each stage starts at the earliest time its resource
+// is free, its predecessor stage is done, and its memory fits (waiting
+// for releases). Returns false if some task can never fit.
+func ScheduleOrder(in *Instance, order []int) (*Schedule, bool) {
+	s := &Schedule{InCapacity: in.InCapacity, OutCapacity: in.OutCapacity}
+	tauIn, tauComp, tauOut := 0.0, 0.0, 0.0
+	type rel struct{ at, mem float64 }
+	var inRel, outRel []rel
+	inUsed, outUsed := 0.0, 0.0
+
+	releaseIn := func(t float64) {
+		kept := inRel[:0]
+		for _, r := range inRel {
+			if r.at <= t+tol {
+				inUsed -= r.mem
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		inRel = kept
+	}
+	releaseOut := func(t float64) {
+		kept := outRel[:0]
+		for _, r := range outRel {
+			if r.at <= t+tol {
+				outUsed -= r.mem
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		outRel = kept
+	}
+	nextRel := func(rels []rel) float64 {
+		next := math.Inf(1)
+		for _, r := range rels {
+			if r.at < next {
+				next = r.at
+			}
+		}
+		return next
+	}
+
+	for _, i := range order {
+		t := in.Tasks[i]
+		if t.InMem > in.InCapacity+tol || t.OutMem > in.OutCapacity+tol {
+			return nil, false
+		}
+		// Input transfer: link free + input memory fits.
+		inStart := tauIn
+		releaseIn(inStart)
+		for inUsed+t.InMem > in.InCapacity+tol {
+			next := nextRel(inRel)
+			if math.IsInf(next, 1) {
+				return nil, false
+			}
+			if next > inStart {
+				inStart = next
+			}
+			releaseIn(inStart)
+		}
+		// Computation: unit free + input done + output buffer fits (the
+		// output occupies its buffer from computation start).
+		compStart := math.Max(inStart+t.In, tauComp)
+		releaseOut(compStart)
+		for t.OutMem > 0 && outUsed+t.OutMem > in.OutCapacity+tol {
+			next := nextRel(outRel)
+			if math.IsInf(next, 1) {
+				return nil, false
+			}
+			if next > compStart {
+				compStart = next
+			}
+			releaseOut(compStart)
+		}
+		// Output transfer: outbound link free + computation done.
+		outStart := math.Max(compStart+t.Comp, tauOut)
+
+		s.Assignments = append(s.Assignments, Assignment{
+			Task: t, InStart: inStart, CompStart: compStart, OutStart: outStart,
+		})
+		inRel = append(inRel, rel{at: compStart + t.Comp, mem: t.InMem})
+		inUsed += t.InMem
+		if t.OutMem > 0 {
+			outRel = append(outRel, rel{at: outStart + t.Out, mem: t.OutMem})
+			outUsed += t.OutMem
+		}
+		tauIn = inStart + t.In
+		tauComp = compStart + t.Comp
+		tauOut = outStart + t.Out
+	}
+	return s, true
+}
+
+// BestPermutation exhaustively minimises the makespan over common orders
+// (test ground truth; n <= 8).
+func BestPermutation(in *Instance) ([]int, float64) {
+	best := math.Inf(1)
+	var bestOrder []int
+	perm := make([]int, len(in.Tasks))
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(perm) {
+			if s, ok := ScheduleOrder(in, perm); ok {
+				if m := s.Makespan(); m < best {
+					best = m
+					bestOrder = append(bestOrder[:0], perm...)
+				}
+			}
+			return
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return bestOrder, best
+}
+
+// FromTwoStage lifts 2-stage tasks into the 3-stage model with zero
+// outputs.
+func FromTwoStage(tasks []core.Task) []Task {
+	out := make([]Task, len(tasks))
+	for i, t := range tasks {
+		out[i] = Task{Name: t.Name, In: t.Comm, Comp: t.Comp, InMem: t.Mem}
+	}
+	return out
+}

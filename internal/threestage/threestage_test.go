@@ -1,0 +1,229 @@
+package threestage
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"transched/internal/flowshop"
+	"transched/internal/testutil"
+)
+
+func randomTasks(rng *rand.Rand, n int, maxDur float64) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = NewTask(fmt.Sprintf("T%d", i),
+			rng.Float64()*maxDur, rng.Float64()*maxDur, rng.Float64()*maxDur)
+	}
+	return tasks
+}
+
+func TestTaskValidate(t *testing.T) {
+	if err := NewTask("ok", 1, 2, 3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Task{Name: "neg", In: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative stage accepted")
+	}
+	nan := Task{Name: "nan", Comp: math.NaN()}
+	if err := nan.Validate(); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	in := NewInstance([]Task{NewTask("A", 5, 1, 1)}, 3, 10)
+	if err := in.Validate(); err == nil {
+		t.Error("oversize input accepted")
+	}
+	in2 := NewInstance([]Task{NewTask("A", 1, 1, 5)}, 10, 3)
+	if err := in2.Validate(); err == nil {
+		t.Error("oversize output accepted")
+	}
+}
+
+func TestSums(t *testing.T) {
+	in := NewInstance([]Task{NewTask("A", 1, 2, 3), NewTask("B", 4, 5, 6)}, 100, 100)
+	if in.SumIn() != 5 || in.SumComp() != 7 || in.SumOut() != 9 {
+		t.Fatalf("sums %g %g %g", in.SumIn(), in.SumComp(), in.SumOut())
+	}
+	if in.ResourceLowerBound() != 9 {
+		t.Fatalf("lower bound %g", in.ResourceLowerBound())
+	}
+}
+
+// TestJohnson3OptimalUnderDominance: when the computation stage is
+// dominated, Johnson's 3-machine rule matches the brute-force optimum
+// (with unconstrained memory).
+func TestJohnson3OptimalUnderDominance(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	tested := 0
+	for trial := 0; tested < 150 && trial < 3000; trial++ {
+		n := 2 + rng.Intn(5)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			// In >= 5 >= Comp guarantees dominance.
+			tasks[i] = NewTask(fmt.Sprintf("T%d", i),
+				5+rng.Float64()*5, rng.Float64()*5, rng.Float64()*10)
+		}
+		if !Dominated(tasks) {
+			continue
+		}
+		tested++
+		in := NewInstance(tasks, math.Inf(1), math.Inf(1))
+		_, best := BestPermutation(in)
+		s, ok := ScheduleOrder(in, Johnson3Order(tasks))
+		if !ok {
+			t.Fatal("unschedulable")
+		}
+		if s.Makespan() > best+1e-9 {
+			t.Fatalf("Johnson3 %g > optimum %g on dominated instance %v",
+				s.Makespan(), best, tasks)
+		}
+	}
+	if tested < 150 {
+		t.Fatalf("only %d dominated instances generated", tested)
+	}
+}
+
+// TestJohnson3NotAlwaysOptimal: without dominance, Johnson's rule can be
+// beaten (the general F3 problem is NP-hard) — find a witness.
+func TestJohnson3NotAlwaysOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 3000; trial++ {
+		tasks := randomTasks(rng, 4+rng.Intn(2), 10)
+		in := NewInstance(tasks, math.Inf(1), math.Inf(1))
+		_, best := BestPermutation(in)
+		s, ok := ScheduleOrder(in, Johnson3Order(tasks))
+		if !ok {
+			t.Fatal("unschedulable")
+		}
+		if s.Makespan() > best+1e-6 {
+			return // witness found: the rule is a heuristic in general
+		}
+	}
+	t.Fatal("no instance where Johnson3 is suboptimal — suspicious")
+}
+
+// TestZeroOutputsReduceToTwoStage: with all outputs zero, the 3-stage
+// executor reproduces the 2-stage executor exactly, on any order and
+// capacity — the paper's justification for dropping outputs.
+func TestZeroOutputsReduceToTwoStage(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	for trial := 0; trial < 200; trial++ {
+		in2 := testutil.RandomInstance(rng, 1+rng.Intn(12), 10)
+		tasks3 := FromTwoStage(in2.Tasks)
+		in3 := NewInstance(tasks3, in2.Capacity, math.Inf(1))
+		order := rng.Perm(len(tasks3))
+		s3, ok := ScheduleOrder(in3, order)
+		if !ok {
+			t.Fatal("3-stage unschedulable")
+		}
+		s2, ok := flowshop.ScheduleOrderLimited(in2.Tasks, order, in2.Capacity)
+		if !ok {
+			t.Fatal("2-stage unschedulable")
+		}
+		if math.Abs(s3.Makespan()-s2.Makespan()) > 1e-9 {
+			t.Fatalf("trial %d: 3-stage %g != 2-stage %g", trial, s3.Makespan(), s2.Makespan())
+		}
+		for i, a := range s3.Assignments {
+			b := s2.Assignments[i]
+			if math.Abs(a.InStart-b.CommStart) > 1e-9 || math.Abs(a.CompStart-b.CompStart) > 1e-9 {
+				t.Fatalf("trial %d: stage times differ for %s", trial, a.Task.Name)
+			}
+		}
+	}
+}
+
+// TestScheduleOrderFeasible: the executor's schedules always validate,
+// including under tight output buffers.
+func TestScheduleOrderFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for trial := 0; trial < 300; trial++ {
+		tasks := randomTasks(rng, 1+rng.Intn(10), 10)
+		inCap, outCap := 0.0, 0.0
+		for _, task := range tasks {
+			inCap = math.Max(inCap, task.InMem)
+			outCap = math.Max(outCap, task.OutMem)
+		}
+		in := NewInstance(tasks, inCap*(1+rng.Float64()), outCap*(1+rng.Float64())+1e-12)
+		s, ok := ScheduleOrder(in, rng.Perm(len(tasks)))
+		if !ok {
+			t.Fatalf("trial %d: unschedulable with per-task-feasible capacities", trial)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if s.Makespan() < in.ResourceLowerBound()-1e-9 {
+			t.Fatalf("trial %d: makespan below resource bound", trial)
+		}
+	}
+}
+
+// TestOutputBufferForcesSerialisation: two tasks whose outputs cannot
+// coexist in the buffer must serialise their computations.
+func TestOutputBufferForcesSerialisation(t *testing.T) {
+	tasks := []Task{NewTask("A", 1, 1, 4), NewTask("B", 1, 1, 4)}
+	tight := NewInstance(tasks, 100, 4) // outputs cannot overlap
+	s, ok := ScheduleOrder(tight, []int{0, 1})
+	if !ok {
+		t.Fatal("unschedulable")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A: in [0,1) comp [1,2) out [2,6). B's output memory must wait for
+	// A's output to finish at 6, so B computes at 6 and ends at 11.
+	if got := s.Makespan(); math.Abs(got-11) > 1e-9 {
+		t.Fatalf("makespan %g, want 11 (output buffer serialises)", got)
+	}
+	loose := NewInstance(tasks, 100, 8)
+	s2, _ := ScheduleOrder(loose, []int{0, 1})
+	// With room for both outputs: B comp [2,3), out [6,10) => makespan 10.
+	if got := s2.Makespan(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("makespan %g, want 10 with a big buffer", got)
+	}
+}
+
+func TestScheduleValidateCatchesViolations(t *testing.T) {
+	mk := func() *Schedule {
+		return &Schedule{InCapacity: 100, OutCapacity: 100, Assignments: []Assignment{
+			{Task: NewTask("A", 2, 2, 2), InStart: 0, CompStart: 2, OutStart: 4},
+			{Task: NewTask("B", 2, 2, 2), InStart: 2, CompStart: 4, OutStart: 6},
+		}}
+	}
+	if err := mk().Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	s := mk()
+	s.Assignments[1].InStart = 1 // overlaps A's input transfer
+	if err := s.Validate(); err == nil {
+		t.Error("input overlap accepted")
+	}
+	s = mk()
+	s.Assignments[0].OutStart = 3 // before computation ends
+	if err := s.Validate(); err == nil {
+		t.Error("early output accepted")
+	}
+	s = mk()
+	s.OutCapacity = 2 // outputs of A [2,6) and B [4,8) coexist at 4
+	if err := s.Validate(); err == nil {
+		t.Error("output buffer overflow accepted")
+	}
+}
+
+func TestDominated(t *testing.T) {
+	if !Dominated(nil) {
+		t.Error("empty set should be dominated")
+	}
+	dominated := []Task{NewTask("A", 5, 2, 1), NewTask("B", 6, 3, 1)}
+	if !Dominated(dominated) {
+		t.Error("min In 5 >= max Comp 3 should dominate")
+	}
+	not := []Task{NewTask("A", 1, 5, 1), NewTask("B", 1, 1, 1)}
+	if Dominated(not) {
+		t.Error("large middle stage should not dominate")
+	}
+}

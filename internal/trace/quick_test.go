@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"transched/internal/core"
+)
+
+// TestQuickRoundTrip: any trace built from finite non-negative values
+// survives Write/Read exactly (float64 round-trip through the 'g' format
+// with -1 precision is lossless).
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(vals [4][3]float64, app string, process uint8) bool {
+		tr := &Trace{App: sanitize(app), Process: int(process)}
+		for i, v := range vals {
+			task := core.Task{
+				Name: "t" + string(rune('a'+i)),
+				Comm: absFinite(v[0]),
+				Comp: absFinite(v[1]),
+				Mem:  absFinite(v[2]),
+			}
+			tr.Tasks = append(tr.Tasks, task)
+		}
+		var sb strings.Builder
+		if err := Write(&sb, tr); err != nil {
+			return false
+		}
+		back, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		if back.App != tr.App || back.Process != tr.Process || len(back.Tasks) != len(tr.Tasks) {
+			return false
+		}
+		for i := range back.Tasks {
+			if back.Tasks[i] != tr.Tasks[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func absFinite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 1
+	}
+	return math.Abs(v)
+}
+
+func sanitize(s string) string {
+	out := strings.Map(func(r rune) rune {
+		if r > ' ' && r < 127 && r != '#' {
+			return r
+		}
+		return -1
+	}, s)
+	if out == "" {
+		return "app"
+	}
+	return out
+}

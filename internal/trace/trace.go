@@ -1,0 +1,214 @@
+// Package trace defines the per-process task traces the experiments run
+// on, and a plain-text on-disk format for them. The paper obtains one
+// trace file per process (150 in total) from instrumented NWChem runs;
+// this package carries the same information: for every task, its
+// communication time, computation time and memory requirement, plus the
+// application and process the trace came from.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"transched/internal/core"
+)
+
+// Trace is one process's task stream.
+type Trace struct {
+	// App is the application name ("HF", "CCSD", ...).
+	App string
+	// Process is the rank that produced the trace (0-based).
+	Process int
+	// Tasks are in submission order.
+	Tasks []core.Task
+}
+
+// Instance wraps the trace's tasks into a problem instance with the given
+// memory capacity.
+func (tr *Trace) Instance(capacity float64) *core.Instance {
+	return core.NewInstance(tr.Tasks, capacity)
+}
+
+// MinCapacity returns mc for this trace: the largest single-task memory
+// requirement.
+func (tr *Trace) MinCapacity() float64 {
+	mc := 0.0
+	for _, t := range tr.Tasks {
+		if t.Mem > mc {
+			mc = t.Mem
+		}
+	}
+	return mc
+}
+
+// Header lines of the v1 format.
+const (
+	magic = "# transched trace v1"
+)
+
+// Write serialises the trace:
+//
+//	# transched trace v1
+//	app <name>
+//	process <rank>
+//	task <name> <comm> <comp> <mem>
+//	...
+func Write(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, magic)
+	fmt.Fprintf(bw, "app %s\n", tr.App)
+	fmt.Fprintf(bw, "process %d\n", tr.Process)
+	for _, t := range tr.Tasks {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if strings.ContainsAny(t.Name, " \t\n") {
+			return fmt.Errorf("trace: task name %q contains whitespace", t.Name)
+		}
+		fmt.Fprintf(bw, "task %s %s %s %s\n", t.Name,
+			formatFloat(t.Comm), formatFloat(t.Comp), formatFloat(t.Mem))
+	}
+	return bw.Flush()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Read parses a v1 trace.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	tr := &Trace{}
+	line := 0
+	sawMagic := false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if line == 1 {
+			if text != magic {
+				return nil, fmt.Errorf("trace: line 1: missing header %q", magic)
+			}
+			sawMagic = true
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "app":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: line %d: want 'app <name>'", line)
+			}
+			tr.App = fields[1]
+		case "process":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: line %d: want 'process <rank>'", line)
+			}
+			p, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad process rank: %w", line, err)
+			}
+			tr.Process = p
+		case "task":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("trace: line %d: want 'task <name> <comm> <comp> <mem>'", line)
+			}
+			var vals [3]float64
+			for i := 0; i < 3; i++ {
+				v, err := strconv.ParseFloat(fields[2+i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("trace: line %d: bad number %q: %w", line, fields[2+i], err)
+				}
+				vals[i] = v
+			}
+			t := core.Task{Name: fields[1], Comm: vals[0], Comp: vals[1], Mem: vals[2]}
+			if err := t.Validate(); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			tr.Tasks = append(tr.Tasks, t)
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawMagic {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	return tr, nil
+}
+
+// WriteFile writes the trace to path, creating parent directories.
+func WriteFile(path string, tr *Trace) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads one trace file.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// WriteSet writes one file per trace into dir, named
+// <app>.p<process>.trace, and returns the file names written.
+func WriteSet(dir string, traces []*Trace) ([]string, error) {
+	names := make([]string, 0, len(traces))
+	for _, tr := range traces {
+		name := fmt.Sprintf("%s.p%03d.trace", strings.ToLower(tr.App), tr.Process)
+		if err := WriteFile(filepath.Join(dir, name), tr); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// ReadSet reads every *.trace file in dir, sorted by name.
+func ReadSet(dir string) ([]*Trace, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.trace"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("trace: no *.trace files in %s", dir)
+	}
+	traces := make([]*Trace, 0, len(matches))
+	for _, m := range matches {
+		tr, err := ReadFile(m)
+		if err != nil {
+			return nil, err
+		}
+		traces = append(traces, tr)
+	}
+	return traces, nil
+}

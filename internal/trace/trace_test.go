@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"transched/internal/core"
+)
+
+func sample() *Trace {
+	return &Trace{
+		App:     "HF",
+		Process: 3,
+		Tasks: []core.Task{
+			core.NewTask("a", 1.5, 2.25),
+			{Name: "b", Comm: 0.125, Comp: 4, Mem: 100},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, sample()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.App != "HF" || back.Process != 3 || len(back.Tasks) != 2 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	for i := range back.Tasks {
+		if back.Tasks[i] != sample().Tasks[i] {
+			t.Errorf("task %d: %v != %v", i, back.Tasks[i], sample().Tasks[i])
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"no magic":    "app HF\n",
+		"bad app":     "# transched trace v1\napp\n",
+		"bad process": "# transched trace v1\nprocess x\n",
+		"bad task":    "# transched trace v1\ntask a 1\n",
+		"bad number":  "# transched trace v1\ntask a x 1 1\n",
+		"neg comm":    "# transched trace v1\ntask a -1 1 1\n",
+		"unknown":     "# transched trace v1\nfoo bar\n",
+	}
+	for name, input := range cases {
+		if _, err := Read(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestCommentsAndBlanksIgnored(t *testing.T) {
+	input := "# transched trace v1\n\n# a comment\napp CCSD\nprocess 0\ntask a 1 2 3\n"
+	tr, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.App != "CCSD" || len(tr.Tasks) != 1 {
+		t.Fatalf("parsed %+v", tr)
+	}
+}
+
+func TestWriteRejectsBadTasks(t *testing.T) {
+	var sb strings.Builder
+	bad := &Trace{App: "HF", Tasks: []core.Task{{Name: "x", Comm: -1}}}
+	if err := Write(&sb, bad); err == nil {
+		t.Error("negative duration should fail")
+	}
+	sb.Reset()
+	spacey := &Trace{App: "HF", Tasks: []core.Task{{Name: "a b", Comm: 1}}}
+	if err := Write(&sb, spacey); err == nil {
+		t.Error("whitespace in name should fail")
+	}
+}
+
+func TestFileSet(t *testing.T) {
+	dir := t.TempDir()
+	traces := []*Trace{sample(), {App: "HF", Process: 4, Tasks: sample().Tasks}}
+	names, err := WriteSet(dir, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "hf.p003.trace" {
+		t.Fatalf("names = %v", names)
+	}
+	back, err := ReadSet(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Process != 3 || back[1].Process != 4 {
+		t.Fatalf("ReadSet = %+v", back)
+	}
+	if _, err := ReadSet(filepath.Join(dir, "empty")); err == nil {
+		t.Error("empty dir should fail")
+	}
+}
+
+func TestInstanceAndMinCapacity(t *testing.T) {
+	tr := sample()
+	in := tr.Instance(500)
+	if in.Capacity != 500 || in.N() != 2 {
+		t.Fatalf("instance = %+v", in)
+	}
+	if mc := tr.MinCapacity(); mc != 100 {
+		t.Errorf("MinCapacity = %g, want 100", mc)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile("/does/not/exist.trace"); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,16 @@
+package transched
+
+import "transched/internal/npc"
+
+// ThreePartition is an instance of the NP-complete 3-Partition problem
+// used by the paper's hardness proof (Theorem 2).
+type ThreePartition = npc.ThreePartition
+
+// Reduction is the data-transfer instance produced from a 3-Partition
+// instance by the paper's Table 1 construction, with converters between
+// partitions and zero-idle schedules in both directions.
+type Reduction = npc.Reduction
+
+// Reduce builds the Table 1 reduction: 4m+1 tasks whose schedules meet
+// the target makespan exactly when the 3-Partition instance is solvable.
+func Reduce(tp ThreePartition) (*Reduction, error) { return npc.Reduce(tp) }

@@ -1,0 +1,88 @@
+package transched
+
+import (
+	"transched/internal/gantt"
+	"transched/internal/rts"
+	"transched/internal/simulate"
+	"transched/internal/threestage"
+)
+
+// Executor is the incremental scheduler: it keeps link, processing-unit
+// and memory state between batches so a runtime can feed it successive
+// groups of ready tasks, switch policies between groups, and clone it for
+// lookahead.
+type Executor = simulate.Executor
+
+// NewExecutor returns an executor for the given memory capacity.
+func NewExecutor(capacity float64) *Executor { return simulate.NewExecutor(capacity) }
+
+// Runtime is an online data-transfer scheduler with batching and —
+// in Auto mode — automatic per-batch heuristic selection (the runtime
+// system the paper's conclusion describes). It is safe for concurrent
+// submission.
+type Runtime = rts.Runtime
+
+// RuntimeConfig sizes a Runtime.
+type RuntimeConfig = rts.Config
+
+// Selection switches between a fixed policy and automatic selection.
+type Selection = rts.Selection
+
+// Selection modes.
+const (
+	// FixedSelection schedules every batch with RuntimeConfig.Policy.
+	FixedSelection = rts.Fixed
+	// AutoSelection trial-runs every candidate heuristic on a clone of
+	// the executor and commits the best.
+	AutoSelection = rts.Auto
+)
+
+// Candidate is a named policy competing under AutoSelection.
+type Candidate = rts.Candidate
+
+// NewRuntime validates the configuration and returns a runtime.
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) { return rts.New(cfg) }
+
+// DefaultCandidates returns one strong heuristic per paper category for
+// AutoSelection.
+func DefaultCandidates(capacity float64) []Candidate {
+	return rts.DefaultCandidates(capacity)
+}
+
+// Task3 is a task in the general 3-stage model of paper §3: an input
+// transfer, a computation and an output transfer, with separate input
+// memory and output buffer footprints.
+type Task3 = threestage.Task
+
+// Instance3 is a 3-stage problem with input and output capacities.
+type Instance3 = threestage.Instance
+
+// Schedule3 is a 3-stage schedule over the inbound link, the processing
+// unit and the outbound link.
+type Schedule3 = threestage.Schedule
+
+// NewTask3 builds a 3-stage task whose memory footprints equal its
+// transfer times.
+func NewTask3(name string, in, comp, out float64) Task3 {
+	return threestage.NewTask(name, in, comp, out)
+}
+
+// NewInstance3 copies tasks into a 3-stage instance. Use math.Inf(1) as
+// outCap for the paper's preallocated-output-buffer assumption.
+func NewInstance3(tasks []Task3, inCap, outCap float64) *Instance3 {
+	return threestage.NewInstance(tasks, inCap, outCap)
+}
+
+// Johnson3Order returns Johnson's 3-machine rule order, optimal without
+// memory limits when the computation stage is dominated.
+func Johnson3Order(tasks []Task3) []int { return threestage.Johnson3Order(tasks) }
+
+// ScheduleOrder3 executes a common order on all three resources under
+// both memory constraints.
+func ScheduleOrder3(in *Instance3, order []int) (*Schedule3, bool) {
+	return threestage.ScheduleOrder(in, order)
+}
+
+// RenderGantt3 draws a 3-stage schedule as three ASCII rows (inbound
+// link, processing unit, outbound link).
+func RenderGantt3(s *Schedule3, width int) string { return gantt.Render3(s, width) }

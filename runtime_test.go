@@ -1,0 +1,98 @@
+package transched_test
+
+import (
+	"math"
+	"testing"
+
+	"transched"
+)
+
+func TestFacadeExecutor(t *testing.T) {
+	in := table3()
+	e := transched.NewExecutor(in.Capacity)
+	if err := e.RunBatch(transched.Policy{Crit: transched.LargestComm}, in.Tasks[:2]); err != nil {
+		t.Fatal(err)
+	}
+	c := e.Clone()
+	if err := c.RunBatch(transched.Policy{Crit: transched.SmallestComm}, in.Tasks[2:]); err != nil {
+		t.Fatal(err)
+	}
+	if e.Scheduled() != 2 || c.Scheduled() != 4 {
+		t.Fatalf("scheduled %d / %d", e.Scheduled(), c.Scheduled())
+	}
+	if err := c.Schedule().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeRuntimeAuto(t *testing.T) {
+	in := table3()
+	rt, err := transched.NewRuntime(transched.RuntimeConfig{
+		Capacity:  in.Capacity,
+		BatchSize: 2,
+		Selection: transched.AutoSelection,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Submit(in.Tasks...); err != nil {
+		t.Fatal(err)
+	}
+	s, err := rt.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Assignments) != 4 {
+		t.Fatalf("%d assignments", len(s.Assignments))
+	}
+	if len(rt.Choices()) != 2 {
+		t.Fatalf("choices %v", rt.Choices())
+	}
+	if rt.RatioToOptimal() < 1-1e-9 {
+		t.Error("ratio below 1")
+	}
+}
+
+func TestFacadeRuntimeFixed(t *testing.T) {
+	rt, err := transched.NewRuntime(transched.RuntimeConfig{
+		Capacity:  6,
+		BatchSize: 10,
+		Selection: transched.FixedSelection,
+		Policy:    transched.Policy{Crit: transched.MaxAccelerated},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Submit(table3().Tasks...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(transched.DefaultCandidates(6)) != 6 {
+		t.Error("want 6 default candidates")
+	}
+}
+
+func TestFacadeThreeStage(t *testing.T) {
+	tasks := []transched.Task3{
+		transched.NewTask3("A", 2, 1, 1),
+		transched.NewTask3("B", 3, 2, 1),
+		transched.NewTask3("C", 1, 1, 2),
+	}
+	in := transched.NewInstance3(tasks, 100, math.Inf(1))
+	order := transched.Johnson3Order(tasks)
+	s, ok := transched.ScheduleOrder3(in, order)
+	if !ok {
+		t.Fatal("unschedulable")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() < in.ResourceLowerBound() {
+		t.Error("makespan below resource bound")
+	}
+}

@@ -1,0 +1,159 @@
+package transched_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"transched"
+)
+
+func table3() *transched.Instance {
+	return transched.NewInstance([]transched.Task{
+		transched.NewTask("A", 3, 2),
+		transched.NewTask("B", 1, 3),
+		transched.NewTask("C", 4, 4),
+		transched.NewTask("D", 2, 1),
+	}, 6)
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	in := table3()
+	omim := transched.OMIM(in.Tasks)
+	if omim != 12 {
+		t.Fatalf("OMIM = %g, want 12", omim)
+	}
+	for _, h := range transched.Heuristics(in.Capacity) {
+		s, err := h.Run(in)
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", h.Name, err)
+		}
+		if s.Makespan() < omim {
+			t.Fatalf("%s beat the lower bound", h.Name)
+		}
+	}
+}
+
+func TestFacadeExecutors(t *testing.T) {
+	in := table3()
+	s1, err := transched.ScheduleStatic(in, transched.JohnsonOrder(in.Tasks))
+	if err != nil || s1.Makespan() != 15 {
+		t.Fatalf("static: %v, makespan %g (want 15, paper Fig 4b)", err, s1.Makespan())
+	}
+	s2, err := transched.ScheduleDynamic(in, transched.LargestComm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := transched.ScheduleCorrected(in, transched.JohnsonOrder(in.Tasks), transched.SmallestComm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s4, err := transched.RunBatches(in, 2, transched.Policy{Crit: transched.MaxAccelerated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s4.Assignments) != 4 {
+		t.Fatal("batch run lost tasks")
+	}
+}
+
+func TestFacadeMILP(t *testing.T) {
+	in := table3()
+	res, err := transched.SolveMILP(in, transched.MILPOptions{K: 2, MaxNodesPerWindow: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := transched.SolveMILPExact(in, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() > res.Schedule.Makespan()+1e-9 {
+		t.Errorf("exact %g worse than windowed %g", s.Makespan(), res.Schedule.Makespan())
+	}
+}
+
+func TestFacadeTraces(t *testing.T) {
+	traces, err := transched.GenerateTraces("HF", transched.Cascade(),
+		transched.TraceConfig{Seed: 1, Processes: 2, MinTasks: 15, MaxTasks: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := transched.WriteTraceSet(dir, traces); err != nil {
+		t.Fatal(err)
+	}
+	back, err := transched.ReadTraceSet(dir)
+	if err != nil || len(back) != 2 {
+		t.Fatalf("ReadTraceSet: %v (%d traces)", err, len(back))
+	}
+	one, err := transched.ReadTraceFile(dir + "/hf.p000.trace")
+	if err != nil || len(one.Tasks) != 15 {
+		t.Fatalf("ReadTraceFile: %v", err)
+	}
+	if err := transched.WriteTraceFile(dir+"/copy.trace", one); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeAdviseAndGantt(t *testing.T) {
+	in := table3()
+	recs := transched.Advise(in)
+	if len(recs) == 0 {
+		t.Fatal("no advice")
+	}
+	if _, err := transched.HeuristicByName(recs[0], in.Capacity); err != nil {
+		t.Fatalf("advice %q unknown: %v", recs[0], err)
+	}
+	s, _ := transched.ScheduleStatic(in, transched.JohnsonOrder(in.Tasks))
+	out := transched.RenderGantt(s, 60)
+	if !strings.Contains(out, "comm") {
+		t.Errorf("gantt: %q", out)
+	}
+	var sb strings.Builder
+	if err := transched.WriteGantt(&sb, s, 60); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != out {
+		t.Error("WriteGantt differs from RenderGantt")
+	}
+	legend := transched.RenderGanttWithLegend(s, 60)
+	if !strings.Contains(legend, "comm [0, 1)") {
+		t.Errorf("legend: %q", legend)
+	}
+}
+
+func TestFacadeReduction(t *testing.T) {
+	red, err := transched.Reduce(transched.ThreePartition{A: []int{2, 4, 6, 3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Instance.N() != 9 {
+		t.Fatalf("reduction has %d tasks", red.Instance.N())
+	}
+	if math.Abs(red.Instance.SumComm()-red.Target) > 1e-9 {
+		t.Error("zero-idle structure broken")
+	}
+}
+
+func TestFacadeNoWaitAndNames(t *testing.T) {
+	in := table3()
+	order := transched.GilmoreGomoryOrder(in.Tasks)
+	if len(order) != 4 {
+		t.Fatalf("GG order = %v", order)
+	}
+	if n := transched.HeuristicNames(); len(n) != 14 {
+		t.Fatalf("%d heuristics", len(n))
+	}
+}
