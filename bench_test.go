@@ -7,8 +7,10 @@
 package transched_test
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"transched"
@@ -152,7 +154,7 @@ func BenchmarkFig8WorkloadCharacteristics(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ch := experiments.ComputeCharacteristics("HF", traces)
+		ch := experiments.ComputeCharacteristics("HF", traces, 0)
 		if len(ch.SumComm) != len(traces) {
 			b.Fatal("missing traces")
 		}
@@ -172,7 +174,8 @@ func benchSweep(b *testing.B, app string, batch int) {
 	var sw *experiments.Sweep
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sw, err = experiments.RunSweep(app, traces, cfg.Multipliers, batch)
+		sw, err = experiments.RunSweep(app, traces, cfg.Multipliers,
+			experiments.SweepOptions{BatchSize: batch, Workers: cfg.Workers})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -196,7 +199,7 @@ func BenchmarkFig10HFBestVariants(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sw, err := experiments.RunSweep("HF", traces, cfg.Multipliers, 0)
+	sw, err := experiments.RunSweep("HF", traces, cfg.Multipliers, experiments.SweepOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -344,6 +347,28 @@ func BenchmarkAblationMILPSeeding(b *testing.B) {
 	}
 	b.Run("seeded", func(b *testing.B) { run(b, false) })
 	b.Run("cold", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationSweepWorkers compares the deterministic parallel
+// sweep engine against the serial reference loop on the same trace set
+// (DESIGN.md §6); both produce bit-identical sweeps, so the only
+// difference is wall clock.
+func BenchmarkAblationSweepWorkers(b *testing.B) {
+	cfg := benchConfig()
+	traces, err := experiments.GenerateTraces("HF", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.RunSweep("HF", traces, cfg.Multipliers,
+				experiments.SweepOptions{Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run(fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) { run(b, 0) })
 }
 
 // BenchmarkAblationEventQueue measures the executors' scaling in the

@@ -7,6 +7,11 @@
 //	experiments -fig 9 -full             # Fig 9 at full paper scale
 //	experiments -fig 7 -tasks 80         # MILP comparison, 80-task trace
 //	experiments -fig table6
+//	experiments -fig 9 -workers 1        # serial reference (same output)
+//
+// The sweep drivers fan out across all cores by default; -workers caps
+// the pool and -workers 1 reproduces the serial path. Results are
+// bit-identical at every worker count.
 //
 // Reduced scale (default) uses 12 processes of 60-120 tasks so the whole
 // suite completes in seconds; -full switches to the paper's 150 processes
@@ -29,6 +34,7 @@ func main() {
 		tasks     = flag.Int("tasks", 0, "override tasks per process (exact count)")
 		seed      = flag.Int64("seed", 20190415, "random seed for trace generation")
 		milpNodes = flag.Int("milp-nodes", 1500, "branch-and-bound node budget per MILP window (Fig 7)")
+		workers   = flag.Int("workers", 0, "worker goroutines for the experiment drivers (0 = all cores, 1 = serial); output is identical at every setting")
 	)
 	flag.Parse()
 
@@ -43,6 +49,7 @@ func main() {
 	if *tasks > 0 {
 		cfg.MinTasks, cfg.MaxTasks = *tasks, *tasks
 	}
+	cfg.Workers = *workers
 
 	if err := run(*fig, cfg, *milpNodes); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

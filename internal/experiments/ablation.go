@@ -35,15 +35,26 @@ func Ablations(w io.Writer, cfg Config) ([]AblationRow, error) {
 		instances[i] = testutil.RandomInstance(rng, 80, 10)
 	}
 
+	// The instances fan out on cfg.Workers goroutines; ratios land in
+	// index-addressed slots and are reduced in a fixed order afterwards,
+	// so the reported mean is identical at every worker count.
 	meanRatio := func(run func(in *core.Instance) (*core.Schedule, error)) (float64, time.Duration, error) {
-		total := 0.0
+		ratios := make([]float64, len(instances))
 		start := time.Now()
-		for _, in := range instances {
-			s, err := run(in)
+		err := forEachIndex(cfg.Workers, len(instances), func(i int) error {
+			s, err := run(instances[i])
 			if err != nil {
-				return 0, 0, err
+				return err
 			}
-			total += s.Makespan() / flowshop.OMIM(in.Tasks)
+			ratios[i] = s.Makespan() / flowshop.OMIM(instances[i].Tasks)
+			return nil
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		total := 0.0
+		for _, r := range ratios {
+			total += r
 		}
 		return total / float64(len(instances)), time.Since(start), nil
 	}
@@ -112,6 +123,46 @@ func Ablations(w io.Writer, cfg Config) ([]AblationRow, error) {
 		Name:       "MILP incumbent seeding (vs cold start)",
 		Production: prod, Ablated: abl, ProductionTime: pt, AblatedTime: at,
 		Metric: "branch-and-bound nodes",
+	})
+
+	// 4. Parallel sweep workers vs the serial reference loop. The quality
+	// columns must be identical — the pool's determinism guarantee — and
+	// the time columns show the fan-out gain on this machine.
+	sweepCfg := cfg
+	sweepCfg.Processes, sweepCfg.MinTasks, sweepCfg.MaxTasks = 4, 40, 60
+	swTraces, err := GenerateTraces("HF", sweepCfg)
+	if err != nil {
+		return nil, err
+	}
+	sweepMean := func(workers int) (float64, time.Duration, error) {
+		start := time.Now()
+		sw, err := RunSweep("HF", swTraces, []float64{1, 1.5, 2}, SweepOptions{Workers: workers})
+		if err != nil {
+			return 0, 0, err
+		}
+		total, n := 0.0, 0
+		for h := range sw.Heuristics {
+			for m := range sw.Multipliers {
+				for _, r := range sw.Ratios[h][m] {
+					total += r
+					n++
+				}
+			}
+		}
+		return total / float64(n), time.Since(start), nil
+	}
+	prod, pt, err = sweepMean(0) // all cores
+	if err != nil {
+		return nil, err
+	}
+	abl, at, err = sweepMean(1) // serial
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, AblationRow{
+		Name:       "parallel sweep workers (vs serial loop)",
+		Production: prod, Ablated: abl, ProductionTime: pt, AblatedTime: at,
+		Metric: "mean ratio (equal = deterministic)",
 	})
 
 	if w != nil {

@@ -43,6 +43,10 @@ type Config struct {
 	Multipliers []float64
 	// BatchSize > 0 schedules in submission batches (Fig 13 uses 100).
 	BatchSize int
+	// Workers bounds the worker pool the experiment drivers fan out on:
+	// 0 uses every core (runtime.GOMAXPROCS), 1 reproduces the serial
+	// reference path. Output is bit-identical at every worker count.
+	Workers int
 }
 
 func (c Config) multipliers() []float64 {
@@ -69,7 +73,10 @@ func QuickConfig() Config {
 }
 
 // Sweep holds ratio-to-optimal samples for every heuristic and capacity
-// multiplier: Ratios[h][m][t] is heuristic h at multiplier m on trace t.
+// multiplier. Ratios[h][m][t] is *positionally* trace t: slot t of
+// Ratios[h][m] always belongs to traces[t], regardless of the worker
+// count the sweep ran with, so serial and parallel sweeps are
+// bit-identical.
 type Sweep struct {
 	App         string
 	Heuristics  []string
@@ -82,50 +89,114 @@ type Sweep struct {
 	Categories []heuristics.Category
 }
 
+// SweepOptions controls how RunSweep executes.
+type SweepOptions struct {
+	// BatchSize > 0 schedules each trace in submission batches of that
+	// size (Fig 13 uses 100).
+	BatchSize int
+	// Workers bounds the worker pool: 0 uses every core, 1 runs the
+	// serial reference path. Results are identical either way.
+	Workers int
+	// Heuristics selects a subset by acronym; nil means all fourteen in
+	// figure order. Unknown names fail before any scheduling starts.
+	Heuristics []string
+}
+
 // RunSweep evaluates every heuristic at every capacity on every trace.
-func RunSweep(app string, traces []*trace.Trace, multipliers []float64, batchSize int) (*Sweep, error) {
-	names := heuristics.Names()
+// The sweep fans the independent (trace, multiplier) cells out on
+// opts.Workers goroutines; every result is written to a preallocated,
+// index-addressed slot, so the output is bit-identical at every worker
+// count and the first failing cell cancels the remaining work.
+func RunSweep(app string, traces []*trace.Trace, multipliers []float64, opts SweepOptions) (*Sweep, error) {
+	names := opts.Heuristics
+	if len(names) == 0 {
+		names = heuristics.Names()
+	}
+
+	// Resolve names, categories and registry positions once, before any
+	// scheduling: an unknown name fails fast here instead of surfacing
+	// len(traces)×len(multipliers) cells into the sweep.
+	position := make(map[string]int, len(names))
+	for i, n := range heuristics.Names() {
+		position[n] = i
+	}
+	hIdx := make([]int, len(names))
+	cats := make([]heuristics.Category, len(names))
+	for h, name := range names {
+		heur, err := heuristics.ByName(name, 1)
+		if err != nil {
+			return nil, err
+		}
+		hIdx[h] = position[name]
+		cats[h] = heur.Category
+	}
+
+	// Per-trace pre-pass: mc and OMIM are capacity-independent, so they
+	// are computed once per trace instead of once per cell, and the mean
+	// capacity is a single deterministic sum-then-divide rather than a
+	// running mean whose rounding would depend on iteration order.
+	mcs := make([]float64, len(traces))
+	omims := make([]float64, len(traces))
+	sumMC := 0.0
+	for t, tr := range traces {
+		mcs[t] = tr.MinCapacity()
+		omims[t] = flowshop.OMIM(tr.Tasks)
+		if omims[t] <= 0 {
+			return nil, fmt.Errorf("experiments: trace %s/%d has zero OMIM", tr.App, tr.Process)
+		}
+		sumMC += mcs[t]
+	}
+	meanMC := sumMC / float64(len(traces))
+
 	sw := &Sweep{
 		App:          app,
 		Heuristics:   names,
 		Multipliers:  multipliers,
 		MeanCapacity: make([]float64, len(multipliers)),
 		Ratios:       make([][][]float64, len(names)),
-		Categories:   make([]heuristics.Category, len(names)),
+		Categories:   cats,
+	}
+	for m, mult := range multipliers {
+		sw.MeanCapacity[m] = meanMC * mult
 	}
 	for h := range names {
 		sw.Ratios[h] = make([][]float64, len(multipliers))
+		for m := range multipliers {
+			sw.Ratios[h][m] = make([]float64, len(traces))
+		}
 	}
 
-	for _, tr := range traces {
-		mc := tr.MinCapacity()
-		omim := flowshop.OMIM(tr.Tasks)
-		if omim <= 0 {
-			return nil, fmt.Errorf("experiments: trace %s/%d has zero OMIM", tr.App, tr.Process)
-		}
-		for m, mult := range multipliers {
-			capacity := mc * mult
-			sw.MeanCapacity[m] += capacity / float64(len(traces))
-			in := tr.Instance(capacity)
-			for h := range names {
-				heur, err := heuristics.ByName(names[h], capacity)
-				if err != nil {
-					return nil, err
-				}
-				sw.Categories[h] = heur.Category
-				var s *core.Schedule
-				if batchSize > 0 {
-					s, err = heur.RunBatches(in, batchSize)
-				} else {
-					s, err = heur.Run(in)
-				}
-				if err != nil {
-					return nil, fmt.Errorf("experiments: %s on %s/%d at %gx: %w",
-						names[h], tr.App, tr.Process, mult, err)
-				}
-				sw.Ratios[h][m] = append(sw.Ratios[h][m], s.Makespan()/omim)
+	// One work unit per (trace, multiplier) cell: the unit builds the
+	// instance and the capacity-bound heuristic registry once, runs all
+	// heuristics on it, and writes only the slots indexed by its own
+	// (m, t) pair.
+	nm := len(multipliers)
+	err := forEachIndex(opts.Workers, len(traces)*nm, func(u int) error {
+		t, m := u/nm, u%nm
+		tr := traces[t]
+		mult := multipliers[m]
+		capacity := mcs[t] * mult
+		in := tr.Instance(capacity)
+		all := heuristics.All(capacity)
+		for h := range names {
+			heur := all[hIdx[h]]
+			var s *core.Schedule
+			var err error
+			if opts.BatchSize > 0 {
+				s, err = heur.RunBatches(in, opts.BatchSize)
+			} else {
+				s, err = heur.Run(in)
 			}
+			if err != nil {
+				return fmt.Errorf("experiments: %s on %s/%d at %gx: %w",
+					names[h], tr.App, tr.Process, mult, err)
+			}
+			sw.Ratios[h][m][t] = s.Makespan() / omims[t]
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return sw, nil
 }
@@ -199,23 +270,33 @@ func GenerateTraces(app string, cfg Config) ([]*trace.Trace, error) {
 }
 
 // Characteristics holds the Fig 8 quantities for one trace set, each
-// normalised to OMIM.
+// normalised to OMIM; slot t of every slice is positionally trace t.
 type Characteristics struct {
 	App                            string
 	SumComm, SumComp, MaxSums, Sum []float64
 }
 
-// ComputeCharacteristics evaluates the Fig 8 ratios for every trace.
-func ComputeCharacteristics(app string, traces []*trace.Trace) Characteristics {
-	ch := Characteristics{App: app}
-	for _, tr := range traces {
-		in := tr.Instance(math.Inf(1))
-		omim := flowshop.OMIM(in.Tasks)
-		ch.SumComm = append(ch.SumComm, in.SumComm()/omim)
-		ch.SumComp = append(ch.SumComp, in.SumComp()/omim)
-		ch.MaxSums = append(ch.MaxSums, in.ResourceLowerBound()/omim)
-		ch.Sum = append(ch.Sum, in.SequentialMakespan()/omim)
+// ComputeCharacteristics evaluates the Fig 8 ratios for every trace,
+// fanning the independent per-trace computations out on workers
+// goroutines (0 = all cores, 1 = serial) with index-addressed writes.
+func ComputeCharacteristics(app string, traces []*trace.Trace, workers int) Characteristics {
+	ch := Characteristics{
+		App:     app,
+		SumComm: make([]float64, len(traces)),
+		SumComp: make([]float64, len(traces)),
+		MaxSums: make([]float64, len(traces)),
+		Sum:     make([]float64, len(traces)),
 	}
+	// The per-trace body cannot fail, so forEachIndex cannot either.
+	_ = forEachIndex(workers, len(traces), func(t int) error {
+		in := traces[t].Instance(math.Inf(1))
+		omim := flowshop.OMIM(in.Tasks)
+		ch.SumComm[t] = in.SumComm() / omim
+		ch.SumComp[t] = in.SumComp() / omim
+		ch.MaxSums[t] = in.ResourceLowerBound() / omim
+		ch.Sum[t] = in.SequentialMakespan() / omim
+		return nil
+	})
 	return ch
 }
 

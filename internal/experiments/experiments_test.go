@@ -30,7 +30,7 @@ func TestRunSweepShapeAndInvariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw, err := RunSweep("HF", traces, cfg.multipliers(), 0)
+	sw, err := RunSweep("HF", traces, cfg.multipliers(), SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestMediansImproveWithCapacity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sw, err := RunSweep(app, traces, []float64{1, 2}, 0)
+		sw, err := RunSweep(app, traces, []float64{1, 2}, SweepOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,7 +89,7 @@ func TestCorrectedWinAtModerateCapacity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sw, err := RunSweep(app, traces, []float64{1.5, 1.625, 1.75}, 0)
+		sw, err := RunSweep(app, traces, []float64{1.5, 1.625, 1.75}, SweepOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,11 +123,11 @@ func TestCCSDSpreadsWiderThanHF(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hf, err := RunSweep("HF", hfTraces, []float64{1}, 0)
+	hf, err := RunSweep("HF", hfTraces, []float64{1}, SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ccsd, err := RunSweep("CCSD", ccsdTraces, []float64{1}, 0)
+	ccsd, err := RunSweep("CCSD", ccsdTraces, []float64{1}, SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestCharacteristicsMatchFig8(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch := ComputeCharacteristics("HF", hfTraces)
+	ch := ComputeCharacteristics("HF", hfTraces, 0)
 	var sb strings.Builder
 	if err := ch.Render(&sb); err != nil {
 		t.Fatal(err)
@@ -286,20 +286,24 @@ func TestFamiliesMatchAdvisorRegimes(t *testing.T) {
 	}
 }
 
-// TestAblationsDriver: the ablation study runs, reports all three rows,
-// and confirms that corrections beat waiting for the head.
+// TestAblationsDriver: the ablation study runs, reports all four rows,
+// confirms that corrections beat waiting for the head, and that the
+// parallel sweep reproduces the serial sweep's quality metric exactly.
 func TestAblationsDriver(t *testing.T) {
 	rows, err := Ablations(nil, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 3 {
+	if len(rows) != 4 {
 		t.Fatalf("%d ablation rows", len(rows))
 	}
-	var corrections *AblationRow
+	var corrections, workers *AblationRow
 	for i := range rows {
 		if strings.HasPrefix(rows[i].Name, "dynamic corrections") {
 			corrections = &rows[i]
+		}
+		if strings.HasPrefix(rows[i].Name, "parallel sweep") {
+			workers = &rows[i]
 		}
 	}
 	if corrections == nil {
@@ -308,5 +312,12 @@ func TestAblationsDriver(t *testing.T) {
 	if corrections.Production >= corrections.Ablated {
 		t.Errorf("corrections (%g) should beat wait-for-head (%g)",
 			corrections.Production, corrections.Ablated)
+	}
+	if workers == nil {
+		t.Fatal("missing parallel sweep row")
+	}
+	if workers.Production != workers.Ablated {
+		t.Errorf("parallel sweep mean ratio %v differs from serial %v",
+			workers.Production, workers.Ablated)
 	}
 }

@@ -14,7 +14,10 @@ import (
 // Fig7 compares every heuristic with the windowed MILP lp.k (k = 3..6) on
 // a single trace across the capacity grid, as paper Fig 7 does with its
 // single HF trace file (mc = 176 KB there). MaxTasks in the config bounds
-// the trace length because every window is a branch-and-bound solve.
+// the trace length because every window is a branch-and-bound solve. The
+// per-capacity columns are independent, so they fan out on cfg.Workers
+// goroutines with index-addressed writes (output is identical at every
+// worker count).
 func Fig7(w io.Writer, cfg Config, milpNodes int) error {
 	cfgOne := cfg
 	cfgOne.Processes = 1
@@ -33,28 +36,27 @@ func Fig7(w io.Writer, cfg Config, milpNodes int) error {
 	}
 
 	fmt.Fprintf(w, "Fig 7: single %s trace, %d tasks, mc = %.4g\n", tr.App, len(tr.Tasks), mc)
+	mults := cfg.multipliers()
 	series := make([]stats.Series, len(names))
 	for i := range series {
-		series[i] = stats.Series{Name: names[i]}
+		series[i] = stats.Series{
+			Name: names[i],
+			X:    append([]float64{}, mults...),
+			Y:    make([]float64, len(mults)),
+		}
 	}
-	for _, mult := range cfg.multipliers() {
-		capacity := mc * mult
+	nh := len(heuristics.Names())
+	err = forEachIndex(cfg.Workers, len(mults), func(m int) error {
+		capacity := mc * mults[m]
 		in := tr.Instance(capacity)
-		col := 0
-		for _, hn := range heuristics.Names() {
-			h, err := heuristics.ByName(hn, capacity)
-			if err != nil {
-				return err
-			}
+		for col, h := range heuristics.All(capacity) {
 			s, err := h.Run(in)
 			if err != nil {
 				return err
 			}
-			series[col].X = append(series[col].X, mult)
-			series[col].Y = append(series[col].Y, s.Makespan()/omim)
-			col++
+			series[col].Y[m] = s.Makespan() / omim
 		}
-		for _, k := range ks {
+		for j, k := range ks {
 			res, err := lpsched.Solve(in, lpsched.Options{K: k, MaxNodesPerWindow: milpNodes})
 			if err != nil {
 				return err
@@ -62,10 +64,12 @@ func Fig7(w io.Writer, cfg Config, milpNodes int) error {
 			if err := res.Schedule.Validate(); err != nil {
 				return fmt.Errorf("experiments: lp.%d produced an invalid schedule: %w", k, err)
 			}
-			series[col].X = append(series[col].X, mult)
-			series[col].Y = append(series[col].Y, res.Schedule.Makespan()/omim)
-			col++
+			series[nh+j].Y[m] = res.Schedule.Makespan() / omim
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	_, err = io.WriteString(w, stats.SeriesTable(
 		"ratio to optimal per capacity multiplier (rows) and heuristic (columns)",
@@ -80,7 +84,7 @@ func Fig8(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		if err := ComputeCharacteristics(app, traces).Render(w); err != nil {
+		if err := ComputeCharacteristics(app, traces, cfg.Workers).Render(w); err != nil {
 			return err
 		}
 	}
@@ -94,7 +98,7 @@ func figSweep(w io.Writer, app string, cfg Config, batch int) (*Sweep, error) {
 	if err != nil {
 		return nil, err
 	}
-	sw, err := RunSweep(app, traces, cfg.multipliers(), batch)
+	sw, err := RunSweep(app, traces, cfg.multipliers(), SweepOptions{BatchSize: batch, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +155,7 @@ func Fig13(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		sw, err := RunSweep(app, traces, cfg.multipliers(), batch)
+		sw, err := RunSweep(app, traces, cfg.multipliers(), SweepOptions{BatchSize: batch, Workers: cfg.Workers})
 		if err != nil {
 			return err
 		}
@@ -176,26 +180,27 @@ type Table6Row struct {
 
 // Table6 generates a synthetic workload family per favorable situation,
 // asks the advisor, and ranks the advised heuristic among all fourteen.
+// The families are independent, so they fan out on cfg.Workers
+// goroutines; rows are written by family index and rendered afterwards,
+// keeping the table order stable at every worker count.
 func Table6(w io.Writer, cfg Config) ([]Table6Row, error) {
-	rows := make([]Table6Row, 0, 8)
-	for _, fam := range Families() {
+	fams := Families()
+	rows := make([]Table6Row, len(fams))
+	err := forEachIndex(cfg.Workers, len(fams), func(f int) error {
+		fam := fams[f]
 		in := fam.Build(cfg.Seed)
 		advised := heuristics.Advise(in)[0]
 		omim := flowshop.OMIM(in.Tasks)
 
 		ratios := map[string]float64{}
 		best := 0.0
-		for _, hn := range heuristics.Names() {
-			h, err := heuristics.ByName(hn, in.Capacity)
-			if err != nil {
-				return nil, err
-			}
+		for _, h := range heuristics.All(in.Capacity) {
 			s, err := h.Run(in)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			r := s.Makespan() / omim
-			ratios[hn] = r
+			ratios[h.Name] = r
 			if best == 0 || r < best {
 				best = r
 			}
@@ -206,16 +211,22 @@ func Table6(w io.Writer, cfg Config) ([]Table6Row, error) {
 				rank++
 			}
 		}
-		rows = append(rows, Table6Row{
+		rows[f] = Table6Row{
 			Heuristic:   advised,
 			Situation:   fam.Name,
 			AdvisedRank: rank,
 			Ratio:       ratios[advised],
 			BestRatio:   best,
-		})
-		if w != nil {
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if w != nil {
+		for _, row := range rows {
 			fmt.Fprintf(w, "%-48s advise=%-8s rank=%2d ratio=%.4f best=%.4f\n",
-				fam.Name, advised, rank, ratios[advised], best)
+				row.Situation, row.Heuristic, row.AdvisedRank, row.Ratio, row.BestRatio)
 		}
 	}
 	return rows, nil

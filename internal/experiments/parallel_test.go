@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForEachIndexCoversAll: every index is visited exactly once, at
+// every worker count including the inline serial path and the
+// all-cores default.
+func TestForEachIndexCoversAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 7, 100} {
+		const n = 100
+		var visits [n]atomic.Int32
+		if err := forEachIndex(workers, n, func(i int) error {
+			visits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachIndexCancelsOnError: one failing unit cancels the
+// remaining work (in-flight units finish, queued ones never start) and
+// its error surfaces.
+func TestForEachIndexCancelsOnError(t *testing.T) {
+	const n, workers = 100, 4
+	boom := fmt.Errorf("boom")
+	var started atomic.Int32
+	begin := time.Now()
+	err := forEachIndex(workers, n, func(i int) error {
+		started.Add(1)
+		if i == 0 {
+			return boom
+		}
+		time.Sleep(50 * time.Millisecond)
+		return nil
+	})
+	elapsed := time.Since(begin)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+	// Without cancellation the pool would run all 100 units
+	// (~99/4 × 50ms ≈ 1.2s); with it only the units already in flight
+	// when unit 0 failed complete.
+	if got := started.Load(); got > 2*workers {
+		t.Errorf("%d units started after the failure (want ≤ %d)", got, 2*workers)
+	}
+	if elapsed > time.Second {
+		t.Errorf("pool took %v to cancel", elapsed)
+	}
+}
+
+// TestRunSweepDeterminism: a parallel sweep is bit-identical to the
+// serial reference — reflect.DeepEqual on the Sweep and byte-identical
+// rendered output — on the QuickConfig workload.
+func TestRunSweepDeterminism(t *testing.T) {
+	cfg := QuickConfig()
+	traces, err := GenerateTraces("HF", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := RunSweep("HF", traces, cfg.multipliers(), SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSweep("HF", traces, cfg.multipliers(), SweepOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel sweep differs from serial sweep")
+	}
+	var a, b strings.Builder
+	if err := serial.Render(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("rendered output differs between worker counts")
+	}
+}
+
+// TestComputeCharacteristicsDeterminism: the Fig 8 fan-out is also
+// bit-identical to its serial path.
+func TestComputeCharacteristicsDeterminism(t *testing.T) {
+	cfg := testConfig()
+	traces, err := GenerateTraces("CCSD", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(
+		ComputeCharacteristics("CCSD", traces, 1),
+		ComputeCharacteristics("CCSD", traces, 4),
+	) {
+		t.Fatal("parallel characteristics differ from serial")
+	}
+}
+
+// TestRunSweepUnknownHeuristicFailsFast: an unknown acronym is rejected
+// during option resolution, before any trace is scheduled.
+func TestRunSweepUnknownHeuristicFailsFast(t *testing.T) {
+	cfg := testConfig()
+	cfg.Processes = 1
+	traces, err := GenerateTraces("HF", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	begin := time.Now()
+	_, err = RunSweep("HF", traces, cfg.multipliers(), SweepOptions{
+		Heuristics: []string{"OS", "NOPE"},
+	})
+	if err == nil || !strings.Contains(err.Error(), `unknown heuristic "NOPE"`) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(begin); elapsed > time.Second {
+		t.Errorf("unknown name took %v to fail", elapsed)
+	}
+}
+
+// TestRunSweepHeuristicSubset: a selected subset sweeps only those
+// heuristics, with categories resolved in the pre-pass.
+func TestRunSweepHeuristicSubset(t *testing.T) {
+	cfg := testConfig()
+	cfg.Processes = 2
+	traces, err := GenerateTraces("HF", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := RunSweep("HF", traces, []float64{1.5}, SweepOptions{
+		Heuristics: []string{"OS", "OOLCMR"}, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Heuristics) != 2 || sw.Heuristics[1] != "OOLCMR" {
+		t.Fatalf("heuristics = %v", sw.Heuristics)
+	}
+	if got := sw.Categories[1].String(); got != "static+dynamic" {
+		t.Errorf("OOLCMR category = %s", got)
+	}
+	if len(sw.Ratios[0][0]) != len(traces) {
+		t.Errorf("%d samples, want %d", len(sw.Ratios[0][0]), len(traces))
+	}
+}
+
+// TestRunSweepErrorPropagation: a failing cell (capacity below mc, so
+// the largest task can never fit) surfaces its error from inside the
+// worker pool instead of hanging or panicking, at both worker counts.
+func TestRunSweepErrorPropagation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Processes = 3
+	traces, err := GenerateTraces("HF", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := RunSweep("HF", traces, []float64{0.5}, SweepOptions{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: no error at half the minimum capacity", workers)
+		}
+		if !strings.Contains(err.Error(), "experiments:") {
+			t.Errorf("workers=%d: unwrapped error %v", workers, err)
+		}
+	}
+}

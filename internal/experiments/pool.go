@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEachIndex runs fn(0) … fn(n-1) on up to workers goroutines.
+// workers <= 0 means runtime.GOMAXPROCS(0); workers == 1 runs inline
+// with no goroutines, which is the reference serial path. Indices are
+// handed out atomically, so each fn call must write only to slots owned
+// by its index — that discipline is what makes parallel results
+// bit-identical to serial ones.
+//
+// On error the remaining indices are cancelled (in-flight calls run to
+// completion) and the observed error with the lowest index is returned,
+// so a single failing cell surfaces the same error at every worker
+// count.
+func forEachIndex(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next      atomic.Int64
+		cancelled atomic.Bool
+		mu        sync.Mutex
+		firstErr  error
+		errIdx    int
+		wg        sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if cancelled.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					cancelled.Store(true)
+					mu.Lock()
+					if firstErr == nil || i < errIdx {
+						firstErr, errIdx = err, i
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

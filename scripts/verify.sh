@@ -1,0 +1,13 @@
+#!/bin/sh
+# Tier-1 verification: build everything, vet everything, and run the
+# full test suite under the race detector. The experiment drivers fan
+# work out across goroutines (internal/experiments), and internal/rts
+# accepts concurrent submissions, so -race is part of the baseline
+# gate, not an optional extra.
+set -eu
+cd "$(dirname "$0")/.."
+go build ./...
+go vet ./...
+# The race detector multiplies the MILP-heavy Fig 7 test's runtime by
+# ~10x, so the per-package timeout is raised above go test's 10m default.
+go test -race -timeout 45m ./...
