@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 
 	"transched/internal/experiments"
+	"transched/internal/obs"
 )
 
 func tinyConfig() experiments.Config {
@@ -33,5 +36,42 @@ func TestRunFig7(t *testing.T) {
 func TestRunUnknownFigure(t *testing.T) {
 	if err := run("99", tinyConfig(), 100); err == nil {
 		t.Error("unknown figure accepted")
+	}
+}
+
+// TestRunWithTraceCollector: a run with a trace collector attached
+// exports valid trace-event JSON with one span per sweep cell, and the
+// default-registry metrics advance.
+func TestRunWithTraceCollector(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Trace = obs.NewTrace()
+	cfg.Metrics = obs.NewRegistry()
+	if err := run("9", cfg, 100); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cfg.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	spans := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "X" {
+			spans++
+		}
+	}
+	want := cfg.Processes * len(cfg.Multipliers) // one span per (trace, multiplier) cell
+	if spans != want {
+		t.Errorf("%d spans, want %d", spans, want)
+	}
+	if got := cfg.Metrics.Counter("sweep_cells_total").Value(); got != int64(want) {
+		t.Errorf("sweep_cells_total = %d, want %d", got, want)
 	}
 }

@@ -6,10 +6,16 @@
 //
 //	transched -trace hf.p000.trace [-capacity 2.0] [-heuristic OOLCMR]
 //	          [-batch 100] [-gantt] [-milp 3] [-advise]
+//	          [-trace-out sched.json] [-debug-addr localhost:6060]
 //
 // The capacity is given as a multiple of the trace's minimum requirement
 // mc (the largest single-task memory footprint). With no -heuristic, all
 // fourteen strategies run and a comparison table is printed.
+//
+// -trace-out exports every schedule as a Chrome trace-event JSON file —
+// one process per heuristic with link and processing-unit tracks plus a
+// memory-occupancy counter — loadable in Perfetto or chrome://tracing
+// (see OBSERVABILITY.md). -debug-addr serves /metrics, expvar and pprof.
 package main
 
 import (
@@ -19,47 +25,76 @@ import (
 	"sort"
 
 	"transched"
+	"transched/internal/obs"
 )
 
+// options carries the parsed command line.
+type options struct {
+	tracePath string
+	capMult   float64
+	heuristic string
+	batch     int
+	showGantt bool
+	milpK     int
+	milpNodes int
+	advise    bool
+	width     int
+	traceOut  string
+}
+
 func main() {
-	var (
-		tracePath = flag.String("trace", "", "trace file to schedule (required)")
-		capMult   = flag.Float64("capacity", 1.5, "memory capacity as a multiple of mc")
-		heuristic = flag.String("heuristic", "", "run only this heuristic (paper acronym)")
-		batch     = flag.Int("batch", 0, "schedule in submission batches of this size (0 = all at once)")
-		showGantt = flag.Bool("gantt", false, "render an ASCII Gantt chart of each schedule")
-		milpK     = flag.Int("milp", 0, "also run the windowed MILP lp.k with this window size")
-		milpNodes = flag.Int("milp-nodes", 2000, "branch-and-bound node budget per MILP window")
-		advise    = flag.Bool("advise", false, "print the Table 6 advisor's recommendation")
-		width     = flag.Int("width", 72, "gantt chart width in characters")
-	)
+	var opt options
+	flag.StringVar(&opt.tracePath, "trace", "", "trace file to schedule (required)")
+	flag.Float64Var(&opt.capMult, "capacity", 1.5, "memory capacity as a multiple of mc")
+	flag.StringVar(&opt.heuristic, "heuristic", "", "run only this heuristic (paper acronym)")
+	flag.IntVar(&opt.batch, "batch", 0, "schedule in submission batches of this size (0 = all at once)")
+	flag.BoolVar(&opt.showGantt, "gantt", false, "render an ASCII Gantt chart of each schedule")
+	flag.IntVar(&opt.milpK, "milp", 0, "also run the windowed MILP lp.k with this window size")
+	flag.IntVar(&opt.milpNodes, "milp-nodes", 2000, "branch-and-bound node budget per MILP window")
+	flag.BoolVar(&opt.advise, "advise", false, "print the Table 6 advisor's recommendation")
+	flag.IntVar(&opt.width, "width", 72, "gantt chart width in characters")
+	flag.StringVar(&opt.traceOut, "trace-out", "", "write the schedules as a Chrome trace-event (Perfetto-loadable) JSON file")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
-	if *tracePath == "" {
+	if opt.tracePath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*tracePath, *capMult, *heuristic, *batch, *showGantt, *milpK, *milpNodes, *advise, *width); err != nil {
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, obs.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "transched:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "transched: debug server on http://%s\n", srv.Addr)
+	}
+	if err := run(opt); err != nil {
 		fmt.Fprintln(os.Stderr, "transched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath string, capMult float64, heuristic string, batch int,
-	showGantt bool, milpK, milpNodes int, advise bool, width int) error {
-	tr, err := transched.ReadTraceFile(tracePath)
+func run(opt options) error {
+	tr, err := transched.ReadTraceFile(opt.tracePath)
 	if err != nil {
 		return err
 	}
 	mc := tr.MinCapacity()
-	capacity := mc * capMult
+	capacity := mc * opt.capMult
 	in := transched.NewInstance(tr.Tasks, capacity)
 	omim := transched.OMIM(in.Tasks)
-	fmt.Printf("trace %s: app=%s process=%d tasks=%d\n", tracePath, tr.App, tr.Process, len(tr.Tasks))
+	fmt.Printf("trace %s: app=%s process=%d tasks=%d\n", opt.tracePath, tr.App, tr.Process, len(tr.Tasks))
 	fmt.Printf("mc=%.6g capacity=%.6g (%.3g x mc) OMIM=%.6g sequential=%.6g\n",
-		mc, capacity, capMult, omim, in.SequentialMakespan())
+		mc, capacity, opt.capMult, omim, in.SequentialMakespan())
 
-	if advise {
+	if opt.advise {
 		fmt.Printf("advised heuristics (Table 6): %v\n", transched.Advise(in))
+	}
+
+	var export *obs.Trace
+	if opt.traceOut != "" {
+		export = obs.NewTrace()
 	}
 
 	type result struct {
@@ -68,8 +103,8 @@ func run(tracePath string, capMult float64, heuristic string, batch int,
 	}
 	var results []result
 	hs := transched.Heuristics(capacity)
-	if heuristic != "" {
-		h, err := transched.HeuristicByName(heuristic, capacity)
+	if opt.heuristic != "" {
+		h, err := transched.HeuristicByName(opt.heuristic, capacity)
 		if err != nil {
 			return err
 		}
@@ -77,8 +112,8 @@ func run(tracePath string, capMult float64, heuristic string, batch int,
 	}
 	for _, h := range hs {
 		var s *transched.Schedule
-		if batch > 0 {
-			s, err = h.RunBatches(in, batch)
+		if opt.batch > 0 {
+			s, err = h.RunBatches(in, opt.batch)
 		} else {
 			s, err = h.Run(in)
 		}
@@ -89,23 +124,33 @@ func run(tracePath string, capMult float64, heuristic string, batch int,
 			return fmt.Errorf("%s produced an invalid schedule: %w", h.Name, err)
 		}
 		results = append(results, result{h.Name, s.Makespan()})
-		if showGantt {
+		if opt.showGantt {
 			fmt.Printf("\n%s (%s): makespan %.6g\n%s", h.Name, h.Description, s.Makespan(),
-				transched.RenderGantt(s, width))
+				transched.RenderGantt(s, opt.width))
 		}
+		obs.ScheduleTraceInto(export, export.NextPID(), h.Name, s)
 	}
 
-	if milpK > 0 {
-		res, err := transched.SolveMILP(in, transched.MILPOptions{K: milpK, MaxNodesPerWindow: milpNodes})
+	if opt.milpK > 0 {
+		res, err := transched.SolveMILP(in, transched.MILPOptions{K: opt.milpK, MaxNodesPerWindow: opt.milpNodes})
 		if err != nil {
 			return err
 		}
-		results = append(results, result{fmt.Sprintf("lp.%d", milpK), res.Schedule.Makespan()})
+		results = append(results, result{fmt.Sprintf("lp.%d", opt.milpK), res.Schedule.Makespan()})
 		fmt.Printf("\nlp.%d: %d windows, %d nodes, %d fallbacks\n",
-			milpK, res.Windows, res.Nodes, res.Fallbacks)
-		if showGantt {
-			fmt.Print(transched.RenderGantt(res.Schedule, width))
+			opt.milpK, res.Windows, res.Nodes, res.Fallbacks)
+		if opt.showGantt {
+			fmt.Print(transched.RenderGantt(res.Schedule, opt.width))
 		}
+		obs.ScheduleTraceInto(export, export.NextPID(), fmt.Sprintf("lp.%d", opt.milpK), res.Schedule)
+	}
+
+	if export != nil {
+		if err := export.WriteFile(opt.traceOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "transched: wrote %d trace events to %s (load in Perfetto or chrome://tracing)\n",
+			export.Len(), opt.traceOut)
 	}
 
 	sort.SliceStable(results, func(i, j int) bool { return results[i].makespan < results[j].makespan })

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -48,7 +49,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 func TestRunAllHeuristics(t *testing.T) {
 	path := writeSampleTrace(t)
 	out, err := capture(t, func() error {
-		return run(path, 1.5, "", 0, false, 0, 0, true, 60)
+		return run(options{tracePath: path, capMult: 1.5, advise: true, width: 60})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +64,8 @@ func TestRunAllHeuristics(t *testing.T) {
 func TestRunSingleHeuristicWithGanttAndMILP(t *testing.T) {
 	path := writeSampleTrace(t)
 	out, err := capture(t, func() error {
-		return run(path, 1.5, "OOLCMR", 5, true, 3, 200, false, 60)
+		return run(options{tracePath: path, capMult: 1.5, heuristic: "OOLCMR",
+			batch: 5, showGantt: true, milpK: 3, milpNodes: 200, width: 60})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -75,15 +77,66 @@ func TestRunSingleHeuristicWithGanttAndMILP(t *testing.T) {
 	}
 }
 
+// TestRunTraceOut: -trace-out writes a Chrome trace-event JSON file with
+// one process per schedule (heuristic + MILP) that parses back cleanly.
+func TestRunTraceOut(t *testing.T) {
+	path := writeSampleTrace(t)
+	out := filepath.Join(t.TempDir(), "sched.json")
+	_, err := capture(t, func() error {
+		return run(options{tracePath: path, capMult: 1.5, heuristic: "OOLCMR",
+			milpK: 3, milpNodes: 200, width: 60, traceOut: out})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			PID   int            `json:"pid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace-out is not valid JSON: %v", err)
+	}
+	procs := map[int]bool{}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		procs[ev.PID] = true
+		if ev.Phase == "M" && ev.Name == "process_name" {
+			names[ev.Args["name"].(string)] = true
+		}
+	}
+	if len(procs) != 2 { // OOLCMR + lp.3
+		t.Errorf("%d processes in trace, want 2", len(procs))
+	}
+	for want := range map[string]bool{"OOLCMR": true, "lp.3": true} {
+		found := false
+		for n := range names {
+			if strings.HasPrefix(n, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no process named %s* in %v", want, names)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("/does/not/exist.trace", 1.5, "", 0, false, 0, 0, false, 60); err == nil {
+	if err := run(options{tracePath: "/does/not/exist.trace", capMult: 1.5, width: 60}); err == nil {
 		t.Error("missing trace accepted")
 	}
 	path := writeSampleTrace(t)
-	if err := run(path, 1.5, "NOPE", 0, false, 0, 0, false, 60); err == nil {
+	if err := run(options{tracePath: path, capMult: 1.5, heuristic: "NOPE", width: 60}); err == nil {
 		t.Error("unknown heuristic accepted")
 	}
-	if err := run(path, 0.5, "", 0, false, 0, 0, false, 60); err == nil {
+	if err := run(options{tracePath: path, capMult: 0.5, width: 60}); err == nil {
 		t.Error("capacity below mc accepted")
 	}
 }

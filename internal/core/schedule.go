@@ -102,18 +102,18 @@ func (s *Schedule) sortedBy(key func(Assignment) float64) []int {
 func (s *Schedule) PeakMemory() float64 {
 	peak := 0.0
 	for _, a := range s.Assignments {
-		if use := s.memoryInUseAt(a.CommStart); use > peak {
+		if use := s.MemoryInUseAt(a.CommStart); use > peak {
 			peak = use
 		}
 	}
 	return peak
 }
 
-// memoryInUseAt returns the total memory of tasks resident at time t,
+// MemoryInUseAt returns the total memory of tasks resident at time t,
 // counting a task as resident on [CommStart, CompEnd). Releases at exactly
 // t are treated as having happened (the model frees memory at computation
 // end, so a transfer may start at the same instant a computation ends).
-func (s *Schedule) memoryInUseAt(t float64) float64 {
+func (s *Schedule) MemoryInUseAt(t float64) float64 {
 	use := 0.0
 	for _, b := range s.Assignments {
 		if b.CommStart <= t+tolerance && b.CompEnd() > t+tolerance {
@@ -160,7 +160,7 @@ func (s *Schedule) Validate() error {
 		}
 	}
 	for _, a := range s.Assignments {
-		if use := s.memoryInUseAt(a.CommStart); use > s.Capacity+tolerance {
+		if use := s.MemoryInUseAt(a.CommStart); use > s.Capacity+tolerance {
 			return fmt.Errorf("core: memory %g exceeds capacity %g at t=%g (start of %q)",
 				use, s.Capacity, a.CommStart, a.Task.Name)
 		}
@@ -241,6 +241,25 @@ func (s *Schedule) Overlap() float64 {
 		}
 	}
 	return total
+}
+
+// EventTimes returns every distinct communication/computation start and
+// end time, sorted ascending — the instants at which resource or memory
+// state can change (Gantt tick marks, memory counter samples).
+func (s *Schedule) EventTimes() []float64 {
+	set := map[float64]struct{}{}
+	for _, a := range s.Assignments {
+		set[a.CommStart] = struct{}{}
+		set[a.CommEnd()] = struct{}{}
+		set[a.CompStart] = struct{}{}
+		set[a.CompEnd()] = struct{}{}
+	}
+	out := make([]float64, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Float64s(out)
+	return out
 }
 
 // String renders a compact textual listing of the schedule.

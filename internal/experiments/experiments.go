@@ -10,12 +10,15 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
+	"time"
 
 	"transched/internal/chem"
 	"transched/internal/cluster"
 	"transched/internal/core"
 	"transched/internal/flowshop"
 	"transched/internal/heuristics"
+	"transched/internal/obs"
 	"transched/internal/stats"
 	"transched/internal/trace"
 )
@@ -47,6 +50,14 @@ type Config struct {
 	// 0 uses every core (runtime.GOMAXPROCS), 1 reproduces the serial
 	// reference path. Output is bit-identical at every worker count.
 	Workers int
+	// Trace, when non-nil, collects per-cell execution spans from the
+	// sweep drivers for Chrome trace-event export (`cmd/experiments
+	// -trace-out`). Spans describe the run, never its results: output
+	// stays bit-identical with tracing on or off.
+	Trace *obs.Trace
+	// Metrics, when non-nil, receives sweep counters and cell-duration
+	// histograms (`cmd/experiments -debug-addr` serves them).
+	Metrics *obs.Registry
 }
 
 func (c Config) multipliers() []float64 {
@@ -100,6 +111,16 @@ type SweepOptions struct {
 	// Heuristics selects a subset by acronym; nil means all fourteen in
 	// figure order. Unknown names fail before any scheduling starts.
 	Heuristics []string
+	// Trace, when non-nil, receives one span per (trace, multiplier)
+	// cell — labelled with the worker id, trace name, multiplier and
+	// heuristic set — so pool utilization and stragglers are visible in
+	// Perfetto. Nil (the default) records nothing and skips even the
+	// clock reads; results are bit-identical either way.
+	Trace *obs.Trace
+	// Metrics, when non-nil, receives the sweep_cells_total counter,
+	// sweep_tasks_scheduled_total counter and sweep_cell_seconds
+	// histogram. Nil disables all metric updates.
+	Metrics *obs.Registry
 }
 
 // RunSweep evaluates every heuristic at every capacity on every trace.
@@ -166,15 +187,39 @@ func RunSweep(app string, traces []*trace.Trace, multipliers []float64, opts Swe
 		}
 	}
 
+	// Optional telemetry. The tracer's slots are preallocated and
+	// index-addressed exactly like the result slots, so recording obeys
+	// the same each-cell-writes-only-its-own-slot discipline; metric
+	// updates are atomic counter adds. Neither feeds Ratios, so output
+	// is bit-identical with instrumentation on or off.
+	nm := len(multipliers)
+	var cellTracer *obs.SweepTracer
+	heurList := strings.Join(names, ",")
+	if opts.Trace.Enabled() {
+		cellTracer = obs.NewSweepTracer(fmt.Sprintf("%s sweep (%d traces × %d capacities)",
+			app, len(traces), nm), len(traces)*nm)
+	}
+	var cellsDone, tasksDone *obs.Counter
+	var cellSeconds *obs.Histogram
+	if opts.Metrics != nil {
+		cellsDone = opts.Metrics.Counter("sweep_cells_total")
+		tasksDone = opts.Metrics.Counter("sweep_tasks_scheduled_total")
+		cellSeconds = opts.Metrics.Histogram("sweep_cell_seconds", obs.DefaultBuckets())
+	}
+	instrumented := cellTracer.Enabled() || opts.Metrics != nil
+
 	// One work unit per (trace, multiplier) cell: the unit builds the
 	// instance and the capacity-bound heuristic registry once, runs all
 	// heuristics on it, and writes only the slots indexed by its own
 	// (m, t) pair.
-	nm := len(multipliers)
-	err := forEachIndex(opts.Workers, len(traces)*nm, func(u int) error {
+	err := forEachIndexW(opts.Workers, len(traces)*nm, func(worker, u int) error {
 		t, m := u/nm, u%nm
 		tr := traces[t]
 		mult := multipliers[m]
+		var begin time.Time
+		if instrumented {
+			begin = time.Now()
+		}
 		capacity := mcs[t] * mult
 		in := tr.Instance(capacity)
 		all := heuristics.All(capacity)
@@ -193,10 +238,31 @@ func RunSweep(app string, traces []*trace.Trace, multipliers []float64, opts Swe
 			}
 			sw.Ratios[h][m][t] = s.Makespan() / omims[t]
 		}
+		if instrumented {
+			end := time.Now()
+			traceName := fmt.Sprintf("%s/%d", tr.App, tr.Process)
+			cellTracer.Record(u, obs.CellSpan{
+				Name:       fmt.Sprintf("%s ×%.3f", traceName, mult),
+				Worker:     worker,
+				Start:      begin,
+				End:        end,
+				Trace:      traceName,
+				Multiplier: mult,
+				Heuristics: heurList,
+			})
+			if opts.Metrics != nil {
+				cellsDone.Inc()
+				tasksDone.Add(int64(len(tr.Tasks) * len(names)))
+				cellSeconds.Observe(end.Sub(begin).Seconds())
+			}
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cellTracer.Enabled() {
+		cellTracer.AppendTo(opts.Trace, opts.Trace.NextPID())
 	}
 	return sw, nil
 }

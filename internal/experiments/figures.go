@@ -98,7 +98,9 @@ func figSweep(w io.Writer, app string, cfg Config, batch int) (*Sweep, error) {
 	if err != nil {
 		return nil, err
 	}
-	sw, err := RunSweep(app, traces, cfg.multipliers(), SweepOptions{BatchSize: batch, Workers: cfg.Workers})
+	sw, err := RunSweep(app, traces, cfg.multipliers(), SweepOptions{
+		BatchSize: batch, Workers: cfg.Workers, Trace: cfg.Trace, Metrics: cfg.Metrics,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -155,7 +157,9 @@ func Fig13(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		sw, err := RunSweep(app, traces, cfg.multipliers(), SweepOptions{BatchSize: batch, Workers: cfg.Workers})
+		sw, err := RunSweep(app, traces, cfg.multipliers(), SweepOptions{
+			BatchSize: batch, Workers: cfg.Workers, Trace: cfg.Trace, Metrics: cfg.Metrics,
+		})
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"transched/internal/obs"
+)
+
+// TestRunSweepDeterminismWithTracing: PR 1's bit-identical guarantee
+// must survive instrumentation — a traced, metered parallel sweep
+// produces exactly the same Sweep (and rendered bytes) as the serial
+// reference with instrumentation off. Spans carry wall-clock timestamps
+// but never feed results.
+func TestRunSweepDeterminismWithTracing(t *testing.T) {
+	cfg := testConfig()
+	cfg.Processes = 4
+	traces, err := GenerateTraces("HF", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mults := []float64{1, 1.5, 2}
+
+	plain, err := RunSweep("HF", traces, mults, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector := obs.NewTrace()
+	reg := obs.NewRegistry()
+	traced, err := RunSweep("HF", traces, mults, SweepOptions{
+		Workers: 4, Trace: collector, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatal("instrumented parallel sweep differs from plain serial sweep")
+	}
+	var a, b strings.Builder
+	if err := plain.Render(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := traced.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("rendered output differs with tracing on")
+	}
+
+	// The collector holds one span per (trace, multiplier) cell and the
+	// export is valid trace-event JSON.
+	cells := len(traces) * len(mults)
+	var buf bytes.Buffer
+	if err := collector.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Phase string         `json:"ph"`
+			Dur   float64        `json:"dur"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	spans := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "X" {
+			spans++
+			if ev.Args["trace"] == "" || ev.Args["heuristics"] == "" {
+				t.Errorf("span missing args: %v", ev.Args)
+			}
+		}
+	}
+	if spans != cells {
+		t.Errorf("%d spans, want %d (one per cell)", spans, cells)
+	}
+
+	// Metrics agree with the work done.
+	for _, m := range reg.Snapshot().Metrics {
+		switch m.Name {
+		case "sweep_cells_total":
+			if int(m.Value) != cells {
+				t.Errorf("sweep_cells_total = %g, want %d", m.Value, cells)
+			}
+		case "sweep_cell_seconds":
+			if m.Count != int64(cells) {
+				t.Errorf("sweep_cell_seconds count = %d, want %d", m.Count, cells)
+			}
+		}
+	}
+}
+
+// TestRunSweepSharedMetricsAcrossWorkers drives concurrent counter and
+// histogram updates from the pool's workers into one shared registry —
+// the -race gate (scripts/verify.sh) for sweep instrumentation.
+func TestRunSweepSharedMetricsAcrossWorkers(t *testing.T) {
+	cfg := testConfig()
+	cfg.Processes = 3
+	traces, err := GenerateTraces("CCSD", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	mults := []float64{1, 1.25, 1.5, 2}
+	// Two instrumented sweeps back to back accumulate into the same
+	// registry, like cmd/experiments -fig all does.
+	for range 2 {
+		if _, err := RunSweep("CCSD", traces, mults, SweepOptions{
+			Workers: 4, Metrics: reg, Trace: obs.NewTrace(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := 2 * len(traces) * len(mults)
+	if got := reg.Counter("sweep_cells_total").Value(); got != int64(want) {
+		t.Errorf("sweep_cells_total = %d, want %d", got, want)
+	}
+}

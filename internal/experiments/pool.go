@@ -18,6 +18,13 @@ import (
 // so a single failing cell surfaces the same error at every worker
 // count.
 func forEachIndex(workers, n int, fn func(i int) error) error {
+	return forEachIndexW(workers, n, func(_, i int) error { return fn(i) })
+}
+
+// forEachIndexW is forEachIndex with the 0-based pool worker id passed
+// to fn alongside the index — the hook the sweep tracer uses to put
+// each cell span on its worker's track. The serial path is worker 0.
+func forEachIndexW(workers, n int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -29,7 +36,7 @@ func forEachIndex(workers, n int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -45,7 +52,7 @@ func forEachIndex(workers, n int, fn func(i int) error) error {
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				if cancelled.Load() {
@@ -55,7 +62,7 @@ func forEachIndex(workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(w, i); err != nil {
 					cancelled.Store(true)
 					mu.Lock()
 					if firstErr == nil || i < errIdx {
@@ -65,7 +72,7 @@ func forEachIndex(workers, n int, fn func(i int) error) error {
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return firstErr

@@ -86,8 +86,7 @@ func Render(s *core.Schedule, width int) string {
 
 	// Time axis with ticks at event boundaries.
 	axis := []byte(strings.Repeat(" ", width+1))
-	events := eventTimes(s)
-	for _, t := range events {
+	for _, t := range s.EventTimes() {
 		axis[scale(t)] = '+'
 	}
 
@@ -95,7 +94,7 @@ func Render(s *core.Schedule, width int) string {
 	fmt.Fprintf(&b, "comm  %s\n", string(comm))
 	fmt.Fprintf(&b, "comp  %s\n", string(comp))
 	fmt.Fprintf(&b, "      %s\n", string(axis))
-	fmt.Fprintf(&b, "      0%s%g\n", strings.Repeat(" ", maxInt(1, width-len(fmt.Sprintf("%g", makespan)))), makespan)
+	fmt.Fprintf(&b, "      0%s%g\n", strings.Repeat(" ", max(1, width-len(fmt.Sprintf("%g", makespan)))), makespan)
 	return b.String()
 }
 
@@ -116,27 +115,4 @@ func RenderWithLegend(s *core.Schedule, width int) string {
 			a.Task.Name, a.CommStart, a.CommEnd(), a.CompStart, a.CompEnd())
 	}
 	return b.String()
-}
-
-func eventTimes(s *core.Schedule) []float64 {
-	set := map[float64]struct{}{}
-	for _, a := range s.Assignments {
-		set[a.CommStart] = struct{}{}
-		set[a.CommEnd()] = struct{}{}
-		set[a.CompStart] = struct{}{}
-		set[a.CompEnd()] = struct{}{}
-	}
-	out := make([]float64, 0, len(set))
-	for t := range set {
-		out = append(out, t)
-	}
-	sort.Float64s(out)
-	return out
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -81,6 +81,6 @@ func Render3(s *threestage.Schedule, width int) string {
 	fmt.Fprintf(&b, "in    %s\n", string(rows[0]))
 	fmt.Fprintf(&b, "comp  %s\n", string(rows[1]))
 	fmt.Fprintf(&b, "out   %s\n", string(rows[2]))
-	fmt.Fprintf(&b, "      0%s%g\n", strings.Repeat(" ", maxInt(1, width-len(fmt.Sprintf("%g", makespan)))), makespan)
+	fmt.Fprintf(&b, "      0%s%g\n", strings.Repeat(" ", max(1, width-len(fmt.Sprintf("%g", makespan)))), makespan)
 	return b.String()
 }

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler serves the debug surface for a registry:
+//
+//	/metrics       plain-text snapshot (one line per metric)
+//	/debug/vars    expvar JSON (includes the "transched" snapshot)
+//	/debug/pprof/  the standard Go profiles (heap, cpu, goroutine, ...)
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.Snapshot().WriteText(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "transched debug server\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// DebugServer is a running debug endpoint; Close shuts it down.
+type DebugServer struct {
+	// Addr is the bound address (useful with ":0").
+	Addr string
+	srv  *http.Server
+	lis  net.Listener
+}
+
+// Close stops the server.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}
+
+// Serve binds addr (e.g. "localhost:6060" or "127.0.0.1:0") and serves
+// the debug surface for reg in a background goroutine. It also
+// publishes the default registry under expvar. The returned server
+// reports the bound address and should be Closed when done.
+func Serve(addr string, reg *Registry) (*DebugServer, error) {
+	PublishExpvar()
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(lis) }()
+	return &DebugServer{Addr: lis.Addr().String(), srv: srv, lis: lis}, nil
+}

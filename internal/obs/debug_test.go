@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestDebugServer: Serve binds, /metrics renders the registry,
+// /debug/vars serves expvar JSON (including the published snapshot),
+// and the pprof index responds.
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sweep_cells_total").Add(7)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "sweep_cells_total 7") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	// /debug/vars must be one valid JSON document even with a histogram
+	// in the default registry — regression for the overflow bucket's
+	// +Inf bound, which json.Marshal rejects and expvar.Func would then
+	// silently serve as an empty value, corrupting the whole page.
+	Default().Histogram("debug_test_seconds", DefaultBuckets()).Observe(0.5)
+	var vars map[string]any
+	if body := get("/debug/vars"); json.Unmarshal([]byte(body), &vars) != nil {
+		t.Errorf("/debug/vars is not valid JSON:\n%.300s", body)
+	} else if _, ok := vars["transched"]; !ok {
+		t.Error("/debug/vars missing published transched snapshot")
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index unexpected:\n%.200s", body)
+	}
+	if body := get("/"); !strings.Contains(body, "/metrics") {
+		t.Errorf("index page unexpected:\n%s", body)
+	}
+}

@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; all methods are safe for concurrent use and lock-free.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n < 0 is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 value (e.g. memory in use), stored
+// as atomic bits. The zero value reads 0.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetMax raises the gauge to v if v is larger (a high-water mark).
+func (g *Gauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Bounds are
+// inclusive upper bounds in ascending order; one implicit +Inf overflow
+// bucket is appended. Construct through Registry.Histogram so the bucket
+// slice is allocated once; observations afterwards are lock-free atomic
+// adds (plus one CAS loop for the running sum).
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bucket is one histogram bucket in a snapshot. UpperBound is +Inf for
+// the overflow bucket; Count is the bucket's own count (not cumulative).
+type Bucket struct {
+	UpperBound float64
+	Count      int64
+}
+
+// MarshalJSON renders the overflow bucket's +Inf bound as the string
+// "+Inf": encoding/json rejects non-finite numbers, and expvar.Func
+// silently serves an empty value on a marshal error, which would break
+// the whole /debug/vars document.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	var le any = b.UpperBound
+	if math.IsInf(b.UpperBound, 1) {
+		le = "+Inf"
+	}
+	return json.Marshal(struct {
+		UpperBound any
+		Count      int64
+	}{le, b.Count})
+}
+
+// Metric is one named metric in a snapshot.
+type Metric struct {
+	Name string
+	Kind string // "counter", "gauge" or "histogram"
+	// Value holds the counter or gauge reading (counters as float64).
+	Value float64
+	// Count, Sum and Buckets are set for histograms.
+	Count   int64
+	Sum     float64
+	Buckets []Bucket
+}
+
+// Snapshot is a point-in-time copy of a registry, ordered by metric
+// registration.
+type Snapshot struct{ Metrics []Metric }
+
+// WriteText renders the snapshot as one line per metric (histograms get
+// one extra line per non-empty bucket), the format served at /metrics.
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, m := range s.Metrics {
+		var err error
+		switch m.Kind {
+		case "histogram":
+			mean := 0.0
+			if m.Count > 0 {
+				mean = m.Sum / float64(m.Count)
+			}
+			_, err = fmt.Fprintf(w, "%s count=%d sum=%g mean=%g\n", m.Name, m.Count, m.Sum, mean)
+			for _, b := range m.Buckets {
+				if b.Count == 0 {
+					continue
+				}
+				if err == nil {
+					_, err = fmt.Fprintf(w, "%s{le=%g} %d\n", m.Name, b.UpperBound, b.Count)
+				}
+			}
+		case "counter":
+			_, err = fmt.Fprintf(w, "%s %d\n", m.Name, int64(m.Value))
+		default:
+			_, err = fmt.Fprintf(w, "%s %g\n", m.Name, m.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Registry is a named collection of metrics. Lookups get-or-create, so
+// instrumented code can ask for its metric at the point of use without
+// registration ceremony; the returned metric is shared by name.
+type Registry struct {
+	mu       sync.Mutex
+	order    []string
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+		r.order = append(r.order, name)
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.order = append(r.order, name)
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (later calls reuse the existing
+// buckets and ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+		r.order = append(r.order, name)
+	}
+	return h
+}
+
+// Snapshot copies every metric's current reading.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := Snapshot{Metrics: make([]Metric, 0, len(r.order))}
+	for _, name := range r.order {
+		switch {
+		case r.counters[name] != nil:
+			out.Metrics = append(out.Metrics, Metric{
+				Name: name, Kind: "counter", Value: float64(r.counters[name].Value()),
+			})
+		case r.gauges[name] != nil:
+			out.Metrics = append(out.Metrics, Metric{
+				Name: name, Kind: "gauge", Value: r.gauges[name].Value(),
+			})
+		case r.hists[name] != nil:
+			h := r.hists[name]
+			m := Metric{Name: name, Kind: "histogram", Count: h.Count(), Sum: h.Sum()}
+			for i := range h.counts {
+				ub := math.Inf(1)
+				if i < len(h.bounds) {
+					ub = h.bounds[i]
+				}
+				m.Buckets = append(m.Buckets, Bucket{UpperBound: ub, Count: h.counts[i].Load()})
+			}
+			out.Metrics = append(out.Metrics, m)
+		}
+	}
+	return out
+}
+
+// DefaultBuckets is a wall-clock-seconds bucket grid suited to the
+// sweep cells and batch schedules this repository times: 100µs to ~2min.
+func DefaultBuckets() []float64 {
+	return []float64{1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+}
+
+var (
+	defaultRegistry = NewRegistry()
+	publishOnce     sync.Once
+)
+
+// Default returns the process-wide registry, the one the debug server
+// and the CLIs use.
+func Default() *Registry { return defaultRegistry }
+
+// PublishExpvar exposes the default registry's snapshot under the
+// expvar key "transched" (served at /debug/vars). Safe to call more
+// than once; only the first call publishes.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("transched", expvar.Func(func() any {
+			return Default().Snapshot().Metrics
+		}))
+	})
+}

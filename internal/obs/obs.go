@@ -1,0 +1,20 @@
+// Package obs is the repository's telemetry layer: a dependency-free
+// metrics core (counters, gauges, fixed-bucket histograms with snapshot
+// and text rendering), a Chrome trace-event JSON exporter whose files
+// load in Perfetto and chrome://tracing, and opt-in HTTP debug endpoints
+// (expvar, net/http/pprof, a plain-text /metrics page).
+//
+// Two producers feed the trace exporter:
+//
+//   - ScheduleTrace renders a simulated schedule as link and
+//     processing-unit tracks plus a memory-occupancy counter track — the
+//     programmatic sibling of the ASCII charts in internal/gantt.
+//   - SweepTracer records one span per (trace, multiplier) cell of an
+//     experiment sweep into preallocated, index-addressed slots — the
+//     same write discipline that makes the sweep pool deterministic —
+//     so pool utilization and stragglers are visible per worker track.
+//
+// Everything here is safe for concurrent use and is a no-op when not
+// explicitly enabled: spans carry wall-clock timestamps but never feed
+// results, so sweep output stays bit-identical with tracing on or off.
+package obs

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// CellSpan is the execution record of one unit of pool work (one
+// (trace, multiplier) cell of a sweep). Timestamps are wall clock; they
+// describe the run, never its results.
+type CellSpan struct {
+	// Name is the span label shown in the viewer, e.g. "HF/3 ×1.500".
+	Name string
+	// Worker is the 0-based pool worker that executed the cell.
+	Worker int
+	// Start and End bound the cell's execution.
+	Start, End time.Time
+	// Trace, Multiplier and Heuristics identify the work: which input
+	// trace, at which capacity multiplier, running which heuristics.
+	Trace      string
+	Multiplier float64
+	Heuristics string
+}
+
+// SweepTracer records one CellSpan per work unit into preallocated,
+// index-addressed slots — each pool worker writes only the slot of the
+// index it owns, the same discipline that makes the sweep results
+// deterministic, so recording needs no locks and allocates nothing on
+// the hot path. A nil tracer records nothing; use Enabled to skip even
+// the time.Now calls when off.
+type SweepTracer struct {
+	name  string
+	slots []CellSpan
+}
+
+// NewSweepTracer returns a tracer with n preallocated span slots.
+func NewSweepTracer(name string, n int) *SweepTracer {
+	return &SweepTracer{name: name, slots: make([]CellSpan, n)}
+}
+
+// Enabled reports whether Record calls will be kept.
+func (t *SweepTracer) Enabled() bool { return t != nil }
+
+// Record stores the span for work unit i. Out-of-range indices are
+// dropped rather than growing the slot table mid-run.
+func (t *SweepTracer) Record(i int, s CellSpan) {
+	if t == nil || i < 0 || i >= len(t.slots) {
+		return
+	}
+	t.slots[i] = s
+}
+
+// Spans returns the recorded slots (unrecorded slots are zero).
+func (t *SweepTracer) Spans() []CellSpan {
+	if t == nil {
+		return nil
+	}
+	return t.slots
+}
+
+// AppendTo exports the recorded spans into tr as one process with one
+// thread per pool worker, so stragglers and idle gaps line up per
+// worker track in the viewer. Timestamps are microseconds relative to
+// the earliest recorded span, so the sweep starts at t=0.
+func (t *SweepTracer) AppendTo(tr *Trace, pid int) {
+	if t == nil || tr == nil {
+		return
+	}
+	var base time.Time
+	workers := 0
+	for _, s := range t.slots {
+		if s.End.IsZero() {
+			continue
+		}
+		if base.IsZero() || s.Start.Before(base) {
+			base = s.Start
+		}
+		if s.Worker+1 > workers {
+			workers = s.Worker + 1
+		}
+	}
+	tr.NameProcess(pid, t.name)
+	for w := 0; w < workers; w++ {
+		tr.NameThread(pid, w+1, fmt.Sprintf("worker %d", w))
+	}
+	for i, s := range t.slots {
+		if s.End.IsZero() {
+			continue
+		}
+		tr.Span(pid, s.Worker+1, s.Name,
+			float64(s.Start.Sub(base).Microseconds()),
+			float64(s.End.Sub(s.Start).Microseconds()),
+			map[string]any{
+				"cell":       i,
+				"trace":      s.Trace,
+				"multiplier": s.Multiplier,
+				"heuristics": s.Heuristics,
+				"seconds":    s.End.Sub(s.Start).Seconds(),
+			})
+	}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSweepTracerAppendTo: recorded slots export one span per cell on
+// the right worker thread, with metadata naming the process and every
+// worker, and timestamps rebased so the sweep starts at t=0.
+func TestSweepTracerAppendTo(t *testing.T) {
+	base := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	st := NewSweepTracer("HF sweep", 4)
+	st.Record(0, CellSpan{Name: "HF/0 ×1.0", Worker: 0, Start: base, End: base.Add(time.Millisecond),
+		Trace: "HF/0", Multiplier: 1, Heuristics: "OS,BP"})
+	st.Record(1, CellSpan{Name: "HF/0 ×1.5", Worker: 1, Start: base.Add(time.Millisecond), End: base.Add(3 * time.Millisecond),
+		Trace: "HF/0", Multiplier: 1.5, Heuristics: "OS,BP"})
+	st.Record(3, CellSpan{Name: "HF/1 ×1.5", Worker: 0, Start: base.Add(2 * time.Millisecond), End: base.Add(4 * time.Millisecond),
+		Trace: "HF/1", Multiplier: 1.5, Heuristics: "OS,BP"})
+	// slot 2 deliberately left unrecorded (e.g. a cancelled cell): it
+	// must not export a zero-time span.
+	st.Record(99, CellSpan{}) // out of range: dropped
+
+	tr := NewTrace()
+	st.AppendTo(tr, tr.NextPID())
+
+	spans, threads, process := 0, 0, 0
+	var firstTS float64 = -1
+	for _, ev := range exportEvents(t, tr) {
+		switch {
+		case ev.Phase == "X":
+			spans++
+			if firstTS < 0 || ev.TS < firstTS {
+				firstTS = ev.TS
+			}
+			if ev.Args["heuristics"] != "OS,BP" {
+				t.Errorf("span %q args = %v", ev.Name, ev.Args)
+			}
+		case ev.Phase == "M" && ev.Name == "thread_name":
+			threads++
+		case ev.Phase == "M" && ev.Name == "process_name":
+			process++
+			if ev.Args["name"] != "HF sweep" {
+				t.Errorf("process name = %v", ev.Args["name"])
+			}
+		}
+	}
+	if spans != 3 {
+		t.Errorf("%d spans, want 3 (one per recorded cell)", spans)
+	}
+	if threads != 2 { // workers 0 and 1
+		t.Errorf("%d worker threads, want 2", threads)
+	}
+	if process != 1 {
+		t.Errorf("%d process names, want 1", process)
+	}
+	if firstTS != 0 {
+		t.Errorf("earliest span at %gµs, want 0 (rebased)", firstTS)
+	}
+}
+
+// TestNilSweepTracerIsNoOp: the nil tracer records and exports nothing.
+func TestNilSweepTracerIsNoOp(t *testing.T) {
+	var st *SweepTracer
+	if st.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	st.Record(0, CellSpan{Name: "x"})
+	if st.Spans() != nil {
+		t.Error("nil tracer has spans")
+	}
+	tr := NewTrace()
+	st.AppendTo(tr, 1)
+	if tr.Len() != 0 {
+		t.Error("nil tracer exported events")
+	}
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"transched/internal/core"
+)
+
+// Event is one Chrome trace-event object. The field names follow the
+// Trace Event Format (the JSON Perfetto and chrome://tracing load):
+// "ph" is the phase — "X" complete span, "C" counter sample, "M"
+// metadata — and timestamps/durations are in microseconds.
+type Event struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the on-disk envelope.
+type traceFile struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// Trace accumulates trace events from any number of producers. All
+// methods are safe for concurrent use and are no-ops on a nil receiver,
+// so instrumented code can carry a nil *Trace when tracing is off.
+type Trace struct {
+	mu      sync.Mutex
+	events  []Event
+	nextPID int
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{nextPID: 1} }
+
+// Enabled reports whether events are being collected.
+func (t *Trace) Enabled() bool { return t != nil }
+
+// NextPID reserves a fresh process id, so independent producers (one
+// sweep, one schedule) land on separate tracks in the viewer.
+func (t *Trace) NextPID() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextPID++
+	return t.nextPID - 1
+}
+
+// Add appends events.
+func (t *Trace) Add(events ...Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, events...)
+	t.mu.Unlock()
+}
+
+// Len returns the number of events collected so far.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// NameProcess labels a process track.
+func (t *Trace) NameProcess(pid int, name string) {
+	t.Add(Event{Name: "process_name", Phase: "M", PID: pid, Args: map[string]any{"name": name}})
+}
+
+// NameThread labels a thread track within a process.
+func (t *Trace) NameThread(pid, tid int, name string) {
+	t.Add(Event{Name: "thread_name", Phase: "M", PID: pid, TID: tid, Args: map[string]any{"name": name}})
+}
+
+// Span appends one complete ("X") event; ts and dur are microseconds.
+func (t *Trace) Span(pid, tid int, name string, ts, dur float64, args map[string]any) {
+	t.Add(Event{Name: name, Phase: "X", TS: ts, Dur: dur, PID: pid, TID: tid, Args: args})
+}
+
+// CounterSample appends one counter ("C") sample; the series key is the
+// counter name and value its reading at ts microseconds.
+func (t *Trace) CounterSample(pid int, name string, ts, value float64) {
+	t.Add(Event{Name: name, Phase: "C", TS: ts, PID: pid, Args: map[string]any{name: value}})
+}
+
+// WriteJSON writes the trace in the Chrome trace-event JSON envelope.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	events := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteFile writes the trace to path, creating parent directories.
+func (t *Trace) WriteFile(path string) error {
+	if dir := filepath.Dir(path); dir != "" && dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Schedule times are abstract units (seconds in the chemistry traces);
+// the exporter maps one unit to one millisecond so hand examples with
+// makespan ~20 stay readable in the viewer.
+const unitUS = 1000.0
+
+// Thread ids of the two resource tracks in a schedule process.
+const (
+	linkTID = 1
+	unitTID = 2
+)
+
+// ScheduleTraceInto renders s as one process of tr: a "link" track with
+// one span per data transfer, a "processing unit" track with one span
+// per computation, and a "memory in use" counter track sampled at every
+// event time (plus the capacity as a second flat series, so the
+// headroom is visible). One schedule time unit is exported as 1ms.
+func ScheduleTraceInto(tr *Trace, pid int, name string, s *core.Schedule) {
+	if tr == nil {
+		return
+	}
+	tr.NameProcess(pid, fmt.Sprintf("%s (C=%g, makespan=%g)", name, s.Capacity, s.Makespan()))
+	tr.NameThread(pid, linkTID, "link")
+	tr.NameThread(pid, unitTID, "processing unit")
+	for _, a := range s.Assignments {
+		args := map[string]any{
+			"comm": a.Task.Comm, "comp": a.Task.Comp, "mem": a.Task.Mem,
+		}
+		if a.Task.Comm > 0 {
+			tr.Span(pid, linkTID, a.Task.Name, a.CommStart*unitUS, a.Task.Comm*unitUS, args)
+		}
+		if a.Task.Comp > 0 {
+			tr.Span(pid, unitTID, a.Task.Name, a.CompStart*unitUS, a.Task.Comp*unitUS, args)
+		}
+	}
+	for _, at := range s.EventTimes() {
+		tr.Add(Event{
+			Name: "memory", Phase: "C", TS: at * unitUS, PID: pid,
+			Args: map[string]any{"in use": s.MemoryInUseAt(at), "capacity": s.Capacity},
+		})
+	}
+}
+
+// ScheduleTrace renders one schedule as a standalone trace.
+func ScheduleTrace(s *core.Schedule) *Trace {
+	tr := NewTrace()
+	ScheduleTraceInto(tr, tr.NextPID(), "schedule", s)
+	return tr
+}

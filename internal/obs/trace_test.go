@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"transched/internal/core"
+)
+
+// knownSchedule is a hand-checkable 3-task schedule (capacity 6):
+//
+//	A: comm [0,3)  comp [3,5)   mem 3
+//	B: comm [3,4)  comp [5,8)   mem 1
+//	C: comm [5,9)  comp [9,13)  mem 4
+//
+// Memory over time: 3 on [0,3) (A), 4 on [3,5) (A+B), 5 on [5,8)
+// (A releases at its computation end 5; B+C), 4 on [8,13) (C alone).
+func knownSchedule() *core.Schedule {
+	s := core.NewSchedule(6)
+	s.Append(core.Assignment{Task: core.NewTask("A", 3, 2), CommStart: 0, CompStart: 3})
+	s.Append(core.Assignment{Task: core.NewTask("B", 1, 3), CommStart: 3, CompStart: 5})
+	s.Append(core.Assignment{Task: core.NewTask("C", 4, 4), CommStart: 5, CompStart: 9})
+	return s
+}
+
+// testEvent and traceDoc mirror the JSON envelope for round-trip checks.
+type testEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args"`
+}
+
+type traceDoc struct {
+	TraceEvents     []testEvent `json:"traceEvents"`
+	DisplayTimeUnit string      `json:"displayTimeUnit"`
+}
+
+// exportEvents round-trips a trace through its JSON export.
+func exportEvents(t *testing.T, tr *Trace) []testEvent {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc.TraceEvents
+}
+
+// TestScheduleTraceRoundTrip: the exported JSON parses back with the
+// right track structure — 3 link spans, 3 compute spans, a memory
+// counter series with the analytically known values, and metadata
+// naming the process and both threads.
+func TestScheduleTraceRoundTrip(t *testing.T) {
+	s := knownSchedule()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("known schedule invalid: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := ScheduleTrace(s).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	linkSpans, compSpans, meta := 0, 0, 0
+	memAt := map[float64]float64{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			switch ev.TID {
+			case linkTID:
+				linkSpans++
+			case unitTID:
+				compSpans++
+			default:
+				t.Errorf("span %q on unexpected tid %d", ev.Name, ev.TID)
+			}
+			if ev.Dur <= 0 {
+				t.Errorf("span %q has non-positive duration %g", ev.Name, ev.Dur)
+			}
+		case "C":
+			if ev.Name != "memory" {
+				t.Errorf("unexpected counter %q", ev.Name)
+				continue
+			}
+			memAt[ev.TS/unitUS] = ev.Args["in use"].(float64)
+			if capVal := ev.Args["capacity"].(float64); capVal != 6 {
+				t.Errorf("capacity series = %g, want 6", capVal)
+			}
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected phase %q", ev.Phase)
+		}
+	}
+	if linkSpans != 3 || compSpans != 3 {
+		t.Errorf("%d link and %d compute spans, want 3 and 3", linkSpans, compSpans)
+	}
+	if meta != 3 { // process_name + two thread_names
+		t.Errorf("%d metadata events, want 3", meta)
+	}
+
+	// The counter series is sampled at every event time with the
+	// schedule's own MemoryInUseAt values; spot-check the known ones.
+	want := map[float64]float64{
+		0: 3, // A resident
+		3: 4, // A+B (B starts as A computes)
+		5: 5, // A released at its comp end, B+C resident
+		9: 4, // B released, C alone
+	}
+	for at, mem := range want {
+		got, ok := memAt[at]
+		if !ok || math.Abs(got-mem) > 1e-9 {
+			t.Errorf("memory at t=%g: got %g (present=%v), want %g", at, got, ok, mem)
+		}
+	}
+	if len(memAt) != len(s.EventTimes()) {
+		t.Errorf("%d counter samples, want one per event time (%d)", len(memAt), len(s.EventTimes()))
+	}
+}
+
+// TestNilTraceIsNoOp: a nil *Trace absorbs every producer call, so
+// instrumented code needs no branches.
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() {
+		t.Error("nil trace reports enabled")
+	}
+	tr.Add(Event{Name: "x"})
+	tr.Span(1, 1, "x", 0, 1, nil)
+	tr.CounterSample(1, "x", 0, 1)
+	tr.NameProcess(1, "x")
+	tr.NameThread(1, 1, "x")
+	ScheduleTraceInto(tr, tr.NextPID(), "s", knownSchedule())
+	if tr.Len() != 0 {
+		t.Error("nil trace accumulated events")
+	}
+}
+
+// TestTraceWriteFile: WriteFile creates parent directories and the file
+// parses back.
+func TestTraceWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nested", "dir", "trace.json")
+	if err := ScheduleTrace(knownSchedule()).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("empty trace file")
+	}
+}
+
+// TestNextPIDAllocatesFreshIDs: concurrent producers get distinct pids.
+func TestNextPIDAllocatesFreshIDs(t *testing.T) {
+	tr := NewTrace()
+	seen := map[int]bool{}
+	for i := 0; i < 5; i++ {
+		pid := tr.NextPID()
+		if seen[pid] {
+			t.Fatalf("pid %d allocated twice", pid)
+		}
+		seen[pid] = true
+	}
+}

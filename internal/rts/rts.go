@@ -16,6 +16,7 @@ package rts
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 
 	"transched/internal/core"
@@ -68,6 +69,11 @@ type Config struct {
 	Policy simulate.Policy
 	// Candidates competes in Auto mode; nil means DefaultCandidates.
 	Candidates []Candidate
+	// Logger, when non-nil, receives one Info record per scheduled batch
+	// (size, winner, makespan, memory) and one Warn record per failing
+	// Auto candidate, through whatever slog handler the caller
+	// configured. Nil disables logging entirely.
+	Logger *slog.Logger
 }
 
 // Runtime is an online data-transfer scheduler. It is safe for concurrent
@@ -78,8 +84,62 @@ type Runtime struct {
 	exec    *simulate.Executor
 	pending []core.Task
 	choices []string
+	batches []BatchRecord
+	memHW   float64
 	nTasks  int
 	closed  bool
+}
+
+// CandidateError records one Auto candidate whose trial run failed for a
+// batch. Failed trials are excluded from selection but never silently:
+// they surface here and through Config.Logger.
+type CandidateError struct {
+	Candidate string
+	Err       string
+}
+
+// BatchRecord is the telemetry of one scheduled batch.
+type BatchRecord struct {
+	// Batch is the 0-based batch sequence number.
+	Batch int
+	// Size is the number of tasks in the batch.
+	Size int
+	// Winner is the committed policy: the winning candidate's name under
+	// Auto, "fixed" under Fixed.
+	Winner string
+	// Trialed is the number of candidates trial-run (0 in Fixed mode).
+	Trialed int
+	// Makespan is the cumulative makespan after committing the batch.
+	Makespan float64
+	// RunnerUpDelta is how much worse the second-best feasible trial's
+	// makespan was than the winner's (0 when fewer than two trials
+	// succeeded or in Fixed mode) — the margin Auto selection bought.
+	RunnerUpDelta float64
+	// MemoryInUse is Executor.MemoryInUse after committing the batch.
+	MemoryInUse float64
+	// CandidateErrors lists the candidates whose trial runs failed.
+	CandidateErrors []CandidateError
+}
+
+// Stats is a point-in-time copy of the runtime's telemetry.
+type Stats struct {
+	// Batches has one record per scheduled batch, in order.
+	Batches []BatchRecord
+	// Scheduled and Pending mirror the counters of the same names.
+	Scheduled, Pending int
+	// Makespan is the current cumulative makespan.
+	Makespan float64
+	// MemoryHighWater is the largest Executor.MemoryInUse observed after
+	// any batch commit.
+	MemoryHighWater float64
+	// PeakMemory is the executor's high-water resident memory, measured
+	// at placement time (Schedule.PeakMemory without a rescan).
+	PeakMemory float64
+	// MemStalls counts placements that waited on a memory release.
+	MemStalls int
+	// CandidateErrors is the total number of failed candidate trials
+	// across all batches.
+	CandidateErrors int
 }
 
 // New validates the configuration and returns a runtime.
@@ -153,22 +213,38 @@ func (r *Runtime) flushLocked() error {
 }
 
 func (r *Runtime) scheduleLocked(batch []core.Task) error {
+	rec := BatchRecord{Batch: len(r.batches), Size: len(batch)}
 	switch r.cfg.Selection {
 	case Fixed:
 		if err := r.exec.RunBatch(r.cfg.Policy, batch); err != nil {
 			return err
 		}
-		r.choices = append(r.choices, "fixed")
+		rec.Winner = "fixed"
 	case Auto:
 		bestIdx := -1
-		bestSpan := 0.0
+		bestSpan, runnerUp := 0.0, 0.0
 		for i, c := range r.cfg.Candidates {
 			trial := r.exec.Clone()
 			if err := trial.RunBatch(c.Policy, batch); err != nil {
+				// A failing trial is excluded from selection but reported:
+				// silent discards would make Auto's picks unexplainable.
+				rec.CandidateErrors = append(rec.CandidateErrors,
+					CandidateError{Candidate: c.Name, Err: err.Error()})
+				if r.cfg.Logger != nil {
+					r.cfg.Logger.Warn("rts: candidate trial failed",
+						"batch", rec.Batch, "candidate", c.Name, "err", err)
+				}
 				continue
 			}
-			if span := trial.Makespan(); bestIdx < 0 || span < bestSpan {
+			rec.Trialed++
+			span := trial.Makespan()
+			switch {
+			case bestIdx < 0:
 				bestIdx, bestSpan = i, span
+			case span < bestSpan:
+				bestIdx, bestSpan, runnerUp = i, span, bestSpan
+			case rec.Trialed == 2 || span < runnerUp:
+				runnerUp = span
 			}
 		}
 		if bestIdx < 0 {
@@ -177,10 +253,49 @@ func (r *Runtime) scheduleLocked(batch []core.Task) error {
 		if err := r.exec.RunBatch(r.cfg.Candidates[bestIdx].Policy, batch); err != nil {
 			return err
 		}
-		r.choices = append(r.choices, r.cfg.Candidates[bestIdx].Name)
+		rec.Winner = r.cfg.Candidates[bestIdx].Name
+		if rec.Trialed > 1 {
+			rec.RunnerUpDelta = runnerUp - bestSpan
+		}
 	}
+	r.choices = append(r.choices, rec.Winner)
 	r.nTasks += len(batch)
+	rec.Makespan = r.exec.Makespan()
+	rec.MemoryInUse = r.exec.MemoryInUse()
+	if rec.MemoryInUse > r.memHW {
+		r.memHW = rec.MemoryInUse
+	}
+	r.batches = append(r.batches, rec)
+	if r.cfg.Logger != nil {
+		r.cfg.Logger.Info("rts: batch scheduled",
+			"batch", rec.Batch, "size", rec.Size, "winner", rec.Winner,
+			"trialed", rec.Trialed, "makespan", rec.Makespan,
+			"runner_up_delta", rec.RunnerUpDelta, "memory_in_use", rec.MemoryInUse)
+	}
 	return nil
+}
+
+// Stats returns a copy of the runtime's telemetry: one record per
+// scheduled batch (winner, trials, runner-up margin, failed candidates,
+// memory) plus executor-level counters.
+func (r *Runtime) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Stats{
+		Batches:         make([]BatchRecord, len(r.batches)),
+		Scheduled:       r.nTasks,
+		Pending:         len(r.pending),
+		Makespan:        r.exec.Makespan(),
+		MemoryHighWater: r.memHW,
+		PeakMemory:      r.exec.Stats().PeakMemory,
+		MemStalls:       r.exec.Stats().MemStalls,
+	}
+	copy(st.Batches, r.batches)
+	for i, b := range r.batches {
+		st.Batches[i].CandidateErrors = append([]CandidateError(nil), b.CandidateErrors...)
+		st.CandidateErrors += len(b.CandidateErrors)
+	}
+	return st
 }
 
 // Close flushes pending tasks and returns the final schedule. Further

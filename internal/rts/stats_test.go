@@ -1,0 +1,166 @@
+package rts
+
+import (
+	"log/slog"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"transched/internal/core"
+	"transched/internal/simulate"
+	"transched/internal/testutil"
+)
+
+// TestAutoSurfacesCandidateErrors is the regression test for the old
+// silent-discard behaviour: a candidate whose trial run fails (here an
+// empty policy, which RunBatch rejects) must appear in Stats with its
+// error, not vanish — while the surviving candidate still wins.
+func TestAutoSurfacesCandidateErrors(t *testing.T) {
+	r, err := New(Config{
+		Capacity:  10,
+		BatchSize: 2,
+		Selection: Auto,
+		Candidates: []Candidate{
+			{Name: "BROKEN", Policy: simulate.Policy{}}, // neither order nor criterion
+			{Name: "LCMR", Policy: simulate.Policy{Crit: simulate.LargestComm}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(core.NewTask("A", 2, 1), core.NewTask("B", 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if len(st.Batches) != 1 {
+		t.Fatalf("%d batch records", len(st.Batches))
+	}
+	b := st.Batches[0]
+	if b.Winner != "LCMR" || b.Trialed != 1 {
+		t.Errorf("winner=%s trialed=%d, want LCMR/1", b.Winner, b.Trialed)
+	}
+	if len(b.CandidateErrors) != 1 || b.CandidateErrors[0].Candidate != "BROKEN" {
+		t.Fatalf("candidate errors = %+v, want one for BROKEN", b.CandidateErrors)
+	}
+	if !strings.Contains(b.CandidateErrors[0].Err, "neither an order nor a criterion") {
+		t.Errorf("error text = %q", b.CandidateErrors[0].Err)
+	}
+	if st.CandidateErrors != 1 {
+		t.Errorf("total candidate errors = %d", st.CandidateErrors)
+	}
+}
+
+// TestStatsPerBatchTelemetry: batch records carry sizes, winners,
+// cumulative makespans, non-negative runner-up margins and the memory
+// high-water; executor counters flow through.
+func TestStatsPerBatchTelemetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := testutil.RandomInstance(rng, 45, 10)
+	r, err := New(Config{Capacity: in.Capacity, BatchSize: 20, Selection: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(in.Tasks...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if len(st.Batches) != 3 { // 2 full batches + flush of 5
+		t.Fatalf("%d batch records: %+v", len(st.Batches), st.Batches)
+	}
+	wantSizes := []int{20, 20, 5}
+	prev := 0.0
+	cands := len(DefaultCandidates(in.Capacity))
+	for i, b := range st.Batches {
+		if b.Batch != i || b.Size != wantSizes[i] {
+			t.Errorf("batch %d: seq=%d size=%d, want %d/%d", i, b.Batch, b.Size, i, wantSizes[i])
+		}
+		if b.Winner == "" || b.Winner == "fixed" {
+			t.Errorf("batch %d: winner = %q", i, b.Winner)
+		}
+		if b.Trialed != cands {
+			t.Errorf("batch %d: trialed %d of %d candidates", i, b.Trialed, cands)
+		}
+		if b.Makespan < prev {
+			t.Errorf("batch %d: makespan %g below previous %g", i, b.Makespan, prev)
+		}
+		prev = b.Makespan
+		if b.RunnerUpDelta < 0 {
+			t.Errorf("batch %d: negative runner-up delta %g", i, b.RunnerUpDelta)
+		}
+		if b.MemoryInUse > st.MemoryHighWater {
+			t.Errorf("batch %d: memory %g above recorded high-water %g", i, b.MemoryInUse, st.MemoryHighWater)
+		}
+	}
+	if st.Scheduled != 45 || st.Pending != 0 {
+		t.Errorf("scheduled=%d pending=%d", st.Scheduled, st.Pending)
+	}
+	if st.Makespan != r.Makespan() {
+		t.Errorf("stats makespan %g != runtime makespan %g", st.Makespan, r.Makespan())
+	}
+	if st.PeakMemory <= 0 || st.PeakMemory > in.Capacity+1e-9 {
+		t.Errorf("peak memory %g outside (0, %g]", st.PeakMemory, in.Capacity)
+	}
+	// Stats must be a snapshot: mutating the copy must not leak back.
+	st.Batches[0].Winner = "mutated"
+	st.Batches[0].CandidateErrors = append(st.Batches[0].CandidateErrors, CandidateError{Candidate: "x"})
+	again := r.Stats()
+	if again.Batches[0].Winner == "mutated" || len(again.Batches[0].CandidateErrors) != 0 {
+		t.Error("Stats returned a live reference, not a copy")
+	}
+}
+
+// TestBatchLogging: a configured slog handler receives one Info record
+// per batch and a Warn per failing candidate.
+func TestBatchLogging(t *testing.T) {
+	var buf strings.Builder
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	r, err := New(Config{
+		Capacity:  10,
+		BatchSize: 2,
+		Selection: Auto,
+		Logger:    logger,
+		Candidates: []Candidate{
+			{Name: "BROKEN", Policy: simulate.Policy{}},
+			{Name: "SCMR", Policy: simulate.Policy{Crit: simulate.SmallestComm}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(core.NewTask("A", 2, 1), core.NewTask("B", 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"batch scheduled", "winner=SCMR", "candidate trial failed", "candidate=BROKEN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFixedModeStats: fixed mode records "fixed" winners with zero
+// trials and no candidate errors.
+func TestFixedModeStats(t *testing.T) {
+	r, err := New(Config{Capacity: 10, BatchSize: 3, Selection: Fixed,
+		Policy: simulate.Policy{Crit: simulate.LargestComm}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := r.Submit(core.NewTask(name(i), 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.Stats()
+	if len(st.Batches) != 2 {
+		t.Fatalf("%d batches", len(st.Batches))
+	}
+	for _, b := range st.Batches {
+		if b.Winner != "fixed" || b.Trialed != 0 || len(b.CandidateErrors) != 0 {
+			t.Errorf("fixed batch record %+v", b)
+		}
+	}
+}

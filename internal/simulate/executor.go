@@ -58,17 +58,27 @@ func (e *Executor) RunBatch(p Policy, tasks []core.Task) error {
 			return fmt.Errorf("simulate: task %q needs %g memory, capacity %g", t.Name, t.Mem, e.st.capacity)
 		}
 	}
+	var err error
 	switch {
 	case p.Order != nil && p.Crit == nil:
-		return staticInto(e.st, tasks, p.Order(tasks))
+		err = staticInto(e.st, tasks, p.Order(tasks))
 	case p.Order == nil && p.Crit != nil:
-		return dynamicInto(e.st, tasks, p.Crit, p.NoIdleFilter)
+		err = dynamicInto(e.st, tasks, p.Crit, p.NoIdleFilter)
 	case p.Order != nil && p.Crit != nil:
-		return correctedInto(e.st, tasks, p.Order(tasks), p.Crit, p.NoIdleFilter)
+		err = correctedInto(e.st, tasks, p.Order(tasks), p.Crit, p.NoIdleFilter)
 	default:
-		return fmt.Errorf("simulate: policy has neither an order nor a criterion")
+		err = fmt.Errorf("simulate: policy has neither an order nor a criterion")
 	}
+	if err == nil {
+		e.st.stats.Batches++
+	}
+	return err
 }
+
+// Stats returns the executor's work counters so far (batches completed,
+// tasks placed, memory-release stalls, peak resident memory). Purely
+// observational: reading or ignoring it never changes a schedule.
+func (e *Executor) Stats() ExecStats { return e.st.stats }
 
 // Clone returns an independent copy of the executor (state and schedule),
 // for lookahead trials.
@@ -80,6 +90,7 @@ func (e *Executor) Clone() *Executor {
 		used:     e.st.used,
 		releases: append([]release(nil), e.st.releases...),
 		schedule: core.NewSchedule(e.st.capacity),
+		stats:    e.st.stats,
 	}
 	st.schedule.Assignments = append([]core.Assignment(nil), e.st.schedule.Assignments...)
 	return &Executor{st: st}

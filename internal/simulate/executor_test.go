@@ -126,3 +126,70 @@ func TestExecutorPolicySwitching(t *testing.T) {
 		t.Fatalf("scheduled %d", e.Scheduled())
 	}
 }
+
+// TestExecutorStats: the work counters track batches, placements, the
+// peak resident memory (equal to the schedule's own PeakMemory scan)
+// and memory stalls; clones inherit them; reading them changes nothing.
+func TestExecutorStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	in := testutil.RandomInstance(rng, 30, 10)
+	e := NewExecutor(in.Capacity)
+	if st := e.Stats(); st != (ExecStats{}) {
+		t.Fatalf("fresh executor stats = %+v", st)
+	}
+	for lo := 0; lo < 30; lo += 10 {
+		if err := e.RunBatch(Policy{Crit: LargestComm}, in.Tasks[lo:lo+10]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.Batches != 3 || st.Placed != 30 {
+		t.Errorf("batches=%d placed=%d, want 3/30", st.Batches, st.Placed)
+	}
+	if got, want := st.PeakMemory, e.Schedule().PeakMemory(); got != want {
+		t.Errorf("peak memory %g != schedule scan %g", got, want)
+	}
+	if st.PeakMemory > in.Capacity+1e-9 {
+		t.Errorf("peak memory %g above capacity %g", st.PeakMemory, in.Capacity)
+	}
+	if st.MemStalls < 0 || st.MemStalls > 30 {
+		t.Errorf("mem stalls = %d", st.MemStalls)
+	}
+	clone := e.Clone()
+	if clone.Stats() != st {
+		t.Errorf("clone stats %+v != parent %+v", clone.Stats(), st)
+	}
+	if err := clone.RunBatch(Policy{Crit: SmallestComm}, []core.Task{core.NewTask("x", 1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if clone.Stats().Placed != 31 || e.Stats().Placed != 30 {
+		t.Error("clone stats leaked into the parent")
+	}
+	if e.Stats() != st {
+		t.Error("reading stats mutated them")
+	}
+}
+
+// TestStaticMemStallCounting: a tight capacity forces the static
+// executor to wait for releases; an ample one never stalls.
+func TestStaticMemStallCounting(t *testing.T) {
+	tasks := []core.Task{
+		core.NewTask("A", 3, 5),
+		core.NewTask("B", 3, 5),
+		core.NewTask("C", 3, 5),
+	}
+	tight, err := Static(core.NewInstance(tasks, 3), []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.PeakMemory() > 3+1e-9 {
+		t.Errorf("tight peak %g", tight.PeakMemory())
+	}
+	e := NewExecutor(100)
+	if err := e.RunBatch(Policy{Order: func([]core.Task) []int { return []int{0, 1, 2} }}, tasks); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.MemStalls != 0 {
+		t.Errorf("ample capacity stalled %d times", st.MemStalls)
+	}
+}

@@ -139,6 +139,22 @@ type state struct {
 	used     float64 // memory currently occupied
 	releases []release
 	schedule *core.Schedule
+	stats    ExecStats
+}
+
+// ExecStats counts the scheduling work an executor has done — the
+// telemetry a runtime or sweep reads to see where placements stalled.
+// It never influences scheduling decisions.
+type ExecStats struct {
+	// Batches is the number of completed RunBatch calls.
+	Batches int
+	// Placed is the number of tasks placed.
+	Placed int
+	// MemStalls counts placements that had to wait for a memory release
+	// before their transfer could start (the link sat idle meanwhile).
+	MemStalls int
+	// PeakMemory is the high-water mark of resident memory.
+	PeakMemory float64
 }
 
 type release struct {
@@ -187,6 +203,10 @@ func (st *state) place(t core.Task, start float64) {
 	st.schedule.Append(core.Assignment{Task: t, CommStart: start, CompStart: compStart})
 	st.releases = append(st.releases, release{at: compStart + t.Comp, mem: t.Mem})
 	st.used += t.Mem
+	st.stats.Placed++
+	if st.used > st.stats.PeakMemory {
+		st.stats.PeakMemory = st.used
+	}
 	st.tauComm = start + t.Comm
 	st.tauComp = compStart + t.Comp
 }
@@ -214,6 +234,9 @@ func staticInto(st *state, tasks []core.Task, order []int) error {
 		t := tasks[i]
 		start := st.tauComm
 		st.releaseUntil(start)
+		if !st.fits(t.Mem) {
+			st.stats.MemStalls++
+		}
 		for !st.fits(t.Mem) {
 			next := st.nextRelease()
 			if math.IsInf(next, 1) {
@@ -268,6 +291,7 @@ func runSelection(st *state, tasks []core.Task, remaining []int, crit Criterion,
 			if math.IsInf(next, 1) {
 				return errNoFit
 			}
+			st.stats.MemStalls++
 			now = next
 			continue
 		}

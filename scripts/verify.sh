@@ -1,13 +1,41 @@
 #!/bin/sh
-# Tier-1 verification: build everything, vet everything, and run the
-# full test suite under the race detector. The experiment drivers fan
-# work out across goroutines (internal/experiments), and internal/rts
-# accepts concurrent submissions, so -race is part of the baseline
-# gate, not an optional extra.
+# Tier-1 verification: build everything, vet everything, check gofmt
+# cleanliness, and run the full test suite under the race detector. The
+# experiment drivers fan work out across goroutines
+# (internal/experiments), and internal/rts accepts concurrent
+# submissions, so -race is part of the baseline gate, not an optional
+# extra.
 set -eu
 cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
+
+# gofmt cleanliness: a non-empty listing is a failure.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "verify: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 # The race detector multiplies the MILP-heavy Fig 7 test's runtime by
 # ~10x, so the per-package timeout is raised above go test's 10m default.
 go test -race -timeout 45m ./...
+
+# Determinism byte-compare with telemetry enabled: a serial and a
+# parallel sweep, both with trace export on, must print identical
+# results (OBSERVABILITY.md) — instrumentation can never silently
+# perturb the PR 1 bit-identical guarantee. stderr (where the trace
+# writer reports) is left out of the comparison by design.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/experiments -fig 9 -processes 2 -tasks 24 -workers 1 \
+    -trace-out "$tmp/serial-trace.json" > "$tmp/serial.out"
+go run ./cmd/experiments -fig 9 -processes 2 -tasks 24 \
+    -trace-out "$tmp/parallel-trace.json" > "$tmp/parallel.out"
+if ! cmp -s "$tmp/serial.out" "$tmp/parallel.out"; then
+    echo "verify: traced sweep output differs between -workers 1 and parallel" >&2
+    diff "$tmp/serial.out" "$tmp/parallel.out" >&2 || true
+    exit 1
+fi
+echo "verify: ok (build, vet, gofmt, race tests, traced determinism byte-compare)"

@@ -54,6 +54,7 @@ import (
 	"transched/internal/gantt"
 	"transched/internal/heuristics"
 	"transched/internal/lpsched"
+	"transched/internal/obs"
 	"transched/internal/simulate"
 	"transched/internal/trace"
 )
@@ -217,4 +218,12 @@ func RenderGanttWithLegend(s *Schedule, width int) string {
 func WriteGantt(w io.Writer, s *Schedule, width int) error {
 	_, err := io.WriteString(w, gantt.Render(s, width))
 	return err
+}
+
+// WriteScheduleTrace writes the schedule as a Chrome trace-event JSON
+// document — link and processing-unit tracks plus a memory-occupancy
+// counter — loadable in Perfetto or chrome://tracing (the programmatic
+// sibling of WriteGantt; see OBSERVABILITY.md).
+func WriteScheduleTrace(w io.Writer, s *Schedule) error {
+	return obs.ScheduleTrace(s).WriteJSON(w)
 }
