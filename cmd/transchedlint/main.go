@@ -1,0 +1,218 @@
+// Command transchedlint runs the repo-specific determinism and
+// memory-safety analyzers (internal/lint, LINTING.md) over Go packages.
+//
+// It speaks the `go vet -vettool` command-line protocol, so the usual
+// invocation is through the go command, which supplies type-checked
+// package units and caches clean results:
+//
+//	go build -o /tmp/transchedlint ./cmd/transchedlint
+//	go vet -vettool=/tmp/transchedlint ./...
+//
+// Invoked with package patterns instead of a vet config file, it
+// re-execs `go vet -vettool=<itself>` on them, so
+//
+//	go run ./cmd/transchedlint ./...
+//
+// works standalone. scripts/verify.sh and CI run exactly that.
+//
+// The protocol (also implemented by x/tools' unitchecker, which this
+// driver mirrors on the standard library alone — see LINTING.md "Why
+// not x/tools?"):
+//
+//	-V=full    print an executable digest for the go command's cache key
+//	-flags     describe supported analyzer flags as JSON (none)
+//	foo.cfg    analyze the single compilation unit described by the
+//	           JSON config file the go command wrote
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"strings"
+
+	"transched/internal/lint"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("transchedlint: ")
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && strings.HasPrefix(args[0], "-V"):
+		printVersion()
+	case len(args) == 1 && args[0] == "-flags":
+		// No analyzer flags: the suite is configuration-free by design
+		// (suppression happens in source, next to the code it excuses).
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		unitcheck(args[0])
+	case len(args) >= 1:
+		standalone(args)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: transchedlint ./...  (or via go vet -vettool=)")
+		os.Exit(2)
+	}
+}
+
+// printVersion implements -V=full: the go command hashes the line into
+// its action cache key, so it must change whenever the binary does. The
+// "name version devel ... buildID=hex" shape is the contract
+// cmd/go/internal/work.(*Builder).toolID parses.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transchedlint version devel comments-go-here buildID=%x\n", h.Sum(nil))
+}
+
+// standalone re-execs the go command with this binary as the vettool:
+// the go command does the package loading, export-data plumbing, result
+// caching and parallelism, then calls back into unitcheck per package.
+func standalone(patterns []string) {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		log.Fatal(err)
+	}
+}
+
+// config mirrors the JSON compilation-unit description the go command
+// writes for vet tools (cmd/go/internal/work.vetConfig). Fields this
+// driver never reads are omitted.
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one compilation unit described by cfgFile and
+// exits: 0 when clean, 1 with findings on stderr otherwise.
+func unitcheck(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Fatalf("cannot decode vet config %s: %v", cfgFile, err)
+	}
+	// The go command expects a facts file for downstream units; the
+	// suite computes no cross-package facts, so an empty one suffices
+	// (it also lets clean results land in the build cache).
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Dependency units are analyzed only for facts; none exist here.
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0) // the compiler will report it better
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		os.Exit(0)
+	}
+
+	tc := &types.Config{
+		Importer:  makeImporter(&cfg, fset),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := lint.NewTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+
+	findings, err := lint.CheckAll(fset, files, pkg, info)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(f.Pos), f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// makeImporter resolves imports exactly as the compiler did: source
+// import paths map through cfg.ImportMap to package paths, whose gc
+// export data the go command listed in cfg.PackageFile.
+func makeImporter(cfg *config, fset *token.FileSet) types.Importer {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the linter once per test run.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	exe := filepath.Join(t.TempDir(), "transchedlint")
+	out, err := exec.Command("go", "build", "-o", exe, "transched/cmd/transchedlint").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building transchedlint: %v\n%s", err, out)
+	}
+	return exe
+}
+
+// writeModule lays out a throwaway module whose path is
+// transched/internal/flowshop, so its root package counts as
+// result-producing for detclock exactly like the real one.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod":  "module transched/internal/flowshop\n\ngo 1.22\n",
+		"code.go": src,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func govet(t *testing.T, tool, dir string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestVettoolProtocol(t *testing.T) {
+	tool := buildTool(t)
+
+	t.Run("flags", func(t *testing.T) {
+		out, err := exec.Command(tool, "-flags").Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.TrimSpace(string(out)) != "[]" {
+			t.Errorf("-flags printed %q, want []", out)
+		}
+	})
+
+	t.Run("version", func(t *testing.T) {
+		out, err := exec.Command(tool, "-V=full").Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := strings.Fields(string(out))
+		// The go command's toolID parser needs "<name> version devel
+		// ... buildID=<hex>".
+		if len(f) < 3 || f[1] != "version" || !strings.HasPrefix(f[len(f)-1], "buildID=") {
+			t.Errorf("-V=full printed %q", out)
+		}
+	})
+
+	t.Run("findings fail the build", func(t *testing.T) {
+		dir := writeModule(t, `package flowshop
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() int64 { return time.Now().UnixNano() + int64(rand.Intn(3)) }
+`)
+		out, err := govet(t, tool, dir)
+		if err == nil {
+			t.Fatalf("go vet succeeded on a package with clock+rand use:\n%s", out)
+		}
+		for _, want := range []string{"[detclock]", "[detrand]", "time.Now", "rand.Intn"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("vet output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("annotated suppressions pass", func(t *testing.T) {
+		dir := writeModule(t, `package flowshop
+
+import "time"
+
+func timed() time.Duration {
+	start := time.Now() //transched:allow-clock e2e test: measurement only
+	return time.Since(start) //transched:allow-clock e2e test: measurement only
+}
+`)
+		if out, err := govet(t, tool, dir); err != nil {
+			t.Fatalf("go vet failed on annotated package: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("reasonless suppression fails", func(t *testing.T) {
+		dir := writeModule(t, `package flowshop
+
+import "time"
+
+func timed() time.Time {
+	return time.Now() //transched:allow-clock
+}
+`)
+		out, err := govet(t, tool, dir)
+		if err == nil {
+			t.Fatalf("go vet accepted a reasonless suppression:\n%s", out)
+		}
+		if !strings.Contains(out, "[allowform]") || !strings.Contains(out, "[detclock]") {
+			t.Errorf("want both allowform and detclock findings, got:\n%s", out)
+		}
+	})
+
+	t.Run("clean package passes", func(t *testing.T) {
+		dir := writeModule(t, `package flowshop
+
+import "math/rand"
+
+func seeded() int {
+	rng := rand.New(rand.NewSource(20190415))
+	return rng.Intn(10)
+}
+`)
+		if out, err := govet(t, tool, dir); err != nil {
+			t.Fatalf("go vet failed on clean package: %v\n%s", err, out)
+		}
+	})
+}

@@ -136,9 +136,21 @@ const tolerance = 1e-9
 //     (usage only increases at communication starts, so checking there is
 //     sufficient — paper Thm 2's membership-in-NP argument).
 func (s *Schedule) Validate() error {
+	if math.IsNaN(s.Capacity) {
+		return fmt.Errorf("core: schedule capacity is NaN")
+	}
 	for i, a := range s.Assignments {
 		if err := a.Task.Validate(); err != nil {
 			return err
+		}
+		// A NaN or infinite start time would sail through every
+		// comparison below (all NaN comparisons are false), so an
+		// infeasible schedule could validate; reject outright.
+		if math.IsNaN(a.CommStart) || math.IsInf(a.CommStart, 0) {
+			return fmt.Errorf("core: task %q has non-finite communication start %g", a.Task.Name, a.CommStart)
+		}
+		if math.IsNaN(a.CompStart) || math.IsInf(a.CompStart, 0) {
+			return fmt.Errorf("core: task %q has non-finite computation start %g", a.Task.Name, a.CompStart)
 		}
 		if a.CommStart < -tolerance {
 			return fmt.Errorf("core: task %q communication starts at negative time %g", a.Task.Name, a.CommStart)
@@ -256,7 +268,7 @@ func (s *Schedule) EventTimes() []float64 {
 	}
 	out := make([]float64, 0, len(set))
 	for t := range set {
-		out = append(out, t)
+		out = append(out, t) //transched:allow-maporder sorted on the next line
 	}
 	sort.Float64s(out)
 	return out

@@ -218,7 +218,7 @@ func RunSweep(app string, traces []*trace.Trace, multipliers []float64, opts Swe
 		mult := multipliers[m]
 		var begin time.Time
 		if instrumented {
-			begin = time.Now()
+			begin = time.Now() //transched:allow-clock span timestamp for telemetry; never feeds Ratios
 		}
 		capacity := mcs[t] * mult
 		in := tr.Instance(capacity)
@@ -239,7 +239,7 @@ func RunSweep(app string, traces []*trace.Trace, multipliers []float64, opts Swe
 			sw.Ratios[h][m][t] = s.Makespan() / omims[t]
 		}
 		if instrumented {
-			end := time.Now()
+			end := time.Now() //transched:allow-clock span timestamp for telemetry; never feeds Ratios
 			traceName := fmt.Sprintf("%s/%d", tr.App, tr.Process)
 			cellTracer.Record(u, obs.CellSpan{
 				Name:       fmt.Sprintf("%s ×%.3f", traceName, mult),

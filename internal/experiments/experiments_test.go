@@ -235,6 +235,9 @@ func TestFig13Driver(t *testing.T) {
 }
 
 func TestFig7Driver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Fig 7 drives the windowed MILP; minutes of branch and bound")
+	}
 	cfg := testConfig()
 	cfg.MinTasks, cfg.MaxTasks = 12, 12
 	cfg.Multipliers = []float64{1, 2}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"transched/internal/core"
+)
+
+// digestInstance hashes the capacity and every task tuple at full
+// float64 precision.
+func digestInstance(in *core.Instance) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "C=%.17g\n", in.Capacity)
+	for _, t := range in.Tasks {
+		fmt.Fprintf(h, "%s %.17g %.17g %.17g\n", t.Name, t.Comm, t.Comp, t.Mem)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TestFamiliesGoldenDigest pins the exact instances the Table 6 workload
+// families build from a fixed seed. These generators feed the favorable-
+// situation study; a digest change means those results are no longer
+// comparable across commits, so it must be deliberate (update the table
+// below and say why in the commit message).
+func TestFamiliesGoldenDigest(t *testing.T) {
+	want := map[string]string{
+		"unrestricted / all compute intensive":             "d00be104c3ffda70",
+		"unrestricted / all communication intensive":       "970d0b8acf55a5a2",
+		"moderate / mixed intensities":                     "d148ebbfee421e81",
+		"moderate / mostly compute intensive":              "f72c96694e377559",
+		"moderate / mostly communication intensive":        "93d080f96bce24f7",
+		"limited / compute intensive with small transfers": "d0ec75cf4a759c8a",
+		"limited / compute intensive with large transfers": "cee06f02931a8bde",
+		"limited / both types significant":                 "d45d6b5ee4b44a87",
+	}
+	for _, fam := range Families() {
+		in := fam.Build(20190415)
+		got := digestInstance(in)
+		w, ok := want[fam.Name]
+		if !ok {
+			t.Errorf("family %q has no golden digest (add %s)", fam.Name, got)
+			continue
+		}
+		if got != w {
+			t.Errorf("family %q digest = %s, want %s (seeded generation changed)", fam.Name, got, w)
+		}
+	}
+	if len(Families()) != len(want) {
+		t.Errorf("Families() returns %d families, golden table has %d", len(Families()), len(want))
+	}
+}

@@ -1,0 +1,45 @@
+package lint
+
+// Allowform polices the suppression annotations themselves: every
+// //transched:allow-<name> comment must name a known analyzer and carry
+// a non-empty reason. A reasonless annotation does not suppress anything
+// (NewAllows skips it), so without this check it would silently fail
+// open into a lint error at the annotated line with no hint why — this
+// analyzer turns both mistakes into direct diagnostics.
+var Allowform = &Analyzer{
+	Name: "allowform",
+	Doc: "flag malformed //transched:allow-* annotations\n\n" +
+		"A suppression must name an existing analyzer and justify itself:\n" +
+		"//transched:allow-<analyzer> <reason>. Unknown analyzer names and\n" +
+		"missing reasons are reported; such annotations suppress nothing.",
+}
+
+// runAllowform consults KnownNames, which walks Analyzers, which lists
+// Allowform itself; assigning Run in init breaks the initialization
+// cycle.
+func init() { Allowform.Run = runAllowform }
+
+func runAllowform(pass *Pass) error {
+	known := KnownNames()
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ac, ok := parseAllow(c)
+				if !ok {
+					continue
+				}
+				switch {
+				case !known[ac.name]:
+					pass.Reportf(ac.pos,
+						"//%s%s names no analyzer in this suite; the annotation suppresses nothing",
+						AllowPrefix, ac.name)
+				case ac.reason == "":
+					pass.Reportf(ac.pos,
+						"//%s%s has no reason; a suppression must justify itself (//%s%s <reason>) and suppresses nothing until it does",
+						AllowPrefix, ac.name, AllowPrefix, ac.name)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package lint
+
+import "testing"
+
+func TestAllowformFlagsMalformedAnnotations(t *testing.T) {
+	runGolden(t, Allowform, "allowform", "allowform")
+}
+
+func TestMalformedAnnotationsDoNotSuppress(t *testing.T) {
+	// A reasonless or unknown-analyzer annotation must fail open: the
+	// underlying finding still surfaces. CheckAll over the allowform
+	// testdata (which contains an un-annotated-for-clock time.Now
+	// suppressed by a *valid* annotation, plus malformed ones on inert
+	// lines) must report exactly the allowform findings.
+	fset, files, pkg, info := loadTestdata(t, "allowform", "allowform")
+	findings, err := CheckAll(fset, files, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Analyzer != "allowform" {
+			t.Errorf("unexpected %s finding: %s", f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) != 3 {
+		t.Errorf("got %d findings, want 3 malformed annotations", len(findings))
+	}
+}

@@ -1,0 +1,23 @@
+package lint
+
+// Analyzers is the full transchedlint suite in the order diagnostics are
+// reported. cmd/transchedlint runs exactly this list; adding an analyzer
+// here is all the registration a new check needs (LINTING.md walks
+// through it).
+var Analyzers = []*Analyzer{
+	Detclock,
+	Detrand,
+	Maporder,
+	Slotwrite,
+	Allowform,
+}
+
+// KnownNames returns the allow-token set, the vocabulary valid after
+// the //transched:allow- annotation prefix.
+func KnownNames() map[string]bool {
+	m := make(map[string]bool, len(Analyzers))
+	for _, a := range Analyzers {
+		m[a.AllowToken()] = true
+	}
+	return m
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DetclockPackages is the set of result-producing import paths in which
+// any wall-clock read is a determinism hazard: these packages compute
+// schedules, ratios and figure tables that must be bit-identical across
+// runs and worker counts, so the clock may appear only on annotated
+// measurement sites (the ablation and sweep drivers time themselves, but
+// those durations never feed a result slot).
+//
+// Telemetry (internal/obs), the online runtime's stats (internal/rts),
+// rendering (internal/gantt) and the command-line front ends live off
+// this list: timing is their job.
+var DetclockPackages = map[string]bool{
+	"transched":                      true,
+	"transched/internal/core":        true,
+	"transched/internal/flowshop":    true,
+	"transched/internal/heuristics":  true,
+	"transched/internal/simulate":    true,
+	"transched/internal/experiments": true,
+	"transched/internal/chem":        true,
+	"transched/internal/trace":       true,
+	"transched/internal/cluster":     true,
+	"transched/internal/stats":       true,
+	"transched/internal/milp":        true,
+	"transched/internal/lp":          true,
+	"transched/internal/lpsched":     true,
+	"transched/internal/threestage":  true,
+	"transched/internal/npc":         true,
+	"transched/internal/paperdata":   true,
+}
+
+// detclockFuncs are the package time functions that read the wall clock
+// or schedule against it; any of them can make a result path
+// run-dependent.
+var detclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// Detclock flags wall-clock use (time.Now, time.Since, timers, ...) in
+// the result-producing packages listed in DetclockPackages. Legitimate
+// measurement sites carry //transched:allow-clock <reason>. Test files
+// are exempt: they may time themselves freely.
+var Detclock = &Analyzer{
+	Name: "detclock",
+	Doc: "flag wall-clock reads in result-producing packages\n\n" +
+		"Results (schedules, ratios, figure tables) must be bit-identical\n" +
+		"across runs and worker counts, so time.Now/Since/timers are banned\n" +
+		"from the packages that compute them unless the line carries a\n" +
+		"//transched:allow-clock <reason> annotation.",
+	Run:   runDetclock,
+	Allow: "clock",
+}
+
+func runDetclock(pass *Pass) error {
+	if !DetclockPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if !detclockFuncs[fn.Name()] || pass.InTestFile(call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"call to time.%s in result-producing package %s; results must not depend on the wall clock (annotate a measurement site with //transched:allow-clock <reason>)",
+				fn.Name(), pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package lint
+
+import "testing"
+
+func TestDetclockFlagsResultPackages(t *testing.T) {
+	runGolden(t, Detclock, "detclock", "transched/internal/flowshop")
+}
+
+func TestDetclockExemptsTelemetryPackages(t *testing.T) {
+	// Same analyzer, a package off the result-producing list: the
+	// golden file contains clock reads and zero want comments.
+	runGolden(t, Detclock, "detclock_exempt", "transched/internal/obs")
+}
+
+func TestDetclockPackageListCoversTheInvariantCore(t *testing.T) {
+	// The determinism contract names these explicitly (ISSUE/LINTING.md);
+	// losing one from the list would silently stop enforcing it.
+	for _, p := range []string{
+		"transched",
+		"transched/internal/core",
+		"transched/internal/flowshop",
+		"transched/internal/heuristics",
+		"transched/internal/simulate",
+		"transched/internal/experiments",
+	} {
+		if !DetclockPackages[p] {
+			t.Errorf("DetclockPackages is missing %s", p)
+		}
+	}
+	for _, p := range []string{
+		"transched/internal/obs", // telemetry: timing is its job
+		"transched/internal/rts", // runtime batch stats carry durations
+		"transched/cmd/experiments",
+	} {
+		if DetclockPackages[p] {
+			t.Errorf("DetclockPackages must not list %s", p)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detrandAllowed are the math/rand package-level functions that do not
+// touch the global source: constructors for explicitly seeded
+// generators.
+var detrandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewChaCha8": true, "NewPCG": true,
+}
+
+// Detrand flags calls to the top-level math/rand (and math/rand/v2)
+// functions — rand.Intn, rand.Float64, rand.Seed, rand.Shuffle, … —
+// anywhere outside _test.go files. Those draw from the process-global
+// source, so their sequence depends on everything else that has drawn
+// from it: workload generation must instead thread an explicitly seeded
+// *rand.Rand (chem.Config.Seed is the repo's pattern). Methods on a
+// *rand.Rand value are fine; so are rand.New/rand.NewSource themselves.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc: "flag use of the global math/rand source outside tests\n\n" +
+		"Top-level math/rand functions share one process-global generator,\n" +
+		"so any draw perturbs every later draw; reproducible workloads\n" +
+		"require an explicitly seeded *rand.Rand threaded through instead.",
+	Run: runDetrand,
+}
+
+func runDetrand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			// Methods (sig with a receiver) operate on an explicit
+			// generator; only package-level functions hit the global
+			// source.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if detrandAllowed[fn.Name()] || pass.InTestFile(call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"call to global %s.%s; thread an explicitly seeded *rand.Rand instead (rand.New(rand.NewSource(seed)))",
+				fn.Pkg().Name(), fn.Name())
+			return true
+		})
+	}
+	return nil
+}

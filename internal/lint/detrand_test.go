@@ -1,0 +1,10 @@
+package lint
+
+import "testing"
+
+func TestDetrandFlagsGlobalSourceAndExemptsTests(t *testing.T) {
+	// The testdata package contains global draws (flagged), seeded
+	// *rand.Rand use (clean), an annotated draw (suppressed) and a
+	// _test.go file drawing globally (exempt).
+	runGolden(t, Detrand, "detrand", "detrand")
+}

@@ -1,0 +1,184 @@
+package lint
+
+// The golden-file harness: a small, stdlib-only equivalent of
+// go/analysis/analysistest. Each testdata/src/<dir> holds one package;
+// `// want "regexp"` comments mark the lines an analyzer must flag, and
+// //transched:allow-* annotated lines exercise suppression (they carry
+// no want, so an unsuppressed finding there fails the test in both
+// directions). Type information for the testdata's stdlib imports comes
+// from the gc export data the go command already has (`go list
+// -export`), the same importer path cmd/transchedlint uses under `go
+// vet`.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// stdExports maps stdlib import paths to gc export-data files, built
+// once per test process from `go list -export`.
+var stdExports = sync.OnceValues(func() (map[string]string, error) {
+	out, err := exec.Command("go", "list", "-export", "-deps",
+		"-f", "{{.ImportPath}}={{.Export}}",
+		"math/rand", "math/rand/v2", "time", "sync", "sync/atomic",
+		"fmt", "sort", "strings").Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return nil, fmt.Errorf("go list -export: %v\n%s", err, ee.Stderr)
+		}
+		return nil, err
+	}
+	m := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		path, file, ok := strings.Cut(line, "=")
+		if ok && file != "" {
+			m[path] = file
+		}
+	}
+	return m, nil
+})
+
+// newStdImporter returns a types.Importer that resolves stdlib imports
+// from gc export data, mirroring the unitchecker-mode importer.
+func newStdImporter(t *testing.T, fset *token.FileSet) types.Importer {
+	exports, err := stdExports()
+	if err != nil {
+		t.Fatalf("collecting stdlib export data: %v", err)
+	}
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// loadTestdata parses and type-checks testdata/src/<dir> as a single
+// package with the given import path (detclock keys off real repo
+// paths, so tests pick the path they need).
+func loadTestdata(t *testing.T, dir, importPath string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	full := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(full, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files under %s", full)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: newStdImporter(t, fset)}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking %s: %v", full, err)
+	}
+	return fset, files, pkg, info
+}
+
+// want is one expectation: a diagnostic whose message matches re at
+// file:line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRE accepts either analysistest-style backquoted patterns or
+// double-quoted ones.
+var quotedRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				qs := quotedRE.FindAllStringSubmatch(m[1], -1)
+				if len(qs) == 0 {
+					t.Fatalf("%s: want comment with no quoted pattern", pos)
+				}
+				for _, q := range qs {
+					pat := q[1]
+					if pat == "" {
+						pat = q[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern: %v", pos, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden runs one analyzer over a testdata package and checks its
+// post-suppression findings against the // want comments, both ways:
+// every finding must be wanted, every want must be found.
+func runGolden(t *testing.T, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	fset, files, pkg, info := loadTestdata(t, dir, importPath)
+	diags, err := RunAnalyzer(a, fset, files, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allows := NewAllows(fset, files, KnownNames())
+	wants := parseWants(t, fset, files)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		if a != Allowform && allows.Allowed(a.AllowToken(), d.Pos) {
+			continue
+		}
+		pos := fset.Position(d.Pos)
+		found := false
+		for i, w := range wants {
+			if !matched[i] && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected finding: %s", pos, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package lint implements transched's repo-specific static analyzers:
+// mechanical enforcement of the determinism and memory-safety invariants
+// the test suite can only spot-check (LINTING.md). The parallel sweep
+// engine promises bit-identical output at every worker count, the
+// telemetry layer promises never to perturb results, and every schedule
+// must respect the paper's §3 memory-feasibility rules; the analyzers
+// here reject the code patterns that historically broke those promises
+// (wall-clock reads on result paths, the global math/rand source,
+// map-iteration order leaking into output, and unsynchronized
+// accumulation inside goroutines).
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) but is implemented on the standard
+// library alone: this module has no third-party dependencies and the
+// build environment has no module proxy, so vendoring x/tools is not an
+// option. Porting an analyzer to the real go/analysis API is a
+// mechanical rename; see LINTING.md ("Why not x/tools?").
+//
+// Suppressions are explicit and carry a reason:
+//
+//	v := time.Now() //transched:allow-clock span timestamps never feed results
+//
+// An annotation on the flagged line, or on the line immediately above
+// it, silences that analyzer for that line. Annotations without a
+// reason are themselves flagged (the allowform analyzer).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one analysis pass and its entry point. The shape
+// matches golang.org/x/tools/go/analysis.Analyzer so analyzers written
+// here port mechanically.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //transched:allow-<Name> annotations. It must be a valid
+	// identifier.
+	Name string
+	// Doc is the help text: a one-line summary, a blank line, then
+	// detail.
+	Doc string
+	// Run applies the analyzer to one package and reports diagnostics
+	// through the pass.
+	Run func(*Pass) error
+	// Allow overrides the token accepted after //transched:allow- to
+	// suppress this analyzer; empty means Name. Detclock uses it so the
+	// annotation reads allow-clock, the contract LINTING.md documents.
+	Allow string
+}
+
+// AllowToken returns the token this analyzer answers to in
+// //transched:allow-<token> annotations.
+func (a *Analyzer) AllowToken() string {
+	if a.Allow != "" {
+		return a.Allow
+	}
+	return a.Name
+}
+
+// A Pass provides one analyzer run with a single type-checked package
+// and a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Some analyzers
+// exempt tests: a test may freely use the global math/rand source or the
+// wall clock without touching result determinism.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// AllowPrefix starts every suppression annotation; the analyzer name and
+// a mandatory free-form reason follow: //transched:allow-detclock <why>.
+const AllowPrefix = "transched:allow-"
+
+// Allows indexes the //transched:allow-* annotations of a package, keyed
+// by analyzer name and file line. Driver and test harness both consult
+// it after running the analyzers, so suppression behaves identically
+// under `go vet -vettool` and under the golden tests.
+type Allows struct {
+	fset  *token.FileSet
+	lines map[string]map[int]bool // analyzer name -> file:line set
+}
+
+type allowComment struct {
+	name   string // analyzer the annotation addresses
+	reason string // free-form justification, "" if missing
+	pos    token.Pos
+}
+
+func parseAllow(c *ast.Comment) (allowComment, bool) {
+	text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+	text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+	if !strings.HasPrefix(text, AllowPrefix) {
+		return allowComment{}, false
+	}
+	rest := strings.TrimPrefix(text, AllowPrefix)
+	name, reason, _ := strings.Cut(rest, " ")
+	return allowComment{name: name, reason: strings.TrimSpace(reason), pos: c.Pos()}, true
+}
+
+// NewAllows scans the comments of files for well-formed suppression
+// annotations. Malformed ones (no reason, unknown analyzer) are left out
+// — and separately reported by the allowform analyzer — so an annotation
+// only suppresses when it also explains itself.
+func NewAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) *Allows {
+	a := &Allows{fset: fset, lines: make(map[string]map[int]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ac, ok := parseAllow(c)
+				if !ok || ac.reason == "" || !known[ac.name] {
+					continue
+				}
+				key := fset.Position(c.Pos()).Filename + "\x00" + ac.name
+				if a.lines[key] == nil {
+					a.lines[key] = make(map[int]bool)
+				}
+				a.lines[key][fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return a
+}
+
+// Allowed reports whether a diagnostic of the named analyzer at pos is
+// suppressed: the flagged line, or the line immediately above it, holds
+// a well-formed //transched:allow-<name> annotation in the same file.
+func (a *Allows) Allowed(name string, pos token.Pos) bool {
+	p := a.fset.Position(pos)
+	set := a.lines[p.Filename+"\x00"+name]
+	return set[p.Line] || set[p.Line-1]
+}
+
+// declaredWithin reports whether obj's declaration lies inside the
+// [lo, hi] source range — the test the analyzers use to tell variables
+// captured from an enclosing scope apart from loop- or closure-local
+// ones.
+func declaredWithin(obj types.Object, lo, hi token.Pos) bool {
+	return obj != nil && obj.Pos() != token.NoPos && obj.Pos() >= lo && obj.Pos() <= hi
+}
+
+// lhsObject resolves the root object written by an assignment target:
+// the identifier itself, or the base identifier of a selector chain
+// (x.f.g -> x). Index expressions return nil: writing through an index
+// is the slot-write discipline the analyzers endorse, not a target they
+// flag.
+func lhsObject(info *types.Info, e ast.Expr) (types.Object, ast.Expr) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if o := info.Uses[x]; o != nil {
+				return o, e
+			}
+			return info.Defs[x], e
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// calleeFunc returns the declared function or method a call invokes, or
+// nil for calls through function values and built-ins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isAppend reports whether call is the built-in append.
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}

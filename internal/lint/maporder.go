@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maporder flags `for … range` loops over maps whose bodies let the
+// iteration order escape into output: appending to a slice declared
+// outside the loop, sending on a channel, assigning to a field of an
+// outer variable, or accumulating into an outer float or string (both
+// are order-sensitive; integer sums commute exactly and are not
+// flagged). This is the exact bug class PR 1 removed by hand from the
+// sweep reducers — Go randomizes map iteration order, so any of these
+// makes output differ run to run.
+//
+// Index-addressed writes (out[k] = v) are not flagged: a write keyed by
+// the iteration element lands in the same slot regardless of order —
+// the repository's slot-write discipline. Loops whose collected output
+// is sorted before use can be annotated //transched:allow-maporder.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map-range loops that leak iteration order into output\n\n" +
+		"Map iteration order is randomized; appending, channel sends, outer\n" +
+		"field writes and float/string accumulation inside a map range make\n" +
+		"output order- (hence run-) dependent. Write through an index keyed\n" +
+		"by the element, or sort afterwards and annotate the loop.",
+	Run: runMaporder,
+}
+
+func runMaporder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv := pass.TypesInfo.TypeOf(rs.X)
+			if tv == nil {
+				return true
+			}
+			if _, isMap := tv.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+// orderSensitive reports whether accumulating values of type t depends
+// on accumulation order: floating-point rounding and string
+// concatenation do; exact integer arithmetic does not.
+func orderSensitive(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return true // be conservative about exotic accumulator types
+	}
+	switch {
+	case b.Info()&types.IsFloat != 0, b.Info()&types.IsComplex != 0:
+		return true
+	case b.Info()&types.IsString != 0:
+		return true
+	}
+	return false
+}
+
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt) {
+	outer := func(e ast.Expr) (types.Object, bool) {
+		obj, _ := lhsObject(pass.TypesInfo, e)
+		if obj == nil {
+			return nil, false
+		}
+		return obj, !declaredWithin(obj, rs.Pos(), rs.End())
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(st.Arrow,
+				"channel send inside range over map: receive order follows the randomized iteration order")
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				// x = append(x, …) with x from outside the loop.
+				if st.Tok == token.ASSIGN && i < len(st.Rhs) {
+					if call, ok := ast.Unparen(st.Rhs[i]).(*ast.CallExpr); ok && isAppend(pass.TypesInfo, call) {
+						if obj, isOuter := outer(lhs); isOuter {
+							pass.Reportf(st.Pos(),
+								"append to %q inside range over map: element order follows the randomized iteration order (write to a keyed slot, or sort afterwards and annotate //transched:allow-maporder)",
+								obj.Name())
+							continue
+						}
+					}
+				}
+				switch st.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+					obj, isOuter := outer(lhs)
+					if isOuter && orderSensitive(pass.TypesInfo.TypeOf(lhs)) {
+						pass.Reportf(st.Pos(),
+							"order-sensitive accumulation into %q inside range over map: float/string accumulation depends on the randomized iteration order (accumulate into keyed slots and reduce in a fixed order)",
+							obj.Name())
+					}
+				case token.ASSIGN:
+					// Plain writes to a field of an outer variable:
+					// last-writer-wins under a randomized order.
+					if _, ok := ast.Unparen(lhs).(*ast.SelectorExpr); !ok {
+						continue
+					}
+					if obj, isOuter := outer(lhs); isOuter {
+						pass.Reportf(st.Pos(),
+							"write to field of %q inside range over map: the surviving value follows the randomized iteration order",
+							obj.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}

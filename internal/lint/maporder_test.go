@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestMaporderFlagsOrderLeaksAndAllowsKeyedWrites(t *testing.T) {
+	runGolden(t, Maporder, "maporder", "maporder")
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A Finding is one post-suppression diagnostic attributed to its
+// analyzer — the unit the driver prints and the tests assert on.
+type Finding struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// RunAnalyzer executes a single analyzer over one type-checked package
+// and returns its raw diagnostics, before suppression filtering.
+func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+// CheckAll runs the whole suite over one package, drops findings
+// suppressed by well-formed //transched:allow-* annotations, and returns
+// the survivors in file-position order. Allowform findings are never
+// suppressible: a malformed annotation cannot vouch for itself.
+func CheckAll(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Finding, error) {
+	allows := NewAllows(fset, files, KnownNames())
+	var out []Finding
+	for _, a := range Analyzers {
+		diags, err := RunAnalyzer(a, fset, files, pkg, info)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range diags {
+			if a != Allowform && allows.Allowed(a.AllowToken(), d.Pos) {
+				continue
+			}
+			out = append(out, Finding{Analyzer: a.Name, Pos: d.Pos, Message: d.Message})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers read
+// populated, shared by the vettool driver and the test harness so both
+// type-check identically.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

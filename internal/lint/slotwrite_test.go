@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestSlotwriteFlagsCapturedAccumulationAndAllowsSlots(t *testing.T) {
+	runGolden(t, Slotwrite, "slotwrite", "slotwrite")
+}

@@ -1,0 +1,18 @@
+// Package allowform is testdata: suppression annotations must name a
+// real analyzer's allow token and carry a reason. Block comments keep
+// the annotation and the want expectation apart on one line.
+package allowform
+
+import "time"
+
+func annotations() {
+	_ = time.Now() //transched:allow-clock timing a log line, never feeds results
+
+	var x int
+	_ = x /*transched:allow-clock*/                                              // want `has no reason`
+	_ = x /*transched:allow-nosuchanalyzer bogus reason*/                        // want `names no analyzer in this suite`
+	_ = x /*transched:allow-detclock detclock answers to "clock", not its Name*/ // want `names no analyzer in this suite`
+	_ = x //transched:allow-maporder because the loop sorts afterwards
+	_ = x //transched:allow-slotwrite guarded by a mutex
+	_ = x //transched:allow-detrand jitter, never feeds results
+}

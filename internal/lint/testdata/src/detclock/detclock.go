@@ -1,0 +1,28 @@
+// Package flowshop is testdata: it is type-checked under the import
+// path transched/internal/flowshop, a result-producing package, so
+// every un-annotated wall-clock read below must be flagged.
+package flowshop
+
+import "time"
+
+func flagged() time.Duration {
+	start := time.Now()            // want `call to time.Now in result-producing package`
+	time.Sleep(time.Millisecond)   // want `call to time.Sleep in result-producing package`
+	_ = time.After(time.Second)    // want `call to time.After in result-producing package`
+	_ = time.NewTimer(time.Second) // want `call to time.NewTimer in result-producing package`
+	return time.Since(start)       // want `call to time.Since in result-producing package`
+}
+
+func allowed() time.Duration {
+	start := time.Now() //transched:allow-clock measurement site, duration never feeds a result
+	//transched:allow-clock annotation on the preceding line also suppresses
+	d := time.Since(start)
+	return d
+}
+
+func notClock() {
+	// Pure time arithmetic never reads the clock and is fine.
+	t := time.Unix(0, 0)
+	_ = t.Add(3 * time.Second)
+	_ = time.Duration(42)
+}

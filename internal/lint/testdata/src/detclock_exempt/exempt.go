@@ -1,0 +1,11 @@
+// Package obs is testdata type-checked under the import path
+// transched/internal/obs, which is NOT a result-producing package:
+// telemetry's whole job is timing, so nothing here may be flagged.
+package obs
+
+import "time"
+
+func timestamps() (time.Time, time.Duration) {
+	start := time.Now()
+	return start, time.Since(start)
+}

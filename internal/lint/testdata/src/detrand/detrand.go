@@ -1,0 +1,32 @@
+// Package detrand is testdata: global math/rand draws are flagged,
+// explicitly seeded generators are not, and _test.go files are exempt.
+package detrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func flagged() {
+	_ = rand.Intn(10)                  // want `call to global rand.Intn`
+	_ = rand.Float64()                 // want `call to global rand.Float64`
+	_ = rand.Perm(5)                   // want `call to global rand.Perm`
+	rand.Shuffle(3, func(i, j int) {}) // want `call to global rand.Shuffle`
+	rand.Seed(42)                      // want `call to global rand.Seed`
+	_ = randv2.IntN(10)                // want `call to global rand.IntN`
+}
+
+func seeded() {
+	rng := rand.New(rand.NewSource(20190415))
+	_ = rng.Intn(10)
+	_ = rng.Float64()
+	rng.Shuffle(3, func(i, j int) {})
+	z := rand.NewZipf(rng, 1.5, 1, 100)
+	_ = z.Uint64()
+	v2 := randv2.New(randv2.NewPCG(1, 2))
+	_ = v2.IntN(10)
+}
+
+func annotated() {
+	_ = rand.Intn(10) //transched:allow-detrand jitter for a retry loop, never feeds results
+}

@@ -1,0 +1,10 @@
+// Tests are exempt from detrand: a _test.go file may draw from the
+// global source freely (go test -shuffle covers order dependence).
+package detrand
+
+import "math/rand"
+
+func inTestFile() {
+	_ = rand.Intn(10)
+	_ = rand.Float64()
+}

@@ -1,0 +1,92 @@
+// Package maporder is testdata: map-range bodies that leak iteration
+// order into output are flagged; keyed writes, integer accumulation and
+// annotated sort-after loops are not.
+package maporder
+
+import "sort"
+
+type result struct {
+	Total float64
+	Names []string
+}
+
+func flaggedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to "out" inside range over map`
+	}
+	return out
+}
+
+func flaggedSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside range over map`
+	}
+}
+
+func flaggedFloatSum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `order-sensitive accumulation into "sum" inside range over map`
+	}
+	return sum
+}
+
+func flaggedStringConcat(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v // want `order-sensitive accumulation into "s" inside range over map`
+	}
+	return s
+}
+
+func flaggedFieldWrite(m map[string]float64, res *result) {
+	for _, v := range m {
+		res.Total = v // want `write to field of "res" inside range over map`
+	}
+}
+
+func keyedWritesOK(m map[int]float64, out []float64) {
+	// Writing through an index keyed by the element is the blessed
+	// slot discipline: the landing slot is order-independent.
+	for k, v := range m {
+		out[k] = v
+	}
+}
+
+func intSumOK(m map[string]int) int {
+	// Integer addition commutes exactly; only floats/strings are
+	// order-sensitive.
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func localAppendOK(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var locals []int // declared inside the loop: order cannot escape
+		locals = append(locals, vs...)
+		total += len(locals)
+	}
+	return total
+}
+
+func sortedAfterAllowed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //transched:allow-maporder sorted before return
+	}
+	sort.Strings(out)
+	return out
+}
+
+func notAMap(xs []string) []string {
+	var out []string
+	for _, x := range xs { // slice order is deterministic
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,14 +1,26 @@
 #!/bin/sh
-# Tier-1 verification: build everything, vet everything, check gofmt
-# cleanliness, and run the full test suite under the race detector. The
-# experiment drivers fan work out across goroutines
+# Tier-1 verification: build everything, vet everything (including the
+# repo's own transchedlint analyzers), check gofmt cleanliness, and run
+# the full test suite under the race detector with shuffled test order.
+# The experiment drivers fan work out across goroutines
 # (internal/experiments), and internal/rts accepts concurrent
 # submissions, so -race is part of the baseline gate, not an optional
 # extra.
 set -eu
 cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
 go build ./...
 go vet ./...
+
+# Repo-specific invariants: determinism and memory-safety analyzers
+# (LINTING.md) run over every package through the vet driver, so the
+# same fact set go vet sees is checked for clock/rand/map-order/
+# slot-write violations. An un-annotated finding fails verification.
+go build -o "$tmp/transchedlint" ./cmd/transchedlint
+go vet -vettool="$tmp/transchedlint" ./...
 
 # gofmt cleanliness: a non-empty listing is a failure.
 unformatted=$(gofmt -l .)
@@ -20,15 +32,15 @@ fi
 
 # The race detector multiplies the MILP-heavy Fig 7 test's runtime by
 # ~10x, so the per-package timeout is raised above go test's 10m default.
-go test -race -timeout 45m ./...
+# -shuffle=on randomises test order to flush inter-test state
+# dependencies; failures print the shuffle seed for replay.
+go test -race -shuffle=on -timeout 45m ./...
 
 # Determinism byte-compare with telemetry enabled: a serial and a
 # parallel sweep, both with trace export on, must print identical
 # results (OBSERVABILITY.md) — instrumentation can never silently
 # perturb the PR 1 bit-identical guarantee. stderr (where the trace
 # writer reports) is left out of the comparison by design.
-tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
 go run ./cmd/experiments -fig 9 -processes 2 -tasks 24 -workers 1 \
     -trace-out "$tmp/serial-trace.json" > "$tmp/serial.out"
 go run ./cmd/experiments -fig 9 -processes 2 -tasks 24 \
@@ -38,4 +50,4 @@ if ! cmp -s "$tmp/serial.out" "$tmp/parallel.out"; then
     diff "$tmp/serial.out" "$tmp/parallel.out" >&2 || true
     exit 1
 fi
-echo "verify: ok (build, vet, gofmt, race tests, traced determinism byte-compare)"
+echo "verify: ok (build, vet, transchedlint, gofmt, race+shuffle tests, traced determinism byte-compare)"
