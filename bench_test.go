@@ -10,7 +10,10 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"strings"
 	"testing"
 
 	"transched"
@@ -20,7 +23,9 @@ import (
 	"transched/internal/heuristics"
 	"transched/internal/lpsched"
 	"transched/internal/npc"
+	"transched/internal/obs"
 	"transched/internal/paperdata"
+	"transched/internal/serve"
 	"transched/internal/simulate"
 	"transched/internal/stats"
 	"transched/internal/testutil"
@@ -433,6 +438,62 @@ func BenchmarkPublicAPIQuickstart(b *testing.B) {
 			if _, err := h.Run(in); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// --- Serving-layer benches (SERVING.md) ---
+
+// benchServeSetup builds an isolated server handler and a trace body
+// for the serving benchmarks.
+func benchServeSetup(b *testing.B) (http.Handler, string) {
+	b.Helper()
+	traces, err := transched.GenerateTraces("HF", transched.Cascade(),
+		transched.TraceConfig{Seed: 17, Processes: 1, MinTasks: 60, MaxTasks: 60})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := transched.WriteTrace(&sb, traces[0]); err != nil {
+		b.Fatal(err)
+	}
+	srv := serve.New(serve.Config{Registry: obs.NewRegistry(), CacheEntries: 1 << 16})
+	return srv.Handler(), sb.String()
+}
+
+// BenchmarkServeColdSolve measures a full request through the daemon
+// handler when every request misses the cache (each iteration varies
+// the capacity multiplier, which is part of the content address), i.e.
+// codec + digest + admission + portfolio solve + marshal.
+func BenchmarkServeColdSolve(b *testing.B) {
+	h, body := benchServeSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := fmt.Sprintf("/solve?capacity=%.12f", 1.5+float64(i)*1e-9)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, target, strings.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkServeCacheHit measures the same request when it hits the
+// content-addressed cache — the hit-path speedup the daemon exists to
+// provide (codec + digest + LRU lookup, no solve).
+func BenchmarkServeCacheHit(b *testing.B) {
+	h, body := benchServeSetup(b)
+	prime := httptest.NewRecorder()
+	h.ServeHTTP(prime, httptest.NewRequest(http.MethodPost, "/solve?capacity=1.5", strings.NewReader(body)))
+	if prime.Code != http.StatusOK {
+		b.Fatalf("prime status %d: %s", prime.Code, prime.Body.String())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/solve?capacity=1.5", strings.NewReader(body)))
+		if rec.Code != http.StatusOK || rec.Header().Get("X-Transched-Cache") != "hit" {
+			b.Fatalf("status %d cache %q", rec.Code, rec.Header().Get("X-Transched-Cache"))
 		}
 	}
 }

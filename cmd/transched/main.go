@@ -12,6 +12,12 @@
 // mc (the largest single-task memory footprint). With no -heuristic, all
 // fourteen strategies run and a comparison table is printed.
 //
+// -trace - reads the trace from stdin, so generator pipelines work
+// without temp files:
+//
+//	tracegen -app HF -out traces/hf -processes 1 &&
+//	    transched -trace - < traces/hf/hf.p000.trace
+//
 // -trace-out exports every schedule as a Chrome trace-event JSON file —
 // one process per heuristic with link and processing-unit tracks plus a
 // memory-occupancy counter — loadable in Perfetto or chrome://tracing
@@ -44,7 +50,7 @@ type options struct {
 
 func main() {
 	var opt options
-	flag.StringVar(&opt.tracePath, "trace", "", "trace file to schedule (required)")
+	flag.StringVar(&opt.tracePath, "trace", "", "trace file to schedule (required; '-' reads stdin)")
 	flag.Float64Var(&opt.capMult, "capacity", 1.5, "memory capacity as a multiple of mc")
 	flag.StringVar(&opt.heuristic, "heuristic", "", "run only this heuristic (paper acronym)")
 	flag.IntVar(&opt.batch, "batch", 0, "schedule in submission batches of this size (0 = all at once)")
@@ -76,7 +82,13 @@ func main() {
 }
 
 func run(opt options) error {
-	tr, err := transched.ReadTraceFile(opt.tracePath)
+	var tr *transched.Trace
+	var err error
+	if opt.tracePath == "-" {
+		tr, err = transched.ReadTrace(os.Stdin)
+	} else {
+		tr, err = transched.ReadTraceFile(opt.tracePath)
+	}
 	if err != nil {
 		return err
 	}

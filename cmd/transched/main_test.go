@@ -61,6 +61,31 @@ func TestRunAllHeuristics(t *testing.T) {
 	}
 }
 
+// TestRunTraceFromStdin: -trace - reads the trace from stdin, the
+// pipeline form (tracegen | transched) the daemon smoke scripts use.
+func TestRunTraceFromStdin(t *testing.T) {
+	path := writeSampleTrace(t)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	oldStdin := os.Stdin
+	os.Stdin = f
+	defer func() { os.Stdin = oldStdin }()
+	out, err := capture(t, func() error {
+		return run(options{tracePath: "-", capMult: 1.5, heuristic: "OOLCMR", width: 60})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trace -:", "OOLCMR", "ratio"} {
+		if !contains(out, want) {
+			t.Errorf("stdin output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunSingleHeuristicWithGanttAndMILP(t *testing.T) {
 	path := writeSampleTrace(t)
 	out, err := capture(t, func() error {

@@ -1,0 +1,91 @@
+// Command transchedd is the scheduling service daemon: it serves the
+// solver portfolio over HTTP/JSON with request batching, a
+// content-addressed result cache and admission control (SERVING.md).
+//
+// Usage:
+//
+//	transchedd [-addr localhost:8080] [-max-solves 8] [-queue 128]
+//	           [-cache 1024] [-timeout 30s] [-max-timeout 2m]
+//	           [-drain-timeout 30s] [-addr-file path] [-debug] [-quiet]
+//
+// Endpoints: POST /solve (a JSON envelope, or a raw v1 trace body with
+// ?capacity=&heuristic=&batch=&timeout_ms= query options), GET
+// /healthz, /readyz and /metrics; -debug adds /debug/vars and
+// /debug/pprof/. On SIGTERM or SIGINT the daemon drains gracefully:
+// readiness turns 503, new solves are shed, in-flight solves finish,
+// and -drain-timeout is the hard cutoff.
+//
+// A quick session:
+//
+//	tracegen -app HF -out traces/hf -processes 1
+//	transchedd -addr localhost:8080 &
+//	curl --data-binary @traces/hf/hf.p000.trace \
+//	    'http://localhost:8080/solve?heuristic=OOLCMR&capacity=1.5'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"transched/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "transchedd:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and serves until ctx is cancelled (the signal
+// handler's job in main); it is the in-process entry the tests drive.
+func run(ctx context.Context, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("transchedd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", "localhost:8080", "address to serve on (use ':0' for an ephemeral port)")
+		addrFile   = fs.String("addr-file", "", "write the bound address to this file once listening (for ':0' scripting)")
+		maxSolves  = fs.Int("max-solves", 0, "concurrent solve limit (0 = GOMAXPROCS)")
+		queue      = fs.Int("queue", 128, "bounded wait queue length, negative for none; beyond it requests are shed with 429")
+		cacheN     = fs.Int("cache", 1024, "result cache entries (negative disables caching)")
+		timeout    = fs.Duration("timeout", 30*time.Second, "default per-request solve deadline")
+		maxTimeout = fs.Duration("max-timeout", 2*time.Minute, "cap on request-supplied timeout_ms")
+		drain      = fs.Duration("drain-timeout", 30*time.Second, "hard cutoff for the graceful drain on SIGTERM/SIGINT")
+		debug      = fs.Bool("debug", false, "mount /debug/vars and /debug/pprof/ on the service port")
+		quiet      = fs.Bool("quiet", false, "disable request logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(stderr, nil))
+	}
+	srv := serve.New(serve.Config{
+		MaxConcurrent:   *maxSolves,
+		MaxQueue:        *queue,
+		CacheEntries:    *cacheN,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		Logger:          logger,
+		EnableProfiling: *debug,
+	})
+	return srv.ListenAndServe(ctx, *addr, *drain, func(a net.Addr) {
+		fmt.Fprintf(stderr, "transchedd: listening on http://%s\n", a)
+		if *addrFile != "" {
+			if err := os.WriteFile(*addrFile, []byte(a.String()), 0o644); err != nil {
+				fmt.Fprintf(stderr, "transchedd: writing -addr-file: %v\n", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"transched"
+)
+
+// waitForFile polls until path exists and is non-empty.
+func waitForFile(t *testing.T, path string) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+			return string(data)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s never appeared", path)
+	return ""
+}
+
+// TestRunServesAndDrains boots the daemon in process on an ephemeral
+// port, solves a trace over HTTP, then cancels the context — the
+// signal path — and expects a clean drained exit.
+func TestRunServesAndDrains(t *testing.T) {
+	traces, err := transched.GenerateTraces("HF", transched.Cascade(),
+		transched.TraceConfig{Seed: 9, Processes: 1, MinTasks: 15, MaxTasks: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := transched.WriteTrace(&sb, traces[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stderr bytes.Buffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-addr-file", addrFile, "-quiet"}, &stderr)
+	}()
+	addr := waitForFile(t, addrFile)
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post("http://"+addr+"/solve?heuristic=OOLCMR&capacity=1.5", "text/plain",
+		strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/solve: %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Best struct {
+			Heuristic string  `json:"heuristic"`
+			Makespan  float64 `json:"makespan"`
+		} `json:"best"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("response not JSON: %v\n%s", err, body)
+	}
+	if out.Best.Heuristic != "OOLCMR" || out.Best.Makespan <= 0 {
+		t.Errorf("best = %+v", out.Best)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run exited with %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after cancel")
+	}
+	if !strings.Contains(stderr.String(), "listening on http://") {
+		t.Errorf("missing listen banner in stderr: %q", stderr.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var stderr bytes.Buffer
+	if err := run(context.Background(), []string{"-nope"}, &stderr); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.256.256.256:bad"}, &stderr); err == nil {
+		t.Error("unusable address accepted")
+	}
+}

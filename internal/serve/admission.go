@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"transched/internal/obs"
+)
+
+// errOverloaded reports that the wait queue is full; the server maps it
+// to 429 Too Many Requests with a Retry-After hint.
+var errOverloaded = errors.New("serve: overloaded: wait queue full")
+
+// admission bounds the solver: at most maxConcurrent solves run at
+// once, at most maxQueue callers wait for a slot, and a waiting
+// caller's context deadline still applies (an expired request never
+// occupies a solver). Everyone past that is shed immediately — the
+// paper's instances are NP-complete, so letting a backlog grow without
+// bound would turn one slow burst into minutes of queueing.
+type admission struct {
+	slots    chan struct{} // buffered; a token in the channel is a busy slot
+	maxQueue int64
+	waiting  atomic.Int64
+	depth    *obs.Gauge // queue-depth gauge, updated on every transition
+}
+
+func newAdmission(maxConcurrent, maxQueue int, depth *obs.Gauge) *admission {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{
+		slots:    make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueue),
+		depth:    depth,
+	}
+}
+
+// Acquire takes a solver slot, waiting in the bounded queue if all are
+// busy. It returns errOverloaded when the queue is full and ctx.Err()
+// when the caller's deadline expires first. A nil error means the
+// caller holds a slot and must Release it.
+func (a *admission) Acquire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.maxQueue {
+		a.waiting.Add(-1)
+		return errOverloaded
+	}
+	a.depth.Set(float64(a.waiting.Load()))
+	defer func() {
+		a.waiting.Add(-1)
+		a.depth.Set(float64(a.waiting.Load()))
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot taken by a successful Acquire.
+func (a *admission) Release() { <-a.slots }
+
+// InFlight returns the number of occupied solver slots.
+func (a *admission) InFlight() int { return len(a.slots) }
+
+// Waiting returns the current wait-queue depth.
+func (a *admission) Waiting() int64 { return a.waiting.Load() }

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"transched/internal/obs"
+)
+
+func newTestAdmission(maxConcurrent, maxQueue int) *admission {
+	return newAdmission(maxConcurrent, maxQueue, obs.NewRegistry().Gauge("q"))
+}
+
+func TestAdmissionLimitsConcurrency(t *testing.T) {
+	a := newTestAdmission(2, 5)
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	// Both slots busy: a third caller waits until its deadline.
+	short, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+	defer cancel()
+	if err := a.Acquire(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("third Acquire = %v, want DeadlineExceeded", err)
+	}
+	a.Release()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatalf("after Release: %v", err)
+	}
+	a.Release()
+	a.Release()
+	if got := a.InFlight(); got != 0 {
+		t.Errorf("InFlight after releases = %d", got)
+	}
+}
+
+// TestAdmissionQueueBound: with the queue full, the next caller is shed
+// immediately with errOverloaded rather than waiting.
+func TestAdmissionQueueBound(t *testing.T) {
+	a := newTestAdmission(1, 1)
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waiterErr := make(chan error, 1)
+	go func() { waiterErr <- a.Acquire(ctx) }()
+	for a.Waiting() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	// Queue (length 1) is occupied: shed, not enqueue.
+	if err := a.Acquire(ctx); !errors.Is(err, errOverloaded) {
+		t.Fatalf("over-queue Acquire = %v, want errOverloaded", err)
+	}
+	// The shed attempt must not have corrupted the waiter count.
+	if got := a.Waiting(); got != 1 {
+		t.Errorf("Waiting after shed = %d, want 1", got)
+	}
+	a.Release()
+	if err := <-waiterErr; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	a.Release()
+}
+
+// TestAdmissionExpiredContext: a dead context never takes a slot, even
+// when one is free — the deterministic-timeout contract.
+func TestAdmissionExpiredContext(t *testing.T) {
+	a := newTestAdmission(2, 2)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := a.Acquire(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire with dead context = %v, want context.Canceled", err)
+	}
+	if got := a.InFlight(); got != 0 {
+		t.Errorf("dead context occupied a slot: InFlight = %d", got)
+	}
+}
+
+// TestAdmissionQueuedCallerTimesOut: a caller parked in the queue whose
+// deadline expires leaves cleanly without a slot.
+func TestAdmissionQueuedCallerTimesOut(t *testing.T) {
+	a := newTestAdmission(1, 4)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := a.Acquire(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued Acquire = %v, want DeadlineExceeded", err)
+	}
+	if got := a.Waiting(); got != 0 {
+		t.Errorf("Waiting after timeout = %d, want 0", got)
+	}
+	a.Release()
+	// The released slot is still usable.
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	a.Release()
+}
+
+func TestAdmissionDefaults(t *testing.T) {
+	a := newTestAdmission(0, -3) // floor to 1 slot, 0 queue
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(context.Background()); !errors.Is(err, errOverloaded) {
+		t.Fatalf("zero queue should shed immediately, got %v", err)
+	}
+	a.Release()
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// cache is a bounded LRU of marshalled response bodies keyed by request
+// digest, with singleflight-style in-flight deduplication: while a key
+// is being computed, identical requests wait for that computation
+// instead of starting their own, so a burst of equal instances costs
+// one solve. Entries are immutable byte slices — a hit hands back the
+// exact bytes the original miss produced, which is what makes the
+// byte-identical response contract trivial to honour.
+type cache struct {
+	mu       sync.Mutex
+	max      int // <= 0 disables storage (dedup still applies)
+	ll       *list.List
+	items    map[string]*list.Element
+	inflight map[string]*flight
+}
+
+// entry is one stored response.
+type entry struct {
+	key  string
+	body []byte
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+func newCache(max int) *cache {
+	return &cache{
+		max:      max,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Len returns the number of stored entries.
+func (c *cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// get returns the stored body for key, refreshing its recency.
+func (c *cache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry).body, true
+	}
+	return nil, false
+}
+
+// Do returns the response body for key: from the cache, by joining an
+// identical in-flight computation, or by running compute. hit reports
+// whether compute ran (false) or the body came for free (true). Only
+// successful computations are stored; a failing compute reports its
+// error to every joined waiter and leaves no residue. The context
+// bounds only the caller's wait — an in-flight computation it joined
+// keeps running for the remaining waiters.
+func (c *cache) Do(ctx context.Context, key string, compute func() ([]byte, error)) (body []byte, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		body := el.Value.(*entry).body
+		c.mu.Unlock()
+		return body, true, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		// Deterministic timeout behaviour: a dead context wins even if
+		// the flight happens to be done too.
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		select {
+		case <-fl.done:
+			return fl.body, true, fl.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+
+	fl.body, fl.err = compute()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fl.err == nil && c.max > 0 {
+		c.items[key] = c.ll.PushFront(&entry{key: key, body: fl.body})
+		for c.ll.Len() > c.max {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*entry).key)
+		}
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.body, false, fl.err
+}

@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// failCompute is a compute function that must never run.
+func failCompute(t *testing.T) func() ([]byte, error) {
+	return func() ([]byte, error) {
+		t.Error("compute ran on what should be a cache hit")
+		return nil, errors.New("unexpected compute")
+	}
+}
+
+// TestCacheHitIsByteIdentical is the second half of the cache-
+// correctness satellite: a hit returns exactly the bytes the original
+// miss produced.
+func TestCacheHitIsByteIdentical(t *testing.T) {
+	c := newCache(4)
+	ctx := context.Background()
+	want := []byte(`{"payload": true}`)
+	got, hit, err := c.Do(ctx, "k", func() ([]byte, error) { return want, nil })
+	if err != nil || hit {
+		t.Fatalf("miss: hit=%v err=%v", hit, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("miss body = %q", got)
+	}
+	again, hit, err := c.Do(ctx, "k", failCompute(t))
+	if err != nil || !hit {
+		t.Fatalf("hit: hit=%v err=%v", hit, err)
+	}
+	if !bytes.Equal(again, want) {
+		t.Errorf("hit body %q differs from miss body %q", again, want)
+	}
+	if &again[0] != &want[0] {
+		t.Error("hit copied the body; entries should be shared immutable slices")
+	}
+}
+
+func TestCacheLRUBound(t *testing.T) {
+	c := newCache(2)
+	ctx := context.Background()
+	put := func(key string) {
+		t.Helper()
+		if _, _, err := c.Do(ctx, key, func() ([]byte, error) { return []byte(key), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("k1")
+	put("k2")
+	put("k3") // evicts k1
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.get("k1"); ok {
+		t.Error("k1 survived eviction")
+	}
+	// Touching k2 makes k3 the eviction victim.
+	if _, ok := c.get("k2"); !ok {
+		t.Fatal("k2 missing")
+	}
+	put("k4")
+	if _, ok := c.get("k2"); !ok {
+		t.Error("recently-used k2 evicted before stale k3")
+	}
+	if _, ok := c.get("k3"); ok {
+		t.Error("stale k3 survived")
+	}
+}
+
+// TestCacheDisabledStillDeduplicates: a non-positive bound turns off
+// storage but in-flight deduplication must keep working.
+func TestCacheDisabledStillDeduplicates(t *testing.T) {
+	c := newCache(0)
+	ctx := context.Background()
+	var calls atomic.Int64
+	compute := func() ([]byte, error) {
+		calls.Add(1)
+		return []byte("x"), nil
+	}
+	for i := 0; i < 3; i++ {
+		if _, hit, err := c.Do(ctx, "k", compute); err != nil || hit {
+			t.Fatalf("round %d: hit=%v err=%v", i, hit, err)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Errorf("disabled cache computed %d times, want 3", calls.Load())
+	}
+	if c.Len() != 0 {
+		t.Errorf("disabled cache stored %d entries", c.Len())
+	}
+}
+
+func TestCacheErrorNotStored(t *testing.T) {
+	c := newCache(4)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	if _, _, err := c.Do(ctx, "k", func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed compute left %d entries", c.Len())
+	}
+	// The key is retryable: the next Do computes again and can succeed.
+	body, hit, err := c.Do(ctx, "k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || hit || string(body) != "ok" {
+		t.Errorf("retry: body=%q hit=%v err=%v", body, hit, err)
+	}
+}
+
+// TestCacheSingleflight: a burst of identical keys computes exactly
+// once; the leader reports a miss, every joiner reports a hit, and all
+// bodies are byte-identical.
+func TestCacheSingleflight(t *testing.T) {
+	const n = 16
+	c := newCache(4)
+	ctx := context.Background()
+	var calls atomic.Int64
+	release := make(chan struct{})
+	compute := func() ([]byte, error) {
+		calls.Add(1)
+		<-release
+		return []byte("answer"), nil
+	}
+
+	// Index-addressed result slots: each goroutine writes only its own.
+	bodies := make([][]byte, n)
+	hits := make([]bool, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bodies[i], hits[i], errs[i] = c.Do(ctx, "k", compute)
+		}(i)
+	}
+	// Wait for the leader to start computing, give joiners time to pile
+	// in, then release.
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Errorf("computed %d times, want 1", calls.Load())
+	}
+	misses := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if string(bodies[i]) != "answer" {
+			t.Errorf("goroutine %d body = %q", i, bodies[i])
+		}
+		if !hits[i] {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Errorf("%d misses, want exactly 1 (the leader)", misses)
+	}
+}
+
+// TestCacheJoinerHonoursContext: joining an in-flight computation is
+// bounded by the joiner's own context; the leader keeps running.
+func TestCacheJoinerHonoursContext(t *testing.T) {
+	c := newCache(4)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+			calls.Add(1)
+			<-release
+			return []byte("late"), nil
+		})
+		leaderDone <- err
+	}()
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, hit, err := c.Do(cancelled, "k", failCompute(t)); !errors.Is(err, context.Canceled) || hit {
+		t.Errorf("joiner with dead context: hit=%v err=%v, want context.Canceled", hit, err)
+	}
+
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	if body, hit, err := c.Do(context.Background(), "k", failCompute(t)); err != nil || !hit || string(body) != "late" {
+		t.Errorf("post-flight: body=%q hit=%v err=%v", body, hit, err)
+	}
+}
+
+// TestCacheConcurrentDistinctKeys exercises the lock under parallel
+// misses on different keys (mostly for the race detector).
+func TestCacheConcurrentDistinctKeys(t *testing.T) {
+	c := newCache(8)
+	ctx := context.Background()
+	const n = 16
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i)
+			_, _, errs[i] = c.Do(ctx, key, func() ([]byte, error) { return []byte(key), nil })
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("key %d: %v", i, err)
+		}
+	}
+	if c.Len() != 8 {
+		t.Errorf("Len = %d, want the bound 8", c.Len())
+	}
+}

@@ -1,0 +1,369 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"transched"
+	"transched/internal/obs"
+)
+
+// Config sizes a Server. The zero value is usable: every field has a
+// production default.
+type Config struct {
+	// MaxConcurrent is the number of solves allowed to run at once
+	// (default GOMAXPROCS).
+	MaxConcurrent int
+	// MaxQueue is the number of requests allowed to wait for a solver
+	// slot before new arrivals are shed with 429 (default 128; negative
+	// means no queue — shed as soon as every slot is busy).
+	MaxQueue int
+	// CacheEntries bounds the result LRU (default 1024; negative
+	// disables caching, in-flight deduplication still applies).
+	CacheEntries int
+	// DefaultTimeout is the per-request solve deadline when the request
+	// does not carry timeout_ms (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps a request-supplied deadline (default 2m).
+	MaxTimeout time.Duration
+	// RetryAfter is the hint sent with 429/503 (default 1s, rounded up
+	// to whole seconds on the wire).
+	RetryAfter time.Duration
+	// Registry receives the serve_* metrics (default obs.Default()).
+	Registry *obs.Registry
+	// Logger, when non-nil, gets one record per computed solve and per
+	// shed request. Nil disables logging.
+	Logger *slog.Logger
+	// EnableProfiling mounts /debug/vars and /debug/pprof/* on the
+	// handler (off by default: profiling is opt-in, OBSERVABILITY.md).
+	EnableProfiling bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 128
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = obs.Default()
+	}
+	return c
+}
+
+// Server is the scheduling service: it accepts trace instances over
+// HTTP/JSON, solves them through the transched facade under admission
+// control, and caches results by content address. Use New, mount
+// Handler, and Drain on shutdown.
+type Server struct {
+	cfg   Config
+	cache *cache
+	adm   *admission
+
+	// mu orders request admission against drain: once draining, no new
+	// request enters, and Drain's wait covers everything that did.
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	// onSolve, when non-nil, runs at the start of every computed solve,
+	// after the solver slot is acquired — a test seam for holding a
+	// solve in flight while drain/overload behaviour is asserted.
+	onSolve func()
+
+	requests  *obs.Counter
+	hits      *obs.Counter
+	misses    *obs.Counter
+	shed      *obs.Counter
+	timeouts  *obs.Counter
+	errs      *obs.Counter
+	inFlight  *obs.Gauge
+	reqHist   *obs.Histogram
+	solveHist *obs.Histogram
+}
+
+// New builds a server from the config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	s := &Server{
+		cfg:       cfg,
+		cache:     newCache(cfg.CacheEntries),
+		requests:  reg.Counter("serve_requests_total"),
+		hits:      reg.Counter("serve_cache_hits_total"),
+		misses:    reg.Counter("serve_cache_misses_total"),
+		shed:      reg.Counter("serve_shed_total"),
+		timeouts:  reg.Counter("serve_timeouts_total"),
+		errs:      reg.Counter("serve_errors_total"),
+		inFlight:  reg.Gauge("serve_inflight_solves"),
+		reqHist:   reg.Histogram("serve_request_seconds", obs.DefaultBuckets()),
+		solveHist: reg.Histogram("serve_solve_seconds", obs.DefaultBuckets()),
+	}
+	s.adm = newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, reg.Gauge("serve_queue_depth"))
+	return s
+}
+
+// Handler returns the service surface:
+//
+//	POST /solve    solve a trace instance (SERVING.md)
+//	GET  /healthz  liveness: 200 while the process runs
+//	GET  /readyz   readiness: 200, or 503 once draining
+//	GET  /metrics  plain-text snapshot of the registry
+//
+// With EnableProfiling, /debug/vars and /debug/pprof/* are mounted too.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.Draining() {
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.Handle("/metrics", obs.MetricsHandler(s.cfg.Registry))
+	if s.cfg.EnableProfiling {
+		obs.PublishExpvar()
+		obs.MountProfiling(mux)
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "transchedd scheduling service\n\nPOST /solve\nGET  /healthz\nGET  /readyz\nGET  /metrics\n")
+	})
+	return mux
+}
+
+// enter registers a request against drain; false means the server no
+// longer accepts work.
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// BeginDrain stops admitting new solve requests: /readyz turns 503 so
+// load balancers route away, and /solve sheds with 503 + Retry-After.
+// In-flight requests keep running; idempotent.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Drain performs the graceful shutdown sequence: stop accepting (as
+// BeginDrain), then wait for in-flight solves. It returns nil when the
+// last one finishes, or ctx.Err() at the hard cutoff — at which point
+// the caller should Close its listener regardless.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) retryAfterSeconds() string {
+	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// writeJSONError emits the error envelope with the given status.
+func (s *Server) writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, _ := json.Marshal(errorBody{Error: msg})
+	w.Write(body)
+}
+
+// shedResponse is the overload reply: status + Retry-After + envelope.
+func (s *Server) shedResponse(w http.ResponseWriter, status int, msg string) {
+	s.shed.Inc()
+	w.Header().Set("Retry-After", s.retryAfterSeconds())
+	s.writeJSONError(w, status, msg)
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Warn("serve: request shed", "status", status, "reason", msg)
+	}
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.requests.Inc()
+	if r.Method != http.MethodPost {
+		s.errs.Inc()
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeJSONError(w, http.StatusMethodNotAllowed, "POST a trace to /solve")
+		return
+	}
+	if !s.enter() {
+		s.shedResponse(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer s.inflight.Done()
+
+	p, err := parseRequest(r)
+	if err != nil {
+		s.errs.Inc()
+		s.writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if p.req.TimeoutMS > 0 {
+		timeout = time.Duration(p.req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	body, hit, err := s.cache.Do(ctx, p.digest, func() ([]byte, error) {
+		if err := s.adm.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.adm.Release()
+		s.inFlight.Set(float64(s.adm.InFlight()))
+		if s.onSolve != nil {
+			s.onSolve()
+		}
+		solveStart := time.Now()
+		res, err := transched.Solve(ctx, p.trace, p.opts)
+		s.solveHist.Observe(time.Since(solveStart).Seconds())
+		s.inFlight.Set(float64(s.adm.InFlight()))
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(buildResponse(res))
+	})
+
+	switch {
+	case err == nil:
+	case errors.Is(err, errOverloaded):
+		s.shedResponse(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.timeouts.Inc()
+		s.writeJSONError(w, http.StatusGatewayTimeout, "solve deadline exceeded")
+		return
+	default:
+		// The codec already rejected malformed input, so a solve error
+		// here means the instance itself is unschedulable (e.g. a task
+		// larger than the requested capacity).
+		s.errs.Inc()
+		s.writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+
+	if hit {
+		s.hits.Inc()
+	} else {
+		s.misses.Inc()
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Info("serve: solved",
+				"digest", p.digest, "app", p.trace.App, "tasks", len(p.trace.Tasks),
+				"heuristic", p.opts.Heuristic, "batch", p.opts.BatchSize,
+				"bytes", len(body), "seconds", time.Since(start).Seconds())
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Transched-Cache", cacheHeader(hit))
+	w.Header().Set("X-Transched-Digest", p.digest)
+	w.Write(body)
+	s.reqHist.Observe(time.Since(start).Seconds())
+}
+
+func cacheHeader(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// ListenAndServe binds addr and serves Handler until ctx is cancelled,
+// then runs the drain sequence: stop accepting, finish in-flight
+// requests, hard cutoff after drainTimeout. The bound address is
+// reported through onListen (for ":0" smoke setups); pass nil to skip.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration, onListen func(net.Addr)) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(lis.Addr())
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(lis) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	if drainTimeout <= 0 {
+		drainTimeout = 30 * time.Second
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	s.BeginDrain()
+	// http.Server.Shutdown stops accepting and waits for active
+	// requests; pairing it with Drain covers handlers that have entered
+	// but not yet registered with the connection tracker.
+	if err := srv.Shutdown(drainCtx); err != nil {
+		srv.Close() // hard cutoff
+		return err
+	}
+	return s.Drain(drainCtx)
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzTraceRead asserts the codec's two safety properties on arbitrary
+// bytes, the properties the serving layer relies on when it feeds
+// network payloads straight into Read:
+//
+//  1. Read never panics, whatever the input;
+//  2. an accepted trace round-trips: Write re-encodes it without error
+//     (everything Read accepts is representable) and Read parses the
+//     re-encoding back to an identical trace — which also makes the
+//     re-encoding a sound canonical form for content addressing
+//     (serve.Digest).
+func FuzzTraceRead(f *testing.F) {
+	f.Add([]byte("# transched trace v1\napp HF\nprocess 3\ntask a 1.5 2.25 1.5\ntask b 0.125 4 100\n"))
+	f.Add([]byte("# transched trace v1\n\n# comment\nprocess 0\ntask a 1 2 3\n"))
+	f.Add([]byte("# transched trace v1\napp CCSD\nprocess -7\ntask t0 0 0 0\n"))
+	f.Add([]byte("# transched trace v1\ntask a NaN 1 1\n"))
+	f.Add([]byte("# transched trace v1\ntask a 1 +Inf 1\n"))
+	f.Add([]byte("# transched trace v1\ntask dup 1 1 1\ntask dup 2 2 2\n"))
+	f.Add([]byte("# transched trace v1\napp x\napp y\nprocess 1\nprocess 2\n"))
+	f.Add([]byte("no magic\n"))
+	f.Add([]byte("# transched trace v1\ntask a 1e308 1e-308 5e-324\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data)) // must never panic
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("Read accepted a trace Write rejects: %v\ninput: %q", err, data)
+		}
+		back, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading Write output failed: %v\nencoded: %q", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(tr, back) {
+			t.Fatalf("round trip changed the trace:\nfirst:  %+v\nsecond: %+v\nencoded: %q", tr, back, buf.Bytes())
+		}
+	})
+}

@@ -10,11 +10,13 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"unicode"
 
 	"transched/internal/core"
 )
@@ -59,18 +61,37 @@ const (
 //	process <rank>
 //	task <name> <comm> <comp> <mem>
 //	...
+//
+// Write output always reads back (Read(Write(tr)) == tr), so Write
+// rejects anything the format cannot represent: whitespace in names
+// (the format is whitespace-delimited), empty names, duplicate names,
+// and non-finite or invalid task fields. An empty App is represented by
+// omitting the app line.
 func Write(w io.Writer, tr *Trace) error {
+	if tr.App != "" && strings.ContainsFunc(tr.App, unicode.IsSpace) {
+		return fmt.Errorf("trace: app name %q contains whitespace", tr.App)
+	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, magic)
-	fmt.Fprintf(bw, "app %s\n", tr.App)
+	if tr.App != "" {
+		fmt.Fprintf(bw, "app %s\n", tr.App)
+	}
 	fmt.Fprintf(bw, "process %d\n", tr.Process)
+	seen := make(map[string]bool, len(tr.Tasks))
 	for _, t := range tr.Tasks {
 		if err := t.Validate(); err != nil {
 			return err
 		}
-		if strings.ContainsAny(t.Name, " \t\n") {
+		if t.Name == "" {
+			return fmt.Errorf("trace: task with empty name")
+		}
+		if strings.ContainsFunc(t.Name, unicode.IsSpace) {
 			return fmt.Errorf("trace: task name %q contains whitespace", t.Name)
 		}
+		if seen[t.Name] {
+			return fmt.Errorf("trace: duplicate task name %q", t.Name)
+		}
+		seen[t.Name] = true
 		fmt.Fprintf(bw, "task %s %s %s %s\n", t.Name,
 			formatFloat(t.Comm), formatFloat(t.Comp), formatFloat(t.Mem))
 	}
@@ -79,13 +100,17 @@ func Write(w io.Writer, tr *Trace) error {
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
-// Read parses a v1 trace.
+// Read parses a v1 trace. Malformed input dies here, at the codec,
+// never inside a solver: non-finite durations or memory requirements
+// (NaN/Inf smuggled through ParseFloat) and duplicate task names are
+// rejected with the offending line number.
 func Read(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	tr := &Trace{}
 	line := 0
 	sawMagic := false
+	names := make(map[string]bool)
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -128,8 +153,15 @@ func Read(r io.Reader) (*Trace, error) {
 				if err != nil {
 					return nil, fmt.Errorf("trace: line %d: bad number %q: %w", line, fields[2+i], err)
 				}
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, fmt.Errorf("trace: line %d: non-finite value %q", line, fields[2+i])
+				}
 				vals[i] = v
 			}
+			if names[fields[1]] {
+				return nil, fmt.Errorf("trace: line %d: duplicate task name %q", line, fields[1])
+			}
+			names[fields[1]] = true
 			t := core.Task{Name: fields[1], Comm: vals[0], Comp: vals[1], Mem: vals[2]}
 			if err := t.Validate(); err != nil {
 				return nil, fmt.Errorf("trace: line %d: %w", line, err)

@@ -48,11 +48,31 @@ func TestReadErrors(t *testing.T) {
 		"bad number":  "# transched trace v1\ntask a x 1 1\n",
 		"neg comm":    "# transched trace v1\ntask a -1 1 1\n",
 		"unknown":     "# transched trace v1\nfoo bar\n",
+		// Codec-level hardening: malformed network input must die at
+		// parse time, never inside a solver.
+		"nan comm":  "# transched trace v1\ntask a NaN 1 1\n",
+		"nan mem":   "# transched trace v1\ntask a 1 1 nan\n",
+		"inf comp":  "# transched trace v1\ntask a 1 Inf 1\n",
+		"neg inf":   "# transched trace v1\ntask a 1 1 -Inf\n",
+		"dup names": "# transched trace v1\ntask a 1 1 1\ntask a 2 2 2\n",
 	}
 	for name, input := range cases {
 		if _, err := Read(strings.NewReader(input)); err == nil {
 			t.Errorf("%s: want error", name)
 		}
+	}
+}
+
+// TestReadReportsOffendingLine pins the error contract the serving
+// layer surfaces to clients: parse failures name the line.
+func TestReadReportsOffendingLine(t *testing.T) {
+	_, err := Read(strings.NewReader("# transched trace v1\ntask a 1 1 1\ntask a 1 1 1\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate-name error = %v, want line 3 mentioned", err)
+	}
+	_, err = Read(strings.NewReader("# transched trace v1\ntask a inf 1 1\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "non-finite") {
+		t.Errorf("non-finite error = %v, want line 2 mentioned", err)
 	}
 }
 
@@ -77,6 +97,45 @@ func TestWriteRejectsBadTasks(t *testing.T) {
 	spacey := &Trace{App: "HF", Tasks: []core.Task{{Name: "a b", Comm: 1}}}
 	if err := Write(&sb, spacey); err == nil {
 		t.Error("whitespace in name should fail")
+	}
+	sb.Reset()
+	cr := &Trace{App: "HF", Tasks: []core.Task{{Name: "a\rb", Comm: 1}}}
+	if err := Write(&sb, cr); err == nil {
+		t.Error("carriage return in name should fail")
+	}
+	sb.Reset()
+	unnamed := &Trace{App: "HF", Tasks: []core.Task{{Comm: 1}}}
+	if err := Write(&sb, unnamed); err == nil {
+		t.Error("empty name should fail")
+	}
+	sb.Reset()
+	dup := &Trace{App: "HF", Tasks: []core.Task{{Name: "a", Comm: 1}, {Name: "a", Comm: 2}}}
+	if err := Write(&sb, dup); err == nil {
+		t.Error("duplicate names should fail")
+	}
+	sb.Reset()
+	spaceyApp := &Trace{App: "H F"}
+	if err := Write(&sb, spaceyApp); err == nil {
+		t.Error("whitespace in app should fail")
+	}
+}
+
+// TestWriteEmptyAppRoundTrips: an absent app line parses to App "",
+// which Write represents by omitting the line again.
+func TestWriteEmptyAppRoundTrips(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, &Trace{Process: 2, Tasks: []core.Task{core.NewTask("a", 1, 2)}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "app") {
+		t.Fatalf("empty app should omit the app line:\n%s", sb.String())
+	}
+	back, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.App != "" || back.Process != 2 || len(back.Tasks) != 1 {
+		t.Fatalf("round trip = %+v", back)
 	}
 }
 

@@ -1,0 +1,89 @@
+#!/bin/sh
+# Smoke test for the transchedd scheduling daemon (SERVING.md): boot it
+# on an ephemeral port, solve a generated trace over HTTP, and check
+# the answer against the serial cmd/transched CLI on the same instance.
+# Then exercise the cache (second identical request must be a
+# byte-identical hit) and the graceful drain (SIGTERM exits 0).
+#
+# Makespans are compared at 6 significant digits — the CLI prints
+# %14.6g while the daemon returns the full float64 in JSON, so both
+# sides are renormalised through the same %.6g format.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "smoke_transchedd: FAIL: $*" >&2
+    exit 1
+}
+
+go build -o "$tmp/transched" ./cmd/transched
+go build -o "$tmp/transchedd" ./cmd/transchedd
+go build -o "$tmp/tracegen" ./cmd/tracegen
+
+"$tmp/tracegen" -app HF -out "$tmp/traces" -processes 1 -min 40 -max 40
+trace_file=$(ls "$tmp/traces"/*.trace | head -n 1)
+[ -s "$trace_file" ] || fail "tracegen produced no trace"
+
+# The serial reference answer, via the CLI (also covers -trace - stdin).
+cli_out=$("$tmp/transched" -trace - -capacity 1.5 -heuristic OOLCMR < "$trace_file")
+cli_mk=$(printf '%s\n' "$cli_out" | awk '$1 == "OOLCMR" { printf "%.6g", $2 + 0 }')
+[ -n "$cli_mk" ] || fail "no OOLCMR makespan in CLI output: $cli_out"
+
+# Boot the daemon on an ephemeral port.
+"$tmp/transchedd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -quiet 2> "$tmp/daemon.log" &
+pid=$!
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || fail "daemon never wrote $tmp/addr (log: $(cat "$tmp/daemon.log"))"
+    kill -0 "$pid" 2>/dev/null || fail "daemon died on startup (log: $(cat "$tmp/daemon.log"))"
+    sleep 0.1
+done
+addr=$(cat "$tmp/addr")
+
+curl -sf "http://$addr/healthz" > /dev/null || fail "/healthz"
+curl -sf "http://$addr/readyz" > /dev/null || fail "/readyz"
+
+# First solve: a cache miss whose makespan matches the CLI.
+curl -sf -D "$tmp/hdr1" --data-binary @"$trace_file" \
+    "http://$addr/solve?heuristic=OOLCMR&capacity=1.5" > "$tmp/resp1" \
+    || fail "POST /solve"
+grep -qi '^x-transched-cache: miss' "$tmp/hdr1" || fail "first request was not a miss"
+daemon_mk=$(jq -r '.best.makespan' < "$tmp/resp1" | awk '{ printf "%.6g", $1 + 0 }')
+if [ "$daemon_mk" != "$cli_mk" ]; then
+    fail "daemon makespan $daemon_mk != CLI makespan $cli_mk"
+fi
+
+# Second identical solve: a hit, byte-identical to the miss.
+curl -sf -D "$tmp/hdr2" --data-binary @"$trace_file" \
+    "http://$addr/solve?heuristic=OOLCMR&capacity=1.5" > "$tmp/resp2" \
+    || fail "second POST /solve"
+grep -qi '^x-transched-cache: hit' "$tmp/hdr2" || fail "second request was not a hit"
+cmp -s "$tmp/resp1" "$tmp/resp2" || fail "cache hit is not byte-identical to the miss"
+
+# The counters agree: one miss, one hit.
+curl -sf "http://$addr/metrics" > "$tmp/metrics" || fail "/metrics"
+grep -q '^serve_cache_hits_total 1$' "$tmp/metrics" || fail "hit counter: $(grep serve_cache "$tmp/metrics")"
+grep -q '^serve_cache_misses_total 1$' "$tmp/metrics" || fail "miss counter: $(grep serve_cache "$tmp/metrics")"
+
+# Graceful drain: SIGTERM must exit 0 and release the port.
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    fail "daemon exited non-zero on SIGTERM (log: $(cat "$tmp/daemon.log"))"
+fi
+pid=""
+curl -sf --max-time 2 "http://$addr/healthz" > /dev/null 2>&1 \
+    && fail "daemon still serving after SIGTERM"
+
+echo "smoke_transchedd: ok (makespan $daemon_mk matches CLI, cache hit byte-identical, drain clean)"

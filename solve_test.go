@@ -1,0 +1,183 @@
+package transched_test
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"transched"
+)
+
+func solveTrace(t *testing.T) *transched.Trace {
+	t.Helper()
+	traces, err := transched.GenerateTraces("HF", transched.Cascade(),
+		transched.TraceConfig{Seed: 11, Processes: 1, MinTasks: 30, MaxTasks: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traces[0]
+}
+
+func TestSolvePortfolio(t *testing.T) {
+	tr := solveTrace(t)
+	res, err := transched.Solve(context.Background(), tr, transched.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != 30 || res.App != "HF" {
+		t.Fatalf("header = %+v", res)
+	}
+	if len(res.Results) != len(transched.HeuristicNames()) {
+		t.Fatalf("portfolio ran %d heuristics, want %d", len(res.Results), len(transched.HeuristicNames()))
+	}
+	for i := 1; i < len(res.Results); i++ {
+		if res.Results[i].Makespan < res.Results[i-1].Makespan {
+			t.Fatalf("results not sorted: %v", res.Results)
+		}
+	}
+	if res.Best != res.Results[0] {
+		t.Errorf("best %+v != first sorted result %+v", res.Best, res.Results[0])
+	}
+	if got := res.Schedule.Makespan(); got != res.Best.Makespan {
+		t.Errorf("schedule makespan %g != best %g", got, res.Best.Makespan)
+	}
+	if res.Best.Ratio < 1-1e-9 {
+		t.Errorf("ratio %g below the OMIM lower bound", res.Best.Ratio)
+	}
+	if len(res.Advised) == 0 {
+		t.Error("no Table 6 advice")
+	}
+	if tl := res.Timeline(); len(tl) != 30 || tl[0].CommEnd != tl[0].CommStart+res.Schedule.Assignments[0].Task.Comm {
+		t.Errorf("timeline = %d events, first = %+v", len(tl), tl[0])
+	}
+}
+
+// TestSolveDeterministic asserts the serving determinism contract at the
+// facade level: identical trace and options give identical results.
+func TestSolveDeterministic(t *testing.T) {
+	tr := solveTrace(t)
+	for _, opts := range []transched.SolveOptions{
+		{},
+		{Heuristic: "OOLCMR"},
+		{BatchSize: 7},
+		{BatchSize: 7, Heuristic: "BP"},
+	} {
+		a, err := transched.Solve(context.Background(), tr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := transched.Solve(context.Background(), tr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("opts %+v: repeated solve differs", opts)
+		}
+	}
+}
+
+func TestSolveNamedHeuristicMatchesDirectRun(t *testing.T) {
+	tr := solveTrace(t)
+	res, err := transched.Solve(context.Background(), tr, transched.SolveOptions{Heuristic: "LCMR", CapacityMultiplier: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := transched.NewInstance(tr.Tasks, tr.MinCapacity()*2)
+	h, err := transched.HeuristicByName("LCMR", in.Capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := h.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Makespan != s.Makespan() {
+		t.Errorf("Solve makespan %g != direct run %g", res.Best.Makespan, s.Makespan())
+	}
+	if len(res.Results) != 1 || res.Best.Heuristic != "LCMR" {
+		t.Errorf("named solve results = %+v", res.Results)
+	}
+}
+
+func TestSolveBatchedMatchesRunBatches(t *testing.T) {
+	tr := solveTrace(t)
+	res, err := transched.Solve(context.Background(), tr, transched.SolveOptions{Heuristic: "SCMR", BatchSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := transched.NewInstance(tr.Tasks, tr.MinCapacity()*1.5)
+	h, err := transched.HeuristicByName("SCMR", in.Capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := h.RunBatches(in, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Makespan != s.Makespan() {
+		t.Errorf("batched Solve makespan %g != RunBatches %g", res.Best.Makespan, s.Makespan())
+	}
+	if res.Batches != 3 || len(res.Choices) != 3 {
+		t.Errorf("batches = %d, choices = %v", res.Batches, res.Choices)
+	}
+}
+
+func TestSolveAutoBatched(t *testing.T) {
+	tr := solveTrace(t)
+	res, err := transched.Solve(context.Background(), tr, transched.SolveOptions{BatchSize: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Heuristic != "auto" || res.Batches != 2 {
+		t.Fatalf("auto batched = %+v", res.Best)
+	}
+	for _, c := range res.Choices {
+		if c == "" || c == "fixed" {
+			t.Errorf("auto choices = %v", res.Choices)
+		}
+	}
+}
+
+func TestSolveRejectsBadOptions(t *testing.T) {
+	tr := solveTrace(t)
+	for name, opts := range map[string]transched.SolveOptions{
+		"negative multiplier": {CapacityMultiplier: -1},
+		"nan multiplier":      {CapacityMultiplier: math.NaN()},
+		"inf multiplier":      {CapacityMultiplier: math.Inf(1)},
+		"unknown heuristic":   {Heuristic: "NOPE"},
+		"unknown batched":     {Heuristic: "NOPE", BatchSize: 5},
+	} {
+		if _, err := transched.Solve(context.Background(), tr, opts); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+	if _, err := transched.Solve(context.Background(), nil, transched.SolveOptions{}); err == nil {
+		t.Error("nil trace: want error")
+	}
+}
+
+func TestSolveHonoursCancelledContext(t *testing.T) {
+	tr := solveTrace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := transched.Solve(ctx, tr, transched.SolveOptions{}); err != context.Canceled {
+		t.Errorf("cancelled portfolio solve: err = %v", err)
+	}
+	if _, err := transched.Solve(ctx, tr, transched.SolveOptions{BatchSize: 5}); err != context.Canceled {
+		t.Errorf("cancelled batched solve: err = %v", err)
+	}
+}
+
+func TestSolveEmptyTrace(t *testing.T) {
+	tr := &transched.Trace{App: "HF"}
+	for _, opts := range []transched.SolveOptions{{}, {BatchSize: 4}} {
+		res, err := transched.Solve(context.Background(), tr, opts)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		if res.Best.Makespan != 0 || res.Best.Ratio != 1 {
+			t.Errorf("empty solve best = %+v", res.Best)
+		}
+	}
+}

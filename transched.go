@@ -192,6 +192,14 @@ func GenerateTraces(app string, m Machine, cfg TraceConfig) ([]*Trace, error) {
 	return chem.Generate(app, m, cfg)
 }
 
+// ReadTrace parses one trace in the plain-text v1 format from a reader
+// (stdin pipelines, network payloads); ReadTraceFile is its file-path
+// convenience.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// WriteTrace serialises one trace in the plain-text v1 format.
+func WriteTrace(w io.Writer, tr *Trace) error { return trace.Write(w, tr) }
+
 // ReadTraceFile and WriteTraceFile use the plain-text v1 trace format.
 func ReadTraceFile(path string) (*Trace, error) { return trace.ReadFile(path) }
 
