@@ -7,6 +7,7 @@
 package transched_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -25,6 +26,7 @@ import (
 	"transched/internal/npc"
 	"transched/internal/obs"
 	"transched/internal/paperdata"
+	"transched/internal/rts"
 	"transched/internal/serve"
 	"transched/internal/simulate"
 	"transched/internal/stats"
@@ -82,6 +84,7 @@ func BenchmarkTable2Counterexample(b *testing.B) {
 // Table 3 instance (paper Fig 4).
 func BenchmarkFig4StaticSchedules(b *testing.B) {
 	in := paperdata.Table3()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, name := range []string{"OOSIM", "IOCMS", "DOCPS", "IOCCS", "DOCCS"} {
 			h, _ := heuristics.ByName(name, in.Capacity)
@@ -96,6 +99,7 @@ func BenchmarkFig4StaticSchedules(b *testing.B) {
 // Table 4 instance (paper Fig 5).
 func BenchmarkFig5DynamicSchedules(b *testing.B) {
 	in := paperdata.Table4()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, name := range []string{"LCMR", "SCMR", "MAMR"} {
 			h, _ := heuristics.ByName(name, in.Capacity)
@@ -110,6 +114,7 @@ func BenchmarkFig5DynamicSchedules(b *testing.B) {
 // the Table 5 instance (paper Fig 6).
 func BenchmarkFig6CorrectedSchedules(b *testing.B) {
 	in := paperdata.Table5()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, name := range []string{"OOLCMR", "OOSCMR", "OOMAMR"} {
 			h, _ := heuristics.ByName(name, in.Capacity)
@@ -377,20 +382,82 @@ func BenchmarkAblationSweepWorkers(b *testing.B) {
 }
 
 // BenchmarkAblationEventQueue measures the executors' scaling in the
-// number of tasks, documenting the linear-scan release list (profitable
-// up to the paper's 800-task traces; an event heap would only matter far
-// beyond that).
+// number of tasks. The kernel keeps pending releases in a binary
+// min-heap, precomputes criterion keys once per batch, and pools its
+// working state (DESIGN.md §"Simulation kernel"), so the dynamic
+// schedule path is near-linear and allocation-lean; EXPERIMENTS.md
+// records the measured before/after trajectory.
 func BenchmarkAblationEventQueue(b *testing.B) {
 	for _, n := range []int{100, 400, 800} {
 		rng := rand.New(rand.NewSource(5))
 		in := testutil.RandomInstance(rng, n, 10)
 		b.Run(byteCount(n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := simulate.Dynamic(in, simulate.MaxAccelerated); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkExecutorClone measures the copy-on-write executor clone that
+// rts.Auto used to pay once per candidate per batch (the assignments
+// built so far are shared with the original; only the release heap is
+// copied).
+func BenchmarkExecutorClone(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	in := testutil.RandomInstance(rng, 400, 10)
+	e := simulate.NewExecutor(in.Capacity)
+	if err := e.RunBatch(simulate.Policy{Crit: simulate.MaxAccelerated}, in.Tasks); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e.Clone().Capacity() != in.Capacity {
+			b.Fatal("bad clone")
+		}
+	}
+}
+
+// BenchmarkAutoRuntimeBatch measures a full Auto runtime pass (per-batch
+// candidate trials on pooled state + commit) at trace scale.
+func BenchmarkAutoRuntimeBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	in := testutil.RandomInstance(rng, 400, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt, err := rts.New(rts.Config{Capacity: in.Capacity, BatchSize: 100, Selection: rts.Auto})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.Submit(in.Tasks...); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rt.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolvePortfolio measures the full fourteen-heuristic portfolio
+// through the facade — the daemon's cold-solve core — with the
+// GOMAXPROCS-bounded deterministic fan-out.
+func BenchmarkSolvePortfolio(b *testing.B) {
+	traces, err := transched.GenerateTraces("HF", transched.Cascade(),
+		transched.TraceConfig{Seed: 17, Processes: 1, MinTasks: 60, MaxTasks: 60})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transched.Solve(context.Background(), traces[0], transched.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -467,6 +534,7 @@ func benchServeSetup(b *testing.B) (http.Handler, string) {
 // codec + digest + admission + portfolio solve + marshal.
 func BenchmarkServeColdSolve(b *testing.B) {
 	h, body := benchServeSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		target := fmt.Sprintf("/solve?capacity=%.12f", 1.5+float64(i)*1e-9)
@@ -488,6 +556,7 @@ func BenchmarkServeCacheHit(b *testing.B) {
 	if prime.Code != http.StatusOK {
 		b.Fatalf("prime status %d: %s", prime.Code, prime.Body.String())
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rec := httptest.NewRecorder()

@@ -17,8 +17,9 @@
 // trace-event JSON file of the sweep execution — one span per
 // (trace, multiplier) cell on its worker's track, loadable in Perfetto
 // or chrome://tracing — and -debug-addr serves /metrics, expvar and
-// pprof while the run is in flight. Neither perturbs results: output
-// stays bit-identical with instrumentation on or off.
+// pprof while the run is in flight. -cpuprofile/-memprofile write
+// offline pprof profiles of the whole run. None of these perturb
+// results: output stays bit-identical with instrumentation on or off.
 //
 // Reduced scale (default) uses 12 processes of 60-120 tasks so the whole
 // suite completes in seconds; -full switches to the paper's 150 processes
@@ -32,19 +33,22 @@ import (
 
 	"transched/internal/experiments"
 	"transched/internal/obs"
+	"transched/internal/prof"
 )
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "which artifact: 7, 8, 9, 10, 11, 12, 13, table6, ablation, or all")
-		full      = flag.Bool("full", false, "paper scale: 150 processes, 300-800 tasks per process")
-		processes = flag.Int("processes", 0, "override the number of traces per application")
-		tasks     = flag.Int("tasks", 0, "override tasks per process (exact count)")
-		seed      = flag.Int64("seed", 20190415, "random seed for trace generation")
-		milpNodes = flag.Int("milp-nodes", 1500, "branch-and-bound node budget per MILP window (Fig 7)")
-		workers   = flag.Int("workers", 0, "worker goroutines for the experiment drivers (0 = all cores, 1 = serial); output is identical at every setting")
-		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event (Perfetto-loadable) JSON file of the sweep execution")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+		fig        = flag.String("fig", "all", "which artifact: 7, 8, 9, 10, 11, 12, 13, table6, ablation, or all")
+		full       = flag.Bool("full", false, "paper scale: 150 processes, 300-800 tasks per process")
+		processes  = flag.Int("processes", 0, "override the number of traces per application")
+		tasks      = flag.Int("tasks", 0, "override tasks per process (exact count)")
+		seed       = flag.Int64("seed", 20190415, "random seed for trace generation")
+		milpNodes  = flag.Int("milp-nodes", 1500, "branch-and-bound node budget per MILP window (Fig 7)")
+		workers    = flag.Int("workers", 0, "worker goroutines for the experiment drivers (0 = all cores, 1 = serial); output is identical at every setting")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event (Perfetto-loadable) JSON file of the sweep execution")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
 	)
 	flag.Parse()
 
@@ -76,8 +80,18 @@ func main() {
 		cfg.Metrics = obs.Default()
 	}
 
-	if err := run(*fig, cfg, *milpNodes); err != nil {
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	runErr := run(*fig, cfg, *milpNodes)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
 		os.Exit(1)
 	}
 	if *traceOut != "" {

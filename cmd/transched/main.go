@@ -7,6 +7,7 @@
 //	transched -trace hf.p000.trace [-capacity 2.0] [-heuristic OOLCMR]
 //	          [-batch 100] [-gantt] [-milp 3] [-advise]
 //	          [-trace-out sched.json] [-debug-addr localhost:6060]
+//	          [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // The capacity is given as a multiple of the trace's minimum requirement
 // mc (the largest single-task memory footprint). With no -heuristic, all
@@ -21,7 +22,8 @@
 // -trace-out exports every schedule as a Chrome trace-event JSON file —
 // one process per heuristic with link and processing-unit tracks plus a
 // memory-occupancy counter — loadable in Perfetto or chrome://tracing
-// (see OBSERVABILITY.md). -debug-addr serves /metrics, expvar and pprof.
+// (see OBSERVABILITY.md). -debug-addr serves /metrics, expvar and pprof;
+// -cpuprofile/-memprofile write offline pprof profiles of the run.
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 
 	"transched"
 	"transched/internal/obs"
+	"transched/internal/prof"
 )
 
 // options carries the parsed command line.
@@ -61,6 +64,8 @@ func main() {
 	flag.IntVar(&opt.width, "width", 72, "gantt chart width in characters")
 	flag.StringVar(&opt.traceOut, "trace-out", "", "write the schedules as a Chrome trace-event (Perfetto-loadable) JSON file")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
 	flag.Parse()
 	if opt.tracePath == "" {
 		flag.Usage()
@@ -75,8 +80,18 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "transched: debug server on http://%s\n", srv.Addr)
 	}
-	if err := run(opt); err != nil {
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "transched:", err)
+		os.Exit(1)
+	}
+	runErr := run(opt)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "transched:", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "transched:", runErr)
 		os.Exit(1)
 	}
 }

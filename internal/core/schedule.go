@@ -36,6 +36,18 @@ func NewSchedule(capacity float64) *Schedule {
 	return &Schedule{Capacity: capacity}
 }
 
+// NewScheduleCap returns an empty schedule with room for n assignments
+// preallocated, so a builder that knows its task count appends without
+// regrowing the backing array. n == 0 leaves Assignments nil, exactly
+// like NewSchedule.
+func NewScheduleCap(capacity float64, n int) *Schedule {
+	s := &Schedule{Capacity: capacity}
+	if n > 0 {
+		s.Assignments = make([]Assignment, 0, n)
+	}
+	return s
+}
+
 // Append adds an assignment. Callers must append in communication-start
 // order (every builder in this repository does); Validate re-checks.
 func (s *Schedule) Append(a Assignment) { s.Assignments = append(s.Assignments, a) }

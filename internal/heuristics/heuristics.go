@@ -70,14 +70,18 @@ func (h Heuristic) RunBatches(in *core.Instance, batchSize int) (*core.Schedule,
 }
 
 // sortOrder returns the permutation of task indices sorted by key
-// (ascending), breaking ties by submission index.
+// (ascending), breaking ties by submission index. Keys are evaluated
+// once per task, not once per comparison: the comparator sees the same
+// float values either way, so the permutation is identical.
 func sortOrder(tasks []core.Task, key func(core.Task) float64) []int {
+	keys := make([]float64, len(tasks))
 	order := make([]int, len(tasks))
 	for i := range order {
+		keys[i] = key(tasks[i])
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		return key(tasks[order[a]]) < key(tasks[order[b]])
+		return keys[order[a]] < keys[order[b]]
 	})
 	return order
 }

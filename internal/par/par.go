@@ -1,0 +1,59 @@
+// Package par provides the deterministic fan-out primitive shared by the
+// solver portfolios (transched.Solve, rts.Auto): run n independent jobs
+// on a bounded pool, with each job writing only to slots owned by its
+// index. Reducing the slots serially afterwards — in fixed index order —
+// makes the parallel result bit-identical to the serial one, the same
+// contract the sweep engine's pool and the slotwrite analyzer enforce
+// (LINTING.md).
+//
+// Unlike the sweep pool, jobs here have no error fast-path: portfolio
+// callers record per-candidate errors in their own slots and decide what
+// to surface during the serial reduce, so every index always runs.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEachIndex runs fn(0) … fn(n-1) on up to workers goroutines and
+// returns when all calls have completed. workers <= 0 means
+// runtime.GOMAXPROCS(0); workers == 1 runs inline with no goroutines,
+// which is the reference serial path. Indices are handed out atomically;
+// fn must write only to slots owned by its index.
+func ForEachIndex(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,42 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachIndexVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 2, 5, 100} {
+			counts := make([]int32, n)
+			ForEachIndex(workers, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachIndexSlotResultsMatchSerial(t *testing.T) {
+	const n = 50
+	serial := make([]int, n)
+	ForEachIndex(1, n, func(i int) { serial[i] = i * i })
+	parallel := make([]int, n)
+	ForEachIndex(0, n, func(i int) { parallel[i] = i * i })
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("slot %d: serial %d parallel %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestForEachIndexZeroAndNegative(t *testing.T) {
+	called := false
+	ForEachIndex(4, 0, func(i int) { called = true })
+	ForEachIndex(4, -3, func(i int) { called = true })
+	if called {
+		t.Fatal("fn called for n <= 0")
+	}
+}

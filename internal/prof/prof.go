@@ -1,0 +1,52 @@
+// Package prof implements the offline profiling hooks shared by the
+// command-line tools (-cpuprofile/-memprofile), complementing the live
+// pprof endpoints of the -debug-addr server (OBSERVABILITY.md): start a
+// CPU profile before the run, write a heap profile after it, and leave
+// the files where `go tool pprof` expects them.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling according to the two file paths; empty paths
+// disable the corresponding profile. The returned stop function must run
+// exactly once after the workload (defer works): it stops the CPU
+// profile and writes the heap profile — after a GC, so the snapshot
+// shows live memory rather than collectable garbage.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

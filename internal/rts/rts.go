@@ -15,6 +15,7 @@
 package rts
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"transched/internal/core"
 	"transched/internal/flowshop"
 	"transched/internal/heuristics"
+	"transched/internal/par"
 	"transched/internal/simulate"
 )
 
@@ -74,6 +76,16 @@ type Config struct {
 	// Auto candidate, through whatever slog handler the caller
 	// configured. Nil disables logging entirely.
 	Logger *slog.Logger
+	// Workers bounds the goroutines trial-running Auto candidates in
+	// parallel (0 means GOMAXPROCS, 1 is the serial reference path).
+	// Trials land in index-addressed slots and the winner is reduced
+	// serially in candidate order, so the committed schedule, choices and
+	// telemetry are bit-identical at every worker count.
+	Workers int
+	// Context, when non-nil, is checked before each batch's candidate
+	// trials; a cancelled or expired context aborts scheduling with
+	// ctx.Err() instead of starting more trials.
+	Context context.Context
 }
 
 // Runtime is an online data-transfer scheduler. It is safe for concurrent
@@ -221,11 +233,25 @@ func (r *Runtime) scheduleLocked(batch []core.Task) error {
 		}
 		rec.Winner = "fixed"
 	case Auto:
+		if r.cfg.Context != nil {
+			if err := r.cfg.Context.Err(); err != nil {
+				return err
+			}
+		}
+		// Trial every candidate concurrently on pooled throwaway state
+		// (Executor.TrialMakespan never mutates r.exec), each writing only
+		// its own index-addressed slot; then reduce serially in candidate
+		// order, replicating the serial loop's selection decision and
+		// telemetry exactly.
+		spans := make([]float64, len(r.cfg.Candidates))
+		errs := make([]error, len(r.cfg.Candidates))
+		par.ForEachIndex(r.cfg.Workers, len(r.cfg.Candidates), func(i int) {
+			spans[i], errs[i] = r.exec.TrialMakespan(r.cfg.Candidates[i].Policy, batch)
+		})
 		bestIdx := -1
 		bestSpan, runnerUp := 0.0, 0.0
 		for i, c := range r.cfg.Candidates {
-			trial := r.exec.Clone()
-			if err := trial.RunBatch(c.Policy, batch); err != nil {
+			if err := errs[i]; err != nil {
 				// A failing trial is excluded from selection but reported:
 				// silent discards would make Auto's picks unexplainable.
 				rec.CandidateErrors = append(rec.CandidateErrors,
@@ -237,7 +263,7 @@ func (r *Runtime) scheduleLocked(batch []core.Task) error {
 				continue
 			}
 			rec.Trialed++
-			span := trial.Makespan()
+			span := spans[i]
 			switch {
 			case bestIdx < 0:
 				bestIdx, bestSpan = i, span

@@ -1,0 +1,95 @@
+package rts
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"transched/internal/core"
+	"transched/internal/simulate"
+	"transched/internal/testutil"
+)
+
+// runAutoWorkers drives one full Auto run at the given worker count and
+// returns the final schedule and telemetry.
+func runAutoWorkers(t *testing.T, in *core.Instance, cands []Candidate, workers int) (*core.Schedule, []string, Stats) {
+	t.Helper()
+	rt, err := New(Config{
+		Capacity:   in.Capacity,
+		BatchSize:  25,
+		Selection:  Auto,
+		Candidates: cands,
+		Workers:    workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Submit(in.Tasks...); err != nil {
+		t.Fatal(err)
+	}
+	s, err := rt.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, rt.Choices(), rt.Stats()
+}
+
+// TestAutoWorkersDeterminism: parallel candidate trials must commit the
+// same winner and build the byte-identical schedule, choices and
+// telemetry as the serial reference path (Workers == 1) — including
+// per-candidate trial errors, which must surface in candidate order at
+// every worker count.
+func TestAutoWorkersDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	in := testutil.RandomInstance(rng, 120, 10)
+	cands := DefaultCandidates(in.Capacity)
+	// A candidate whose trial always fails (order length mismatch) checks
+	// that error records are reduced deterministically too.
+	cands = append(cands, Candidate{
+		Name:   "BROKEN",
+		Policy: simulate.Policy{Order: func(tasks []core.Task) []int { return nil }},
+	})
+
+	refSched, refChoices, refStats := runAutoWorkers(t, in, cands, 1)
+	if refStats.CandidateErrors == 0 {
+		t.Fatal("broken candidate produced no trial errors; test is vacuous")
+	}
+	for _, workers := range []int{0, 3} {
+		s, choices, stats := runAutoWorkers(t, in, cands, workers)
+		if len(s.Assignments) != len(refSched.Assignments) {
+			t.Fatalf("workers=%d: %d assignments, serial %d", workers, len(s.Assignments), len(refSched.Assignments))
+		}
+		for i := range s.Assignments {
+			a, b := refSched.Assignments[i], s.Assignments[i]
+			if a.Task != b.Task ||
+				math.Float64bits(a.CommStart) != math.Float64bits(b.CommStart) ||
+				math.Float64bits(a.CompStart) != math.Float64bits(b.CompStart) {
+				t.Fatalf("workers=%d: assignment %d differs: serial %+v parallel %+v", workers, i, a, b)
+			}
+		}
+		if !reflect.DeepEqual(choices, refChoices) {
+			t.Fatalf("workers=%d: choices %v, serial %v", workers, choices, refChoices)
+		}
+		if !reflect.DeepEqual(stats, refStats) {
+			t.Fatalf("workers=%d: stats diverge:\nparallel %+v\nserial   %+v", workers, stats, refStats)
+		}
+	}
+}
+
+// TestAutoContextCancelled: a cancelled Config.Context aborts scheduling
+// at the next batch boundary with ctx.Err().
+func TestAutoContextCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := testutil.RandomInstance(rng, 30, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rt, err := New(Config{Capacity: in.Capacity, BatchSize: 10, Selection: Auto, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Submit(in.Tasks...); err != context.Canceled {
+		t.Fatalf("Submit with cancelled context = %v, want context.Canceled", err)
+	}
+}

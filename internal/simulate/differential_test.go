@@ -1,0 +1,402 @@
+package simulate
+
+// Differential tests: the optimized kernel (simulate.go) against the
+// straightforward reference kernel (reference_test.go), asserting
+// byte-identical schedules, stats and stall counts over seeded random
+// instances — plus targeted eps-boundary tie-break cases where a "clean"
+// (idle, key) argmin would disagree with the reference's running scan.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"transched/internal/core"
+	"transched/internal/testutil"
+)
+
+// optRunBatches runs the optimized kernel through the Executor (the same
+// code path RunBatches uses) and also returns the final stats.
+func optRunBatches(in *core.Instance, batchSize int, p Policy) (*core.Schedule, ExecStats, error) {
+	if err := checkFits(in); err != nil {
+		return nil, ExecStats{}, err
+	}
+	if batchSize <= 0 {
+		batchSize = len(in.Tasks)
+	}
+	e := NewExecutor(in.Capacity)
+	for lo := 0; lo < len(in.Tasks); lo += batchSize {
+		hi := min(lo+batchSize, len(in.Tasks))
+		if err := e.RunBatch(p, in.Tasks[lo:hi]); err != nil {
+			return nil, ExecStats{}, err
+		}
+	}
+	return e.Schedule(), e.Stats(), nil
+}
+
+func assertSameSchedule(t *testing.T, ref, opt *core.Schedule) {
+	t.Helper()
+	if math.Float64bits(ref.Capacity) != math.Float64bits(opt.Capacity) {
+		t.Fatalf("capacity differs: ref %v opt %v", ref.Capacity, opt.Capacity)
+	}
+	if len(ref.Assignments) != len(opt.Assignments) {
+		t.Fatalf("assignment count differs: ref %d opt %d", len(ref.Assignments), len(opt.Assignments))
+	}
+	for i := range ref.Assignments {
+		a, b := ref.Assignments[i], opt.Assignments[i]
+		if a.Task != b.Task {
+			t.Fatalf("assignment %d task differs: ref %+v opt %+v", i, a.Task, b.Task)
+		}
+		if math.Float64bits(a.CommStart) != math.Float64bits(b.CommStart) ||
+			math.Float64bits(a.CompStart) != math.Float64bits(b.CompStart) {
+			t.Fatalf("assignment %d (%s) start times differ: ref comm=%x comp=%x opt comm=%x comp=%x",
+				i, a.Task.Name,
+				math.Float64bits(a.CommStart), math.Float64bits(a.CompStart),
+				math.Float64bits(b.CommStart), math.Float64bits(b.CompStart))
+		}
+	}
+}
+
+func assertSameStats(t *testing.T, ref, opt ExecStats) {
+	t.Helper()
+	if ref.Batches != opt.Batches || ref.Placed != opt.Placed || ref.MemStalls != opt.MemStalls ||
+		math.Float64bits(ref.PeakMemory) != math.Float64bits(opt.PeakMemory) {
+		t.Fatalf("stats differ: ref %+v opt %+v", ref, opt)
+	}
+}
+
+// Deterministic order functions for the static / corrected families.
+// Each is a pure function of the batch, so both kernels see the same
+// permutation.
+
+func identityOrder(tasks []core.Task) []int {
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+func reverseOrder(tasks []core.Task) []int {
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = len(tasks) - 1 - i
+	}
+	return order
+}
+
+func commDescOrder(tasks []core.Task) []int {
+	order := identityOrder(tasks)
+	sort.SliceStable(order, func(a, b int) bool { return tasks[order[a]].Comm > tasks[order[b]].Comm })
+	return order
+}
+
+func shuffleOrder(tasks []core.Task) []int {
+	order := identityOrder(tasks)
+	rng := rand.New(rand.NewSource(int64(len(tasks))*7919 + 13))
+	rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+	return order
+}
+
+// diffPolicies is the policy matrix the differential tests sweep: every
+// executor family, every built-in criterion, the NoIdleFilter ablation
+// knob, and a criterion that emits NaN keys (exercising the selector's
+// unaccelerated fallback).
+func diffPolicies() []struct {
+	name string
+	p    Policy
+} {
+	nanCrit := func(t core.Task) float64 {
+		if int(t.Comp*16)%3 == 0 {
+			return math.NaN()
+		}
+		return t.Comm
+	}
+	return []struct {
+		name string
+		p    Policy
+	}{
+		{"static/identity", Policy{Order: identityOrder}},
+		{"static/reverse", Policy{Order: reverseOrder}},
+		{"static/commDesc", Policy{Order: commDescOrder}},
+		{"static/shuffle", Policy{Order: shuffleOrder}},
+		{"dynamic/largestComm", Policy{Crit: LargestComm}},
+		{"dynamic/smallestComm", Policy{Crit: SmallestComm}},
+		{"dynamic/maxAccelerated", Policy{Crit: MaxAccelerated}},
+		{"dynamic/largestComm/noIdle", Policy{Crit: LargestComm, NoIdleFilter: true}},
+		{"dynamic/maxAccelerated/noIdle", Policy{Crit: MaxAccelerated, NoIdleFilter: true}},
+		{"dynamic/nanKeys", Policy{Crit: nanCrit}},
+		{"corrected/shuffle+largestComm", Policy{Order: shuffleOrder, Crit: LargestComm}},
+		{"corrected/commDesc+maxAccelerated", Policy{Order: commDescOrder, Crit: MaxAccelerated}},
+		{"corrected/shuffle+smallestComm/noIdle", Policy{Order: shuffleOrder, Crit: SmallestComm, NoIdleFilter: true}},
+	}
+}
+
+func runDifferential(t *testing.T, in *core.Instance, label string) {
+	t.Helper()
+	for _, batch := range []int{0, 7, 100} {
+		for _, pc := range diffPolicies() {
+			ref, refStats, refErr := refRunBatches(in, batch, pc.p)
+			opt, optStats, optErr := optRunBatches(in, batch, pc.p)
+			name := fmt.Sprintf("%s/batch=%d/%s", label, batch, pc.name)
+			if (refErr == nil) != (optErr == nil) {
+				t.Fatalf("%s: error mismatch: ref %v opt %v", name, refErr, optErr)
+			}
+			if refErr != nil {
+				if refErr.Error() != optErr.Error() {
+					t.Fatalf("%s: error text mismatch: ref %v opt %v", name, refErr, optErr)
+				}
+				continue
+			}
+			t.Run(name, func(t *testing.T) {
+				assertSameSchedule(t, ref, opt)
+				assertSameStats(t, refStats, optStats)
+			})
+			// The pooled convenience entry points must agree too.
+			pooled, err := RunBatches(in, batch, pc.p)
+			if err != nil {
+				t.Fatalf("%s: pooled RunBatches: %v", name, err)
+			}
+			assertSameSchedule(t, ref, pooled)
+		}
+	}
+}
+
+func TestDifferentialRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sizes := []int{1, 2, 3, 5, 17, 64, 157}
+	factors := []float64{1.02, 1.5, 4}
+	for _, n := range sizes {
+		tasks := testutil.RandomTasks(rng, n, 10)
+		base := core.NewInstance(tasks, 0)
+		mc := base.MinCapacity()
+		if mc == 0 {
+			mc = 1
+		}
+		for _, f := range factors {
+			in := core.NewInstance(tasks, mc*f)
+			runDifferential(t, in, fmt.Sprintf("n=%d/cap=%.2fx", n, f))
+		}
+	}
+}
+
+// TestDifferentialIntegerInstances uses small integer durations, which
+// produce massive key/time ties — the regime where eps tie-break
+// divergence would show up first.
+func TestDifferentialIntegerInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{5, 40, 120} {
+		tasks := testutil.RandomIntTasks(rng, n, 4)
+		base := core.NewInstance(tasks, 0)
+		mc := base.MinCapacity()
+		if mc == 0 {
+			mc = 1
+		}
+		for _, f := range []float64{1, 1.5, 2.5} {
+			in := core.NewInstance(tasks, mc*f)
+			runDifferential(t, in, fmt.Sprintf("int/n=%d/cap=%.1fx", n, f))
+		}
+	}
+}
+
+func TestDifferentialLargeInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping n=800 differential sweep")
+	}
+	rng := rand.New(rand.NewSource(5))
+	tasks := testutil.RandomTasks(rng, 800, 10)
+	base := core.NewInstance(tasks, 0)
+	mc := base.MinCapacity()
+	for _, f := range []float64{1.1, 2} {
+		in := core.NewInstance(tasks, mc*f)
+		for _, batch := range []int{0, 100} {
+			for _, pc := range []struct {
+				name string
+				p    Policy
+			}{
+				{"static/commDesc", Policy{Order: commDescOrder}},
+				{"dynamic/maxAccelerated", Policy{Crit: MaxAccelerated}},
+				{"dynamic/largestComm", Policy{Crit: LargestComm}},
+				{"corrected/shuffle+largestComm", Policy{Order: shuffleOrder, Crit: LargestComm}},
+			} {
+				ref, refStats, err := refRunBatches(in, batch, pc.p)
+				if err != nil {
+					t.Fatalf("ref: %v", err)
+				}
+				opt, optStats, err := optRunBatches(in, batch, pc.p)
+				if err != nil {
+					t.Fatalf("opt: %v", err)
+				}
+				t.Run(fmt.Sprintf("n=800/cap=%.1fx/batch=%d/%s", f, batch, pc.name), func(t *testing.T) {
+					assertSameSchedule(t, ref, opt)
+					assertSameStats(t, refStats, optStats)
+				})
+			}
+		}
+	}
+}
+
+// TestSelectTieWithinEps: when two fitting candidates' keys differ by
+// less than eps, the earlier one in remaining order keeps the slot even
+// though the later key is (infinitesimally) larger.
+func TestSelectTieWithinEps(t *testing.T) {
+	tasks := []core.Task{
+		core.NewTask("first", 1.0, 2),
+		core.NewTask("second", 1.0+5e-10, 2),
+	}
+	in := core.NewInstance(tasks, 10)
+	for _, run := range []func() (*core.Schedule, error){
+		func() (*core.Schedule, error) { return Dynamic(in, LargestComm) },
+		func() (*core.Schedule, error) {
+			s, _, err := refRunBatches(in, 0, Policy{Crit: LargestComm})
+			return s, err
+		},
+	} {
+		s, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Assignments[0].Task.Name; got != "first" {
+			t.Fatalf("within-eps key tie must keep scan order: picked %q, want \"first\"", got)
+		}
+	}
+}
+
+// TestSelectChainedEpsIdle: the reference rule is a running scan, not a
+// lexicographic argmin. A candidate with idle 5e-10 and key 10, scanned
+// first, survives a later candidate with idle exactly 0 and key 9.9:
+// the idle improvement is inside the eps band and the key is smaller.
+// A "clean" (idle, key) argmin would flip this. Both kernels must agree
+// on the scan's answer.
+func TestSelectChainedEpsIdle(t *testing.T) {
+	byComp := func(t core.Task) float64 { return t.Comp }
+	tasks := []core.Task{
+		core.NewTask("X", 5e-10, 10), // idle 5e-10 at t=0, key 10
+		core.NewTask("Y", 0, 9.9),    // idle 0, key 9.9
+	}
+	in := core.NewInstance(tasks, 10)
+	opt, err := Dynamic(in, byComp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := refRunBatches(in, 0, Policy{Crit: byComp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSchedule(t, ref, opt)
+	if got := opt.Assignments[0].Task.Name; got != "X" {
+		t.Fatalf("chained-eps case: picked %q first, want \"X\" (running scan keeps it)", got)
+	}
+}
+
+// TestTrialMakespanMatchesClone: TrialMakespan must return the exact
+// float Clone+RunBatch+Makespan would, at any point of a batched run,
+// and must leave the executor untouched.
+func TestTrialMakespanMatchesClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := testutil.RandomInstance(rng, 90, 10)
+	policies := []Policy{
+		{Crit: MaxAccelerated},
+		{Order: commDescOrder, Crit: LargestComm},
+		{Order: shuffleOrder},
+	}
+	e := NewExecutor(in.Capacity)
+	for lo := 0; lo < len(in.Tasks); lo += 30 {
+		batch := in.Tasks[lo : lo+30]
+		for _, p := range policies {
+			clone := e.Clone()
+			if err := clone.RunBatch(p, batch); err != nil {
+				t.Fatal(err)
+			}
+			want := clone.Makespan()
+			before := e.Scheduled()
+			got, err := e.TrialMakespan(p, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("TrialMakespan %x != Clone+RunBatch %x", math.Float64bits(got), math.Float64bits(want))
+			}
+			if e.Scheduled() != before {
+				t.Fatalf("TrialMakespan mutated the executor: %d -> %d tasks", before, e.Scheduled())
+			}
+		}
+		if err := e.RunBatch(policies[0], batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCloneCopyOnWriteIndependence: after Clone, extending the parent and
+// the clone in either order must not corrupt the other's schedule.
+func TestCloneCopyOnWriteIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	in := testutil.RandomInstance(rng, 60, 10)
+	p := Policy{Crit: LargestComm}
+
+	run := func(batches [][]core.Task) *core.Schedule {
+		e := NewExecutor(in.Capacity)
+		for _, b := range batches {
+			if err := e.RunBatch(p, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e.Schedule()
+	}
+	b1, b2, b3 := in.Tasks[:20], in.Tasks[20:40], in.Tasks[40:]
+
+	e := NewExecutor(in.Capacity)
+	if err := e.RunBatch(p, b1); err != nil {
+		t.Fatal(err)
+	}
+	clone := e.Clone()
+	// Parent first (appends onto the shared backing array), then clone.
+	if err := e.RunBatch(p, b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.RunBatch(p, b3); err != nil {
+		t.Fatal(err)
+	}
+	assertSameSchedule(t, run([][]core.Task{b1, b2}), e.Schedule())
+	assertSameSchedule(t, run([][]core.Task{b1, b3}), clone.Schedule())
+}
+
+// TestMemoryInUseMatchesSchedule: on integer instances (exact sums) the
+// incremental counter must equal the schedule-derived resident memory at
+// the link-available time, and observing it must not change subsequent
+// scheduling.
+func TestMemoryInUseMatchesSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tasks := testutil.RandomIntTasks(rng, 80, 5)
+	base := core.NewInstance(tasks, 0)
+	capacity := base.MinCapacity() * 1.5
+	if capacity == 0 {
+		capacity = 1
+	}
+	p := Policy{Crit: MaxAccelerated}
+
+	observed := NewExecutor(capacity)
+	silent := NewExecutor(capacity)
+	for lo := 0; lo < len(tasks); lo += 16 {
+		b := tasks[lo : lo+16]
+		if err := observed.RunBatch(p, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := silent.RunBatch(p, b); err != nil {
+			t.Fatal(err)
+		}
+		got := observed.MemoryInUse()
+		want := observed.Schedule().MemoryInUseAt(observed.LinkAvailable())
+		if got != want {
+			t.Fatalf("MemoryInUse %g != schedule-derived %g at t=%g", got, want, observed.LinkAvailable())
+		}
+		if again := observed.MemoryInUse(); again != got {
+			t.Fatalf("MemoryInUse not idempotent: %g then %g", got, again)
+		}
+	}
+	// Observing MemoryInUse between batches must be scheduling-neutral.
+	assertSameSchedule(t, silent.Schedule(), observed.Schedule())
+	assertSameStats(t, silent.Stats(), observed.Stats())
+}

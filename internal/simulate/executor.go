@@ -11,7 +11,9 @@ import (
 // system can feed it successive groups of ready tasks, possibly switching
 // policies between groups (the paper's conclusion sketches exactly such a
 // runtime). Clone supports lookahead: a runtime can copy the executor,
-// trial-run a candidate policy on the pending batch, and keep the best.
+// trial-run a candidate policy on the pending batch, and keep the best —
+// or, cheaper still, TrialMakespan runs the trial on pooled state without
+// materialising a schedule at all.
 type Executor struct {
 	st *state
 }
@@ -32,15 +34,16 @@ func (e *Executor) LinkAvailable() float64 { return e.st.tauComm }
 func (e *Executor) UnitAvailable() float64 { return e.st.tauComp }
 
 // MemoryInUse returns the memory held by tasks whose computations have
-// not finished by the link-available time.
+// not finished by the link-available time. It reads the kernel's
+// incrementally maintained memory counter after retiring the releases
+// due by that time — O(released · log n) instead of the former O(n)
+// rescan of every pending release. Retiring them early is observationally
+// neutral: the next placement's first act is to release the same set in
+// the same placement order, so every subsequent fits decision sees
+// bit-identical state.
 func (e *Executor) MemoryInUse() float64 {
-	use := 0.0
-	for _, r := range e.st.releases {
-		if r.at > e.st.tauComm+eps {
-			use += r.mem
-		}
-	}
-	return use
+	e.st.releaseUntil(e.st.tauComm)
+	return e.st.used
 }
 
 // Scheduled returns the number of tasks placed so far.
@@ -50,6 +53,39 @@ func (e *Executor) Scheduled() int { return len(e.st.schedule.Assignments) }
 // from the current state. Tasks whose memory requirement exceeds the
 // capacity are rejected before any state changes.
 func (e *Executor) RunBatch(p Policy, tasks []core.Task) error {
+	if err := e.checkBatch(tasks); err != nil {
+		return err
+	}
+	err := runBatchInto(e.st, p, tasks)
+	if err == nil {
+		e.st.stats.Batches++
+	}
+	return err
+}
+
+// TrialMakespan runs the policy on the batch against a throwaway copy of
+// the executor's state and returns the resulting makespan, leaving the
+// executor untouched. It is equivalent to — and returns the exact float
+// of — Clone + RunBatch + Makespan, but the trial state comes from the
+// kernel pool and records no schedule, so a runtime can afford one trial
+// per candidate policy per batch (rts.Auto does exactly that).
+func (e *Executor) TrialMakespan(p Policy, tasks []core.Task) (float64, error) {
+	if err := e.checkBatch(tasks); err != nil {
+		return 0, err
+	}
+	st := getState(e.st.capacity)
+	defer putState(st)
+	st.tauComm, st.tauComp = e.st.tauComm, e.st.tauComp
+	st.used, st.span = e.st.used, e.st.span
+	st.relSeq = e.st.relSeq
+	st.releases = append(st.releases[:0], e.st.releases...)
+	if err := runBatchInto(st, p, tasks); err != nil {
+		return 0, err
+	}
+	return st.span, nil
+}
+
+func (e *Executor) checkBatch(tasks []core.Task) error {
 	for _, t := range tasks {
 		if err := t.Validate(); err != nil {
 			return err
@@ -58,21 +94,7 @@ func (e *Executor) RunBatch(p Policy, tasks []core.Task) error {
 			return fmt.Errorf("simulate: task %q needs %g memory, capacity %g", t.Name, t.Mem, e.st.capacity)
 		}
 	}
-	var err error
-	switch {
-	case p.Order != nil && p.Crit == nil:
-		err = staticInto(e.st, tasks, p.Order(tasks))
-	case p.Order == nil && p.Crit != nil:
-		err = dynamicInto(e.st, tasks, p.Crit, p.NoIdleFilter)
-	case p.Order != nil && p.Crit != nil:
-		err = correctedInto(e.st, tasks, p.Order(tasks), p.Crit, p.NoIdleFilter)
-	default:
-		err = fmt.Errorf("simulate: policy has neither an order nor a criterion")
-	}
-	if err == nil {
-		e.st.stats.Batches++
-	}
-	return err
+	return nil
 }
 
 // Stats returns the executor's work counters so far (batches completed,
@@ -81,18 +103,27 @@ func (e *Executor) RunBatch(p Policy, tasks []core.Task) error {
 func (e *Executor) Stats() ExecStats { return e.st.stats }
 
 // Clone returns an independent copy of the executor (state and schedule),
-// for lookahead trials.
+// for lookahead trials. The copy is O(pending releases): the assignments
+// built so far are shared copy-on-write with the original — the clone's
+// schedule slice is capacity-clamped onto the original's backing array,
+// so the first Append on either side reallocates privately. Nothing in
+// this repository mutates an Assignment in place, which is what keeps the
+// sharing sound.
 func (e *Executor) Clone() *Executor {
+	src := e.st
 	st := &state{
-		capacity: e.st.capacity,
-		tauComm:  e.st.tauComm,
-		tauComp:  e.st.tauComp,
-		used:     e.st.used,
-		releases: append([]release(nil), e.st.releases...),
-		schedule: core.NewSchedule(e.st.capacity),
-		stats:    e.st.stats,
+		capacity: src.capacity,
+		tauComm:  src.tauComm,
+		tauComp:  src.tauComp,
+		used:     src.used,
+		span:     src.span,
+		relSeq:   src.relSeq,
+		releases: append(releaseHeap(nil), src.releases...),
+		schedule: core.NewSchedule(src.capacity),
+		stats:    src.stats,
 	}
-	st.schedule.Assignments = append([]core.Assignment(nil), e.st.schedule.Assignments...)
+	a := src.schedule.Assignments
+	st.schedule.Assignments = a[:len(a):len(a)]
 	return &Executor{st: st}
 }
 
@@ -101,4 +132,6 @@ func (e *Executor) Clone() *Executor {
 func (e *Executor) Schedule() *core.Schedule { return e.st.schedule }
 
 // Makespan returns the completion time of the last computation so far.
-func (e *Executor) Makespan() float64 { return e.st.schedule.Makespan() }
+// The kernel tracks it incrementally as placements happen, so this is
+// O(1) rather than a scan of the schedule.
+func (e *Executor) Makespan() float64 { return e.st.span }

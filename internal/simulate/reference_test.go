@@ -1,0 +1,212 @@
+package simulate
+
+// This file preserves the straightforward pre-optimization kernel —
+// linear release list, per-call criterion evaluation, memmove removal
+// from the remaining order — verbatim as a reference implementation.
+// differential_test.go asserts the optimized kernel in simulate.go
+// produces byte-identical schedules, stats and stall counts. When
+// changing kernel semantics (not performance), change BOTH kernels.
+
+import (
+	"fmt"
+	"math"
+
+	"transched/internal/core"
+)
+
+// refState is the reference kernel's resource state: identical fields to
+// the optimized state, but with the releases kept as a flat slice in
+// placement order.
+type refState struct {
+	capacity float64
+	tauComm  float64
+	tauComp  float64
+	used     float64
+	releases []refRelease
+	schedule *core.Schedule
+	stats    ExecStats
+}
+
+type refRelease struct {
+	at  float64
+	mem float64
+}
+
+func newRefState(capacity float64) *refState {
+	return &refState{capacity: capacity, schedule: core.NewSchedule(capacity)}
+}
+
+// refRunBatches mirrors RunBatches on the reference kernel and also
+// returns the final stats (the public RunBatches discards them).
+func refRunBatches(in *core.Instance, batchSize int, p Policy) (*core.Schedule, ExecStats, error) {
+	if err := checkFits(in); err != nil {
+		return nil, ExecStats{}, err
+	}
+	if batchSize <= 0 {
+		batchSize = len(in.Tasks)
+	}
+	st := newRefState(in.Capacity)
+	for lo := 0; lo < len(in.Tasks); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(in.Tasks) {
+			hi = len(in.Tasks)
+		}
+		if err := refRunBatch(st, p, in.Tasks[lo:hi]); err != nil {
+			return nil, ExecStats{}, err
+		}
+		st.stats.Batches++
+	}
+	return st.schedule, st.stats, nil
+}
+
+func refRunBatch(st *refState, p Policy, tasks []core.Task) error {
+	switch {
+	case p.Order != nil && p.Crit == nil:
+		return refStaticInto(st, tasks, p.Order(tasks))
+	case p.Order == nil && p.Crit != nil:
+		remaining := make([]int, len(tasks))
+		for i := range remaining {
+			remaining[i] = i
+		}
+		return refRunSelection(st, tasks, remaining, p.Crit, false, p.NoIdleFilter)
+	case p.Order != nil && p.Crit != nil:
+		order := p.Order(tasks)
+		if len(order) != len(tasks) {
+			return fmt.Errorf("simulate: order has %d entries for %d tasks", len(order), len(tasks))
+		}
+		remaining := append([]int(nil), order...)
+		return refRunSelection(st, tasks, remaining, p.Crit, true, p.NoIdleFilter)
+	default:
+		return fmt.Errorf("simulate: policy has neither an order nor a criterion")
+	}
+}
+
+func (st *refState) releaseUntil(t float64) {
+	kept := st.releases[:0]
+	for _, r := range st.releases {
+		if r.at <= t+eps {
+			st.used -= r.mem
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	st.releases = kept
+}
+
+func (st *refState) nextRelease() float64 {
+	next := math.Inf(1)
+	for _, r := range st.releases {
+		if r.at < next {
+			next = r.at
+		}
+	}
+	return next
+}
+
+func (st *refState) fits(mem float64) bool { return st.used+mem <= st.capacity+eps }
+
+func (st *refState) place(t core.Task, start float64) {
+	compStart := start + t.Comm
+	if st.tauComp > compStart {
+		compStart = st.tauComp
+	}
+	st.schedule.Append(core.Assignment{Task: t, CommStart: start, CompStart: compStart})
+	st.releases = append(st.releases, refRelease{at: compStart + t.Comp, mem: t.Mem})
+	st.used += t.Mem
+	st.stats.Placed++
+	if st.used > st.stats.PeakMemory {
+		st.stats.PeakMemory = st.used
+	}
+	st.tauComm = start + t.Comm
+	st.tauComp = compStart + t.Comp
+}
+
+func (st *refState) idleInduced(t core.Task, start float64) float64 {
+	if d := start + t.Comm - st.tauComp; d > 0 {
+		return d
+	}
+	return 0
+}
+
+func refStaticInto(st *refState, tasks []core.Task, order []int) error {
+	if len(order) != len(tasks) {
+		return fmt.Errorf("simulate: order has %d entries for %d tasks", len(order), len(tasks))
+	}
+	for _, i := range order {
+		t := tasks[i]
+		start := st.tauComm
+		st.releaseUntil(start)
+		if !st.fits(t.Mem) {
+			st.stats.MemStalls++
+		}
+		for !st.fits(t.Mem) {
+			next := st.nextRelease()
+			if math.IsInf(next, 1) {
+				return errNoFit
+			}
+			if next > start {
+				start = next
+			}
+			st.releaseUntil(start)
+		}
+		st.place(t, start)
+	}
+	return nil
+}
+
+func refRunSelection(st *refState, tasks []core.Task, remaining []int, crit Criterion, followHead, noIdleFilter bool) error {
+	now := st.tauComm
+	for len(remaining) > 0 {
+		if st.tauComm > now {
+			now = st.tauComm
+		}
+		st.releaseUntil(now)
+		if followHead {
+			if head := tasks[remaining[0]]; st.fits(head.Mem) {
+				st.place(head, now)
+				remaining = remaining[1:]
+				continue
+			}
+		}
+		pick := refSelectCandidate(tasks, remaining, st, now, crit, noIdleFilter)
+		if pick < 0 {
+			next := st.nextRelease()
+			if math.IsInf(next, 1) {
+				return errNoFit
+			}
+			st.stats.MemStalls++
+			now = next
+			continue
+		}
+		st.place(tasks[remaining[pick]], now)
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+	}
+	return nil
+}
+
+// refSelectCandidate is the reference selection rule: a single running
+// scan in remaining order with eps-tolerant comparisons. Note this is NOT
+// a clean lexicographic (idle, key) argmin — the eps bands chain through
+// the running best — which is exactly why the optimized selector only
+// applies provably scan-equivalent accelerations.
+func refSelectCandidate(tasks []core.Task, remaining []int, st *refState, now float64, crit Criterion, noIdleFilter bool) int {
+	best := -1
+	bestIdle, bestKey := math.Inf(1), math.Inf(-1)
+	for pos, i := range remaining {
+		t := tasks[i]
+		if !st.fits(t.Mem) {
+			continue
+		}
+		idle := 0.0
+		if !noIdleFilter {
+			idle = st.idleInduced(t, now)
+		}
+		key := crit(t)
+		switch {
+		case idle < bestIdle-eps,
+			idle <= bestIdle+eps && key > bestKey+eps:
+			best, bestIdle, bestKey = pos, idle, key
+		}
+	}
+	return best
+}

@@ -14,18 +14,32 @@
 // All three keep the same order on both resources, as in the paper. The
 // batch runner (paper §6.3) feeds tasks to a policy in groups of fixed
 // size, carrying resource and memory state across groups.
+//
+// The event loop is engineered for the daemon's hot path (DESIGN.md
+// §"Simulation kernel"): pending memory releases live in a binary
+// min-heap, criterion values are computed once per task per batch,
+// removals from the remaining order use order-preserving tombstones, and
+// working state is pooled — all without changing a single output bit
+// relative to the straightforward reference kernel kept in
+// reference_test.go. Every floating-point expression below is kept in the
+// reference's exact shape (same operand order, same eps comparisons) so
+// optimized and reference schedules are byte-identical.
 package simulate
 
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync"
 
 	"transched/internal/core"
 )
 
 // Criterion ranks candidate tasks during dynamic selection. Higher key
 // wins; ties are broken by submission index (smaller first) so runs are
-// deterministic.
+// deterministic. Criteria must be pure functions of the task: the kernel
+// evaluates each task's key exactly once per batch and reuses it across
+// every selection round.
 type Criterion func(t core.Task) float64
 
 // LargestComm prefers the candidate with the largest communication time
@@ -74,17 +88,18 @@ func RunBatches(in *core.Instance, batchSize int, p Policy) (*core.Schedule, err
 	if batchSize <= 0 {
 		batchSize = len(in.Tasks)
 	}
-	e := NewExecutor(in.Capacity)
+	st := getState(in.Capacity)
+	defer putState(st)
+	st.schedule = core.NewScheduleCap(in.Capacity, len(in.Tasks))
 	for lo := 0; lo < len(in.Tasks); lo += batchSize {
-		hi := lo + batchSize
-		if hi > len(in.Tasks) {
-			hi = len(in.Tasks)
-		}
-		if err := e.RunBatch(p, in.Tasks[lo:hi]); err != nil {
+		hi := min(lo+batchSize, len(in.Tasks))
+		if err := runBatchInto(st, p, in.Tasks[lo:hi]); err != nil {
 			return nil, err
 		}
 	}
-	return e.Schedule(), nil
+	s := st.schedule
+	st.schedule = nil
+	return s, nil
 }
 
 // Static executes the permutation `order` over in.Tasks under the memory
@@ -95,11 +110,15 @@ func Static(in *core.Instance, order []int) (*core.Schedule, error) {
 	if err := checkFits(in); err != nil {
 		return nil, err
 	}
-	st := newState(in.Capacity)
+	st := getState(in.Capacity)
+	defer putState(st)
+	st.schedule = core.NewScheduleCap(in.Capacity, len(in.Tasks))
 	if err := staticInto(st, in.Tasks, order); err != nil {
 		return nil, err
 	}
-	return st.schedule, nil
+	s := st.schedule
+	st.schedule = nil
+	return s, nil
 }
 
 // Dynamic runs the dynamic-selection event loop (paper §4.2).
@@ -112,11 +131,15 @@ func Corrected(in *core.Instance, order []int, crit Criterion) (*core.Schedule, 
 	if err := checkFits(in); err != nil {
 		return nil, err
 	}
-	st := newState(in.Capacity)
+	st := getState(in.Capacity)
+	defer putState(st)
+	st.schedule = core.NewScheduleCap(in.Capacity, len(in.Tasks))
 	if err := correctedInto(st, in.Tasks, order, crit, false); err != nil {
 		return nil, err
 	}
-	return st.schedule, nil
+	s := st.schedule
+	st.schedule = nil
+	return s, nil
 }
 
 func checkFits(in *core.Instance) error {
@@ -131,13 +154,36 @@ func checkFits(in *core.Instance) error {
 	return nil
 }
 
+// runBatchInto dispatches one batch to the policy's executor family.
+func runBatchInto(st *state, p Policy, tasks []core.Task) error {
+	switch {
+	case p.Order != nil && p.Crit == nil:
+		return staticInto(st, tasks, p.Order(tasks))
+	case p.Order == nil && p.Crit != nil:
+		return dynamicInto(st, tasks, p.Crit, p.NoIdleFilter)
+	case p.Order != nil && p.Crit != nil:
+		return correctedInto(st, tasks, p.Order(tasks), p.Crit, p.NoIdleFilter)
+	default:
+		return fmt.Errorf("simulate: policy has neither an order nor a criterion")
+	}
+}
+
 // state tracks the executor's resources while building a schedule.
 type state struct {
 	capacity float64
 	tauComm  float64 // link available time
 	tauComp  float64 // processing unit available time
 	used     float64 // memory currently occupied
-	releases []release
+	span     float64 // largest computation end so far (the makespan)
+	relSeq   int     // next release insertion sequence number
+
+	releases   releaseHeap // pending releases, min-heap on release time
+	relScratch []release   // pop buffer for insertion-order accounting
+	sel        selector    // dynamic-selection working set, reused per batch
+
+	// schedule receives one assignment per placement; nil runs the batch
+	// in trial mode, where placements update resource/memory state and
+	// the span but record nothing (Executor.TrialMakespan).
 	schedule *core.Schedule
 	stats    ExecStats
 }
@@ -157,38 +203,120 @@ type ExecStats struct {
 	PeakMemory float64
 }
 
+// release is one pending memory release: the instant a placed task's
+// computation ends and its memory frees. seq is the placement order,
+// kept so memory accounting subtracts in placement order no matter the
+// heap's pop order (see releaseUntil).
 type release struct {
 	at  float64
 	mem float64
+	seq int
 }
 
+// releaseHeap is a binary min-heap of pending releases keyed on release
+// time, hand-rolled so push and pop stay allocation-free and inlineable
+// (container/heap would box every element through an interface).
+type releaseHeap []release
+
+func (h *releaseHeap) push(r release) {
+	q := append(*h, r)
+	*h = q
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent].at <= q[i].at {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+}
+
+func (h *releaseHeap) pop() release {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && q[r].at < q[l].at {
+			c = r
+		}
+		if q[i].at <= q[c].at {
+			break
+		}
+		q[i], q[c] = q[c], q[i]
+		i = c
+	}
+	return top
+}
+
+// statePool recycles kernel working state (release heap, selection
+// arenas, scratch) across runs. Every pooled field is fully reset or
+// rewritten before use, so pooling can never influence a schedule.
+var statePool = sync.Pool{New: func() any { return new(state) }}
+
+func getState(capacity float64) *state {
+	st := statePool.Get().(*state)
+	st.capacity = capacity
+	st.tauComm, st.tauComp, st.used, st.span = 0, 0, 0, 0
+	st.relSeq = 0
+	st.releases = st.releases[:0]
+	st.schedule = nil
+	st.stats = ExecStats{}
+	return st
+}
+
+func putState(st *state) {
+	st.schedule = nil // the schedule escapes to the caller; never pool it
+	statePool.Put(st)
+}
+
+// newState returns an unpooled state for long-lived executors.
 func newState(capacity float64) *state {
 	return &state{capacity: capacity, schedule: core.NewSchedule(capacity)}
 }
 
 // releaseUntil frees the memory of every task whose computation ends at or
-// before time t.
+// before time t. Releases are popped from the heap in time order, but the
+// memory counter is decremented in placement order: floating-point
+// subtraction is not associative, so replaying the reference kernel's
+// insertion-order accounting is what keeps `used` — and with it every
+// fits decision — bit-identical to the linear release list it replaces.
 func (st *state) releaseUntil(t float64) {
-	kept := st.releases[:0]
-	for _, r := range st.releases {
-		if r.at <= t+eps {
-			st.used -= r.mem
-		} else {
-			kept = append(kept, r)
+	if len(st.releases) == 0 || st.releases[0].at > t+eps {
+		return
+	}
+	batch := st.relScratch[:0]
+	for len(st.releases) > 0 && st.releases[0].at <= t+eps {
+		batch = append(batch, st.releases.pop())
+	}
+	// Insertion sort by placement sequence: release batches are small and
+	// nearly ordered already.
+	for i := 1; i < len(batch); i++ {
+		for j := i; j > 0 && batch[j-1].seq > batch[j].seq; j-- {
+			batch[j-1], batch[j] = batch[j], batch[j-1]
 		}
 	}
-	st.releases = kept
+	for _, r := range batch {
+		st.used -= r.mem
+	}
+	st.relScratch = batch[:0]
 }
 
 // nextRelease returns the earliest pending memory release time, or +Inf.
 func (st *state) nextRelease() float64 {
-	next := math.Inf(1)
-	for _, r := range st.releases {
-		if r.at < next {
-			next = r.at
-		}
+	if len(st.releases) == 0 {
+		return math.Inf(1)
 	}
-	return next
+	return st.releases[0].at
 }
 
 // fits reports whether mem additional memory fits right now.
@@ -200,24 +328,22 @@ func (st *state) place(t core.Task, start float64) {
 	if st.tauComp > compStart {
 		compStart = st.tauComp
 	}
-	st.schedule.Append(core.Assignment{Task: t, CommStart: start, CompStart: compStart})
-	st.releases = append(st.releases, release{at: compStart + t.Comp, mem: t.Mem})
+	end := compStart + t.Comp
+	if st.schedule != nil {
+		st.schedule.Append(core.Assignment{Task: t, CommStart: start, CompStart: compStart})
+	}
+	st.releases.push(release{at: end, mem: t.Mem, seq: st.relSeq})
+	st.relSeq++
 	st.used += t.Mem
 	st.stats.Placed++
 	if st.used > st.stats.PeakMemory {
 		st.stats.PeakMemory = st.used
 	}
 	st.tauComm = start + t.Comm
-	st.tauComp = compStart + t.Comp
-}
-
-// idleInduced returns the idle time that starting task t's transfer at
-// time `start` would induce on the processing unit.
-func (st *state) idleInduced(t core.Task, start float64) float64 {
-	if d := start + t.Comm - st.tauComp; d > 0 {
-		return d
+	st.tauComp = end
+	if end > st.span {
+		st.span = end
 	}
-	return 0
 }
 
 const eps = 1e-9
@@ -253,39 +379,37 @@ func staticInto(st *state, tasks []core.Task, order []int) error {
 }
 
 func dynamicInto(st *state, tasks []core.Task, crit Criterion, noIdleFilter bool) error {
-	remaining := make([]int, len(tasks))
-	for i := range remaining {
-		remaining[i] = i
-	}
-	return runSelection(st, tasks, remaining, crit, false, noIdleFilter)
+	return runSelection(st, tasks, nil, crit, false, noIdleFilter)
 }
 
 func correctedInto(st *state, tasks []core.Task, order []int, crit Criterion, noIdleFilter bool) error {
 	if len(order) != len(tasks) {
 		return fmt.Errorf("simulate: order has %d entries for %d tasks", len(order), len(tasks))
 	}
-	remaining := append([]int(nil), order...)
-	return runSelection(st, tasks, remaining, crit, true, noIdleFilter)
+	return runSelection(st, tasks, order, crit, true, noIdleFilter)
 }
 
-// runSelection is the shared event loop. With followHead, the head of
-// `remaining` is preferred whenever it fits (corrections mode); otherwise
-// every fitting task competes (pure dynamic mode).
-func runSelection(st *state, tasks []core.Task, remaining []int, crit Criterion, followHead, noIdleFilter bool) error {
+// runSelection is the shared event loop. order is the scan order of the
+// remaining tasks (nil means submission order); with followHead, the head
+// of the remaining order is preferred whenever it fits (corrections
+// mode), otherwise every fitting task competes (pure dynamic mode).
+func runSelection(st *state, tasks []core.Task, order []int, crit Criterion, followHead, noIdleFilter bool) error {
+	sel := &st.sel
+	sel.reset(tasks, order, crit)
 	now := st.tauComm
-	for len(remaining) > 0 {
+	for sel.n > 0 {
 		if st.tauComm > now {
 			now = st.tauComm
 		}
 		st.releaseUntil(now)
 		if followHead {
-			if head := tasks[remaining[0]]; st.fits(head.Mem) {
-				st.place(head, now)
-				remaining = remaining[1:]
+			if h := sel.head(); st.fits(tasks[h].Mem) {
+				st.place(tasks[h], now)
+				sel.remove(h)
 				continue
 			}
 		}
-		pick := selectCandidate(tasks, remaining, st, now, crit, noIdleFilter)
+		pick := sel.pick(st, now, noIdleFilter)
 		if pick < 0 {
 			next := st.nextRelease()
 			if math.IsInf(next, 1) {
@@ -295,34 +419,291 @@ func runSelection(st *state, tasks []core.Task, remaining []int, crit Criterion,
 			now = next
 			continue
 		}
-		st.place(tasks[remaining[pick]], now)
-		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		st.place(tasks[pick], now)
+		sel.remove(pick)
 	}
 	return nil
 }
 
-// selectCandidate returns the index *within remaining* of the task that
-// fits at time now, induces minimum idle time on the processing unit, and
-// maximises the criterion — or -1 if nothing fits. With noIdleFilter the
-// idle pre-filter is skipped and the criterion alone decides.
-func selectCandidate(tasks []core.Task, remaining []int, st *state, now float64, crit Criterion, noIdleFilter bool) int {
+// selector is the per-batch working set of dynamic selection: criterion
+// keys, communication times and memory requirements unpacked once into
+// index-aligned float slices; the remaining scan order with
+// order-preserving tombstones; and the key-descending index that powers
+// the exact fast path. All slices are reused across batches and runs.
+type selector struct {
+	key   []float64 // criterion value per batch index, computed once
+	comm  []float64 // communication time per batch index
+	mem   []float64 // memory requirement per batch index
+	alive []bool    // batch index -> still unscheduled
+
+	rem     []int // remaining scan order; -1 marks a removed (tombstoned) entry
+	remPos  []int // batch index -> its position in rem
+	dead    int   // tombstones currently in rem
+	headPos int   // first possibly-alive position in rem (corrections head)
+	n       int   // remaining task count
+
+	// sorted lists batch indices by (key descending, index ascending);
+	// sortPtr advances monotonically past removed entries at the front.
+	// The order is only consulted when hasNaN is false: a NaN key makes
+	// the comparator non-transitive, so the scan runs unaccelerated.
+	sorted  []int
+	sortPtr int
+	hasNaN  bool
+	sorter  keySorter
+
+	// memSorted lists batch indices by (memory ascending, index
+	// ascending); memPtr advances past removed entries at the front, so
+	// the smallest remaining requirement — the O(1) "nothing can fit"
+	// stall check — is amortized O(1).
+	memSorted []int
+	memPtr    int
+	memSorter memSorter
+}
+
+// reset loads one batch into the selector. order is the scan order (nil
+// means submission order).
+func (sel *selector) reset(tasks []core.Task, order []int, crit Criterion) {
+	n := len(tasks)
+	sel.key = growFloats(sel.key, n)
+	sel.comm = growFloats(sel.comm, n)
+	sel.mem = growFloats(sel.mem, n)
+	sel.alive = growBools(sel.alive, n)
+	sel.rem = growInts(sel.rem, n)
+	sel.remPos = growInts(sel.remPos, n)
+	sel.sorted = growInts(sel.sorted, n)
+	sel.hasNaN = false
+	for i, t := range tasks {
+		k := crit(t)
+		sel.key[i] = k
+		sel.comm[i] = t.Comm
+		sel.mem[i] = t.Mem
+		sel.alive[i] = true
+		if math.IsNaN(k) {
+			sel.hasNaN = true
+		}
+	}
+	if order == nil {
+		for i := range sel.rem {
+			sel.rem[i] = i
+			sel.remPos[i] = i
+		}
+	} else {
+		for pos, i := range order {
+			sel.rem[pos] = i
+			sel.remPos[i] = pos
+		}
+	}
+	sel.dead, sel.headPos, sel.n = 0, 0, n
+	if !sel.hasNaN {
+		for i := range sel.sorted {
+			sel.sorted[i] = i
+		}
+		sel.sorter.key, sel.sorter.idx = sel.key, sel.sorted
+		sort.Sort(&sel.sorter)
+		sel.sortPtr = 0
+	}
+	sel.memSorted = growInts(sel.memSorted, n)
+	for i := range sel.memSorted {
+		sel.memSorted[i] = i
+	}
+	sel.memSorter.mem, sel.memSorter.idx = sel.mem, sel.memSorted
+	sort.Sort(&sel.memSorter)
+	sel.memPtr = 0
+}
+
+// head returns the first remaining batch index in scan order.
+// Only valid while n > 0.
+func (sel *selector) head() int {
+	for sel.rem[sel.headPos] < 0 {
+		sel.headPos++
+	}
+	return sel.rem[sel.headPos]
+}
+
+// remove tombstones batch index i, compacting the scan order (in place,
+// order-preserving) once half of it is dead.
+func (sel *selector) remove(i int) {
+	sel.alive[i] = false
+	sel.rem[sel.remPos[i]] = -1
+	sel.dead++
+	sel.n--
+	if sel.dead >= 16 && sel.dead > len(sel.rem)/2 {
+		w := 0
+		for _, j := range sel.rem {
+			if j >= 0 {
+				sel.rem[w] = j
+				sel.remPos[j] = w
+				w++
+			}
+		}
+		sel.rem = sel.rem[:w]
+		sel.dead, sel.headPos = 0, 0
+	}
+}
+
+// minAliveMem returns the batch index of the remaining task with the
+// smallest memory requirement (ties by smallest index), or -1; amortized
+// O(1) over a batch.
+func (sel *selector) minAliveMem() int {
+	for sel.memPtr < len(sel.memSorted) {
+		if i := sel.memSorted[sel.memPtr]; sel.alive[i] {
+			return i
+		}
+		sel.memPtr++
+	}
+	return -1
+}
+
+// topFitting returns the two remaining batch indices with the largest
+// keys among the tasks that fit right now, in (key descending, index
+// ascending) order — exactly the candidate set the selection scan ranges
+// over, since it skips non-fitting tasks. Meaningless when hasNaN.
+func (sel *selector) topFitting(st *state) (top, second int) {
+	top, second = -1, -1
+	for p := sel.sortPtr; p < len(sel.sorted); p++ {
+		i := sel.sorted[p]
+		if !sel.alive[i] {
+			if p == sel.sortPtr {
+				sel.sortPtr++ // permanently skip the dead prefix
+			}
+			continue
+		}
+		if !(st.used+sel.mem[i] <= st.capacity+eps) {
+			continue
+		}
+		if top < 0 {
+			top = i
+		} else {
+			return top, i
+		}
+	}
+	return top, second
+}
+
+// pick returns the batch index of the task that fits at time now, induces
+// minimum idle time on the processing unit, and maximises the criterion —
+// or -1 if nothing fits. With noIdleFilter the idle pre-filter is skipped
+// and the criterion alone decides.
+//
+// The selection rule is the reference kernel's running scan in remaining
+// order with eps-tolerant comparisons — deliberately NOT a clean
+// (idle, key) argmin, whose tie-breaks differ inside eps bands (see the
+// eps-boundary cases in differential_test.go). Because memory state is
+// fixed for the duration of one call, the scan's candidate set is
+// exactly the remaining tasks that fit now, and three accelerations are
+// provably outcome-identical to the full scan over that set:
+//
+//   - Stall check: float addition is monotone, so if the smallest
+//     remaining requirement does not fit, nothing does — return -1
+//     without scanning.
+//   - Fast path: when the largest-key fitting task induces zero idle and
+//     every other fitting key trails it by more than eps, no scan prefix
+//     can hold the best slot against it (zero idle always passes the
+//     idle branch; the strict key gap always passes the key branch) and
+//     nothing after it can take the slot back (its idle cannot be
+//     undercut below zero minus eps; its key cannot be beaten by more
+//     than eps). The scan collapses without running.
+//   - Early exit: once the running best has exactly zero induced idle
+//     and a key within eps of the largest fitting key, no later
+//     candidate can fire either comparison branch, so the scan stops.
+func (sel *selector) pick(st *state, now float64, noIdleFilter bool) int {
+	if m := sel.minAliveMem(); m < 0 || !(st.used+sel.mem[m] <= st.capacity+eps) {
+		return -1
+	}
+	maxFitKey := math.Inf(1) // +Inf disables the early exit (see scan)
+	if !sel.hasNaN {
+		top, second := sel.topFitting(st)
+		if top < 0 {
+			return -1 // unreachable: the stall check found a fitting task
+		}
+		idle := 0.0
+		if !noIdleFilter {
+			if d := now + sel.comm[top] - st.tauComp; d > 0 {
+				idle = d
+			}
+		}
+		if idle == 0 && (second < 0 || sel.key[top] > sel.key[second]+eps) {
+			return top
+		}
+		maxFitKey = sel.key[top]
+	}
 	best := -1
 	bestIdle, bestKey := math.Inf(1), math.Inf(-1)
-	for pos, i := range remaining {
-		t := tasks[i]
-		if !st.fits(t.Mem) {
+	for _, i := range sel.rem {
+		if i < 0 || !(st.used+sel.mem[i] <= st.capacity+eps) {
 			continue
 		}
 		idle := 0.0
 		if !noIdleFilter {
-			idle = st.idleInduced(t, now)
+			if d := now + sel.comm[i] - st.tauComp; d > 0 {
+				idle = d
+			}
 		}
-		key := crit(t)
+		key := sel.key[i]
 		switch {
 		case idle < bestIdle-eps,
 			idle <= bestIdle+eps && key > bestKey+eps:
-			best, bestIdle, bestKey = pos, idle, key
+			best, bestIdle, bestKey = i, idle, key
+			// Exact even when maxFitKey is +Inf: reaching it then needs
+			// bestKey = +Inf, which no later key can exceed either.
+			if bestIdle == 0 && bestKey+eps >= maxFitKey {
+				return best
+			}
 		}
 	}
 	return best
+}
+
+// keySorter orders batch indices by key descending, index ascending — a
+// concrete sort.Interface so reset's sort allocates nothing per batch.
+type keySorter struct {
+	key []float64
+	idx []int
+}
+
+func (s *keySorter) Len() int { return len(s.idx) }
+func (s *keySorter) Less(a, b int) bool {
+	ka, kb := s.key[s.idx[a]], s.key[s.idx[b]]
+	if ka != kb {
+		return ka > kb
+	}
+	return s.idx[a] < s.idx[b]
+}
+func (s *keySorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+// memSorter orders batch indices by memory ascending, index ascending.
+type memSorter struct {
+	mem []float64
+	idx []int
+}
+
+func (s *memSorter) Len() int { return len(s.idx) }
+func (s *memSorter) Less(a, b int) bool {
+	ma, mb := s.mem[s.idx[a]], s.mem[s.idx[b]]
+	if ma != mb {
+		return ma < mb
+	}
+	return s.idx[a] < s.idx[b]
+}
+func (s *memSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }

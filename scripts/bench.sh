@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs the kernel- and serving-facing benchmarks and writes a
+# machine-readable perf baseline (name, ns/op, allocs/op) so future PRs
+# can diff their numbers against this one's. Usage:
+#
+#   scripts/bench.sh [out.json]     # default out: BENCH_PR5.json
+#
+# The benchmark set matches the acceptance criteria of the kernel
+# optimization PR: event-loop scaling (AblationEventQueue), the daemon
+# hot paths (ServeColdSolve/ServeCacheHit), the lookahead primitives
+# (ExecutorClone, AutoRuntimeBatch) and the parallel portfolio
+# (SolvePortfolio). Numbers are machine-dependent; compare trends, not
+# absolutes, across hosts.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR5.json}"
+pattern='AblationEventQueue|ServeColdSolve|ServeCacheHit|ExecutorClone|SolvePortfolio|AutoRuntimeBatch'
+
+go test -run '^$' -bench "$pattern" -benchmem -count=1 . |
+    tee /dev/stderr |
+    awk '
+        /^Benchmark/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)
+            ns = ""; allocs = ""
+            for (i = 2; i <= NF; i++) {
+                if ($i == "ns/op")     ns = $(i - 1)
+                if ($i == "allocs/op") allocs = $(i - 1)
+            }
+            if (ns == "") next
+            if (n++) printf ",\n"
+            printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", \
+                name, ns, (allocs == "" ? "null" : allocs)
+        }
+        END { if (n) print "" }
+    ' | { printf '[\n'; cat; printf ']\n'; } > "$out"
+
+echo "bench: wrote $(grep -c '"name"' "$out") entries to $out" >&2

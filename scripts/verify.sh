@@ -36,6 +36,14 @@ fi
 # dependencies; failures print the shuffle seed for replay.
 go test -race -shuffle=on -timeout 45m ./...
 
+# The optimized simulation kernel's differential suite (byte-identical
+# schedules vs the straightforward reference kernel, reference_test.go)
+# gets a second, focused run: state pooling and the parallel portfolios
+# make this the code most exposed to races, and -count=2 re-runs it on
+# warm pools, which a single shuffled pass may not cover.
+go test -race -shuffle=on -count=2 -run 'Differential|TrialMakespan|CloneCopyOnWrite|MemoryInUse' \
+    ./internal/simulate/
+
 # Determinism byte-compare with telemetry enabled: a serial and a
 # parallel sweep, both with trace export on, must print identical
 # results (OBSERVABILITY.md) — instrumentation can never silently

@@ -9,6 +9,7 @@ import (
 	"transched/internal/core"
 	"transched/internal/flowshop"
 	"transched/internal/heuristics"
+	"transched/internal/par"
 	"transched/internal/rts"
 )
 
@@ -165,7 +166,10 @@ func Solve(ctx context.Context, tr *Trace, opts SolveOptions) (*SolveResult, err
 
 // solveDirect runs the named heuristic, or the whole portfolio keeping
 // the best (ties resolved by the paper's figure order, so the winner is
-// deterministic).
+// deterministic). The portfolio fans out on a GOMAXPROCS-bounded pool:
+// every heuristic is independent and writes only its index-addressed
+// slot, and the winner is reduced serially in figure order afterwards,
+// so the result is bit-identical to a serial run.
 func solveDirect(ctx context.Context, in *core.Instance, opts SolveOptions, res *SolveResult) error {
 	hs := heuristics.All(in.Capacity)
 	if opts.Heuristic != "" {
@@ -175,15 +179,25 @@ func solveDirect(ctx context.Context, in *core.Instance, opts SolveOptions, res 
 		}
 		hs = []Heuristic{h}
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	schedules := make([]*core.Schedule, len(hs))
+	errs := make([]error, len(hs))
+	par.ForEachIndex(0, len(hs), func(i int) {
+		schedules[i], errs[i] = hs[i].Run(in)
+	})
+	// A cancelled request reports ctx.Err() in preference to any slot
+	// error, matching the serial loop's between-heuristics check.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	var best *core.Schedule
-	for _, h := range hs {
-		if err := ctx.Err(); err != nil {
-			return err
+	for i, h := range hs {
+		if errs[i] != nil {
+			return fmt.Errorf("%s: %w", h.Name, errs[i])
 		}
-		s, err := h.Run(in)
-		if err != nil {
-			return fmt.Errorf("%s: %w", h.Name, err)
-		}
+		s := schedules[i]
 		res.Results = append(res.Results, HeuristicResult{
 			Heuristic: h.Name,
 			Makespan:  s.Makespan(),
@@ -211,7 +225,7 @@ func solveBatched(ctx context.Context, in *core.Instance, opts SolveOptions, res
 		// the outcome — solve it directly instead of rejecting it.
 		return solveDirect(ctx, in, opts, res)
 	}
-	cfg := rts.Config{Capacity: in.Capacity, BatchSize: opts.BatchSize}
+	cfg := rts.Config{Capacity: in.Capacity, BatchSize: opts.BatchSize, Context: ctx}
 	name := "auto"
 	if opts.Heuristic != "" {
 		h, err := heuristics.ByName(opts.Heuristic, in.Capacity)

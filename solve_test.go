@@ -181,3 +181,61 @@ func TestSolveEmptyTrace(t *testing.T) {
 		}
 	}
 }
+
+// TestSolvePortfolioMatchesSerialHeuristics: the portfolio fan-out must
+// return, bit for bit, what running every heuristic one at a time
+// returns — same per-heuristic makespans, same winner under the paper's
+// figure-order tie-break, same committed schedule.
+func TestSolvePortfolioMatchesSerialHeuristics(t *testing.T) {
+	tr := solveTrace(t)
+	res, err := transched.Solve(context.Background(), tr, transched.SolveOptions{CapacityMultiplier: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := transched.NewInstance(tr.Tasks, tr.MinCapacity()*1.2)
+	serial := map[string]float64{}
+	var wantBest string
+	var wantSchedule *transched.Schedule
+	bestSpan := math.Inf(1)
+	for _, name := range transched.HeuristicNames() {
+		h, err := transched.HeuristicByName(name, in.Capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := h.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[name] = s.Makespan()
+		if wantBest == "" || s.Makespan() < bestSpan {
+			wantBest, bestSpan, wantSchedule = name, s.Makespan(), s
+		}
+	}
+
+	if res.Best.Heuristic != wantBest {
+		t.Fatalf("portfolio winner %q, serial winner %q", res.Best.Heuristic, wantBest)
+	}
+	for _, r := range res.Results {
+		want, ok := serial[r.Heuristic]
+		if !ok {
+			t.Fatalf("portfolio ran unknown heuristic %q", r.Heuristic)
+		}
+		if math.Float64bits(r.Makespan) != math.Float64bits(want) {
+			t.Fatalf("%s: portfolio makespan %x, serial %x", r.Heuristic,
+				math.Float64bits(r.Makespan), math.Float64bits(want))
+		}
+	}
+	if len(res.Schedule.Assignments) != len(wantSchedule.Assignments) {
+		t.Fatalf("committed schedule has %d assignments, serial winner %d",
+			len(res.Schedule.Assignments), len(wantSchedule.Assignments))
+	}
+	for i := range res.Schedule.Assignments {
+		a, b := wantSchedule.Assignments[i], res.Schedule.Assignments[i]
+		if a.Task != b.Task ||
+			math.Float64bits(a.CommStart) != math.Float64bits(b.CommStart) ||
+			math.Float64bits(a.CompStart) != math.Float64bits(b.CompStart) {
+			t.Fatalf("assignment %d differs: serial %+v portfolio %+v", i, a, b)
+		}
+	}
+}
