@@ -1,0 +1,339 @@
+// Command transchedbench is the serving-tier load generator: it drives
+// a transchedd daemon (or an in-process one) with a keyed workload and
+// reports the numbers that matter for capacity planning — latency
+// percentiles, cache hit rate, shed rate — as text and as a
+// BENCH_SERVE.json artifact for CI trend lines (SERVING.md).
+//
+// Usage:
+//
+//	transchedbench [-url http://host:8080] [-mode closed|open]
+//	               [-requests 200] [-conc 8] [-rate 50]
+//	               [-traces 16] [-tasks 12] [-seed 1] [-capacity 1.5]
+//	               [-batch-size 0] [-max-solves 0] [-out BENCH_SERVE.json]
+//
+// Two load models:
+//
+//   - closed (default): -conc workers each keep exactly one request in
+//     flight — throughput adapts to the server, the classic
+//     closed-loop benchmark;
+//   - open: requests are launched at a fixed -rate per second
+//     regardless of completions — the model that exposes queueing
+//     collapse, since arrivals do not slow down when the server does.
+//
+// With no -url, it boots an in-process daemon on an ephemeral port
+// (honouring -batch-size and -max-solves) and benchmarks that; the
+// workload cycles deterministically through -traces distinct instances,
+// so reruns are comparable and the expected hit rate is
+// (requests - traces) / requests.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"transched"
+	"transched/internal/serve"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "transchedbench:", err)
+		os.Exit(1)
+	}
+}
+
+// outcome is one request's record; workers write only their own
+// index-addressed slot.
+type outcome struct {
+	status  int
+	hit     bool
+	latency time.Duration
+	err     error
+}
+
+// Report is the BENCH_SERVE.json shape.
+type Report struct {
+	Mode        string  `json:"mode"`
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency,omitempty"`
+	RatePerSec  float64 `json:"rate_per_sec,omitempty"`
+	Traces      int     `json:"traces"`
+	Seconds     float64 `json:"duration_seconds"`
+	Throughput  float64 `json:"throughput_rps"`
+
+	LatencySeconds struct {
+		P50 float64 `json:"p50"`
+		P95 float64 `json:"p95"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_seconds"`
+
+	OK       int     `json:"ok"`
+	Hits     int     `json:"hits"`
+	HitRate  float64 `json:"hit_rate"`
+	Shed     int     `json:"shed"`
+	ShedRate float64 `json:"shed_rate"`
+	Errors   int     `json:"errors"`
+
+	Status map[string]int `json:"status"`
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("transchedbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url       = fs.String("url", "", "target daemon base URL (empty: boot an in-process daemon)")
+		mode      = fs.String("mode", "closed", "load model: closed (fixed concurrency) or open (fixed arrival rate)")
+		requests  = fs.Int("requests", 200, "total requests to send")
+		conc      = fs.Int("conc", 8, "closed-loop worker count")
+		rate      = fs.Float64("rate", 50, "open-loop arrival rate, requests/second")
+		nTraces   = fs.Int("traces", 16, "distinct instances in the workload (cycled deterministically)")
+		tasks     = fs.Int("tasks", 12, "tasks per generated instance")
+		seed      = fs.Int64("seed", 1, "workload generation seed")
+		capacity  = fs.Float64("capacity", 1.5, "capacity multiplier sent with each request")
+		batchSize = fs.Int("batch-size", 0, "in-process daemon: micro-batch window size")
+		maxSolves = fs.Int("max-solves", 0, "in-process daemon: concurrent solve limit (0 = GOMAXPROCS)")
+		out       = fs.String("out", "BENCH_SERVE.json", "report artifact path (empty disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *requests < 1 {
+		return fmt.Errorf("-requests %d must be positive", *requests)
+	}
+	if *mode != "closed" && *mode != "open" {
+		return fmt.Errorf("-mode %q must be closed or open", *mode)
+	}
+	if *mode == "open" && *rate <= 0 {
+		return fmt.Errorf("-rate %g must be positive in open mode", *rate)
+	}
+	if *conc < 1 {
+		*conc = 1
+	}
+	if *nTraces < 1 {
+		*nTraces = 1
+	}
+
+	texts, err := workload(*nTraces, *tasks, *seed)
+	if err != nil {
+		return err
+	}
+
+	base := *url
+	if base == "" {
+		srvCtx, srvCancel := context.WithCancel(context.Background())
+		defer srvCancel()
+		srv := serve.New(serve.Config{
+			MaxConcurrent: *maxSolves,
+			BatchSize:     *batchSize,
+		})
+		addrc := make(chan string, 1)
+		errc := make(chan error, 1)
+		go func() {
+			errc <- srv.ListenAndServe(srvCtx, "127.0.0.1:0", 30*time.Second,
+				func(a net.Addr) { addrc <- a.String() })
+		}()
+		select {
+		case addr := <-addrc:
+			base = "http://" + addr
+			fmt.Fprintf(stderr, "transchedbench: in-process daemon on %s\n", base)
+			defer func() {
+				srvCancel()
+				<-errc
+			}()
+		case err := <-errc:
+			return fmt.Errorf("in-process daemon: %w", err)
+		}
+	}
+	target := base + "/solve?capacity=" + strconv.FormatFloat(*capacity, 'g', -1, 64)
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	results := make([]outcome, *requests)
+	start := time.Now()
+	switch *mode {
+	case "closed":
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < *conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= *requests || ctx.Err() != nil {
+						return
+					}
+					results[j] = send(ctx, client, target, texts[j%len(texts)])
+				}
+			}()
+		}
+		wg.Wait()
+	case "open":
+		interval := time.Duration(float64(time.Second) / *rate)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		var wg sync.WaitGroup
+	launch:
+		for j := 0; j < *requests; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				results[j] = send(ctx, client, target, texts[j%len(texts)])
+			}(j)
+			if j < *requests-1 {
+				select {
+				case <-ticker.C:
+				case <-ctx.Done():
+					wg.Wait()
+					break launch
+				}
+			}
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	rep := summarize(results, elapsed)
+	rep.Mode = *mode
+	rep.Traces = len(texts)
+	if *mode == "closed" {
+		rep.Concurrency = *conc
+	} else {
+		rep.RatePerSec = *rate
+	}
+
+	printReport(stdout, rep)
+	if *out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "transchedbench: wrote %s\n", *out)
+	}
+	if rep.OK == 0 {
+		return fmt.Errorf("no request succeeded (%d sent)", rep.Requests)
+	}
+	return nil
+}
+
+// workload renders nTraces distinct instances in the v1 wire format.
+func workload(nTraces, tasks int, seed int64) ([]string, error) {
+	texts := make([]string, nTraces)
+	for i := range texts {
+		traces, err := transched.GenerateTraces("HF", transched.Cascade(), transched.TraceConfig{
+			Seed: seed + int64(i), Processes: 1, MinTasks: tasks, MaxTasks: tasks,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var sb strings.Builder
+		if err := transched.WriteTrace(&sb, traces[0]); err != nil {
+			return nil, err
+		}
+		texts[i] = sb.String()
+	}
+	return texts, nil
+}
+
+// send issues one solve and records its outcome.
+func send(ctx context.Context, client *http.Client, target, text string) outcome {
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, strings.NewReader(text))
+	if err != nil {
+		return outcome{err: err}
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return outcome{err: err, latency: time.Since(start)}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return outcome{
+		status:  resp.StatusCode,
+		hit:     resp.Header.Get("X-Transched-Cache") == "hit",
+		latency: time.Since(start),
+	}
+}
+
+func summarize(results []outcome, elapsed time.Duration) *Report {
+	rep := &Report{
+		Requests: len(results),
+		Seconds:  elapsed.Seconds(),
+		Status:   make(map[string]int),
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(len(results)) / elapsed.Seconds()
+	}
+	okLatencies := make([]float64, 0, len(results))
+	for _, r := range results {
+		switch {
+		case r.err != nil:
+			rep.Errors++
+			rep.Status["transport_error"]++
+			continue
+		case r.status == http.StatusOK:
+			rep.OK++
+			if r.hit {
+				rep.Hits++
+			}
+			okLatencies = append(okLatencies, r.latency.Seconds())
+		case r.status == http.StatusTooManyRequests || r.status == http.StatusServiceUnavailable:
+			rep.Shed++
+		default:
+			rep.Errors++
+		}
+		rep.Status[strconv.Itoa(r.status)]++
+	}
+	if rep.OK > 0 {
+		rep.HitRate = float64(rep.Hits) / float64(rep.OK)
+	}
+	rep.ShedRate = float64(rep.Shed) / float64(len(results))
+	sort.Float64s(okLatencies)
+	rep.LatencySeconds.P50 = percentile(okLatencies, 0.50)
+	rep.LatencySeconds.P95 = percentile(okLatencies, 0.95)
+	rep.LatencySeconds.P99 = percentile(okLatencies, 0.99)
+	if n := len(okLatencies); n > 0 {
+		rep.LatencySeconds.Max = okLatencies[n-1]
+	}
+	return rep
+}
+
+// percentile reads the q-quantile from sorted (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func printReport(w io.Writer, rep *Report) {
+	fmt.Fprintf(w, "mode        %s\n", rep.Mode)
+	fmt.Fprintf(w, "requests    %d in %.2fs (%.1f req/s)\n", rep.Requests, rep.Seconds, rep.Throughput)
+	fmt.Fprintf(w, "ok          %d   hits %d (rate %.3f)\n", rep.OK, rep.Hits, rep.HitRate)
+	fmt.Fprintf(w, "shed        %d (rate %.3f)   errors %d\n", rep.Shed, rep.ShedRate, rep.Errors)
+	fmt.Fprintf(w, "latency     p50 %.1fms  p95 %.1fms  p99 %.1fms  max %.1fms\n",
+		1000*rep.LatencySeconds.P50, 1000*rep.LatencySeconds.P95,
+		1000*rep.LatencySeconds.P99, 1000*rep.LatencySeconds.Max)
+}

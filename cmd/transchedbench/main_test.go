@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// benchRun drives run() against an in-process daemon and returns the
+// parsed artifact.
+func benchRun(t *testing.T, extra ...string) (*Report, string) {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "BENCH_SERVE.json")
+	args := append([]string{"-out", out}, extra...)
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(), args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("artifact missing: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("artifact not JSON: %v\n%s", err, blob)
+	}
+	return &rep, stdout.String()
+}
+
+// TestBenchClosedLoop: the self-hosted closed-loop run completes every
+// request with zero shed and zero errors, and the keyed workload earns
+// exactly the predicted hit rate of (requests - traces) / requests.
+func TestBenchClosedLoop(t *testing.T) {
+	const requests, traces = 40, 4
+	rep, stdout := benchRun(t,
+		"-mode", "closed", "-requests", strconv.Itoa(requests),
+		"-conc", "4", "-traces", strconv.Itoa(traces), "-tasks", "10")
+
+	if rep.Mode != "closed" || rep.Requests != requests || rep.Traces != traces {
+		t.Fatalf("report header = %+v", rep)
+	}
+	if rep.OK != requests || rep.Errors != 0 || rep.Shed != 0 {
+		t.Errorf("ok/errors/shed = %d/%d/%d, want %d/0/0", rep.OK, rep.Errors, rep.Shed, requests)
+	}
+	if rep.Hits != requests-traces {
+		t.Errorf("hits = %d, want %d (every instance solves once)", rep.Hits, requests-traces)
+	}
+	if rep.HitRate < 0.89 {
+		t.Errorf("hit rate = %.3f, want ~0.9", rep.HitRate)
+	}
+	if rep.LatencySeconds.P50 <= 0 || rep.LatencySeconds.P99 < rep.LatencySeconds.P50 {
+		t.Errorf("latency percentiles out of order: %+v", rep.LatencySeconds)
+	}
+	if rep.Throughput <= 0 {
+		t.Errorf("throughput = %v", rep.Throughput)
+	}
+	if rep.Status["200"] != requests {
+		t.Errorf("status map = %v", rep.Status)
+	}
+	if stdout == "" {
+		t.Error("no human-readable report on stdout")
+	}
+}
+
+// TestBenchOpenLoop: the open-loop arrival process also drains cleanly
+// at a modest rate.
+func TestBenchOpenLoop(t *testing.T) {
+	rep, _ := benchRun(t,
+		"-mode", "open", "-requests", "20", "-rate", "200",
+		"-traces", "2", "-tasks", "10", "-batch-size", "4")
+	if rep.Mode != "open" || rep.RatePerSec != 200 {
+		t.Fatalf("report header = %+v", rep)
+	}
+	if rep.OK != 20 || rep.Errors != 0 {
+		t.Errorf("ok/errors = %d/%d, want 20/0", rep.OK, rep.Errors)
+	}
+	if rep.Hits != 18 {
+		t.Errorf("hits = %d, want 18", rep.Hits)
+	}
+}
+
+func TestBenchFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	for name, args := range map[string][]string{
+		"bad mode":      {"-mode", "sideways"},
+		"zero requests": {"-requests", "0"},
+		"bad rate":      {"-mode", "open", "-rate", "0"},
+		"unknown flag":  {"-nope"},
+	} {
+		if err := run(context.Background(), args, &stdout, &stderr); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

@@ -1,24 +1,33 @@
 // Command transchedd is the scheduling service daemon: it serves the
-// solver portfolio over HTTP/JSON with request batching, a
-// content-addressed result cache and admission control (SERVING.md).
+// solver portfolio over HTTP/JSON with request micro-batching, a
+// content-addressed result cache (in memory, optionally disk-backed)
+// and admission control (SERVING.md).
 //
 // Usage:
 //
 //	transchedd [-addr localhost:8080] [-max-solves 8] [-queue 128]
-//	           [-cache 1024] [-timeout 30s] [-max-timeout 2m]
-//	           [-drain-timeout 30s] [-addr-file path] [-debug] [-quiet]
+//	           [-cache 1024] [-cache-bytes N] [-cache-dir DIR]
+//	           [-batch-size N] [-batch-wait 2ms]
+//	           [-timeout 30s] [-max-timeout 2m] [-drain-timeout 30s]
+//	           [-addr-file path] [-debug] [-quiet]
+//
+// With -route it runs as a shard router instead of a solver: requests
+// are forwarded to the backend that owns their content digest on a
+// consistent-hash ring, with health-aware failover:
+//
+//	transchedd -route http://h1:8080,http://h2:8080 [-replicas 64]
 //
 // Endpoints: POST /solve (a JSON envelope, or a raw v1 trace body with
 // ?capacity=&heuristic=&batch=&timeout_ms= query options), GET
 // /healthz, /readyz and /metrics; -debug adds /debug/vars and
 // /debug/pprof/. On SIGTERM or SIGINT the daemon drains gracefully:
-// readiness turns 503, new solves are shed, in-flight solves finish,
-// and -drain-timeout is the hard cutoff.
+// readiness turns 503, new solves are shed, queued waiters are shed,
+// in-flight solves finish, and -drain-timeout is the hard cutoff.
 //
 // A quick session:
 //
 //	tracegen -app HF -out traces/hf -processes 1
-//	transchedd -addr localhost:8080 &
+//	transchedd -addr localhost:8080 -cache-dir /var/cache/transchedd &
 //	curl --data-binary @traces/hf/hf.p000.trace \
 //	    'http://localhost:8080/solve?heuristic=OOLCMR&capacity=1.5'
 package main
@@ -30,12 +39,15 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"transched/internal/serve"
+	"transched/internal/serve/store"
 )
 
 func main() {
@@ -58,9 +70,15 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		maxSolves  = fs.Int("max-solves", 0, "concurrent solve limit (0 = GOMAXPROCS)")
 		queue      = fs.Int("queue", 128, "bounded wait queue length, negative for none; beyond it requests are shed with 429")
 		cacheN     = fs.Int("cache", 1024, "result cache entries (negative disables caching)")
+		cacheBytes = fs.Int64("cache-bytes", 0, "result cache byte budget (0 = 256MiB, negative disables the byte bound)")
+		cacheDir   = fs.String("cache-dir", "", "disk-backed result store directory; the cache survives restarts")
+		batchSize  = fs.Int("batch-size", 0, "micro-batch window size: cache misses share one admission pass (0 disables)")
+		batchWait  = fs.Duration("batch-wait", 0, "longest a partially filled batch window lingers (default 2ms)")
 		timeout    = fs.Duration("timeout", 30*time.Second, "default per-request solve deadline")
 		maxTimeout = fs.Duration("max-timeout", 2*time.Minute, "cap on request-supplied timeout_ms")
 		drain      = fs.Duration("drain-timeout", 30*time.Second, "hard cutoff for the graceful drain on SIGTERM/SIGINT")
+		route      = fs.String("route", "", "comma-separated backend URLs: run as a shard router instead of a solver")
+		replicas   = fs.Int("replicas", 64, "virtual nodes per backend on the routing ring (with -route)")
 		debug      = fs.Bool("debug", false, "mount /debug/vars and /debug/pprof/ on the service port")
 		quiet      = fs.Bool("quiet", false, "disable request logging")
 	)
@@ -71,21 +89,79 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	if !*quiet {
 		logger = slog.New(slog.NewTextHandler(stderr, nil))
 	}
-	srv := serve.New(serve.Config{
-		MaxConcurrent:   *maxSolves,
-		MaxQueue:        *queue,
-		CacheEntries:    *cacheN,
-		DefaultTimeout:  *timeout,
-		MaxTimeout:      *maxTimeout,
-		Logger:          logger,
-		EnableProfiling: *debug,
-	})
-	return srv.ListenAndServe(ctx, *addr, *drain, func(a net.Addr) {
+	onListen := func(a net.Addr) {
 		fmt.Fprintf(stderr, "transchedd: listening on http://%s\n", a)
 		if *addrFile != "" {
 			if err := os.WriteFile(*addrFile, []byte(a.String()), 0o644); err != nil {
 				fmt.Fprintf(stderr, "transchedd: writing -addr-file: %v\n", err)
 			}
 		}
+	}
+
+	if *route != "" {
+		rt, err := serve.NewRouter(serve.RouterConfig{
+			Backends: strings.Split(*route, ","),
+			Replicas: *replicas,
+			Logger:   logger,
+		})
+		if err != nil {
+			return err
+		}
+		return serveHTTP(ctx, *addr, rt.Handler(), *drain, onListen)
+	}
+
+	var st *store.Store
+	if *cacheDir != "" {
+		var err error
+		if st, err = store.Open(*cacheDir); err != nil {
+			return err
+		}
+		defer st.Close()
+	}
+	srv := serve.New(serve.Config{
+		MaxConcurrent:   *maxSolves,
+		MaxQueue:        *queue,
+		CacheEntries:    *cacheN,
+		CacheBytes:      *cacheBytes,
+		Store:           st,
+		BatchSize:       *batchSize,
+		BatchWait:       *batchWait,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		Logger:          logger,
+		EnableProfiling: *debug,
 	})
+	return srv.ListenAndServe(ctx, *addr, *drain, onListen)
+}
+
+// serveHTTP runs handler on addr until ctx cancels, then shuts down
+// gracefully with drainTimeout as the hard cutoff — the router-mode
+// twin of Server.ListenAndServe (a router holds no solver state, so
+// http.Server.Shutdown's connection drain is the whole story).
+func serveHTTP(ctx context.Context, addr string, h http.Handler, drainTimeout time.Duration, onListen func(net.Addr)) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(lis.Addr())
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(lis) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	if drainTimeout <= 0 {
+		drainTimeout = 30 * time.Second
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		srv.Close()
+		return err
+	}
+	return nil
 }

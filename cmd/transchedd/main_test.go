@@ -108,3 +108,155 @@ func TestRunFlagErrors(t *testing.T) {
 		t.Error("unusable address accepted")
 	}
 }
+
+// startDaemon boots run() on an ephemeral port with extra flags and
+// returns the bound address plus a cancel-and-wait shutdown func.
+func startDaemon(t *testing.T, extra ...string) (string, func() error) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile, "-quiet"}, extra...)
+	errc := make(chan error, 1)
+	var stderr bytes.Buffer
+	go func() { errc <- run(ctx, args, &stderr) }()
+	addr := waitForFile(t, addrFile)
+	stopped := false
+	stop := func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil {
+				return err
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("daemon on %s did not drain\nstderr: %s", addr, stderr.String())
+		}
+		return nil
+	}
+	t.Cleanup(func() { stop() })
+	return addr, stop
+}
+
+func solveTrace(t *testing.T, addr, traceText string) *http.Response {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/solve?capacity=1.5", "text/plain", strings.NewReader(traceText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func testTraceText(t *testing.T, seed int64) string {
+	t.Helper()
+	traces, err := transched.GenerateTraces("HF", transched.Cascade(),
+		transched.TraceConfig{Seed: seed, Processes: 1, MinTasks: 12, MaxTasks: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := transched.WriteTrace(&sb, traces[0]); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestRunWarmRestart: a daemon with -cache-dir restarted over the same
+// directory answers a previously solved instance from disk — the
+// response is a cache hit on the very first request of the new life.
+func TestRunWarmRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	text := testTraceText(t, 17)
+
+	addr, stop := startDaemon(t, "-cache-dir", dir)
+	resp := solveTrace(t, addr, text)
+	firstBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first life solve: %d: %s", resp.StatusCode, firstBody)
+	}
+	if got := resp.Header.Get("X-Transched-Cache"); got != "miss" {
+		t.Fatalf("first life cache header = %q", got)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("first life exit: %v", err)
+	}
+
+	addr2, _ := startDaemon(t, "-cache-dir", dir)
+	resp = solveTrace(t, addr2, text)
+	secondBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second life solve: %d: %s", resp.StatusCode, secondBody)
+	}
+	if got := resp.Header.Get("X-Transched-Cache"); got != "hit" {
+		t.Errorf("second life cache header = %q, want hit (disk store survived the restart)", got)
+	}
+	if !bytes.Equal(firstBody, secondBody) {
+		t.Error("disk-served response differs from the originally computed one")
+	}
+}
+
+// TestRunRouteMode: the -route daemon spreads requests over real solver
+// daemons by digest; identical requests stay sticky (the replay is a
+// backend cache hit) and responses relay through byte-identically.
+func TestRunRouteMode(t *testing.T) {
+	b1, _ := startDaemon(t)
+	b2, _ := startDaemon(t)
+	router, _ := startDaemon(t, "-route", "http://"+b1+",http://"+b2, "-batch-size", "0")
+
+	text := testTraceText(t, 23)
+	resp := solveTrace(t, router, text)
+	firstBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed solve: %d: %s", resp.StatusCode, firstBody)
+	}
+	backend := resp.Header.Get("X-Transched-Backend")
+	if backend != "http://"+b1 && backend != "http://"+b2 {
+		t.Fatalf("backend header = %q, want one of the two daemons", backend)
+	}
+
+	resp = solveTrace(t, router, text)
+	replayBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Transched-Backend"); got != backend {
+		t.Errorf("replay landed on %q, first on %q — not sticky", got, backend)
+	}
+	if got := resp.Header.Get("X-Transched-Cache"); got != "hit" {
+		t.Errorf("replay cache header = %q, want hit", got)
+	}
+	if !bytes.Equal(firstBody, replayBody) {
+		t.Error("replayed routed response differs")
+	}
+
+	// Router-mode flag validation surfaces as a startup error.
+	var stderr bytes.Buffer
+	if err := run(context.Background(), []string{"-route", ","}, &stderr); err == nil {
+		t.Error("empty backend list accepted")
+	}
+}
+
+// TestRunBatchingFlags: a daemon with micro-batching enabled answers
+// exactly like an unbatched one.
+func TestRunBatchingFlags(t *testing.T) {
+	addr, _ := startDaemon(t, "-batch-size", "4", "-batch-wait", "5ms", "-cache-bytes", "1048576")
+	text := testTraceText(t, 29)
+	resp := solveTrace(t, addr, text)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batched daemon solve: %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Best struct {
+			Makespan float64 `json:"makespan"`
+		} `json:"best"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil || out.Best.Makespan <= 0 {
+		t.Errorf("batched daemon response: err=%v body=%s", err, body)
+	}
+}

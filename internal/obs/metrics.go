@@ -35,6 +35,21 @@ type Gauge struct{ bits atomic.Uint64 }
 // Set stores v.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+// Add adjusts the gauge by delta atomically and returns the new value.
+// For level-style gauges (queue depths, in-flight counts) paired
+// increments and decrements through Add are exact under any
+// interleaving, unlike the read-then-Set pattern, where a stale read
+// published after a newer one leaves the gauge permanently wrong.
+func (g *Gauge) Add(delta float64) float64 {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return v
+		}
+	}
+}
+
 // SetMax raises the gauge to v if v is larger (a high-water mark).
 func (g *Gauge) SetMax(v float64) {
 	for {

@@ -124,3 +124,34 @@ func TestConcurrentMetricUpdates(t *testing.T) {
 		t.Errorf("bucket total = %d, want %d", total, workers*perWorker)
 	}
 }
+
+// TestGaugeAddPairedTransitions: a level gauge driven by paired
+// Add(+1)/Add(-1) calls from many goroutines must read exactly zero
+// once every pair has completed — the property the serve queue-depth
+// gauge relies on (a read-then-Set scheme can publish a stale reading
+// last and stick nonzero forever).
+func TestGaugeAddPairedTransitions(t *testing.T) {
+	var g Gauge
+	const workers, rounds = 16, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge after paired storm = %g, want 0", got)
+	}
+	if got := g.Add(2.5); got != 2.5 {
+		t.Errorf("Add return = %g, want 2.5", got)
+	}
+	if got := g.Add(-1); got != 1.5 {
+		t.Errorf("Add return = %g, want 1.5", got)
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 
 	"transched/internal/obs"
@@ -11,6 +12,13 @@ import (
 // errOverloaded reports that the wait queue is full; the server maps it
 // to 429 Too Many Requests with a Retry-After hint.
 var errOverloaded = errors.New("serve: overloaded: wait queue full")
+
+// errDraining reports that the server began draining while the caller
+// was waiting for a solver slot; the server maps it to 503 Service
+// Unavailable with a Retry-After hint. Shedding parked waiters promptly
+// is what lets a SIGTERM drain finish in seconds instead of solving a
+// whole queue of NP-complete instances first.
+var errDraining = errors.New("serve: draining: queued request shed")
 
 // admission bounds the solver: at most maxConcurrent solves run at
 // once, at most maxQueue callers wait for a slot, and a waiting
@@ -22,7 +30,10 @@ type admission struct {
 	slots    chan struct{} // buffered; a token in the channel is a busy slot
 	maxQueue int64
 	waiting  atomic.Int64
-	depth    *obs.Gauge // queue-depth gauge, updated on every transition
+	depth    *obs.Gauge // queue-depth gauge, moved by ±1 with each queue transition
+
+	drainOnce sync.Once
+	drainC    chan struct{} // closed by BeginDrain; releases parked waiters
 }
 
 func newAdmission(maxConcurrent, maxQueue int, depth *obs.Gauge) *admission {
@@ -36,16 +47,30 @@ func newAdmission(maxConcurrent, maxQueue int, depth *obs.Gauge) *admission {
 		slots:    make(chan struct{}, maxConcurrent),
 		maxQueue: int64(maxQueue),
 		depth:    depth,
+		drainC:   make(chan struct{}),
 	}
 }
 
 // Acquire takes a solver slot, waiting in the bounded queue if all are
-// busy. It returns errOverloaded when the queue is full and ctx.Err()
+// busy. It returns errOverloaded when the queue is full, errDraining
+// when the server starts draining while the caller waits, and ctx.Err()
 // when the caller's deadline expires first. A nil error means the
 // caller holds a slot and must Release it.
+//
+// The depth gauge is moved by exactly ±1 with each successful queue
+// entry and exit (obs.Gauge.Add), never recomputed from a separate
+// load: the old Add-then-Set scheme let a goroutine publish a stale
+// reading after a newer one, leaving serve_queue_depth stuck nonzero at
+// idle. A shed caller enters and leaves the waiting count before the
+// gauge moves, so sheds never perturb it.
 func (a *admission) Acquire(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	select {
+	case <-a.drainC:
+		return errDraining
+	default:
 	}
 	select {
 	case a.slots <- struct{}{}:
@@ -56,17 +81,27 @@ func (a *admission) Acquire(ctx context.Context) error {
 		a.waiting.Add(-1)
 		return errOverloaded
 	}
-	a.depth.Set(float64(a.waiting.Load()))
+	a.depth.Add(1)
 	defer func() {
 		a.waiting.Add(-1)
-		a.depth.Set(float64(a.waiting.Load()))
+		a.depth.Add(-1)
 	}()
 	select {
 	case a.slots <- struct{}{}:
 		return nil
+	case <-a.drainC:
+		return errDraining
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// BeginDrain sheds every caller parked in the wait queue (they return
+// errDraining) and makes future Acquires fail the same way. Slots
+// already held are unaffected: in-flight solves run to completion.
+// Idempotent.
+func (a *admission) BeginDrain() {
+	a.drainOnce.Do(func() { close(a.drainC) })
 }
 
 // Release frees a slot taken by a successful Acquire.

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -116,4 +117,86 @@ func TestAdmissionDefaults(t *testing.T) {
 		t.Fatalf("zero queue should shed immediately, got %v", err)
 	}
 	a.Release()
+}
+
+// TestAdmissionDepthGaugeStorm is the queue-depth regression test: the
+// gauge is moved by ±1 per queue transition, so after a storm of
+// waiters — some served, some timed out, some shed — it must read
+// exactly zero. The old read-then-Set scheme let a stale load be
+// published last, leaving the gauge stuck nonzero at idle.
+func TestAdmissionDepthGaugeStorm(t *testing.T) {
+	depth := obs.NewRegistry().Gauge("serve_queue_depth")
+	a := newAdmission(2, 64, depth)
+
+	const workers = 32
+	const rounds = 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				ctx := context.Background()
+				if w%4 == 0 {
+					// A slice of the storm runs on a tight deadline so
+					// the timeout exit path gets exercised too.
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(r%3)*time.Millisecond)
+					err := a.Acquire(ctx)
+					cancel()
+					if err == nil {
+						a.Release()
+					}
+					continue
+				}
+				if err := a.Acquire(ctx); err == nil {
+					a.Release()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := a.Waiting(); got != 0 {
+		t.Errorf("Waiting after storm = %d, want 0", got)
+	}
+	if got := a.InFlight(); got != 0 {
+		t.Errorf("InFlight after storm = %d, want 0", got)
+	}
+	if got := depth.Value(); got != 0 {
+		t.Errorf("serve_queue_depth after storm = %v, want exactly 0", got)
+	}
+}
+
+// TestAdmissionBeginDrain: draining sheds parked waiters with
+// errDraining, rejects future Acquires the same way, and leaves held
+// slots untouched so in-flight work completes.
+func TestAdmissionBeginDrain(t *testing.T) {
+	a := newTestAdmission(1, 8)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	waiterErr := make(chan error, 1)
+	go func() { waiterErr <- a.Acquire(context.Background()) }()
+	for a.Waiting() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	a.BeginDrain()
+	if err := <-waiterErr; !errors.Is(err, errDraining) {
+		t.Fatalf("parked waiter after BeginDrain = %v, want errDraining", err)
+	}
+	if err := a.Acquire(context.Background()); !errors.Is(err, errDraining) {
+		t.Fatalf("post-drain Acquire = %v, want errDraining", err)
+	}
+	a.BeginDrain() // idempotent
+
+	// The in-flight holder is unaffected and can still release.
+	if got := a.InFlight(); got != 1 {
+		t.Errorf("InFlight during drain = %d, want 1", got)
+	}
+	a.Release()
+	if got := a.Waiting(); got != 0 {
+		t.Errorf("Waiting after drain = %d, want 0", got)
+	}
 }

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"transched/internal/obs"
+)
+
+// batcher collects cache-missing solve requests into a size+max-wait
+// window and flushes each window through ONE admission slot: a burst of
+// small traces pays one pass through queueing and admission instead of
+// one per request, which is what keeps the NP-complete solves
+// affordable when millions of users send many small instances at once.
+//
+// Batching is invisible in the bytes: each window member is solved by
+// the exact same solve-and-marshal path an unbatched request takes,
+// with its own options and its own context, so responses stay
+// byte-identical to unbatched solves (asserted by
+// TestServeBatchedByteIdenticalToUnbatched). What batching changes is
+// only when, and under which admission token, the solve runs.
+//
+// Windows flush when they reach maxSize requests or when maxWait has
+// passed since the window opened, whichever comes first. Each flush
+// runs on its own goroutine, so while one window solves, the collector
+// keeps filling the next — concurrency across windows stays
+// admission-bounded, not collector-bounded.
+type batcher struct {
+	maxSize int
+	maxWait time.Duration
+	in      chan *batchItem
+	stop    chan struct{}
+	adm     *admission
+	solve   func(context.Context, *parsedRequest) ([]byte, error)
+
+	flushes  *obs.Counter
+	requests *obs.Counter
+	sizes    *obs.Histogram
+	inFlight *obs.Gauge
+}
+
+// batchItem is one request riding a window; the submitting handler
+// parks on done (or its own context) while the flush runs.
+type batchItem struct {
+	ctx  context.Context
+	p    *parsedRequest
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// batchSizeBuckets sizes the serve_batch_size histogram: windows are
+// small by design (the flush loop exists to amortize, not to build
+// minute-long convoys).
+func batchSizeBuckets() []float64 { return []float64{1, 2, 4, 8, 16, 32, 64, 128} }
+
+func newBatcher(maxSize int, maxWait time.Duration, adm *admission,
+	solve func(context.Context, *parsedRequest) ([]byte, error),
+	reg *obs.Registry, inFlight *obs.Gauge) *batcher {
+	if maxSize < 1 {
+		maxSize = 1
+	}
+	if maxWait <= 0 {
+		maxWait = 2 * time.Millisecond
+	}
+	b := &batcher{
+		maxSize:  maxSize,
+		maxWait:  maxWait,
+		in:       make(chan *batchItem, maxSize),
+		stop:     make(chan struct{}),
+		adm:      adm,
+		solve:    solve,
+		flushes:  reg.Counter("serve_batch_flushes_total"),
+		requests: reg.Counter("serve_batch_requests_total"),
+		sizes:    reg.Histogram("serve_batch_size", batchSizeBuckets()),
+		inFlight: inFlight,
+	}
+	go b.collect()
+	return b
+}
+
+// do submits one parsed request to the current window and waits for its
+// response. The caller's context bounds the whole wait; an abandoned
+// item is skipped by the flush when its turn comes.
+func (b *batcher) do(ctx context.Context, p *parsedRequest) ([]byte, error) {
+	it := &batchItem{ctx: ctx, p: p, done: make(chan struct{})}
+	select {
+	case b.in <- it:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case <-it.done:
+		return it.body, it.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// collect is the window loop: open a window on the first arrival, fill
+// it until maxSize or maxWait, hand it to a flush goroutine, repeat.
+func (b *batcher) collect() {
+	for {
+		var first *batchItem
+		select {
+		case first = <-b.in:
+		case <-b.stop:
+			return
+		}
+		window := append(make([]*batchItem, 0, b.maxSize), first)
+		timer := time.NewTimer(b.maxWait)
+	fill:
+		for len(window) < b.maxSize {
+			select {
+			case it := <-b.in:
+				window = append(window, it)
+			case <-timer.C:
+				break fill
+			case <-b.stop:
+				// Drain path: deliver what is parked (the flush sheds
+				// it via errDraining), then exit.
+				timer.Stop()
+				go b.flush(window)
+				return
+			}
+		}
+		timer.Stop()
+		go b.flush(window)
+	}
+}
+
+// flush solves one window under a single admission slot. The slot is
+// acquired without a caller deadline: members bound their own waits in
+// do, and a drain releases the acquire with errDraining, so the wait
+// always terminates. A member whose context died while parked is
+// skipped with its own context error.
+func (b *batcher) flush(window []*batchItem) {
+	b.flushes.Inc()
+	b.requests.Add(int64(len(window)))
+	b.sizes.Observe(float64(len(window)))
+	if err := b.adm.Acquire(context.Background()); err != nil {
+		for _, it := range window {
+			it.err = err
+			close(it.done)
+		}
+		return
+	}
+	defer b.adm.Release()
+	b.inFlight.Set(float64(b.adm.InFlight()))
+	defer func() { b.inFlight.Set(float64(b.adm.InFlight())) }()
+	for _, it := range window {
+		if err := it.ctx.Err(); err != nil {
+			it.err = err
+			close(it.done)
+			continue
+		}
+		it.body, it.err = b.solve(it.ctx, it.p)
+		close(it.done)
+	}
+}
+
+// close stops the collector. Call only after every submitting handler
+// has returned (the server's drain sequence guarantees it), so no do
+// can be blocked sending on b.in.
+func (b *batcher) close() { close(b.stop) }

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"transched/internal/obs"
+)
+
+// newTestBatcher wires a batcher to a stub solve and an isolated
+// registry; maxWait can be huge to make the size trigger the only one.
+func newTestBatcher(maxSize int, maxWait time.Duration, adm *admission,
+	solve func(context.Context, *parsedRequest) ([]byte, error)) (*batcher, *obs.Registry) {
+	reg := obs.NewRegistry()
+	b := newBatcher(maxSize, maxWait, adm, solve, reg, reg.Gauge("serve_inflight_solves"))
+	return b, reg
+}
+
+// TestBatcherSizeTriggerFlush: a window flushes as soon as it reaches
+// maxSize, well before maxWait, and every member gets its own result.
+func TestBatcherSizeTriggerFlush(t *testing.T) {
+	var calls atomic.Int64
+	solve := func(_ context.Context, p *parsedRequest) ([]byte, error) {
+		calls.Add(1)
+		return []byte(p.digest), nil
+	}
+	b, reg := newTestBatcher(3, time.Hour, newTestAdmission(2, 8), solve)
+	defer b.close()
+
+	const n = 3
+	bodies := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bodies[i], errs[i] = b.do(context.Background(), &parsedRequest{digest: string(rune('a' + i))})
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("member %d: %v", i, errs[i])
+		}
+		if string(bodies[i]) != string(rune('a'+i)) {
+			t.Errorf("member %d got body %q, want its own digest", i, bodies[i])
+		}
+	}
+	if calls.Load() != n {
+		t.Errorf("solve ran %d times, want %d", calls.Load(), n)
+	}
+	if got := reg.Counter("serve_batch_flushes_total").Value(); got != 1 {
+		t.Errorf("flushes = %d, want 1 (size trigger, one admission pass)", got)
+	}
+	if got := reg.Counter("serve_batch_requests_total").Value(); got != n {
+		t.Errorf("batched requests = %d, want %d", got, n)
+	}
+}
+
+// TestBatcherTimeoutFlush: a partially filled window flushes after
+// maxWait instead of waiting for members that never come.
+func TestBatcherTimeoutFlush(t *testing.T) {
+	solve := func(_ context.Context, _ *parsedRequest) ([]byte, error) { return []byte("ok"), nil }
+	b, reg := newTestBatcher(8, 20*time.Millisecond, newTestAdmission(1, 8), solve)
+	defer b.close()
+
+	start := time.Now()
+	body, err := b.do(context.Background(), &parsedRequest{digest: "aa"})
+	if err != nil || string(body) != "ok" {
+		t.Fatalf("do = %q, %v", body, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("lone member waited %v for a window that could never fill", elapsed)
+	}
+	if got := reg.Counter("serve_batch_flushes_total").Value(); got != 1 {
+		t.Errorf("flushes = %d, want 1", got)
+	}
+}
+
+// TestBatcherAbandonedMemberSkipped: a member whose context dies while
+// its window waits for admission is skipped — its solve never runs and
+// the rest of the window is unaffected.
+func TestBatcherAbandonedMemberSkipped(t *testing.T) {
+	adm := newTestAdmission(1, 8)
+	var calls atomic.Int64
+	solve := func(_ context.Context, p *parsedRequest) ([]byte, error) {
+		calls.Add(1)
+		return []byte(p.digest), nil
+	}
+	b, reg := newTestBatcher(2, time.Hour, adm, solve)
+	defer b.close()
+
+	// Hold the only slot so the flush parks in Acquire.
+	if err := adm.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	doomedCtx, cancelDoomed := context.WithCancel(context.Background())
+	doomedErr := make(chan error, 1)
+	go func() {
+		_, err := b.do(doomedCtx, &parsedRequest{digest: "dd"})
+		doomedErr <- err
+	}()
+	survivorBody := make(chan []byte, 1)
+	survivorErr := make(chan error, 1)
+	go func() {
+		body, err := b.do(context.Background(), &parsedRequest{digest: "ee"})
+		survivorBody <- body
+		survivorErr <- err
+	}()
+
+	// Wait until the full window has flushed and is parked in Acquire
+	// (the flush counter moves before the slot wait), then abandon the
+	// first member and let the flush through.
+	for reg.Counter("serve_batch_flushes_total").Value() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancelDoomed()
+	if err := <-doomedErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned member err = %v, want context.Canceled", err)
+	}
+	adm.Release()
+
+	if err := <-survivorErr; err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+	if body := <-survivorBody; string(body) != "ee" {
+		t.Errorf("survivor body = %q", body)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("solve ran %d times, want 1 (abandoned member must be skipped)", got)
+	}
+}
+
+// TestBatcherDrainShedsWindow: once admission is draining, a flushed
+// window is delivered errDraining instead of hanging on a slot that
+// will never come.
+func TestBatcherDrainShedsWindow(t *testing.T) {
+	adm := newTestAdmission(1, 8)
+	b, _ := newTestBatcher(1, time.Hour, adm, func(_ context.Context, _ *parsedRequest) ([]byte, error) {
+		t.Error("solve ran during drain")
+		return nil, nil
+	})
+	defer b.close()
+
+	adm.BeginDrain()
+	if _, err := b.do(context.Background(), &parsedRequest{digest: "aa"}); !errors.Is(err, errDraining) {
+		t.Fatalf("do during drain = %v, want errDraining", err)
+	}
+}

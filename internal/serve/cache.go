@@ -4,21 +4,54 @@ import (
 	"container/list"
 	"context"
 	"sync"
+
+	"transched/internal/obs"
+	"transched/internal/serve/store"
 )
 
+// source says where a response body came from; the server's hit/miss
+// accounting and the X-Transched-Cache header derive from it.
+type source int
+
+const (
+	srcCompute source = iota // compute ran (or failed): a miss
+	srcMemory                // in-memory LRU hit
+	srcFlight                // joined an identical in-flight computation
+	srcStore                 // disk-store hit, promoted into memory
+)
+
+// hit reports whether the body came for free (no solver ran for this
+// caller). Error returns are always srcCompute: a caller that got an
+// error got nothing for free.
+func (s source) hit() bool { return s != srcCompute }
+
 // cache is a bounded LRU of marshalled response bodies keyed by request
-// digest, with singleflight-style in-flight deduplication: while a key
-// is being computed, identical requests wait for that computation
-// instead of starting their own, so a burst of equal instances costs
-// one solve. Entries are immutable byte slices — a hit hands back the
-// exact bytes the original miss produced, which is what makes the
-// byte-identical response contract trivial to honour.
+// digest, with singleflight-style in-flight deduplication and an
+// optional disk tier behind it. While a key is being computed,
+// identical requests wait for that computation instead of starting
+// their own, so a burst of equal instances costs one solve. Entries are
+// immutable byte slices — a hit hands back the exact bytes the original
+// miss produced, which is what makes the byte-identical response
+// contract trivial to honour.
+//
+// The LRU is bounded twice: by entry count (maxEntries) and by total
+// body bytes (maxBytes) — a handful of 800-task timelines would
+// otherwise pin unbounded memory while the entry bound read as
+// "plenty of room".
 type cache struct {
-	mu       sync.Mutex
-	max      int // <= 0 disables storage (dedup still applies)
-	ll       *list.List
-	items    map[string]*list.Element
-	inflight map[string]*flight
+	mu         sync.Mutex
+	maxEntries int   // <= 0 disables storage (dedup still applies)
+	maxBytes   int64 // <= 0 disables the byte bound
+	bytes      int64
+	ll         *list.List
+	items      map[string]*list.Element
+	inflight   map[string]*flight
+
+	// disk, when non-nil, is consulted on memory misses and written
+	// through on computed solves; putErrs counts failed write-throughs
+	// (the response is still served — persistence is best-effort).
+	disk    *store.Store
+	putErrs *obs.Counter
 }
 
 // entry is one stored response.
@@ -34,12 +67,15 @@ type flight struct {
 	err  error
 }
 
-func newCache(max int) *cache {
+func newCache(maxEntries int, maxBytes int64, disk *store.Store, putErrs *obs.Counter) *cache {
 	return &cache{
-		max:      max,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element),
-		inflight: make(map[string]*flight),
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		inflight:   make(map[string]*flight),
+		disk:       disk,
+		putErrs:    putErrs,
 	}
 }
 
@@ -48,6 +84,13 @@ func (c *cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// Bytes returns the total stored body bytes.
+func (c *cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // get returns the stored body for key, refreshing its recency.
@@ -61,52 +104,92 @@ func (c *cache) get(key string) ([]byte, bool) {
 	return nil, false
 }
 
-// Do returns the response body for key: from the cache, by joining an
-// identical in-flight computation, or by running compute. hit reports
-// whether compute ran (false) or the body came for free (true). Only
-// successful computations are stored; a failing compute reports its
-// error to every joined waiter and leaves no residue. The context
-// bounds only the caller's wait — an in-flight computation it joined
-// keeps running for the remaining waiters.
-func (c *cache) Do(ctx context.Context, key string, compute func() ([]byte, error)) (body []byte, hit bool, err error) {
+// Do returns the response body for key: from the memory LRU, by joining
+// an identical in-flight computation, from the disk tier, or by running
+// compute. Only successful computations are stored; a failing compute
+// reports its error to every joined waiter and leaves no residue. The
+// context bounds only the caller's wait — an in-flight computation it
+// joined keeps running for the remaining waiters.
+func (c *cache) Do(ctx context.Context, key string, compute func() ([]byte, error)) (body []byte, src source, err error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		body := el.Value.(*entry).body
 		c.mu.Unlock()
-		return body, true, nil
+		return body, srcMemory, nil
 	}
 	if fl, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
 		// Deterministic timeout behaviour: a dead context wins even if
 		// the flight happens to be done too.
 		if err := ctx.Err(); err != nil {
-			return nil, false, err
+			return nil, srcCompute, err
 		}
 		select {
 		case <-fl.done:
-			return fl.body, true, fl.err
+			if fl.err != nil {
+				// A joiner of a failed computation got nothing for
+				// free: report a miss, so hits + misses + sheds +
+				// timeouts + errors keeps summing to requests. (This
+				// used to report a hit, inflating the hit counter on
+				// every error burst.)
+				return nil, srcCompute, fl.err
+			}
+			return fl.body, srcFlight, nil
 		case <-ctx.Done():
-			return nil, false, ctx.Err()
+			return nil, srcCompute, ctx.Err()
 		}
 	}
 	fl := &flight{done: make(chan struct{})}
 	c.inflight[key] = fl
 	c.mu.Unlock()
 
-	fl.body, fl.err = compute()
+	src = srcCompute
+	if c.disk != nil {
+		if b, ok := c.disk.Get(key); ok {
+			fl.body, src = b, srcStore
+		}
+	}
+	if src == srcCompute {
+		fl.body, fl.err = compute()
+	}
 
 	c.mu.Lock()
 	delete(c.inflight, key)
-	if fl.err == nil && c.max > 0 {
-		c.items[key] = c.ll.PushFront(&entry{key: key, body: fl.body})
-		for c.ll.Len() > c.max {
-			oldest := c.ll.Back()
-			c.ll.Remove(oldest)
-			delete(c.items, oldest.Value.(*entry).key)
-		}
+	if fl.err == nil {
+		c.insertLocked(key, fl.body)
 	}
 	c.mu.Unlock()
+	if fl.err == nil && src == srcCompute && c.disk != nil {
+		// Write-through before releasing waiters: once any response for
+		// this digest is out the door, a warm restart can reproduce it.
+		if perr := c.disk.Put(key, fl.body); perr != nil && c.putErrs != nil {
+			c.putErrs.Inc()
+		}
+	}
 	close(fl.done)
-	return fl.body, false, fl.err
+	return fl.body, src, fl.err
+}
+
+// insertLocked stores body under key and evicts from the cold end until
+// both bounds hold. An entry larger than the whole byte budget is not
+// stored at all: admitting it would evict everything else and the loop
+// below would still find the cache over budget with nothing left to
+// evict — the evict-loop the oversized-entry test pins down.
+func (c *cache) insertLocked(key string, body []byte) {
+	if c.maxEntries <= 0 {
+		return
+	}
+	if c.maxBytes > 0 && int64(len(body)) > c.maxBytes {
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, body: body})
+	c.bytes += int64(len(body))
+	for c.ll.Len() > 1 && (c.ll.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		e := oldest.Value.(*entry)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.body))
+	}
 }

@@ -5,11 +5,20 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"transched/internal/serve/store"
 )
+
+// newMemCache is the memory-only cache most tests want: entry bound
+// only, no byte budget, no disk tier.
+func newMemCache(maxEntries int) *cache {
+	return newCache(maxEntries, 0, nil, nil)
+}
 
 // failCompute is a compute function that must never run.
 func failCompute(t *testing.T) func() ([]byte, error) {
@@ -23,19 +32,19 @@ func failCompute(t *testing.T) func() ([]byte, error) {
 // correctness satellite: a hit returns exactly the bytes the original
 // miss produced.
 func TestCacheHitIsByteIdentical(t *testing.T) {
-	c := newCache(4)
+	c := newMemCache(4)
 	ctx := context.Background()
 	want := []byte(`{"payload": true}`)
-	got, hit, err := c.Do(ctx, "k", func() ([]byte, error) { return want, nil })
-	if err != nil || hit {
-		t.Fatalf("miss: hit=%v err=%v", hit, err)
+	got, src, err := c.Do(ctx, "k", func() ([]byte, error) { return want, nil })
+	if err != nil || src.hit() {
+		t.Fatalf("miss: src=%v err=%v", src, err)
 	}
 	if !bytes.Equal(got, want) {
 		t.Fatalf("miss body = %q", got)
 	}
-	again, hit, err := c.Do(ctx, "k", failCompute(t))
-	if err != nil || !hit {
-		t.Fatalf("hit: hit=%v err=%v", hit, err)
+	again, src, err := c.Do(ctx, "k", failCompute(t))
+	if err != nil || src != srcMemory {
+		t.Fatalf("hit: src=%v err=%v", src, err)
 	}
 	if !bytes.Equal(again, want) {
 		t.Errorf("hit body %q differs from miss body %q", again, want)
@@ -46,7 +55,7 @@ func TestCacheHitIsByteIdentical(t *testing.T) {
 }
 
 func TestCacheLRUBound(t *testing.T) {
-	c := newCache(2)
+	c := newMemCache(2)
 	ctx := context.Background()
 	put := func(key string) {
 		t.Helper()
@@ -76,10 +85,71 @@ func TestCacheLRUBound(t *testing.T) {
 	}
 }
 
+// TestCacheByteBudget: the LRU is bounded by total body bytes alongside
+// the entry count, evicting from the cold end until under budget — a
+// few huge traces can no longer pin unbounded memory behind a roomy
+// entry bound.
+func TestCacheByteBudget(t *testing.T) {
+	c := newCache(100, 100, nil, nil) // 100 entries, 100 bytes
+	ctx := context.Background()
+	put := func(key string, n int) {
+		t.Helper()
+		if _, _, err := c.Do(ctx, key, func() ([]byte, error) { return make([]byte, n), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a", 60)
+	put("b", 30)
+	if c.Len() != 2 || c.Bytes() != 90 {
+		t.Fatalf("Len=%d Bytes=%d, want 2/90", c.Len(), c.Bytes())
+	}
+	put("c", 30) // 120 > 100: evicts cold "a", leaving b+c = 60
+	if c.Len() != 2 || c.Bytes() != 60 {
+		t.Fatalf("after byte eviction: Len=%d Bytes=%d, want 2/60", c.Len(), c.Bytes())
+	}
+	if _, ok := c.get("a"); ok {
+		t.Error("cold entry a survived byte-budget eviction")
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Error("b evicted though cache was under budget without a")
+	}
+}
+
+// TestCacheOversizedEntryCannotEvictLoop: an entry larger than the
+// whole byte budget is served but never stored — storing it would evict
+// every other entry and still leave the cache over budget.
+func TestCacheOversizedEntryCannotEvictLoop(t *testing.T) {
+	c := newCache(100, 100, nil, nil)
+	ctx := context.Background()
+	if _, _, err := c.Do(ctx, "small", func() ([]byte, error) { return make([]byte, 40), nil }); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		body, src, err := c.Do(ctx, "huge", func() ([]byte, error) { return make([]byte, 500), nil })
+		if err != nil || src.hit() || len(body) != 500 {
+			t.Errorf("oversized solve: len=%d src=%v err=%v", len(body), src, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("oversized entry hung the cache (evict loop)")
+	}
+	if c.Len() != 1 || c.Bytes() != 40 {
+		t.Errorf("oversized entry was stored: Len=%d Bytes=%d, want 1/40", c.Len(), c.Bytes())
+	}
+	// It stays a miss: the next request recomputes.
+	if _, src, err := c.Do(ctx, "huge", func() ([]byte, error) { return make([]byte, 500), nil }); err != nil || src.hit() {
+		t.Errorf("second oversized request: src=%v err=%v, want recompute", src, err)
+	}
+}
+
 // TestCacheDisabledStillDeduplicates: a non-positive bound turns off
 // storage but in-flight deduplication must keep working.
 func TestCacheDisabledStillDeduplicates(t *testing.T) {
-	c := newCache(0)
+	c := newMemCache(0)
 	ctx := context.Background()
 	var calls atomic.Int64
 	compute := func() ([]byte, error) {
@@ -87,8 +157,8 @@ func TestCacheDisabledStillDeduplicates(t *testing.T) {
 		return []byte("x"), nil
 	}
 	for i := 0; i < 3; i++ {
-		if _, hit, err := c.Do(ctx, "k", compute); err != nil || hit {
-			t.Fatalf("round %d: hit=%v err=%v", i, hit, err)
+		if _, src, err := c.Do(ctx, "k", compute); err != nil || src.hit() {
+			t.Fatalf("round %d: src=%v err=%v", i, src, err)
 		}
 	}
 	if calls.Load() != 3 {
@@ -100,7 +170,7 @@ func TestCacheDisabledStillDeduplicates(t *testing.T) {
 }
 
 func TestCacheErrorNotStored(t *testing.T) {
-	c := newCache(4)
+	c := newMemCache(4)
 	ctx := context.Background()
 	boom := errors.New("boom")
 	if _, _, err := c.Do(ctx, "k", func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
@@ -110,9 +180,58 @@ func TestCacheErrorNotStored(t *testing.T) {
 		t.Fatalf("failed compute left %d entries", c.Len())
 	}
 	// The key is retryable: the next Do computes again and can succeed.
-	body, hit, err := c.Do(ctx, "k", func() ([]byte, error) { return []byte("ok"), nil })
-	if err != nil || hit || string(body) != "ok" {
-		t.Errorf("retry: body=%q hit=%v err=%v", body, hit, err)
+	body, src, err := c.Do(ctx, "k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || src.hit() || string(body) != "ok" {
+		t.Errorf("retry: body=%q src=%v err=%v", body, src, err)
+	}
+}
+
+// TestCacheFailedFlightJoinerReportsMiss is the hit-accounting
+// regression test: a waiter that joined an in-flight computation which
+// FAILED used to be reported as a hit, inflating serve_cache_hits on
+// every error burst and breaking hits+misses+errors == requests. A
+// failed join must report a miss alongside its error.
+func TestCacheFailedFlightJoinerReportsMiss(t *testing.T) {
+	const n = 5
+	c := newMemCache(4)
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	release := make(chan struct{})
+	compute := func() ([]byte, error) {
+		calls.Add(1)
+		<-release
+		return nil, boom
+	}
+
+	srcs := make([]source, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, srcs[i], errs[i] = c.Do(context.Background(), "k", compute)
+		}(i)
+	}
+	// Let the leader start and the rest pile onto its flight, then fail
+	// the computation under every waiter at once.
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if !errors.Is(errs[i], boom) {
+			t.Errorf("caller %d err = %v, want boom", i, errs[i])
+		}
+		if srcs[i].hit() {
+			t.Errorf("caller %d of a FAILED computation reported a hit (src=%v)", i, srcs[i])
+		}
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed computation left %d entries", c.Len())
 	}
 }
 
@@ -121,7 +240,7 @@ func TestCacheErrorNotStored(t *testing.T) {
 // bodies are byte-identical.
 func TestCacheSingleflight(t *testing.T) {
 	const n = 16
-	c := newCache(4)
+	c := newMemCache(4)
 	ctx := context.Background()
 	var calls atomic.Int64
 	release := make(chan struct{})
@@ -133,14 +252,14 @@ func TestCacheSingleflight(t *testing.T) {
 
 	// Index-addressed result slots: each goroutine writes only its own.
 	bodies := make([][]byte, n)
-	hits := make([]bool, n)
+	srcs := make([]source, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			bodies[i], hits[i], errs[i] = c.Do(ctx, "k", compute)
+			bodies[i], srcs[i], errs[i] = c.Do(ctx, "k", compute)
 		}(i)
 	}
 	// Wait for the leader to start computing, give joiners time to pile
@@ -148,7 +267,7 @@ func TestCacheSingleflight(t *testing.T) {
 	for calls.Load() == 0 {
 		time.Sleep(time.Millisecond)
 	}
-	time.Sleep(5 * time.Millisecond)
+	time.Sleep(50 * time.Millisecond)
 	close(release)
 	wg.Wait()
 
@@ -163,7 +282,7 @@ func TestCacheSingleflight(t *testing.T) {
 		if string(bodies[i]) != "answer" {
 			t.Errorf("goroutine %d body = %q", i, bodies[i])
 		}
-		if !hits[i] {
+		if !srcs[i].hit() {
 			misses++
 		}
 	}
@@ -175,7 +294,7 @@ func TestCacheSingleflight(t *testing.T) {
 // TestCacheJoinerHonoursContext: joining an in-flight computation is
 // bounded by the joiner's own context; the leader keeps running.
 func TestCacheJoinerHonoursContext(t *testing.T) {
-	c := newCache(4)
+	c := newMemCache(4)
 	var calls atomic.Int64
 	release := make(chan struct{})
 	leaderDone := make(chan error, 1)
@@ -193,23 +312,23 @@ func TestCacheJoinerHonoursContext(t *testing.T) {
 
 	cancelled, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, hit, err := c.Do(cancelled, "k", failCompute(t)); !errors.Is(err, context.Canceled) || hit {
-		t.Errorf("joiner with dead context: hit=%v err=%v, want context.Canceled", hit, err)
+	if _, src, err := c.Do(cancelled, "k", failCompute(t)); !errors.Is(err, context.Canceled) || src.hit() {
+		t.Errorf("joiner with dead context: src=%v err=%v, want miss + context.Canceled", src, err)
 	}
 
 	close(release)
 	if err := <-leaderDone; err != nil {
 		t.Fatalf("leader: %v", err)
 	}
-	if body, hit, err := c.Do(context.Background(), "k", failCompute(t)); err != nil || !hit || string(body) != "late" {
-		t.Errorf("post-flight: body=%q hit=%v err=%v", body, hit, err)
+	if body, src, err := c.Do(context.Background(), "k", failCompute(t)); err != nil || src != srcMemory || string(body) != "late" {
+		t.Errorf("post-flight: body=%q src=%v err=%v", body, src, err)
 	}
 }
 
 // TestCacheConcurrentDistinctKeys exercises the lock under parallel
 // misses on different keys (mostly for the race detector).
 func TestCacheConcurrentDistinctKeys(t *testing.T) {
-	c := newCache(8)
+	c := newMemCache(8)
 	ctx := context.Background()
 	const n = 16
 	errs := make([]error, n)
@@ -230,5 +349,38 @@ func TestCacheConcurrentDistinctKeys(t *testing.T) {
 	}
 	if c.Len() != 8 {
 		t.Errorf("Len = %d, want the bound 8", c.Len())
+	}
+}
+
+// TestCacheDiskTier: a computed body is written through to the disk
+// store; a fresh cache over the same store answers from disk (srcStore)
+// without computing and promotes the entry into memory.
+func TestCacheDiskTier(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ctx := context.Background()
+	key := strings.Repeat("ab", 8)
+
+	c1 := newCache(4, 0, st, nil)
+	want := []byte(`{"deep": "thought"}`)
+	if _, src, err := c1.Do(ctx, key, func() ([]byte, error) { return want, nil }); err != nil || src != srcCompute {
+		t.Fatalf("first solve: src=%v err=%v", src, err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store has %d entries after write-through, want 1", st.Len())
+	}
+
+	// A cold restart: new memory cache, same disk.
+	c2 := newCache(4, 0, st, nil)
+	body, src, err := c2.Do(ctx, key, failCompute(t))
+	if err != nil || src != srcStore || !bytes.Equal(body, want) {
+		t.Fatalf("warm-restart read: body=%q src=%v err=%v", body, src, err)
+	}
+	// Promoted: the next read is a memory hit.
+	if _, src, err := c2.Do(ctx, key, failCompute(t)); err != nil || src != srcMemory {
+		t.Errorf("post-promotion read: src=%v err=%v", src, err)
 	}
 }

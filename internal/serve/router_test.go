@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"transched"
+	"transched/internal/obs"
+)
+
+func TestRingStableAssignment(t *testing.T) {
+	backends := []string{"http://a", "http://b", "http://c"}
+	r1 := newRing(backends, 64)
+	// Same backends in a different order build the identical ring.
+	r2 := newRing([]string{"http://c", "http://a", "http://b"}, 64)
+	if len(r1.points) != 3*64 {
+		t.Fatalf("ring has %d points, want %d", len(r1.points), 3*64)
+	}
+	for i := 0; i < 1000; i++ {
+		key := uint64(i) * 0x9e3779b97f4a7c15
+		if r1.owner(key) != r2.owner(key) {
+			t.Fatalf("key %d: owner depends on configuration order (%s vs %s)",
+				i, r1.owner(key), r2.owner(key))
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	backends := []string{"http://a", "http://b", "http://c"}
+	r := newRing(backends, 64)
+	counts := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.owner(uint64(i)*0x9e3779b97f4a7c15)]++
+	}
+	for _, b := range backends {
+		if share := float64(counts[b]) / keys; share < 0.15 {
+			t.Errorf("backend %s owns %.1f%% of the keyspace — vnodes too lumpy", b, 100*share)
+		}
+	}
+}
+
+// TestRingOnlyFailedShardMoves is the consistent-hashing property the
+// router exists for: removing one backend reassigns only the keys that
+// backend owned.
+func TestRingOnlyFailedShardMoves(t *testing.T) {
+	full := newRing([]string{"http://a", "http://b", "http://c"}, 64)
+	without := newRing([]string{"http://a", "http://c"}, 64)
+	const keys = 5000
+	for i := 0; i < keys; i++ {
+		key := uint64(i) * 0x9e3779b97f4a7c15
+		before := full.owner(key)
+		after := without.owner(key)
+		if before != "http://b" && after != before {
+			t.Fatalf("key %d moved from %s to %s though its owner never left", i, before, after)
+		}
+	}
+}
+
+func TestRingFailoverOrder(t *testing.T) {
+	r := newRing([]string{"http://a", "http://b", "http://c"}, 64)
+	for i := 0; i < 100; i++ {
+		key := uint64(i) * 0x9e3779b97f4a7c15
+		order := r.order(key)
+		if len(order) != 3 {
+			t.Fatalf("key %d: failover order %v misses backends", i, order)
+		}
+		if order[0] != r.owner(key) {
+			t.Errorf("key %d: failover starts at %s, owner is %s", i, order[0], r.owner(key))
+		}
+		seen := map[string]bool{}
+		for _, b := range order {
+			if seen[b] {
+				t.Fatalf("key %d: duplicate backend in order %v", i, order)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+// routerFixture boots real solver backends behind a router and returns
+// everything a test needs to drive and inspect it.
+type routerFixture struct {
+	router   *Router
+	handler  http.Handler
+	backends []*httptest.Server
+}
+
+func newRouterFixture(t *testing.T, n int, cfg RouterConfig) *routerFixture {
+	t.Helper()
+	f := &routerFixture{}
+	for i := 0; i < n; i++ {
+		srv := httptest.NewServer(New(testConfig()).Handler())
+		t.Cleanup(srv.Close)
+		f.backends = append(f.backends, srv)
+		cfg.Backends = append(cfg.Backends, srv.URL)
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	rt, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.router = rt
+	f.handler = rt.Handler()
+	return f
+}
+
+// TestRouterRoutesByDigest: responses through the router are
+// byte-identical to serial solves, and identical instances always land
+// on the same backend — the second request is a cache HIT on that
+// backend, which is the entire point of digest-sticky routing.
+func TestRouterRoutesByDigest(t *testing.T) {
+	f := newRouterFixture(t, 3, RouterConfig{})
+	const n = 6
+	placed := map[string]bool{}
+	for i := 0; i < n; i++ {
+		text := genTraceText(t, 600+int64(i), 12)
+		first := postRaw(f.handler, "/solve?capacity=1.5", text)
+		if first.Code != http.StatusOK {
+			t.Fatalf("instance %d: status %d: %s", i, first.Code, first.Body.String())
+		}
+		want := referenceBody(t, text, transched.SolveOptions{CapacityMultiplier: 1.5})
+		if !bytes.Equal(first.Body.Bytes(), want) {
+			t.Errorf("instance %d: routed response differs from serial solve", i)
+		}
+		backend := first.Header().Get("X-Transched-Backend")
+		if backend == "" {
+			t.Fatalf("instance %d: no backend header", i)
+		}
+		placed[backend] = true
+
+		second := postRaw(f.handler, "/solve?capacity=1.5", text)
+		if got := second.Header().Get("X-Transched-Backend"); got != backend {
+			t.Errorf("instance %d: replay landed on %s, first on %s — routing not sticky", i, got, backend)
+		}
+		if got := second.Header().Get("X-Transched-Cache"); got != "hit" {
+			t.Errorf("instance %d: replay on the owning backend was a %q, want hit", i, got)
+		}
+		if !bytes.Equal(second.Body.Bytes(), want) {
+			t.Errorf("instance %d: replayed response differs", i)
+		}
+	}
+	if len(placed) < 2 {
+		t.Errorf("all %d instances landed on one backend of 3 — ring not spreading", n)
+	}
+}
+
+// TestRouterFailsOverWhenBackendDies: killing a backend moves its keys
+// to the next backend on the ring; every request still answers 200 and
+// untouched backends keep their placements.
+func TestRouterFailsOverWhenBackendDies(t *testing.T) {
+	f := newRouterFixture(t, 2, RouterConfig{Cooldown: 50 * time.Millisecond})
+	texts := make([]string, 4)
+	owners := make([]string, 4)
+	for i := range texts {
+		texts[i] = genTraceText(t, 700+int64(i), 12)
+		rec := postRaw(f.handler, "/solve?capacity=1.5", texts[i])
+		if rec.Code != http.StatusOK {
+			t.Fatalf("warmup %d: %d", i, rec.Code)
+		}
+		owners[i] = rec.Header().Get("X-Transched-Backend")
+	}
+
+	dead := f.backends[0]
+	dead.Close()
+	for i := range texts {
+		rec := postRaw(f.handler, "/solve?capacity=1.5", texts[i])
+		if rec.Code != http.StatusOK {
+			t.Fatalf("after kill, instance %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		got := rec.Header().Get("X-Transched-Backend")
+		if got == dead.URL {
+			t.Fatalf("instance %d routed to the dead backend", i)
+		}
+		if owners[i] != dead.URL && got != owners[i] {
+			t.Errorf("instance %d moved from healthy %s to %s", i, owners[i], got)
+		}
+	}
+	reg := f.router.cfg.Registry
+	if got := reg.Counter("route_failovers_total").Value(); got == 0 {
+		t.Error("no failovers recorded though a backend died")
+	}
+	if got := reg.Counter("route_no_backend_total").Value(); got != 0 {
+		t.Errorf("no-backend failures = %d with a healthy backend present", got)
+	}
+}
+
+// TestRouterAllBackendsDown: 502 + Retry-After, not a hang or a crash.
+func TestRouterAllBackendsDown(t *testing.T) {
+	f := newRouterFixture(t, 2, RouterConfig{Cooldown: time.Minute, RetryAfter: 3 * time.Second})
+	for _, b := range f.backends {
+		b.Close()
+	}
+	rec := postRaw(f.handler, "/solve?capacity=1.5", genTraceText(t, 801, 12))
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After = %q, want \"3\"", got)
+	}
+	if got := f.router.cfg.Registry.Counter("route_no_backend_total").Value(); got != 1 {
+		t.Errorf("no-backend counter = %d, want 1", got)
+	}
+	// Cooling backends are still attempted (demoted, not dropped), so a
+	// revived fleet recovers before the cooldown expires.
+	revived := httptest.NewServer(New(testConfig()).Handler())
+	t.Cleanup(revived.Close)
+	f.router.ring = newRing([]string{f.backends[0].URL, revived.URL}, 64)
+	if rec := postRaw(f.handler, "/solve?capacity=1.5", genTraceText(t, 801, 12)); rec.Code != http.StatusOK {
+		t.Errorf("after revival: status %d, want 200", rec.Code)
+	}
+}
+
+// TestRouterRejectsBadRequestsLocally: malformed input dies at the
+// router without consuming an upstream round trip.
+func TestRouterRejectsBadRequestsLocally(t *testing.T) {
+	f := newRouterFixture(t, 1, RouterConfig{})
+	if rec := postRaw(f.handler, "/solve", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty body: %d, want 400", rec.Code)
+	}
+	if rec := postRaw(f.handler, "/solve?heuristic=NOPE", genTraceText(t, 901, 10)); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad heuristic: %d, want 400", rec.Code)
+	}
+	rec := httptest.NewRecorder()
+	f.handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/solve", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /solve: %d, want 405", rec.Code)
+	}
+	// None of those reached a backend.
+	if got := f.router.cfg.Registry.Counter("route_bad_requests_total").Value(); got != 3 {
+		t.Errorf("bad-request counter = %d, want 3", got)
+	}
+	// Upstream error statuses (e.g. 422) relay through untouched.
+	if rec := postRaw(f.handler, "/solve?capacity=0.5", genTraceText(t, 902, 10)); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("unschedulable instance through router: %d, want 422", rec.Code)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"transched"
 	"transched/internal/obs"
+	"transched/internal/serve/store"
 )
 
 // Config sizes a Server. The zero value is usable: every field has a
@@ -27,9 +28,27 @@ type Config struct {
 	// slot before new arrivals are shed with 429 (default 128; negative
 	// means no queue — shed as soon as every slot is busy).
 	MaxQueue int
-	// CacheEntries bounds the result LRU (default 1024; negative
-	// disables caching, in-flight deduplication still applies).
+	// CacheEntries bounds the result LRU by entry count (default 1024;
+	// negative disables caching, in-flight deduplication still applies).
 	CacheEntries int
+	// CacheBytes bounds the result LRU by total body bytes (default
+	// 256 MiB; negative disables the byte bound). Both bounds apply:
+	// eviction runs until the cache satisfies whichever is tighter. An
+	// entry larger than the whole budget is served but never stored.
+	CacheBytes int64
+	// Store, when non-nil, is the disk tier behind the memory LRU:
+	// computed responses are written through and memory misses consult
+	// it, so a restarted daemon keeps its hit rate (SERVING.md). The
+	// caller owns the store and its Close.
+	Store *store.Store
+	// BatchSize, when > 0, enables micro-batching: cache-missing
+	// requests are collected into windows of at most this many and each
+	// window is flushed through one admission slot. Zero disables
+	// batching (every miss takes its own slot).
+	BatchSize int
+	// BatchWait is the longest a partially filled batch window lingers
+	// before flushing (default 2ms when batching is enabled).
+	BatchWait time.Duration
 	// DefaultTimeout is the per-request solve deadline when the request
 	// does not carry timeout_ms (default 30s).
 	DefaultTimeout time.Duration
@@ -58,6 +77,12 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 1024
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.BatchSize > 0 && c.BatchWait <= 0 {
+		c.BatchWait = 2 * time.Millisecond
+	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
 	}
@@ -75,33 +100,42 @@ func (c Config) withDefaults() Config {
 
 // Server is the scheduling service: it accepts trace instances over
 // HTTP/JSON, solves them through the transched facade under admission
-// control, and caches results by content address. Use New, mount
+// control — optionally micro-batched — and caches results by content
+// address in memory and, when configured, on disk. Use New, mount
 // Handler, and Drain on shutdown.
 type Server struct {
-	cfg   Config
-	cache *cache
-	adm   *admission
+	cfg     Config
+	cache   *cache
+	adm     *admission
+	batcher *batcher
 
 	// mu orders request admission against drain: once draining, no new
 	// request enters, and Drain's wait covers everything that did.
 	mu       sync.Mutex
 	draining bool
 	inflight sync.WaitGroup
+	stopOnce sync.Once
 
 	// onSolve, when non-nil, runs at the start of every computed solve,
 	// after the solver slot is acquired — a test seam for holding a
 	// solve in flight while drain/overload behaviour is asserted.
 	onSolve func()
 
-	requests  *obs.Counter
-	hits      *obs.Counter
-	misses    *obs.Counter
-	shed      *obs.Counter
-	timeouts  *obs.Counter
-	errs      *obs.Counter
-	inFlight  *obs.Gauge
-	reqHist   *obs.Histogram
-	solveHist *obs.Histogram
+	requests     *obs.Counter
+	hits         *obs.Counter
+	misses       *obs.Counter
+	storeHits    *obs.Counter
+	storeMisses  *obs.Counter
+	shed         *obs.Counter
+	timeouts     *obs.Counter
+	errs         *obs.Counter
+	inFlight     *obs.Gauge
+	cacheEntries *obs.Gauge
+	cacheBytes   *obs.Gauge
+	storeEntries *obs.Gauge
+	storeBytes   *obs.Gauge
+	reqHist      *obs.Histogram
+	solveHist    *obs.Histogram
 }
 
 // New builds a server from the config.
@@ -109,19 +143,29 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	reg := cfg.Registry
 	s := &Server{
-		cfg:       cfg,
-		cache:     newCache(cfg.CacheEntries),
-		requests:  reg.Counter("serve_requests_total"),
-		hits:      reg.Counter("serve_cache_hits_total"),
-		misses:    reg.Counter("serve_cache_misses_total"),
-		shed:      reg.Counter("serve_shed_total"),
-		timeouts:  reg.Counter("serve_timeouts_total"),
-		errs:      reg.Counter("serve_errors_total"),
-		inFlight:  reg.Gauge("serve_inflight_solves"),
-		reqHist:   reg.Histogram("serve_request_seconds", obs.DefaultBuckets()),
-		solveHist: reg.Histogram("serve_solve_seconds", obs.DefaultBuckets()),
+		cfg:          cfg,
+		requests:     reg.Counter("serve_requests_total"),
+		hits:         reg.Counter("serve_cache_hits_total"),
+		misses:       reg.Counter("serve_cache_misses_total"),
+		storeHits:    reg.Counter("serve_store_hits_total"),
+		storeMisses:  reg.Counter("serve_store_misses_total"),
+		shed:         reg.Counter("serve_shed_total"),
+		timeouts:     reg.Counter("serve_timeouts_total"),
+		errs:         reg.Counter("serve_errors_total"),
+		inFlight:     reg.Gauge("serve_inflight_solves"),
+		cacheEntries: reg.Gauge("serve_cache_entries"),
+		cacheBytes:   reg.Gauge("serve_cache_bytes"),
+		storeEntries: reg.Gauge("serve_store_entries"),
+		storeBytes:   reg.Gauge("serve_store_bytes"),
+		reqHist:      reg.Histogram("serve_request_seconds", obs.DefaultBuckets()),
+		solveHist:    reg.Histogram("serve_solve_seconds", obs.DefaultBuckets()),
 	}
+	s.cache = newCache(cfg.CacheEntries, cfg.CacheBytes, cfg.Store,
+		reg.Counter("serve_store_put_errors_total"))
 	s.adm = newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, reg.Gauge("serve_queue_depth"))
+	if cfg.BatchSize > 0 {
+		s.batcher = newBatcher(cfg.BatchSize, cfg.BatchWait, s.adm, s.solveOne, reg, s.inFlight)
+	}
 	return s
 }
 
@@ -184,19 +228,23 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
-// BeginDrain stops admitting new solve requests: /readyz turns 503 so
-// load balancers route away, and /solve sheds with 503 + Retry-After.
-// In-flight requests keep running; idempotent.
+// BeginDrain stops admitting new solve requests — /readyz turns 503 so
+// load balancers route away, new /solve requests are shed with 503 +
+// Retry-After — and promptly sheds every caller already parked in the
+// admission wait queue the same way. In-flight solves (slots held) keep
+// running; idempotent.
 func (s *Server) BeginDrain() {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.adm.BeginDrain()
 }
 
-// Drain performs the graceful shutdown sequence: stop accepting (as
-// BeginDrain), then wait for in-flight solves. It returns nil when the
-// last one finishes, or ctx.Err() at the hard cutoff — at which point
-// the caller should Close its listener regardless.
+// Drain performs the graceful shutdown sequence: stop accepting and
+// shed queued waiters (as BeginDrain), then wait for in-flight solves.
+// It returns nil when the last one finishes, or ctx.Err() at the hard
+// cutoff — at which point the caller should Close its listener
+// regardless.
 func (s *Server) Drain(ctx context.Context) error {
 	s.BeginDrain()
 	done := make(chan struct{})
@@ -206,6 +254,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Every handler has returned, so nothing can submit to the
+		// batcher any more: stop its collector.
+		if s.batcher != nil {
+			s.stopOnce.Do(s.batcher.close)
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -236,6 +289,23 @@ func (s *Server) shedResponse(w http.ResponseWriter, status int, msg string) {
 	if s.cfg.Logger != nil {
 		s.cfg.Logger.Warn("serve: request shed", "status", status, "reason", msg)
 	}
+}
+
+// solveOne is the admission-free inner solve: portfolio (or heuristic,
+// or rts-batched) solve plus deterministic marshal. Both the unbatched
+// path and the micro-batcher run exactly this, which is what makes
+// batched responses byte-identical to unbatched ones.
+func (s *Server) solveOne(ctx context.Context, p *parsedRequest) ([]byte, error) {
+	if s.onSolve != nil {
+		s.onSolve()
+	}
+	solveStart := time.Now()
+	res, err := transched.Solve(ctx, p.trace, p.opts)
+	s.solveHist.Observe(time.Since(solveStart).Seconds())
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(buildResponse(res))
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -270,29 +340,26 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	body, hit, err := s.cache.Do(ctx, p.digest, func() ([]byte, error) {
+	body, src, err := s.cache.Do(ctx, p.digest, func() ([]byte, error) {
+		if s.batcher != nil {
+			return s.batcher.do(ctx, p)
+		}
 		if err := s.adm.Acquire(ctx); err != nil {
 			return nil, err
 		}
 		defer s.adm.Release()
 		s.inFlight.Set(float64(s.adm.InFlight()))
-		if s.onSolve != nil {
-			s.onSolve()
-		}
-		solveStart := time.Now()
-		res, err := transched.Solve(ctx, p.trace, p.opts)
-		s.solveHist.Observe(time.Since(solveStart).Seconds())
-		s.inFlight.Set(float64(s.adm.InFlight()))
-		if err != nil {
-			return nil, err
-		}
-		return json.Marshal(buildResponse(res))
+		defer func() { s.inFlight.Set(float64(s.adm.InFlight())) }()
+		return s.solveOne(ctx, p)
 	})
 
 	switch {
 	case err == nil:
 	case errors.Is(err, errOverloaded):
 		s.shedResponse(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, errDraining):
+		s.shedResponse(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.timeouts.Inc()
@@ -307,10 +374,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if hit {
+	if src.hit() {
 		s.hits.Inc()
+		if src == srcStore {
+			s.storeHits.Inc()
+		}
 	} else {
 		s.misses.Inc()
+		if s.cfg.Store != nil {
+			s.storeMisses.Inc()
+		}
 		if s.cfg.Logger != nil {
 			s.cfg.Logger.Info("serve: solved",
 				"digest", p.digest, "app", p.trace.App, "tasks", len(p.trace.Tasks),
@@ -318,8 +391,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 				"bytes", len(body), "seconds", time.Since(start).Seconds())
 		}
 	}
+	s.cacheEntries.Set(float64(s.cache.Len()))
+	s.cacheBytes.Set(float64(s.cache.Bytes()))
+	if s.cfg.Store != nil {
+		s.storeEntries.Set(float64(s.cfg.Store.Len()))
+		s.storeBytes.Set(float64(s.cfg.Store.Bytes()))
+	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Transched-Cache", cacheHeader(hit))
+	w.Header().Set("X-Transched-Cache", cacheHeader(src.hit()))
 	w.Header().Set("X-Transched-Digest", p.digest)
 	w.Write(body)
 	s.reqHist.Observe(time.Since(start).Seconds())
@@ -333,9 +412,10 @@ func cacheHeader(hit bool) string {
 }
 
 // ListenAndServe binds addr and serves Handler until ctx is cancelled,
-// then runs the drain sequence: stop accepting, finish in-flight
-// requests, hard cutoff after drainTimeout. The bound address is
-// reported through onListen (for ":0" smoke setups); pass nil to skip.
+// then runs the drain sequence: stop accepting, shed queued waiters,
+// finish in-flight requests, hard cutoff after drainTimeout. The bound
+// address is reported through onListen (for ":0" smoke setups); pass
+// nil to skip.
 func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration, onListen func(net.Addr)) error {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -3,14 +3,17 @@
 # machine-readable perf baseline (name, ns/op, allocs/op) so future PRs
 # can diff their numbers against this one's. Usage:
 #
-#   scripts/bench.sh [out.json]     # default out: BENCH_PR5.json
+#   scripts/bench.sh [out.json] [serve_out.json]
+#   # defaults: BENCH_PR5.json BENCH_SERVE.json
 #
 # The benchmark set matches the acceptance criteria of the kernel
 # optimization PR: event-loop scaling (AblationEventQueue), the daemon
 # hot paths (ServeColdSolve/ServeCacheHit), the lookahead primitives
 # (ExecutorClone, AutoRuntimeBatch) and the parallel portfolio
-# (SolvePortfolio). Numbers are machine-dependent; compare trends, not
-# absolutes, across hosts.
+# (SolvePortfolio). A serving-tier load run (cmd/transchedbench,
+# closed loop against an in-process daemon) follows and writes the
+# p50/p99/hit-rate/shed-rate artifact. Numbers are machine-dependent;
+# compare trends, not absolutes, across hosts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,3 +40,11 @@ go test -run '^$' -bench "$pattern" -benchmem -count=1 . |
     ' | { printf '[\n'; cat; printf ']\n'; } > "$out"
 
 echo "bench: wrote $(grep -c '"name"' "$out") entries to $out" >&2
+
+# Serving-tier load run: a keyed closed-loop workload against an
+# in-process daemon; the artifact carries latency percentiles, hit rate
+# and shed rate for CI trend lines (SERVING.md).
+serve_out="${2:-BENCH_SERVE.json}"
+go run ./cmd/transchedbench -mode closed -requests 200 -conc 8 \
+    -traces 16 -tasks 12 -out "$serve_out" >&2
+echo "bench: wrote serving report to $serve_out" >&2

@@ -40,17 +40,29 @@ cli_out=$("$tmp/transched" -trace - -capacity 1.5 -heuristic OOLCMR < "$trace_fi
 cli_mk=$(printf '%s\n' "$cli_out" | awk '$1 == "OOLCMR" { printf "%.6g", $2 + 0 }')
 [ -n "$cli_mk" ] || fail "no OOLCMR makespan in CLI output: $cli_out"
 
-# Boot the daemon on an ephemeral port.
-"$tmp/transchedd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -quiet 2> "$tmp/daemon.log" &
-pid=$!
-i=0
-while [ ! -s "$tmp/addr" ]; do
-    i=$((i + 1))
-    [ "$i" -le 100 ] || fail "daemon never wrote $tmp/addr (log: $(cat "$tmp/daemon.log"))"
-    kill -0 "$pid" 2>/dev/null || fail "daemon died on startup (log: $(cat "$tmp/daemon.log"))"
-    sleep 0.1
-done
-addr=$(cat "$tmp/addr")
+# boot_daemon <addr-file> [extra flags...]: start transchedd on an
+# ephemeral port; sets $pid and $addr (globals — no subshell, so the
+# daemon does not hold a command-substitution pipe open).
+boot_daemon() {
+    addr_file=$1
+    shift
+    rm -f "$addr_file"
+    "$tmp/transchedd" -addr 127.0.0.1:0 -addr-file "$addr_file" -quiet "$@" \
+        > /dev/null 2>> "$tmp/daemon.log" &
+    pid=$!
+    i=0
+    while [ ! -s "$addr_file" ]; do
+        i=$((i + 1))
+        [ "$i" -le 100 ] || fail "daemon never wrote $addr_file (log: $(cat "$tmp/daemon.log"))"
+        kill -0 "$pid" 2>/dev/null || fail "daemon died on startup (log: $(cat "$tmp/daemon.log"))"
+        sleep 0.1
+    done
+    addr=$(cat "$addr_file")
+}
+
+# Boot the daemon on an ephemeral port, with the disk-backed store so
+# the warm-restart section below can reuse it.
+boot_daemon "$tmp/addr" -cache-dir "$tmp/cachedir"
 
 curl -sf "http://$addr/healthz" > /dev/null || fail "/healthz"
 curl -sf "http://$addr/readyz" > /dev/null || fail "/readyz"
@@ -86,4 +98,35 @@ pid=""
 curl -sf --max-time 2 "http://$addr/healthz" > /dev/null 2>&1 \
     && fail "daemon still serving after SIGTERM"
 
-echo "smoke_transchedd: ok (makespan $daemon_mk matches CLI, cache hit byte-identical, drain clean)"
+# Warm restart: a new daemon over the same -cache-dir must answer the
+# instance it never computed from the disk store — a hit on the very
+# first request of the new life, byte-identical to the original miss.
+boot_daemon "$tmp/addr2" -cache-dir "$tmp/cachedir"
+curl -sf -D "$tmp/hdr3" --data-binary @"$trace_file" \
+    "http://$addr/solve?heuristic=OOLCMR&capacity=1.5" > "$tmp/resp3" \
+    || fail "POST /solve after restart"
+grep -qi '^x-transched-cache: hit' "$tmp/hdr3" || fail "restart lost the disk cache (first request was not a hit)"
+cmp -s "$tmp/resp1" "$tmp/resp3" || fail "disk-served response differs from the original computation"
+kill -TERM "$pid"
+wait "$pid" || fail "restarted daemon exited non-zero on SIGTERM"
+pid=""
+
+# Drain sheds queued waiters: with micro-batching lingering a window
+# for 5s, a request parked in the window when SIGTERM lands must be
+# shed promptly with 503 + Retry-After — not solved, not hung — and
+# the daemon must still exit 0.
+boot_daemon "$tmp/addr3" -batch-size 8 -batch-wait 5s
+curl -s -D "$tmp/hdr4" --data-binary @"$trace_file" \
+    "http://$addr/solve?capacity=1.5" > "$tmp/resp4" &
+curl_pid=$!
+sleep 0.5 # let the request enter the batch window
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    fail "batching daemon exited non-zero on SIGTERM (log: $(cat "$tmp/daemon.log"))"
+fi
+pid=""
+wait "$curl_pid" || fail "parked request got no response at drain"
+grep -q '^HTTP/[0-9.]* 503' "$tmp/hdr4" || fail "parked request not shed with 503: $(head -n 1 "$tmp/hdr4")"
+grep -qi '^retry-after:' "$tmp/hdr4" || fail "shed response missing Retry-After"
+
+echo "smoke_transchedd: ok (makespan $daemon_mk matches CLI, cache hit byte-identical, warm restart served from disk, drain sheds queued work, exits clean)"
