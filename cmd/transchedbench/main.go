@@ -25,6 +25,11 @@
 // workload cycles deterministically through -traces distinct instances,
 // so reruns are comparable and the expected hit rate is
 // (requests - traces) / requests.
+//
+// When the target daemon runs with request tracing (the default), each
+// response's X-Transched-Timing header is parsed and the report gains a
+// per-stage latency breakdown — decode/queue/batch/cache/solve/encode
+// p50 and p99 — attributing where the wall time went.
 package main
 
 import (
@@ -44,6 +49,7 @@ import (
 	"time"
 
 	"transched"
+	"transched/internal/obs"
 	"transched/internal/serve"
 )
 
@@ -55,11 +61,14 @@ func main() {
 }
 
 // outcome is one request's record; workers write only their own
-// index-addressed slot.
+// index-addressed slot. stages holds the server-reported per-stage
+// seconds parsed from X-Transched-Timing (nil when the daemon runs
+// with tracing off).
 type outcome struct {
 	status  int
 	hit     bool
 	latency time.Duration
+	stages  map[string]float64
 	err     error
 }
 
@@ -88,6 +97,18 @@ type Report struct {
 	Errors   int     `json:"errors"`
 
 	Status map[string]int `json:"status"`
+
+	// Stages attributes where the OK requests spent their time, from the
+	// daemon's X-Transched-Timing header (absent with tracing off).
+	// Quantiles are read from obs histograms, so they are bucket-rounded
+	// exactly like a /metrics-side computation would be.
+	Stages map[string]StageLatency `json:"stage_latency_seconds,omitempty"`
+}
+
+// StageLatency is one stage's latency summary across OK requests.
+type StageLatency struct {
+	P50 float64 `json:"p50"`
+	P99 float64 `json:"p99"`
 }
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
@@ -138,6 +159,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		srv := serve.New(serve.Config{
 			MaxConcurrent: *maxSolves,
 			BatchSize:     *batchSize,
+			Tracer:        obs.NewReqTracer(obs.ReqTracerConfig{Registry: obs.Default()}),
 		})
 		addrc := make(chan string, 1)
 		errc := make(chan error, 1)
@@ -267,7 +289,33 @@ func send(ctx context.Context, client *http.Client, target, text string) outcome
 		status:  resp.StatusCode,
 		hit:     resp.Header.Get("X-Transched-Cache") == "hit",
 		latency: time.Since(start),
+		stages:  parseTiming(resp.Header.Get("X-Transched-Timing")),
 	}
+}
+
+// parseTiming decodes an X-Transched-Timing header — Server-Timing
+// style "name;dur=ms" entries, comma-separated — into seconds per
+// stage. Unparsable entries are skipped; an empty header returns nil.
+func parseTiming(h string) map[string]float64 {
+	if h == "" {
+		return nil
+	}
+	var stages map[string]float64
+	for _, part := range strings.Split(h, ",") {
+		name, dur, ok := strings.Cut(strings.TrimSpace(part), ";dur=")
+		if !ok || name == "" {
+			continue
+		}
+		ms, err := strconv.ParseFloat(dur, 64)
+		if err != nil {
+			continue
+		}
+		if stages == nil {
+			stages = make(map[string]float64)
+		}
+		stages[name] = ms / 1e3
+	}
+	return stages
 }
 
 func summarize(results []outcome, elapsed time.Duration) *Report {
@@ -310,6 +358,41 @@ func summarize(results []outcome, elapsed time.Duration) *Report {
 	if n := len(okLatencies); n > 0 {
 		rep.LatencySeconds.Max = okLatencies[n-1]
 	}
+
+	// Per-stage breakdown from the timing headers of OK requests,
+	// summarized through obs histograms so the quantiles are
+	// bucket-rounded exactly as a /metrics scrape would report them.
+	samples := make(map[string][]float64)
+	for _, r := range results {
+		if r.err != nil || r.status != http.StatusOK {
+			continue
+		}
+		for name, sec := range r.stages {
+			samples[name] = append(samples[name], sec)
+		}
+	}
+	if len(samples) > 0 {
+		names := make([]string, 0, len(samples))
+		for name := range samples {
+			names = append(names, name) //transched:allow-maporder sorted on the next line
+		}
+		sort.Strings(names)
+		reg := obs.NewRegistry()
+		for _, name := range names {
+			h := reg.Histogram("stage_"+name, obs.DefaultBuckets())
+			for _, sec := range samples[name] {
+				h.Observe(sec)
+			}
+		}
+		snap := reg.Snapshot()
+		rep.Stages = make(map[string]StageLatency, len(names))
+		for _, name := range names {
+			rep.Stages[name] = StageLatency{
+				P50: snap.Quantile("stage_"+name, 0.50),
+				P99: snap.Quantile("stage_"+name, 0.99),
+			}
+		}
+	}
 	return rep
 }
 
@@ -336,4 +419,15 @@ func printReport(w io.Writer, rep *Report) {
 	fmt.Fprintf(w, "latency     p50 %.1fms  p95 %.1fms  p99 %.1fms  max %.1fms\n",
 		1000*rep.LatencySeconds.P50, 1000*rep.LatencySeconds.P95,
 		1000*rep.LatencySeconds.P99, 1000*rep.LatencySeconds.Max)
+	if len(rep.Stages) > 0 {
+		names := make([]string, 0, len(rep.Stages))
+		for name := range rep.Stages {
+			names = append(names, name) //transched:allow-maporder sorted on the next line
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			s := rep.Stages[name]
+			fmt.Fprintf(w, "stage       %-11s p50 %.1fms  p99 %.1fms\n", name, 1000*s.P50, 1000*s.P99)
+		}
+	}
 }

@@ -9,7 +9,8 @@
 //	           [-cache 1024] [-cache-bytes N] [-cache-dir DIR]
 //	           [-batch-size N] [-batch-wait 2ms]
 //	           [-timeout 30s] [-max-timeout 2m] [-drain-timeout 30s]
-//	           [-addr-file path] [-debug] [-quiet]
+//	           [-request-trace] [-trace-out FILE] [-trace-sample N]
+//	           [-slow-request D] [-addr-file path] [-debug] [-quiet]
 //
 // With -route it runs as a shard router instead of a solver: requests
 // are forwarded to the backend that owns their content digest on a
@@ -20,7 +21,12 @@
 // Endpoints: POST /solve (a JSON envelope, or a raw v1 trace body with
 // ?capacity=&heuristic=&batch=&timeout_ms= query options), GET
 // /healthz, /readyz and /metrics; -debug adds /debug/vars and
-// /debug/pprof/. On SIGTERM or SIGINT the daemon drains gracefully:
+// /debug/pprof/. Request tracing is on by default (-request-trace):
+// every /solve carries an X-Transched-Trace ID and an
+// X-Transched-Timing per-stage breakdown, /debug/requests shows the
+// active, slowest and most recent requests (OBSERVABILITY.md), and
+// -trace-out FILE writes sampled spans as Chrome trace-event JSON on
+// shutdown. On SIGTERM or SIGINT the daemon drains gracefully:
 // readiness turns 503, new solves are shed, queued waiters are shed,
 // in-flight solves finish, and -drain-timeout is the hard cutoff.
 //
@@ -46,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"transched/internal/obs"
 	"transched/internal/serve"
 	"transched/internal/serve/store"
 )
@@ -81,6 +88,10 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		replicas   = fs.Int("replicas", 64, "virtual nodes per backend on the routing ring (with -route)")
 		debug      = fs.Bool("debug", false, "mount /debug/vars and /debug/pprof/ on the service port")
 		quiet      = fs.Bool("quiet", false, "disable request logging")
+		reqTrace   = fs.Bool("request-trace", true, "per-request stage tracing: /debug/requests, X-Transched-Timing, serve_stage_seconds_* metrics")
+		traceOut   = fs.String("trace-out", "", "write sampled request spans as Chrome trace-event JSON to this file on shutdown (implies -request-trace)")
+		traceSamp  = fs.Int("trace-sample", 1, "export every Nth traced request to -trace-out (1 = all)")
+		slowReq    = fs.Duration("slow-request", 0, "log the full stage breakdown of any request slower than this (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +99,33 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	var logger *slog.Logger
 	if !*quiet {
 		logger = slog.New(slog.NewTextHandler(stderr, nil))
+	}
+
+	// One tracer per process, shared by server and router modes; the
+	// Chrome export accumulates sampled requests and is written once the
+	// drain finishes, so the file is complete and Perfetto-loadable.
+	var tracer *obs.ReqTracer
+	var export *obs.Trace
+	if *reqTrace || *traceOut != "" {
+		if *traceOut != "" {
+			export = obs.NewTrace()
+		}
+		tracer = obs.NewReqTracer(obs.ReqTracerConfig{
+			Registry:      obs.Default(),
+			Trace:         export,
+			SampleEvery:   *traceSamp,
+			SlowThreshold: *slowReq,
+			Logger:        logger,
+		})
+		if *traceOut != "" {
+			defer func() {
+				if err := export.WriteFile(*traceOut); err != nil {
+					fmt.Fprintf(stderr, "transchedd: writing -trace-out: %v\n", err)
+				} else {
+					fmt.Fprintf(stderr, "transchedd: wrote %d trace events to %s\n", export.Len(), *traceOut)
+				}
+			}()
+		}
 	}
 	onListen := func(a net.Addr) {
 		fmt.Fprintf(stderr, "transchedd: listening on http://%s\n", a)
@@ -102,6 +140,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		rt, err := serve.NewRouter(serve.RouterConfig{
 			Backends: strings.Split(*route, ","),
 			Replicas: *replicas,
+			Tracer:   tracer,
 			Logger:   logger,
 		})
 		if err != nil {
@@ -128,6 +167,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		BatchWait:       *batchWait,
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxTimeout,
+		Tracer:          tracer,
 		Logger:          logger,
 		EnableProfiling: *debug,
 	})

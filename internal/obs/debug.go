@@ -6,17 +6,41 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
 
-// MetricsHandler serves the plain-text snapshot of a registry (one
-// line per metric) — the /metrics endpoint, mountable on any mux (the
-// scheduling service reuses it on its own handler).
+// MetricsHandler serves a registry snapshot — the /metrics endpoint,
+// mountable on any mux (the scheduling service reuses it on its own
+// handler). The default render is the repo's plain one-line-per-metric
+// text; ?format=prometheus, or an Accept header asking for the
+// Prometheus/OpenMetrics exposition, switches to the Prometheus text
+// format so standard scrapers work unchanged.
 func MetricsHandler(reg *Registry) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if wantsPrometheus(r) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.Snapshot().WritePrometheus(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = reg.Snapshot().WriteText(w)
 	})
+}
+
+// wantsPrometheus decides the exposition format: an explicit
+// ?format=prometheus wins, otherwise an Accept header naming the
+// Prometheus text (version=0.0.4) or OpenMetrics media types opts in.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "text", "plain":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "version=0.0.4") ||
+		strings.Contains(accept, "application/openmetrics-text")
 }
 
 // MountProfiling adds the expvar JSON document (/debug/vars) and the

@@ -7,6 +7,8 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -138,9 +140,61 @@ type Metric struct {
 	Buckets []Bucket
 }
 
+// Quantile returns the q-quantile (0 <= q <= 1) of a histogram metric
+// by nearest rank over its buckets: the upper bound of the bucket
+// holding the ceil(q*count)-th observation. The overflow bucket clamps
+// to the highest finite bound (the same convention Prometheus's
+// histogram_quantile uses), so the result is always finite. Returns 0
+// for non-histograms and empty histograms. This is the one quantile
+// helper /metrics consumers and the bench report share, instead of
+// each re-deriving ranks by hand.
+func (m Metric) Quantile(q float64) float64 {
+	if m.Kind != "histogram" || m.Count <= 0 || len(m.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(m.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	highestFinite := 0.0
+	for _, b := range m.Buckets {
+		if !math.IsInf(b.UpperBound, 1) && b.Count > 0 {
+			highestFinite = b.UpperBound
+		}
+	}
+	var cum int64
+	for _, b := range m.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			if math.IsInf(b.UpperBound, 1) {
+				return highestFinite
+			}
+			return b.UpperBound
+		}
+	}
+	return highestFinite
+}
+
 // Snapshot is a point-in-time copy of a registry, ordered by metric
 // registration.
 type Snapshot struct{ Metrics []Metric }
+
+// Quantile returns the q-quantile of the named histogram in the
+// snapshot, or 0 when the metric is absent or not a histogram.
+func (s Snapshot) Quantile(name string, q float64) float64 {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m.Quantile(q)
+		}
+	}
+	return 0
+}
 
 // WriteText renders the snapshot as one line per metric (histograms get
 // one extra line per non-empty bucket), the format served at /metrics.
@@ -166,6 +220,52 @@ func (s Snapshot) WriteText(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "%s %d\n", m.Name, int64(m.Value))
 		default:
 			_, err = fmt.Fprintf(w, "%s %g\n", m.Name, m.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4), so standard scrapers can point at
+// /metrics?format=prometheus: every metric gets a # TYPE line, counter
+// samples are suffixed _total when the registered name is not already,
+// and histograms expand to cumulative _bucket{le=...} series plus
+// _sum and _count. Registered names are snake_case throughout the
+// repo, so no further escaping is needed.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, m := range s.Metrics {
+		var err error
+		switch m.Kind {
+		case "counter":
+			name := m.Name
+			if !strings.HasSuffix(name, "_total") {
+				name += "_total"
+			}
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, int64(m.Value))
+		case "histogram":
+			_, err = fmt.Fprintf(w, "# TYPE %s histogram\n", m.Name)
+			var cum int64
+			for _, b := range m.Buckets {
+				if err != nil {
+					break
+				}
+				cum += b.Count
+				le := "+Inf"
+				if !math.IsInf(b.UpperBound, 1) {
+					le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+				}
+				_, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.Name, le, cum)
+			}
+			if err == nil {
+				_, err = fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+					m.Name, strconv.FormatFloat(m.Sum, 'g', -1, 64), m.Name, m.Count)
+			}
+		default:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
+				m.Name, m.Name, strconv.FormatFloat(m.Value, 'g', -1, 64))
 		}
 		if err != nil {
 			return err

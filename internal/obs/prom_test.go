@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricQuantileNearestRank(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.5, 3} {
+		h.Observe(v)
+	}
+	snap := reg.Snapshot()
+	cases := []struct{ q, want float64 }{
+		{0, 1},    // rank clamps to 1 → first bucket
+		{0.34, 2}, // rank 2
+		{0.5, 2},
+		{0.67, 5}, // rank 3
+		{1, 5},
+	}
+	for _, c := range cases {
+		if got := snap.Quantile("lat", c.q); got != c.want {
+			t.Errorf("Quantile(%.2f) = %g, want %g", c.q, got, c.want)
+		}
+	}
+
+	// Overflow observations clamp to the highest finite bound, the
+	// histogram_quantile convention: the answer stays finite.
+	h.Observe(100)
+	snap = reg.Snapshot()
+	if got := snap.Quantile("lat", 1); got != 5 {
+		t.Errorf("overflow quantile = %g, want clamp to 5", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total").Inc()
+	reg.Histogram("empty", DefaultBuckets())
+	snap := reg.Snapshot()
+	if got := snap.Quantile("c_total", 0.5); got != 0 {
+		t.Errorf("counter quantile = %g, want 0", got)
+	}
+	if got := snap.Quantile("empty", 0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+	if got := snap.Quantile("absent", 0.5); got != 0 {
+		t.Errorf("absent metric quantile = %g, want 0", got)
+	}
+}
+
+func TestWritePrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("reqs_total").Add(3)
+	reg.Counter("hits").Add(2) // no _total suffix registered
+	reg.Gauge("inflight").Set(1.5)
+	h := reg.Histogram("lat_seconds", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9) // overflow
+
+	var sb strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE reqs_total counter\nreqs_total 3\n",
+		"# TYPE hits_total counter\nhits_total 2\n", // suffix appended once
+		"# TYPE inflight gauge\ninflight 1.5\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="1"} 1`,
+		`lat_seconds_bucket{le="2"} 2`, // cumulative
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 11\n",
+		"lat_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus exposition misses %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "hits_total_total") {
+		t.Error("counter _total suffix appended twice")
+	}
+}
+
+func TestMetricsHandlerContentNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("reqs_total").Inc()
+	h := MetricsHandler(reg)
+
+	get := func(target, accept string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", target, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	// Default stays the repo's plain render, no # TYPE lines.
+	rec := get("/metrics", "")
+	if strings.Contains(rec.Body.String(), "# TYPE") {
+		t.Error("default render switched to Prometheus format")
+	}
+
+	for _, tc := range []struct{ target, accept string }{
+		{"/metrics?format=prometheus", ""},
+		{"/metrics", "text/plain; version=0.0.4"},
+		{"/metrics", "application/openmetrics-text"},
+	} {
+		rec = get(tc.target, tc.accept)
+		if !strings.Contains(rec.Body.String(), "# TYPE reqs_total counter") {
+			t.Errorf("%s (Accept %q): no Prometheus exposition:\n%s", tc.target, tc.accept, rec.Body.String())
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+			t.Errorf("%s: Content-Type %q misses version=0.0.4", tc.target, ct)
+		}
+	}
+
+	// An explicit format=text wins over an Accept header.
+	rec = get("/metrics?format=text", "application/openmetrics-text")
+	if strings.Contains(rec.Body.String(), "# TYPE") {
+		t.Error("format=text did not force the plain render")
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	c := SpanContext{Trace: NewTraceID(), Span: NewSpanID()}
+	if !c.Valid() {
+		t.Fatal("freshly minted context is not valid")
+	}
+	v := c.HeaderValue()
+	if len(v) != 49 || v[32] != '-' {
+		t.Fatalf("header value %q is not <32 hex>-<16 hex>", v)
+	}
+	if v != strings.ToLower(v) {
+		t.Errorf("header value %q is not lowercase", v)
+	}
+	got, ok := ParseTraceHeader(v)
+	if !ok {
+		t.Fatalf("ParseTraceHeader(%q) not ok", v)
+	}
+	if got != c {
+		t.Errorf("round trip: got %+v, want %+v", got, c)
+	}
+}
+
+func TestParseTraceHeaderRejectsMalformed(t *testing.T) {
+	valid := SpanContext{Trace: NewTraceID(), Span: NewSpanID()}.HeaderValue()
+	bad := []string{
+		"",
+		"abc",
+		valid[:48],                          // truncated
+		valid + "0",                         // too long
+		strings.Replace(valid, "-", "_", 1), // wrong separator
+		"g" + valid[1:],                     // non-hex trace
+		valid[:33] + "zzzzzzzzzzzzzzzz",     // non-hex span
+		strings.Repeat("0", 32) + "-" + valid[33:], // zero trace
+		valid[:33] + strings.Repeat("0", 16),       // zero span
+	}
+	for _, v := range bad {
+		if _, ok := ParseTraceHeader(v); ok {
+			t.Errorf("ParseTraceHeader(%q) = ok, want rejection", v)
+		}
+	}
+}
+
+func TestIDUniqueness(t *testing.T) {
+	const n = 2000
+	traces := make(map[TraceID]bool, n)
+	spans := make(map[SpanID]bool, n)
+	for i := 0; i < n; i++ {
+		tr, sp := NewTraceID(), NewSpanID()
+		if tr.IsZero() || sp.IsZero() {
+			t.Fatal("zero ID drawn")
+		}
+		if traces[tr] || spans[sp] {
+			t.Fatalf("duplicate ID after %d draws", i)
+		}
+		traces[tr], spans[sp] = true, true
+	}
+}
+
+func TestIDUniqueAcrossGoroutines(t *testing.T) {
+	const workers, per = 8, 500
+	out := make(chan SpanID, workers*per)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := 0; i < per; i++ {
+				out <- NewSpanID()
+			}
+		}()
+	}
+	seen := make(map[SpanID]bool, workers*per)
+	for i := 0; i < workers*per; i++ {
+		id := <-out
+		if seen[id] {
+			t.Fatal("duplicate span ID across goroutines")
+		}
+		seen[id] = true
+	}
+}

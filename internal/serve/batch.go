@@ -7,6 +7,10 @@ import (
 	"transched/internal/obs"
 )
 
+// batchSolveFunc is the admission-free inner solve the batcher flushes
+// members through; rt is the member's request trace (nil when off).
+type batchSolveFunc func(context.Context, *parsedRequest, *obs.ReqTrace) ([]byte, error)
+
 // batcher collects cache-missing solve requests into a size+max-wait
 // window and flushes each window through ONE admission slot: a burst of
 // small traces pays one pass through queueing and admission instead of
@@ -31,7 +35,7 @@ type batcher struct {
 	in      chan *batchItem
 	stop    chan struct{}
 	adm     *admission
-	solve   func(context.Context, *parsedRequest) ([]byte, error)
+	solve   batchSolveFunc
 
 	flushes  *obs.Counter
 	requests *obs.Counter
@@ -40,13 +44,19 @@ type batcher struct {
 }
 
 // batchItem is one request riding a window; the submitting handler
-// parks on done (or its own context) while the flush runs.
+// parks on done (or its own context) while the flush runs. rt is the
+// member's request trace and submit its park time — the flush
+// attributes the shared admission wait to each member's queue stage
+// and the rest of the park (window fill plus earlier members' solves)
+// to its batch stage. Both are nil/zero with tracing off.
 type batchItem struct {
-	ctx  context.Context
-	p    *parsedRequest
-	done chan struct{}
-	body []byte
-	err  error
+	ctx    context.Context
+	p      *parsedRequest
+	rt     *obs.ReqTrace
+	submit time.Time
+	done   chan struct{}
+	body   []byte
+	err    error
 }
 
 // batchSizeBuckets sizes the serve_batch_size histogram: windows are
@@ -55,8 +65,7 @@ type batchItem struct {
 func batchSizeBuckets() []float64 { return []float64{1, 2, 4, 8, 16, 32, 64, 128} }
 
 func newBatcher(maxSize int, maxWait time.Duration, adm *admission,
-	solve func(context.Context, *parsedRequest) ([]byte, error),
-	reg *obs.Registry, inFlight *obs.Gauge) *batcher {
+	solve batchSolveFunc, reg *obs.Registry, inFlight *obs.Gauge) *batcher {
 	if maxSize < 1 {
 		maxSize = 1
 	}
@@ -82,8 +91,11 @@ func newBatcher(maxSize int, maxWait time.Duration, adm *admission,
 // do submits one parsed request to the current window and waits for its
 // response. The caller's context bounds the whole wait; an abandoned
 // item is skipped by the flush when its turn comes.
-func (b *batcher) do(ctx context.Context, p *parsedRequest) ([]byte, error) {
-	it := &batchItem{ctx: ctx, p: p, done: make(chan struct{})}
+func (b *batcher) do(ctx context.Context, p *parsedRequest, rt *obs.ReqTrace) ([]byte, error) {
+	it := &batchItem{ctx: ctx, p: p, rt: rt, done: make(chan struct{})}
+	if rt != nil {
+		it.submit = time.Now()
+	}
 	select {
 	case b.in <- it:
 	case <-ctx.Done():
@@ -134,16 +146,37 @@ func (b *batcher) collect() {
 // do, and a drain releases the acquire with errDraining, so the wait
 // always terminates. A member whose context died while parked is
 // skipped with its own context error.
+//
+// Stage attribution with tracing on: the one admission wait the window
+// paid is recorded as every member's queue stage (they all waited
+// through it), and the remainder of each member's park — window fill
+// plus the members solved ahead of it — is its batch stage, so a
+// member's stage sums still account for its wall-clock wait.
 func (b *batcher) flush(window []*batchItem) {
 	b.flushes.Inc()
 	b.requests.Add(int64(len(window)))
 	b.sizes.Observe(float64(len(window)))
+	traced := false
+	for _, it := range window {
+		if it.rt != nil {
+			traced = true
+			break
+		}
+	}
+	var acquireStart time.Time
+	if traced {
+		acquireStart = time.Now()
+	}
 	if err := b.adm.Acquire(context.Background()); err != nil {
 		for _, it := range window {
 			it.err = err
 			close(it.done)
 		}
 		return
+	}
+	var acquireDur time.Duration
+	if traced {
+		acquireDur = time.Since(acquireStart)
 	}
 	defer b.adm.Release()
 	b.inFlight.Set(float64(b.adm.InFlight()))
@@ -154,7 +187,11 @@ func (b *batcher) flush(window []*batchItem) {
 			close(it.done)
 			continue
 		}
-		it.body, it.err = b.solve(it.ctx, it.p)
+		if it.rt != nil {
+			it.rt.ObserveStage(obs.StageQueue, acquireStart, acquireDur)
+			it.rt.ObserveStage(obs.StageBatch, it.submit, time.Since(it.submit)-acquireDur)
+		}
+		it.body, it.err = b.solve(it.ctx, it.p, it.rt)
 		close(it.done)
 	}
 }

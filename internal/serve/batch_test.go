@@ -16,7 +16,10 @@ import (
 func newTestBatcher(maxSize int, maxWait time.Duration, adm *admission,
 	solve func(context.Context, *parsedRequest) ([]byte, error)) (*batcher, *obs.Registry) {
 	reg := obs.NewRegistry()
-	b := newBatcher(maxSize, maxWait, adm, solve, reg, reg.Gauge("serve_inflight_solves"))
+	wrapped := func(ctx context.Context, p *parsedRequest, _ *obs.ReqTrace) ([]byte, error) {
+		return solve(ctx, p)
+	}
+	b := newBatcher(maxSize, maxWait, adm, wrapped, reg, reg.Gauge("serve_inflight_solves"))
 	return b, reg
 }
 
@@ -39,7 +42,7 @@ func TestBatcherSizeTriggerFlush(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			bodies[i], errs[i] = b.do(context.Background(), &parsedRequest{digest: string(rune('a' + i))})
+			bodies[i], errs[i] = b.do(context.Background(), &parsedRequest{digest: string(rune('a' + i))}, nil)
 		}(i)
 	}
 	wg.Wait()
@@ -71,7 +74,7 @@ func TestBatcherTimeoutFlush(t *testing.T) {
 	defer b.close()
 
 	start := time.Now()
-	body, err := b.do(context.Background(), &parsedRequest{digest: "aa"})
+	body, err := b.do(context.Background(), &parsedRequest{digest: "aa"}, nil)
 	if err != nil || string(body) != "ok" {
 		t.Fatalf("do = %q, %v", body, err)
 	}
@@ -104,13 +107,13 @@ func TestBatcherAbandonedMemberSkipped(t *testing.T) {
 	doomedCtx, cancelDoomed := context.WithCancel(context.Background())
 	doomedErr := make(chan error, 1)
 	go func() {
-		_, err := b.do(doomedCtx, &parsedRequest{digest: "dd"})
+		_, err := b.do(doomedCtx, &parsedRequest{digest: "dd"}, nil)
 		doomedErr <- err
 	}()
 	survivorBody := make(chan []byte, 1)
 	survivorErr := make(chan error, 1)
 	go func() {
-		body, err := b.do(context.Background(), &parsedRequest{digest: "ee"})
+		body, err := b.do(context.Background(), &parsedRequest{digest: "ee"}, nil)
 		survivorBody <- body
 		survivorErr <- err
 	}()
@@ -150,7 +153,7 @@ func TestBatcherDrainShedsWindow(t *testing.T) {
 	defer b.close()
 
 	adm.BeginDrain()
-	if _, err := b.do(context.Background(), &parsedRequest{digest: "aa"}); !errors.Is(err, errDraining) {
+	if _, err := b.do(context.Background(), &parsedRequest{digest: "aa"}, nil); !errors.Is(err, errDraining) {
 		t.Fatalf("do during drain = %v, want errDraining", err)
 	}
 }

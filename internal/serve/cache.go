@@ -60,11 +60,15 @@ type entry struct {
 	body []byte
 }
 
-// flight is one in-progress computation; waiters block on done.
+// flight is one in-progress computation; waiters block on done. solve
+// is the owner's solve span (set before done closes), which joiners
+// graft into their own traces: each joined request keeps its own span
+// tree but shares the one solve that actually ran.
 type flight struct {
-	done chan struct{}
-	body []byte
-	err  error
+	done  chan struct{}
+	body  []byte
+	err   error
+	solve obs.SpanRef
 }
 
 func newCache(maxEntries int, maxBytes int64, disk *store.Store, putErrs *obs.Counter) *cache {
@@ -110,12 +114,19 @@ func (c *cache) get(key string) ([]byte, bool) {
 // reports its error to every joined waiter and leaves no residue. The
 // context bounds only the caller's wait — an in-flight computation it
 // joined keeps running for the remaining waiters.
-func (c *cache) Do(ctx context.Context, key string, compute func() ([]byte, error)) (body []byte, src source, err error) {
+//
+// rt (nil when tracing is off) receives the request's cache span —
+// lookup bookkeeping, including the wait when joining a flight — plus
+// store_read/store_write spans around the disk tier, and joiners adopt
+// the flight owner's solve span as a shared span.
+func (c *cache) Do(ctx context.Context, key string, rt *obs.ReqTrace, compute func() ([]byte, error)) (body []byte, src source, err error) {
+	ct := rt.StartStage(obs.StageCache)
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		body := el.Value.(*entry).body
 		c.mu.Unlock()
+		ct.End()
 		return body, srcMemory, nil
 	}
 	if fl, ok := c.inflight[key]; ok {
@@ -123,10 +134,12 @@ func (c *cache) Do(ctx context.Context, key string, compute func() ([]byte, erro
 		// Deterministic timeout behaviour: a dead context wins even if
 		// the flight happens to be done too.
 		if err := ctx.Err(); err != nil {
+			ct.End()
 			return nil, srcCompute, err
 		}
 		select {
 		case <-fl.done:
+			ct.End()
 			if fl.err != nil {
 				// A joiner of a failed computation got nothing for
 				// free: report a miss, so hits + misses + sheds +
@@ -135,35 +148,54 @@ func (c *cache) Do(ctx context.Context, key string, compute func() ([]byte, erro
 				// every error burst.)
 				return nil, srcCompute, fl.err
 			}
+			rt.AdoptSolve(fl.solve)
 			return fl.body, srcFlight, nil
 		case <-ctx.Done():
+			ct.End()
 			return nil, srcCompute, ctx.Err()
 		}
 	}
 	fl := &flight{done: make(chan struct{})}
 	c.inflight[key] = fl
 	c.mu.Unlock()
+	// The cache span for a flight owner covers only the bookkeeping:
+	// disk reads, the solve and the write-through get their own spans.
+	ct.End()
 
 	src = srcCompute
 	if c.disk != nil {
-		if b, ok := c.disk.Get(key); ok {
+		st := rt.StartStage(obs.StageStoreRead)
+		b, ok := c.disk.Get(key)
+		st.End()
+		if ok {
 			fl.body, src = b, srcStore
 		}
 	}
 	if src == srcCompute {
 		fl.body, fl.err = compute()
+		if ref, ok := rt.SolveRef(); ok {
+			fl.solve = ref
+		}
 	}
 
+	// A second cache slice: retiring the flight and admitting the body
+	// into the LRU is cache bookkeeping too, and attributing it keeps
+	// the owner's stage sums covering its span.
+	ct = rt.StartStage(obs.StageCache)
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if fl.err == nil {
 		c.insertLocked(key, fl.body)
 	}
 	c.mu.Unlock()
+	ct.End()
 	if fl.err == nil && src == srcCompute && c.disk != nil {
 		// Write-through before releasing waiters: once any response for
 		// this digest is out the door, a warm restart can reproduce it.
-		if perr := c.disk.Put(key, fl.body); perr != nil && c.putErrs != nil {
+		wt := rt.StartStage(obs.StageStoreWrite)
+		perr := c.disk.Put(key, fl.body)
+		wt.End()
+		if perr != nil && c.putErrs != nil {
 			c.putErrs.Inc()
 		}
 	}

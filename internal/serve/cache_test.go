@@ -35,14 +35,14 @@ func TestCacheHitIsByteIdentical(t *testing.T) {
 	c := newMemCache(4)
 	ctx := context.Background()
 	want := []byte(`{"payload": true}`)
-	got, src, err := c.Do(ctx, "k", func() ([]byte, error) { return want, nil })
+	got, src, err := c.Do(ctx, "k", nil, func() ([]byte, error) { return want, nil })
 	if err != nil || src.hit() {
 		t.Fatalf("miss: src=%v err=%v", src, err)
 	}
 	if !bytes.Equal(got, want) {
 		t.Fatalf("miss body = %q", got)
 	}
-	again, src, err := c.Do(ctx, "k", failCompute(t))
+	again, src, err := c.Do(ctx, "k", nil, failCompute(t))
 	if err != nil || src != srcMemory {
 		t.Fatalf("hit: src=%v err=%v", src, err)
 	}
@@ -59,7 +59,7 @@ func TestCacheLRUBound(t *testing.T) {
 	ctx := context.Background()
 	put := func(key string) {
 		t.Helper()
-		if _, _, err := c.Do(ctx, key, func() ([]byte, error) { return []byte(key), nil }); err != nil {
+		if _, _, err := c.Do(ctx, key, nil, func() ([]byte, error) { return []byte(key), nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -94,7 +94,7 @@ func TestCacheByteBudget(t *testing.T) {
 	ctx := context.Background()
 	put := func(key string, n int) {
 		t.Helper()
-		if _, _, err := c.Do(ctx, key, func() ([]byte, error) { return make([]byte, n), nil }); err != nil {
+		if _, _, err := c.Do(ctx, key, nil, func() ([]byte, error) { return make([]byte, n), nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -121,13 +121,13 @@ func TestCacheByteBudget(t *testing.T) {
 func TestCacheOversizedEntryCannotEvictLoop(t *testing.T) {
 	c := newCache(100, 100, nil, nil)
 	ctx := context.Background()
-	if _, _, err := c.Do(ctx, "small", func() ([]byte, error) { return make([]byte, 40), nil }); err != nil {
+	if _, _, err := c.Do(ctx, "small", nil, func() ([]byte, error) { return make([]byte, 40), nil }); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		body, src, err := c.Do(ctx, "huge", func() ([]byte, error) { return make([]byte, 500), nil })
+		body, src, err := c.Do(ctx, "huge", nil, func() ([]byte, error) { return make([]byte, 500), nil })
 		if err != nil || src.hit() || len(body) != 500 {
 			t.Errorf("oversized solve: len=%d src=%v err=%v", len(body), src, err)
 		}
@@ -141,7 +141,7 @@ func TestCacheOversizedEntryCannotEvictLoop(t *testing.T) {
 		t.Errorf("oversized entry was stored: Len=%d Bytes=%d, want 1/40", c.Len(), c.Bytes())
 	}
 	// It stays a miss: the next request recomputes.
-	if _, src, err := c.Do(ctx, "huge", func() ([]byte, error) { return make([]byte, 500), nil }); err != nil || src.hit() {
+	if _, src, err := c.Do(ctx, "huge", nil, func() ([]byte, error) { return make([]byte, 500), nil }); err != nil || src.hit() {
 		t.Errorf("second oversized request: src=%v err=%v, want recompute", src, err)
 	}
 }
@@ -157,7 +157,7 @@ func TestCacheDisabledStillDeduplicates(t *testing.T) {
 		return []byte("x"), nil
 	}
 	for i := 0; i < 3; i++ {
-		if _, src, err := c.Do(ctx, "k", compute); err != nil || src.hit() {
+		if _, src, err := c.Do(ctx, "k", nil, compute); err != nil || src.hit() {
 			t.Fatalf("round %d: src=%v err=%v", i, src, err)
 		}
 	}
@@ -173,14 +173,14 @@ func TestCacheErrorNotStored(t *testing.T) {
 	c := newMemCache(4)
 	ctx := context.Background()
 	boom := errors.New("boom")
-	if _, _, err := c.Do(ctx, "k", func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, _, err := c.Do(ctx, "k", nil, func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
 	if c.Len() != 0 {
 		t.Fatalf("failed compute left %d entries", c.Len())
 	}
 	// The key is retryable: the next Do computes again and can succeed.
-	body, src, err := c.Do(ctx, "k", func() ([]byte, error) { return []byte("ok"), nil })
+	body, src, err := c.Do(ctx, "k", nil, func() ([]byte, error) { return []byte("ok"), nil })
 	if err != nil || src.hit() || string(body) != "ok" {
 		t.Errorf("retry: body=%q src=%v err=%v", body, src, err)
 	}
@@ -210,7 +210,7 @@ func TestCacheFailedFlightJoinerReportsMiss(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, srcs[i], errs[i] = c.Do(context.Background(), "k", compute)
+			_, srcs[i], errs[i] = c.Do(context.Background(), "k", nil, compute)
 		}(i)
 	}
 	// Let the leader start and the rest pile onto its flight, then fail
@@ -259,7 +259,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			bodies[i], srcs[i], errs[i] = c.Do(ctx, "k", compute)
+			bodies[i], srcs[i], errs[i] = c.Do(ctx, "k", nil, compute)
 		}(i)
 	}
 	// Wait for the leader to start computing, give joiners time to pile
@@ -299,7 +299,7 @@ func TestCacheJoinerHonoursContext(t *testing.T) {
 	release := make(chan struct{})
 	leaderDone := make(chan error, 1)
 	go func() {
-		_, _, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+		_, _, err := c.Do(context.Background(), "k", nil, func() ([]byte, error) {
 			calls.Add(1)
 			<-release
 			return []byte("late"), nil
@@ -312,7 +312,7 @@ func TestCacheJoinerHonoursContext(t *testing.T) {
 
 	cancelled, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, src, err := c.Do(cancelled, "k", failCompute(t)); !errors.Is(err, context.Canceled) || src.hit() {
+	if _, src, err := c.Do(cancelled, "k", nil, failCompute(t)); !errors.Is(err, context.Canceled) || src.hit() {
 		t.Errorf("joiner with dead context: src=%v err=%v, want miss + context.Canceled", src, err)
 	}
 
@@ -320,7 +320,7 @@ func TestCacheJoinerHonoursContext(t *testing.T) {
 	if err := <-leaderDone; err != nil {
 		t.Fatalf("leader: %v", err)
 	}
-	if body, src, err := c.Do(context.Background(), "k", failCompute(t)); err != nil || src != srcMemory || string(body) != "late" {
+	if body, src, err := c.Do(context.Background(), "k", nil, failCompute(t)); err != nil || src != srcMemory || string(body) != "late" {
 		t.Errorf("post-flight: body=%q src=%v err=%v", body, src, err)
 	}
 }
@@ -338,7 +338,7 @@ func TestCacheConcurrentDistinctKeys(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			key := fmt.Sprintf("k%d", i)
-			_, _, errs[i] = c.Do(ctx, key, func() ([]byte, error) { return []byte(key), nil })
+			_, _, errs[i] = c.Do(ctx, key, nil, func() ([]byte, error) { return []byte(key), nil })
 		}(i)
 	}
 	wg.Wait()
@@ -366,7 +366,7 @@ func TestCacheDiskTier(t *testing.T) {
 
 	c1 := newCache(4, 0, st, nil)
 	want := []byte(`{"deep": "thought"}`)
-	if _, src, err := c1.Do(ctx, key, func() ([]byte, error) { return want, nil }); err != nil || src != srcCompute {
+	if _, src, err := c1.Do(ctx, key, nil, func() ([]byte, error) { return want, nil }); err != nil || src != srcCompute {
 		t.Fatalf("first solve: src=%v err=%v", src, err)
 	}
 	if st.Len() != 1 {
@@ -375,12 +375,12 @@ func TestCacheDiskTier(t *testing.T) {
 
 	// A cold restart: new memory cache, same disk.
 	c2 := newCache(4, 0, st, nil)
-	body, src, err := c2.Do(ctx, key, failCompute(t))
+	body, src, err := c2.Do(ctx, key, nil, failCompute(t))
 	if err != nil || src != srcStore || !bytes.Equal(body, want) {
 		t.Fatalf("warm-restart read: body=%q src=%v err=%v", body, src, err)
 	}
 	// Promoted: the next read is a memory hit.
-	if _, src, err := c2.Do(ctx, key, failCompute(t)); err != nil || src != srcMemory {
+	if _, src, err := c2.Do(ctx, key, nil, failCompute(t)); err != nil || src != srcMemory {
 		t.Errorf("post-promotion read: src=%v err=%v", src, err)
 	}
 }

@@ -35,6 +35,12 @@ type RouterConfig struct {
 	RetryAfter time.Duration
 	// Registry receives the route_* metrics (default obs.Default()).
 	Registry *obs.Registry
+	// Tracer, when non-nil, enables request tracing: the router mints
+	// the trace ID (or continues a client-supplied one), injects the
+	// X-Transched-Trace header on forwards so backend spans join the
+	// same trace, records router/decode stage spans, and serves
+	// /debug/requests. Nil disables all of it.
+	Tracer *obs.ReqTracer
 	// Logger, when non-nil, gets one record per failover and per
 	// no-backend failure. Nil disables logging.
 	Logger *slog.Logger
@@ -128,6 +134,9 @@ func (rt *Router) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.Handle("/metrics", obs.MetricsHandler(rt.cfg.Registry))
+	if rt.cfg.Tracer != nil {
+		mux.Handle("/debug/requests", obs.RequestsHandler(rt.cfg.Tracer))
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -153,9 +162,22 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 		rt.writeError(w, http.StatusMethodNotAllowed, "POST a trace to /solve")
 		return
 	}
+
+	// The router is where a request's trace identity is born (or, when
+	// a client already carries one, continued): the same SpanContext is
+	// injected on every forward attempt, so router and backend spans
+	// share one trace ID across processes. tr is nil with tracing off.
+	var parent obs.SpanContext
+	if rt.cfg.Tracer != nil {
+		parent, _ = obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+	}
+	tr := rt.cfg.Tracer.Start("route", parent)
+	defer tr.Finish()
+
 	raw, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
 	if err != nil {
 		rt.badReqs.Inc()
+		tr.SetStatus(http.StatusBadRequest)
 		rt.writeError(w, http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
 		return
 	}
@@ -163,15 +185,20 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// instead of consuming an upstream round trip, and the digest — the
 	// routing key — is the one the backend's cache will key on.
 	r.Body = io.NopCloser(bytes.NewReader(raw))
+	dt := tr.StartStage(obs.StageDecode)
 	p, err := parseRequest(r)
+	dt.End()
 	if err != nil {
 		rt.badReqs.Inc()
+		tr.SetStatus(http.StatusBadRequest)
 		rt.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	tr.SetDigest(p.digest)
 	key, err := strconv.ParseUint(p.digest, 16, 64)
 	if err != nil { // unreachable: Digest always prints 16 hex chars
 		rt.badReqs.Inc()
+		tr.SetStatus(http.StatusBadRequest)
 		rt.writeError(w, http.StatusBadRequest, fmt.Sprintf("digest %q: %v", p.digest, err))
 		return
 	}
@@ -194,7 +221,11 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	attempts := append(healthy, cooling...)
 
 	for i, backend := range attempts {
-		resp, err := rt.forward(r, backend, raw)
+		// Each attempt is its own router-stage span: a failover's stage
+		// sum shows the dead hop's cost next to the one that answered.
+		ft := tr.StartStage(obs.StageRouter)
+		resp, err := rt.forward(r, backend, raw, tr)
+		ft.End()
 		if err != nil {
 			rt.mu.Lock()
 			rt.downTill[backend] = time.Now().Add(rt.cfg.Cooldown)
@@ -210,12 +241,15 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 		rt.mu.Lock()
 		delete(rt.downTill, backend)
 		rt.mu.Unlock()
-		rt.relay(w, resp, backend)
+		tr.SetBackend(backend)
+		tr.SetStatus(resp.StatusCode)
+		rt.relay(w, resp, backend, tr, start)
 		rt.latency.Observe(time.Since(start).Seconds())
 		return
 	}
 
 	rt.noBackend.Inc()
+	tr.SetStatus(http.StatusBadGateway)
 	if rt.cfg.Logger != nil {
 		rt.cfg.Logger.Error("route: no backend reachable", "digest", p.digest, "backends", len(order))
 	}
@@ -224,8 +258,10 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 }
 
 // forward replays the request body against one backend, preserving the
-// query string (option form) and content type.
-func (rt *Router) forward(orig *http.Request, backend string, raw []byte) (*http.Response, error) {
+// query string (option form) and content type. With tracing on it
+// injects the request's X-Transched-Trace so the backend's spans join
+// the router's trace.
+func (rt *Router) forward(orig *http.Request, backend string, raw []byte, tr *obs.ReqTrace) (*http.Response, error) {
 	url := backend + "/solve"
 	if q := orig.URL.RawQuery; q != "" {
 		url += "?" + q
@@ -237,20 +273,36 @@ func (rt *Router) forward(orig *http.Request, backend string, raw []byte) (*http
 	if ct := orig.Header.Get("Content-Type"); ct != "" {
 		req.Header.Set("Content-Type", ct)
 	}
+	if tr != nil {
+		req.Header.Set(obs.TraceHeader, tr.Context().HeaderValue())
+	}
 	return rt.cfg.Client.Do(req)
 }
 
 // relay copies an upstream response through verbatim — status, solver
 // headers and body — plus the backend that produced it, so clients and
-// smoke tests can observe placement.
-func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, backend string) {
+// smoke tests can observe placement. With tracing on, the router's own
+// wall time is appended to the backend's X-Transched-Timing breakdown
+// so the client sees one header covering both hops, and the trace ID
+// is supplied even when the backend ran untraced.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, backend string, tr *obs.ReqTrace, start time.Time) {
 	defer resp.Body.Close()
-	for _, h := range []string{"Content-Type", "Retry-After", "X-Transched-Cache", "X-Transched-Digest"} {
+	for _, h := range []string{"Content-Type", "Retry-After", "X-Transched-Cache", "X-Transched-Digest", obs.TraceHeader, timingHeader} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
 	}
 	w.Header().Set("X-Transched-Backend", backend)
+	if tr != nil {
+		entry := fmt.Sprintf("router;dur=%.3f", float64(time.Since(start).Microseconds())/1e3)
+		if timing := w.Header().Get(timingHeader); timing != "" {
+			entry = timing + ", " + entry
+		}
+		w.Header().Set(timingHeader, entry)
+		if w.Header().Get(obs.TraceHeader) == "" {
+			w.Header().Set(obs.TraceHeader, tr.Context().HeaderValue())
+		}
+	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
 }

@@ -155,10 +155,24 @@ func TestRouterRoutesByDigest(t *testing.T) {
 // untouched backends keep their placements.
 func TestRouterFailsOverWhenBackendDies(t *testing.T) {
 	f := newRouterFixture(t, 2, RouterConfig{Cooldown: 50 * time.Millisecond})
+	// Draw instances until each backend owns two of them: placement
+	// depends on the fixture's ephemeral ports, so fixed seeds cannot
+	// promise the dead backend owns any key at all — and the kill below
+	// only forces failovers for keys the dead backend owns.
 	texts := make([]string, 4)
 	owners := make([]string, 4)
+	for i, seed := 0, int64(700); i < len(texts); seed++ {
+		cand := genTraceText(t, seed, 12)
+		key, err := parseRequestText(cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.router.ring.owner(key) == f.backends[i%2].URL {
+			texts[i] = cand
+			i++
+		}
+	}
 	for i := range texts {
-		texts[i] = genTraceText(t, 700+int64(i), 12)
 		rec := postRaw(f.handler, "/solve?capacity=1.5", texts[i])
 		if rec.Code != http.StatusOK {
 			t.Fatalf("warmup %d: %d", i, rec.Code)

@@ -59,6 +59,12 @@ type Config struct {
 	RetryAfter time.Duration
 	// Registry receives the serve_* metrics (default obs.Default()).
 	Registry *obs.Registry
+	// Tracer, when non-nil, enables request tracing: per-stage spans,
+	// the X-Transched-Trace/X-Transched-Timing response headers, the
+	// serve_stage_seconds_* histograms and the /debug/requests page.
+	// Nil disables all of it — zero clock reads, zero allocations, and
+	// response bodies byte-identical either way (OBSERVABILITY.md).
+	Tracer *obs.ReqTracer
 	// Logger, when non-nil, gets one record per computed solve and per
 	// shed request. Nil disables logging.
 	Logger *slog.Logger
@@ -108,6 +114,7 @@ type Server struct {
 	cache   *cache
 	adm     *admission
 	batcher *batcher
+	tracer  *obs.ReqTracer // nil when tracing is off
 
 	// mu orders request admission against drain: once draining, no new
 	// request enters, and Drain's wait covers everything that did.
@@ -144,6 +151,7 @@ func New(cfg Config) *Server {
 	reg := cfg.Registry
 	s := &Server{
 		cfg:          cfg,
+		tracer:       cfg.Tracer,
 		requests:     reg.Counter("serve_requests_total"),
 		hits:         reg.Counter("serve_cache_hits_total"),
 		misses:       reg.Counter("serve_cache_misses_total"),
@@ -174,9 +182,11 @@ func New(cfg Config) *Server {
 //	POST /solve    solve a trace instance (SERVING.md)
 //	GET  /healthz  liveness: 200 while the process runs
 //	GET  /readyz   readiness: 200, or 503 once draining
-//	GET  /metrics  plain-text snapshot of the registry
+//	GET  /metrics  registry snapshot (plain text; ?format=prometheus
+//	               for the Prometheus exposition)
 //
-// With EnableProfiling, /debug/vars and /debug/pprof/* are mounted too.
+// With a Tracer, /debug/requests serves the request-trace rings; with
+// EnableProfiling, /debug/vars and /debug/pprof/* are mounted too.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
@@ -195,6 +205,9 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ready")
 	})
 	mux.Handle("/metrics", obs.MetricsHandler(s.cfg.Registry))
+	if s.tracer != nil {
+		mux.Handle("/debug/requests", obs.RequestsHandler(s.tracer))
+	}
 	if s.cfg.EnableProfiling {
 		obs.PublishExpvar()
 		obs.MountProfiling(mux)
@@ -294,18 +307,24 @@ func (s *Server) shedResponse(w http.ResponseWriter, status int, msg string) {
 // solveOne is the admission-free inner solve: portfolio (or heuristic,
 // or rts-batched) solve plus deterministic marshal. Both the unbatched
 // path and the micro-batcher run exactly this, which is what makes
-// batched responses byte-identical to unbatched ones.
-func (s *Server) solveOne(ctx context.Context, p *parsedRequest) ([]byte, error) {
+// batched responses byte-identical to unbatched ones. rt receives the
+// solve and encode spans (nil when tracing is off).
+func (s *Server) solveOne(ctx context.Context, p *parsedRequest, rt *obs.ReqTrace) ([]byte, error) {
 	if s.onSolve != nil {
 		s.onSolve()
 	}
 	solveStart := time.Now()
+	st := rt.StartStage(obs.StageSolve)
 	res, err := transched.Solve(ctx, p.trace, p.opts)
+	st.End()
 	s.solveHist.Observe(time.Since(solveStart).Seconds())
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(buildResponse(res))
+	et := rt.StartStage(obs.StageEncode)
+	body, err := json.Marshal(buildResponse(res))
+	et.End()
+	return body, err
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -323,12 +342,30 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.inflight.Done()
 
+	// The request trace: continue the router's trace when the header
+	// carries one, mint a root otherwise. rt is nil with tracing off,
+	// and every use below is a nil-safe no-op.
+	var parent obs.SpanContext
+	if s.tracer != nil {
+		parent, _ = obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+	}
+	rt := s.tracer.Start("solve", parent)
+	defer rt.Finish()
+
+	// The decode span covers everything from raw bytes to a dispatchable
+	// request: parsing, the digest, and the deadline setup. Ending it
+	// only after WithTimeout keeps the stage-accounting identity honest
+	// on sub-millisecond requests, where even timer allocation shows up.
+	dt := rt.StartStage(obs.StageDecode)
 	p, err := parseRequest(r)
 	if err != nil {
+		dt.End()
 		s.errs.Inc()
+		rt.SetStatus(http.StatusBadRequest)
 		s.writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	rt.SetDigest(p.digest)
 
 	timeout := s.cfg.DefaultTimeout
 	if p.req.TimeoutMS > 0 {
@@ -339,30 +376,37 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	dt.End()
 
-	body, src, err := s.cache.Do(ctx, p.digest, func() ([]byte, error) {
+	body, src, err := s.cache.Do(ctx, p.digest, rt, func() ([]byte, error) {
 		if s.batcher != nil {
-			return s.batcher.do(ctx, p)
+			return s.batcher.do(ctx, p, rt)
 		}
-		if err := s.adm.Acquire(ctx); err != nil {
+		qt := rt.StartStage(obs.StageQueue)
+		err := s.adm.Acquire(ctx)
+		qt.End()
+		if err != nil {
 			return nil, err
 		}
 		defer s.adm.Release()
 		s.inFlight.Set(float64(s.adm.InFlight()))
 		defer func() { s.inFlight.Set(float64(s.adm.InFlight())) }()
-		return s.solveOne(ctx, p)
+		return s.solveOne(ctx, p, rt)
 	})
 
 	switch {
 	case err == nil:
 	case errors.Is(err, errOverloaded):
+		rt.SetStatus(http.StatusTooManyRequests)
 		s.shedResponse(w, http.StatusTooManyRequests, err.Error())
 		return
 	case errors.Is(err, errDraining):
+		rt.SetStatus(http.StatusServiceUnavailable)
 		s.shedResponse(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.timeouts.Inc()
+		rt.SetStatus(http.StatusGatewayTimeout)
 		s.writeJSONError(w, http.StatusGatewayTimeout, "solve deadline exceeded")
 		return
 	default:
@@ -370,10 +414,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// here means the instance itself is unschedulable (e.g. a task
 		// larger than the requested capacity).
 		s.errs.Inc()
+		rt.SetStatus(http.StatusUnprocessableEntity)
 		s.writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
 
+	// The closing encode slice: hit/miss accounting plus response
+	// composition (headers, the timing render) accumulate onto the
+	// encode stage, so the span's tail is attributed rather than lost.
+	et := rt.StartStage(obs.StageEncode)
 	if src.hit() {
 		s.hits.Inc()
 		if src == srcStore {
@@ -385,23 +434,60 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			s.storeMisses.Inc()
 		}
 		if s.cfg.Logger != nil {
-			s.cfg.Logger.Info("serve: solved",
+			logAttrs := []any{
 				"digest", p.digest, "app", p.trace.App, "tasks", len(p.trace.Tasks),
 				"heuristic", p.opts.Heuristic, "batch", p.opts.BatchSize,
-				"bytes", len(body), "seconds", time.Since(start).Seconds())
+				"bytes", len(body), "seconds", time.Since(start).Seconds(),
+			}
+			if rt != nil {
+				logAttrs = append(logAttrs, "trace", rt.Context().Trace.String())
+			}
+			s.cfg.Logger.Info("serve: solved", logAttrs...)
 		}
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Transched-Cache", cacheHeader(src.hit()))
+	w.Header().Set("X-Transched-Digest", p.digest)
+	if rt != nil {
+		rt.SetStatus(http.StatusOK)
+		rt.SetCacheSource(srcName(src))
+		w.Header().Set(obs.TraceHeader, rt.Context().HeaderValue())
+		w.Header().Set(timingHeader, rt.TimingHeader())
+	}
+	// The span closes once the response is composed: the socket write
+	// and gauge refreshes below are not request processing, and leaving
+	// them inside the span breaks the stage-accounting identity (stage
+	// sums >= 95% of the span). The deferred Finish above stays as the
+	// error-path net — Finish is idempotent.
+	et.End()
+	rt.Finish()
+	w.Write(body)
+	s.reqHist.Observe(time.Since(start).Seconds())
 	s.cacheEntries.Set(float64(s.cache.Len()))
 	s.cacheBytes.Set(float64(s.cache.Bytes()))
 	if s.cfg.Store != nil {
 		s.storeEntries.Set(float64(s.cfg.Store.Len()))
 		s.storeBytes.Set(float64(s.cfg.Store.Bytes()))
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Transched-Cache", cacheHeader(src.hit()))
-	w.Header().Set("X-Transched-Digest", p.digest)
-	w.Write(body)
-	s.reqHist.Observe(time.Since(start).Seconds())
+}
+
+// timingHeader carries the per-stage latency breakdown on responses,
+// in Server-Timing syntax ("solve;dur=1.903, ..., total;dur=2.210",
+// milliseconds). transchedbench parses it to attribute latency.
+const timingHeader = "X-Transched-Timing"
+
+// srcName names a response source for the trace record.
+func srcName(s source) string {
+	switch s {
+	case srcMemory:
+		return "memory"
+	case srcFlight:
+		return "flight"
+	case srcStore:
+		return "store"
+	default:
+		return "compute"
+	}
 }
 
 func cacheHeader(hit bool) string {

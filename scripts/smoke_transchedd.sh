@@ -30,6 +30,7 @@ fail() {
 go build -o "$tmp/transched" ./cmd/transched
 go build -o "$tmp/transchedd" ./cmd/transchedd
 go build -o "$tmp/tracegen" ./cmd/tracegen
+go build -o "$tmp/scrapecheck" ./scripts/scrapecheck
 
 "$tmp/tracegen" -app HF -out "$tmp/traces" -processes 1 -min 40 -max 40
 trace_file=$(ls "$tmp/traces"/*.trace | head -n 1)
@@ -89,6 +90,24 @@ curl -sf "http://$addr/metrics" > "$tmp/metrics" || fail "/metrics"
 grep -q '^serve_cache_hits_total 1$' "$tmp/metrics" || fail "hit counter: $(grep serve_cache "$tmp/metrics")"
 grep -q '^serve_cache_misses_total 1$' "$tmp/metrics" || fail "miss counter: $(grep serve_cache "$tmp/metrics")"
 
+# The Prometheus rendering of the same registry must parse as text
+# exposition and carry the serving counters plus the per-stage
+# latency histograms request tracing adds.
+"$tmp/scrapecheck" -metrics "http://$addr/metrics?format=prometheus" \
+    -require serve_requests_total,serve_cache_hits_total,serve_stage_seconds_solve \
+    > /dev/null || fail "prometheus scrape does not validate"
+
+# Request tracing: the miss carried a trace ID, and /debug/requests
+# must show that request with its stage spans accounting for >= 95%
+# of the request's span — the OBSERVABILITY.md accounting identity.
+trace_id=$(tr -d '\r' < "$tmp/hdr1" | awk 'tolower($1)=="x-transched-trace:" { split($2, a, "-"); print a[1] }')
+[ -n "$trace_id" ] || fail "miss response has no X-Transched-Trace header"
+tr -d '\r' < "$tmp/hdr1" | grep -qi '^x-transched-timing: .*total;dur=' \
+    || fail "miss response has no X-Transched-Timing breakdown"
+"$tmp/scrapecheck" -requests "http://$addr/debug/requests?format=json" \
+    -trace "$trace_id" -min-coverage 0.95 \
+    > /dev/null || fail "/debug/requests misses trace $trace_id with coverage >= 0.95"
+
 # Graceful drain: SIGTERM must exit 0 and release the port.
 kill -TERM "$pid"
 if ! wait "$pid"; then
@@ -129,4 +148,48 @@ wait "$curl_pid" || fail "parked request got no response at drain"
 grep -q '^HTTP/[0-9.]* 503' "$tmp/hdr4" || fail "parked request not shed with 503: $(head -n 1 "$tmp/hdr4")"
 grep -qi '^retry-after:' "$tmp/hdr4" || fail "shed response missing Retry-After"
 
-echo "smoke_transchedd: ok (makespan $daemon_mk matches CLI, cache hit byte-identical, warm restart served from disk, drain sheds queued work, exits clean)"
+# One trace across the shard tier: a request through the router must
+# carry a single trace ID visible in the router's span AND the serving
+# backend's span, and the backend must write a Chrome trace export of
+# its sampled requests on shutdown.
+boot_daemon "$tmp/addrA" -trace-out "$tmp/reqtraceA.json"
+b1_pid=$pid; b1_addr=$addr
+boot_daemon "$tmp/addrB" -trace-out "$tmp/reqtraceB.json"
+b2_pid=$pid; b2_addr=$addr
+boot_daemon "$tmp/addrR" -route "http://$b1_addr,http://$b2_addr"
+r_pid=$pid; r_addr=$addr
+pid="" # the three daemons above are managed by hand below
+
+curl -sf -D "$tmp/hdr5" --data-binary @"$trace_file" \
+    "http://$r_addr/solve?heuristic=OOLCMR&capacity=1.5" > "$tmp/resp5" \
+    || fail "routed POST /solve"
+cmp -s "$tmp/resp1" "$tmp/resp5" || fail "routed response differs from direct solve"
+route_trace=$(tr -d '\r' < "$tmp/hdr5" | awk 'tolower($1)=="x-transched-trace:" { split($2, a, "-"); print a[1] }')
+[ -n "$route_trace" ] || fail "routed response has no X-Transched-Trace"
+tr -d '\r' < "$tmp/hdr5" | grep -qi '^x-transched-timing: .*router;dur=' \
+    || fail "routed timing header misses the router stage"
+backend=$(tr -d '\r' < "$tmp/hdr5" | awk 'tolower($1)=="x-transched-backend:" { print $2 }')
+[ -n "$backend" ] || fail "routed response names no backend"
+"$tmp/scrapecheck" -requests "http://$r_addr/debug/requests?format=json" \
+    -trace "$route_trace" > /dev/null \
+    || fail "router /debug/requests misses trace $route_trace"
+"$tmp/scrapecheck" -requests "$backend/debug/requests?format=json" \
+    -trace "$route_trace" -min-coverage 0.95 > /dev/null \
+    || fail "backend /debug/requests misses trace $route_trace with coverage >= 0.95"
+
+for p in "$r_pid" "$b2_pid" "$b1_pid"; do
+    kill -TERM "$p"
+    wait "$p" || fail "shard-tier daemon $p exited non-zero on SIGTERM"
+done
+# The backend that served the request must have exported its span as
+# Chrome trace events (Perfetto-loadable) on shutdown.
+if [ "$backend" = "http://$b1_addr" ]; then
+    export_file=$tmp/reqtraceA.json
+else
+    export_file=$tmp/reqtraceB.json
+fi
+[ -s "$export_file" ] || fail "-trace-out wrote no Chrome export"
+jq -e '.traceEvents | length > 0' "$export_file" > /dev/null \
+    || fail "-trace-out export has no events"
+
+echo "smoke_transchedd: ok (makespan $daemon_mk matches CLI, cache hit byte-identical, warm restart served from disk, drain sheds queued work, one trace ID across router and backend, prometheus scrape valid, exits clean)"

@@ -44,6 +44,13 @@ go test -race -shuffle=on -timeout 45m ./...
 go test -race -shuffle=on -count=2 -run 'Differential|TrialMakespan|CloneCopyOnWrite|MemoryInUse' \
     ./internal/simulate/
 
+# Request tracing can never alter what the serving tier returns: the
+# traced-vs-untraced byte-identity tests get a second, focused run
+# (tracing off must also mean zero clock reads — the same no-op
+# contract the nil-handle telemetry above honours).
+go test -race -count=1 -run 'ByteIdentical|NilTracerUniversalNoOp' \
+    ./internal/serve/ ./internal/obs/
+
 # Determinism byte-compare with telemetry enabled: a serial and a
 # parallel sweep, both with trace export on, must print identical
 # results (OBSERVABILITY.md) — instrumentation can never silently
@@ -58,4 +65,4 @@ if ! cmp -s "$tmp/serial.out" "$tmp/parallel.out"; then
     diff "$tmp/serial.out" "$tmp/parallel.out" >&2 || true
     exit 1
 fi
-echo "verify: ok (build, vet, transchedlint, gofmt, race+shuffle tests, traced determinism byte-compare)"
+echo "verify: ok (build, vet, transchedlint, gofmt, race+shuffle tests, nil-tracer byte-identity, traced determinism byte-compare)"
