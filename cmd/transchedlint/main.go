@@ -21,11 +21,25 @@
 //
 //	-V=full    print an executable digest for the go command's cache key
 //	-flags     describe supported analyzer flags as JSON (none)
+//	-list      print the analyzer suite, one "name summary" line each
 //	foo.cfg    analyze the single compilation unit described by the
 //	           JSON config file the go command wrote
+//
+// Facts flow through the same protocol: each unit reads the vetx files
+// of its dependencies (PackageVetx), runs the fact-producing analyzers
+// (dependency units are VetxOnly: facts, no diagnostics), and writes
+// the union of imported and newly exported facts to VetxOutput — which
+// is how a clock read laundered through a helper package is still
+// flagged where a result-producing package calls it (LINTING.md
+// §Facts).
+//
+// Setting TRANSCHEDLINT_TIMING=<file> appends one
+// "analyzer nanoseconds import/path" line per analyzer run, which
+// verify.sh aggregates into a per-analyzer wall-time report.
 package main
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
@@ -40,6 +54,7 @@ import (
 	"os"
 	"os/exec"
 	"strings"
+	"time"
 
 	"transched/internal/lint"
 )
@@ -55,6 +70,8 @@ func main() {
 		// No analyzer flags: the suite is configuration-free by design
 		// (suppression happens in source, next to the code it excuses).
 		fmt.Println("[]")
+	case len(args) == 1 && args[0] == "-list":
+		printList()
 	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
 		unitcheck(args[0])
 	case len(args) >= 1:
@@ -84,6 +101,17 @@ func printVersion() {
 		log.Fatal(err)
 	}
 	fmt.Printf("transchedlint version devel comments-go-here buildID=%x\n", h.Sum(nil))
+}
+
+// printList implements -list: one line per registered analyzer, its
+// name and the first line of its doc. verify.sh diffs this against the
+// expected suite, so a dropped registration fails loudly instead of
+// silently linting less.
+func printList() {
+	for _, a := range lint.Analyzers {
+		summary, _, _ := strings.Cut(a.Doc, "\n")
+		fmt.Printf("%-11s %s\n", a.Name, summary)
+	}
 }
 
 // standalone re-execs the go command with this binary as the vettool:
@@ -118,13 +146,15 @@ type config struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
 // unitcheck analyzes one compilation unit described by cfgFile and
-// exits: 0 when clean, 1 with findings on stderr otherwise.
+// exits: 0 when clean, 1 with findings on stderr otherwise. VetxOnly
+// units (dependencies of the packages under vet) produce facts only.
 func unitcheck(cfgFile string) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -134,53 +164,44 @@ func unitcheck(cfgFile string) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		log.Fatalf("cannot decode vet config %s: %v", cfgFile, err)
 	}
-	// The go command expects a facts file for downstream units; the
-	// suite computes no cross-package facts, so an empty one suffices
-	// (it also lets clean results land in the build cache).
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			log.Fatal(err)
-		}
-	}
-	// Dependency units are analyzed only for facts; none exist here.
+
 	if cfg.VetxOnly {
-		os.Exit(0)
-	}
-
-	fset := token.NewFileSet()
-	var files []*ast.File
-	for _, name := range cfg.GoFiles {
-		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
-		if err != nil {
-			if cfg.SucceedOnTypecheckFailure {
-				os.Exit(0) // the compiler will report it better
-			}
-			log.Fatal(err)
-		}
-		files = append(files, f)
-	}
-	if len(files) == 0 {
-		os.Exit(0)
-	}
-
-	tc := &types.Config{
-		Importer:  makeImporter(&cfg, fset),
-		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
-		GoVersion: cfg.GoVersion,
-	}
-	info := lint.NewTypesInfo()
-	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
-	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
+		// A dependency, analyzed only so its facts reach the packages
+		// under vet. Only module packages produce facts; the standard
+		// library is never type-checked here — the fast path keeps
+		// `go vet ./...` from re-analyzing all of std for nothing.
+		if !strings.HasPrefix(cfg.ImportPath, lint.ModulePathPrefix) {
+			writeVetx(cfg.VetxOutput, nil)
 			os.Exit(0)
 		}
-		log.Fatal(err)
+		fset, files, pkg, info, ok := loadUnit(&cfg)
+		if !ok {
+			writeVetx(cfg.VetxOutput, nil)
+			os.Exit(0)
+		}
+		facts := readDepFacts(&cfg)
+		if err := lint.RunFactAnalyzers(fset, files, pkg, info, facts); err != nil {
+			log.Fatal(err)
+		}
+		writeVetx(cfg.VetxOutput, facts)
+		os.Exit(0)
 	}
 
-	findings, err := lint.CheckAll(fset, files, pkg, info)
+	fset, files, pkg, info, ok := loadUnit(&cfg)
+	if !ok {
+		writeVetx(cfg.VetxOutput, nil)
+		os.Exit(0)
+	}
+	facts := readDepFacts(&cfg)
+	onTime, flushTiming := timingHook(cfg.ImportPath)
+	findings, err := lint.CheckAllTimed(fset, files, pkg, info, facts, onTime)
+	flushTiming()
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The vetx output is the union of imported and newly exported facts,
+	// so indirect dependents see this unit's dependencies' facts too.
+	writeVetx(cfg.VetxOutput, facts)
 	for _, f := range findings {
 		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(f.Pos), f.Message, f.Analyzer)
 	}
@@ -188,6 +209,108 @@ func unitcheck(cfgFile string) {
 		os.Exit(1)
 	}
 	os.Exit(0)
+}
+
+// loadUnit parses and type-checks the unit's files. ok=false means the
+// unit should be skipped quietly: no Go files, or a parse/type error on
+// a unit where the go command asked for silence because the compiler
+// will report it better (SucceedOnTypecheckFailure).
+func loadUnit(cfg *config) (fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, ok bool) {
+	fset = token.NewFileSet()
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil, nil, nil, false
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, nil, false
+	}
+	tc := &types.Config{
+		Importer:  makeImporter(cfg, fset),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info = lint.NewTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil, nil, nil, false
+		}
+		log.Fatal(err)
+	}
+	return fset, files, pkg, info, true
+}
+
+// readDepFacts decodes and merges the vetx files of every dependency
+// the go command listed. A missing file means the dependency produced
+// no facts (or predates the facts protocol) and is skipped; a corrupt
+// one is a real error.
+func readDepFacts(cfg *config) *lint.FactSet {
+	facts := lint.NewFactSet()
+	for path, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			continue
+		}
+		fs, err := lint.DecodeFacts(data)
+		if err != nil {
+			log.Fatalf("reading facts of %s from %s: %v", path, file, err)
+		}
+		facts.Merge(fs)
+	}
+	return facts
+}
+
+// writeVetx serializes facts (nil meaning none) to path, the file the
+// go command hands to dependent units as PackageVetx and hashes into
+// its action cache.
+func writeVetx(path string, facts *lint.FactSet) {
+	if path == "" {
+		return
+	}
+	var data []byte
+	if facts != nil && facts.Len() > 0 {
+		var err error
+		data, err = facts.Encode()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// timingHook wires TRANSCHEDLINT_TIMING: when the variable names a
+// file, the returned callback buffers one line per analyzer run and
+// flush appends them in a single write (concurrent unit processes
+// append to the same file). Both returns are no-ops when unset.
+func timingHook(importPath string) (onTime func(string, time.Duration), flush func()) {
+	path := os.Getenv("TRANSCHEDLINT_TIMING")
+	if path == "" {
+		return nil, func() {}
+	}
+	var buf bytes.Buffer
+	onTime = func(analyzer string, d time.Duration) {
+		fmt.Fprintf(&buf, "%s %d %s\n", analyzer, d.Nanoseconds(), importPath)
+	}
+	flush = func() {
+		if buf.Len() == 0 {
+			return
+		}
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o666)
+		if err != nil {
+			return // timing is best-effort; never fail the lint run for it
+		}
+		defer f.Close()
+		f.Write(buf.Bytes())
+	}
+	return onTime, flush
 }
 
 // makeImporter resolves imports exactly as the compiler did: source

@@ -140,3 +140,143 @@ func seeded() int {
 		}
 	})
 }
+
+// writeModuleFiles is writeModule for multi-package layouts: keys are
+// paths relative to the module root.
+func writeModuleFiles(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestVettoolList pins the -list output: the full ten-analyzer suite,
+// in registration order, each with the first line of its doc. verify.sh
+// greps this to assert the deployed tool carries every analyzer.
+func TestVettoolList(t *testing.T) {
+	tool := buildTool(t)
+	out, err := exec.Command(tool, "-list").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(out), "\n"), "\n")
+	wantOrder := []string{
+		"purity", "detclock", "detrand", "maporder", "slotwrite",
+		"gaugecas", "nilnoop", "spanend", "metricname", "allowform",
+	}
+	if len(lines) != len(wantOrder) {
+		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), len(wantOrder), out)
+	}
+	for i, name := range wantOrder {
+		fields := strings.Fields(lines[i])
+		if len(fields) < 2 || fields[0] != name {
+			t.Errorf("-list line %d = %q, want analyzer %q with a doc line", i, lines[i], name)
+		}
+	}
+}
+
+// TestVettoolFactsAcrossPackages exercises the vetx plumbing end to
+// end through the real go vet driver: a helper subpackage launders
+// time.Now behind a function, the result-producing root package calls
+// it, and detclock must flag the *call site* in the root package —
+// which is only possible if purity's facts for the helper survived the
+// vetx round trip between the two vet units.
+func TestVettoolFactsAcrossPackages(t *testing.T) {
+	tool := buildTool(t)
+	helper := `package util
+
+import "time"
+
+// Stamp launders the wall clock behind an innocent-looking helper.
+func Stamp() int64 { return time.Now().UnixNano() }
+`
+	t.Run("laundering flagged at the call site", func(t *testing.T) {
+		dir := writeModuleFiles(t, map[string]string{
+			"go.mod":       "module transched/internal/flowshop\n\ngo 1.22\n",
+			"util/util.go": helper,
+			"code.go": `package flowshop
+
+import "transched/internal/flowshop/util"
+
+func Span() int64 { return util.Stamp() }
+`,
+		})
+		out, err := govet(t, tool, dir)
+		if err == nil {
+			t.Fatalf("go vet succeeded on cross-package clock laundering:\n%s", out)
+		}
+		for _, want := range []string{"[detclock]", "util.Stamp", "reaches time.Now", "code.go"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("vet output missing %q:\n%s", want, out)
+			}
+		}
+		// The helper package itself is not result-producing; the root
+		// time.Now inside it must not be reported.
+		if strings.Contains(out, "util/util.go") {
+			t.Errorf("vet flagged the helper package, want only the call site:\n%s", out)
+		}
+	})
+
+	t.Run("annotated call site passes", func(t *testing.T) {
+		dir := writeModuleFiles(t, map[string]string{
+			"go.mod":       "module transched/internal/flowshop\n\ngo 1.22\n",
+			"util/util.go": helper,
+			"code.go": `package flowshop
+
+import "transched/internal/flowshop/util"
+
+func Span() int64 {
+	return util.Stamp() //transched:allow-clock e2e test: measurement only
+}
+`,
+		})
+		if out, err := govet(t, tool, dir); err != nil {
+			t.Fatalf("go vet failed on annotated laundering call: %v\n%s", err, out)
+		}
+	})
+}
+
+// TestVettoolTimingFile: with TRANSCHEDLINT_TIMING set, each checked
+// unit appends per-analyzer wall-time records verify.sh can aggregate.
+func TestVettoolTimingFile(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, `package flowshop
+
+func ok() int { return 3 }
+`)
+	timing := filepath.Join(t.TempDir(), "timing.txt")
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "TRANSCHEDLINT_TIMING="+timing)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet failed: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(timing)
+	if err != nil {
+		t.Fatalf("timing file not written: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			t.Fatalf("malformed timing line %q, want 'analyzer nanos importpath'", line)
+		}
+		seen[f[0]] = true
+		if f[2] != "transched/internal/flowshop" {
+			t.Errorf("timing line %q has wrong import path", line)
+		}
+	}
+	for _, name := range []string{"purity", "detclock", "spanend"} {
+		if !seen[name] {
+			t.Errorf("no timing record for %s:\n%s", name, data)
+		}
+	}
+}

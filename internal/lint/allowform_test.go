@@ -13,7 +13,7 @@ func TestMalformedAnnotationsDoNotSuppress(t *testing.T) {
 	// suppressed by a *valid* annotation, plus malformed ones on inert
 	// lines) must report exactly the allowform findings.
 	fset, files, pkg, info := loadTestdata(t, "allowform", "allowform")
-	findings, err := CheckAll(fset, files, pkg, info)
+	findings, err := CheckAll(fset, files, pkg, info, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,14 +1,22 @@
 package lint
 
-// Analyzers is the full transchedlint suite in the order diagnostics are
-// reported. cmd/transchedlint runs exactly this list; adding an analyzer
+// Analyzers is the full transchedlint suite in the order the analyzers
+// run. cmd/transchedlint runs exactly this list; adding an analyzer
 // here is all the registration a new check needs (LINTING.md walks
-// through it).
+// through it). Order matters once: Purity runs before Detclock so the
+// impurity facts of the package under analysis are already exported
+// when detclock consults the fact set (cross-package facts arrive via
+// vetx regardless of order).
 var Analyzers = []*Analyzer{
+	Purity,
 	Detclock,
 	Detrand,
 	Maporder,
 	Slotwrite,
+	Gaugecas,
+	Nilnoop,
+	Spanend,
+	Metricname,
 	Allowform,
 }
 

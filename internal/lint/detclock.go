@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"strings"
 )
 
 // DetclockPackages is the set of result-producing import paths in which
@@ -11,9 +12,14 @@ import (
 // measurement sites (the ablation and sweep drivers time themselves, but
 // those durations never feed a result slot).
 //
-// Telemetry (internal/obs), the online runtime's stats (internal/rts),
-// rendering (internal/gantt) and the command-line front ends live off
-// this list: timing is their job.
+// Some entries are reserved paths that predate the current layout or
+// are claimed ahead of planned packages (the golden tests type-check
+// testdata under several of them); listing a package that does not
+// exist is the safe direction — it costs nothing and a future package
+// landing on the path is covered from its first commit. The layout
+// test (detclock_layout_test.go) enforces the dangerous direction:
+// every internal package that exists on disk must appear in exactly
+// one of DetclockPackages or DetclockExempt.
 var DetclockPackages = map[string]bool{
 	"transched":                      true,
 	"transched/internal/core":        true,
@@ -31,6 +37,27 @@ var DetclockPackages = map[string]bool{
 	"transched/internal/threestage":  true,
 	"transched/internal/npc":         true,
 	"transched/internal/paperdata":   true,
+	// Not a result producer per se, but its deterministic random
+	// instance generators are what make the property tests replayable;
+	// a clock read here would quietly unseed them.
+	"transched/internal/testutil": true,
+}
+
+// DetclockExempt lists the module packages deliberately outside
+// detclock's jurisdiction, each with the reason timing is legitimate
+// there. The layout test cross-checks both maps against the
+// directories that actually exist, so a new internal package cannot
+// silently escape classification: it must be filed here or in
+// DetclockPackages, with the docs to show for it.
+var DetclockExempt = map[string]string{
+	"transched/internal/obs":         "telemetry: timing is its job; results never flow through it",
+	"transched/internal/rts":         "online runtime: batch stats and deadlines observe real time",
+	"transched/internal/gantt":       "rendering: draws schedules, computes none",
+	"transched/internal/par":         "worker pools: wall-clock scheduling, results merged deterministically",
+	"transched/internal/prof":        "profiling plumbing for the CLIs",
+	"transched/internal/serve":       "serving tier: latency metrics and deadlines are wall-clock by nature",
+	"transched/internal/serve/store": "disk cache: persistence timing, bodies content-addressed",
+	"transched/internal/lint":        "the analyzers themselves (and their timing hooks)",
 }
 
 // detclockFuncs are the package time functions that read the wall clock
@@ -42,17 +69,22 @@ var detclockFuncs = map[string]bool{
 	"NewTimer": true, "NewTicker": true,
 }
 
-// Detclock flags wall-clock use (time.Now, time.Since, timers, ...) in
-// the result-producing packages listed in DetclockPackages. Legitimate
+// Detclock flags wall-clock use in the result-producing packages listed
+// in DetclockPackages — both direct (time.Now, time.Since, timers, ...)
+// and laundered: a call to any module function that purity's ImpureFact
+// facts prove transitively reaches the time package. Legitimate
 // measurement sites carry //transched:allow-clock <reason>. Test files
 // are exempt: they may time themselves freely.
 var Detclock = &Analyzer{
 	Name: "detclock",
-	Doc: "flag wall-clock reads in result-producing packages\n\n" +
+	Doc: "flag wall-clock reads, direct or laundered, in result-producing packages\n\n" +
 		"Results (schedules, ratios, figure tables) must be bit-identical\n" +
 		"across runs and worker counts, so time.Now/Since/timers are banned\n" +
 		"from the packages that compute them unless the line carries a\n" +
-		"//transched:allow-clock <reason> annotation.",
+		"//transched:allow-clock <reason> annotation. Calls into other\n" +
+		"module packages are checked against the ImpureFact facts the\n" +
+		"purity analyzer exports, so routing the clock through a helper\n" +
+		"package changes nothing.",
 	Run:   runDetclock,
 	Allow: "clock",
 }
@@ -68,15 +100,26 @@ func runDetclock(pass *Pass) error {
 				return true
 			}
 			fn := calleeFunc(pass.TypesInfo, call)
-			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			if fn == nil || fn.Pkg() == nil || pass.InTestFile(call.Pos()) {
 				return true
 			}
-			if !detclockFuncs[fn.Name()] || pass.InTestFile(call.Pos()) {
-				return true
+			switch path := fn.Pkg().Path(); {
+			case path == "time" && detclockFuncs[fn.Name()]:
+				pass.Reportf(call.Pos(),
+					"call to time.%s in result-producing package %s; results must not depend on the wall clock (annotate a measurement site with //transched:allow-clock <reason>)",
+					fn.Name(), pass.Pkg.Path())
+			case path != pass.Pkg.Path() && strings.HasPrefix(path, ModulePathPrefix):
+				// Cross-package laundering: the callee lives elsewhere in
+				// the module and purity proved it reaches the clock. Calls
+				// within this package are not re-reported — the root site
+				// (a direct time.* call here) already was.
+				var imp ImpureFact
+				if pass.ImportObjectFact(fn, &imp) {
+					pass.Reportf(call.Pos(),
+						"call to %s in result-producing package %s reaches %s; results must not depend on the wall clock (annotate a measurement site with //transched:allow-clock <reason>)",
+						QualifiedName(fn), pass.Pkg.Path(), imp.Chain())
+				}
 			}
-			pass.Reportf(call.Pos(),
-				"call to time.%s in result-producing package %s; results must not depend on the wall clock (annotate a measurement site with //transched:allow-clock <reason>)",
-				fn.Name(), pass.Pkg.Path())
 			return true
 		})
 	}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDetclockLayoutCoversInternalPackages cross-checks the analyzer's
+// package lists against the directories that actually exist: every
+// internal package (and the module root) must be filed in exactly one
+// of DetclockPackages (result-producing: clock banned) or
+// DetclockExempt (timing is legitimate, with a documented reason), so
+// a new package cannot silently escape classification. The reverse
+// direction is asymmetric on purpose: DetclockPackages may list paths
+// with no directory yet (reserved names the golden tests type-check
+// testdata under; over-coverage is free), but a DetclockExempt entry
+// for a package that no longer exists is a stale waiver and fails.
+func TestDetclockLayoutCoversInternalPackages(t *testing.T) {
+	root := filepath.Join("..", "..")
+	pkgs := []string{}
+	if hasGoSource(t, root) {
+		pkgs = append(pkgs, "transched")
+	}
+	internal := filepath.Join(root, "internal")
+	err := filepath.WalkDir(internal, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(internal, path)
+		if err != nil {
+			return err
+		}
+		// The golden testdata trees are lint fixtures, not packages of
+		// the module.
+		if rel != "." && (strings.Contains(rel, "testdata") || strings.HasPrefix(rel, ".")) {
+			return filepath.SkipDir
+		}
+		if rel != "." && hasGoSource(t, path) {
+			pkgs = append(pkgs, "transched/internal/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("layout walk found only %d packages — wrong root?", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		banned := DetclockPackages[pkg]
+		_, exempt := DetclockExempt[pkg]
+		switch {
+		case banned && exempt:
+			t.Errorf("%s is in both DetclockPackages and DetclockExempt; pick one", pkg)
+		case !banned && !exempt:
+			t.Errorf("%s is in neither DetclockPackages nor DetclockExempt: new packages must be classified (result-producing, or exempt with a reason)", pkg)
+		}
+	}
+	existing := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		existing[p] = true
+	}
+	for pkg, reason := range DetclockExempt {
+		if !existing[pkg] {
+			t.Errorf("DetclockExempt lists %s (%q) but no such package exists: stale waiver", pkg, reason)
+		}
+		if strings.TrimSpace(reason) == "" {
+			t.Errorf("DetclockExempt entry %s has no reason", pkg)
+		}
+	}
+}
+
+// hasGoSource reports whether dir directly contains at least one
+// non-test Go file.
+func hasGoSource(t *testing.T, dir string) bool {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

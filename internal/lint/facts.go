@@ -1,0 +1,244 @@
+package lint
+
+// Facts: serialized analyzer conclusions attached to functions and
+// packages, exported with each compilation unit and imported by the
+// units that depend on it — the mechanism that makes analysis
+// *transitive across packages*. A fact written while analyzing
+// internal/obs ("ReqTracer.Start reads the clock") is visible when a
+// result-producing package that calls it is analyzed, even though the
+// two packages are type-checked in separate tool processes.
+//
+// The carrier is go vet's vetx file: the go command hands every unit
+// the vetx files of its dependencies (PackageVetx in the .cfg) and a
+// path to write its own (VetxOutput), in dependency order. Each unit's
+// output is the union of what it imported and what it exported, so
+// facts propagate through indirect dependencies without the driver
+// ever loading more than the direct ones. The shapes mirror
+// golang.org/x/tools/go/analysis (Fact, ExportObjectFact,
+// ImportObjectFact) so analyzers port mechanically; see LINTING.md
+// §Facts.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+const (
+	// ModulePathPrefix identifies this module's packages. Facts are
+	// computed for (and carried between) module packages only: the
+	// standard library is clock-audited by name (detclockFuncs), not by
+	// fact propagation, and skipping it keeps the VetxOnly dependency
+	// passes free.
+	ModulePathPrefix = "transched"
+
+	// obsPkgPath is the telemetry package several analyzers key their
+	// type checks on (obs.Gauge, obs.ReqTrace, the handle types).
+	obsPkgPath = "transched/internal/obs"
+
+	// vetxHeader starts every serialized fact set, so a foreign or
+	// truncated vetx file is rejected instead of gob-decoded into
+	// garbage. An entirely empty file is valid and means "no facts"
+	// (what non-module units write).
+	vetxHeader = "transchedlint-facts-v1\n"
+)
+
+// A Fact is one analyzer conclusion about a function or package,
+// serialized into the unit's vetx file and visible wherever dependent
+// packages are analyzed. Implementations must be gob-encodable pointer
+// types; AFact is a marker (mirroring go/analysis.Fact) that keeps
+// arbitrary values out of the fact store. An analyzer declares the
+// fact types it produces in Analyzer.FactTypes.
+type Fact interface{ AFact() }
+
+// factKey addresses one fact: facts are namespaced by concrete fact
+// type (not by analyzer), so an analyzer may consume facts another
+// analyzer produced — detclock reads the ImpureFact facts purity
+// exports.
+type factKey struct {
+	pkg string // package path the fact is attached to
+	obj string // ObjectKey within pkg; "" for a package-level fact
+	typ string // concrete fact type, e.g. "*lint.ImpureFact"
+}
+
+func factTypeName(f Fact) string { return fmt.Sprintf("%T", f) }
+
+// FactSet holds the facts visible to one compilation unit: everything
+// decoded from dependency vetx files plus whatever the unit's own
+// analyzers export. Values stay gob-encoded until imported, so merging
+// dependency sets is a cheap map union.
+type FactSet struct {
+	m map[factKey][]byte
+}
+
+// NewFactSet returns an empty fact set.
+func NewFactSet() *FactSet { return &FactSet{m: make(map[factKey][]byte)} }
+
+// Len returns the number of stored facts.
+func (s *FactSet) Len() int { return len(s.m) }
+
+func (s *FactSet) export(pkg, obj string, f Fact) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return fmt.Errorf("lint: encoding fact %s for %s.%s: %w", factTypeName(f), pkg, obj, err)
+	}
+	s.m[factKey{pkg: pkg, obj: obj, typ: factTypeName(f)}] = buf.Bytes()
+	return nil
+}
+
+func (s *FactSet) imp(pkg, obj string, f Fact) bool {
+	data, ok := s.m[factKey{pkg: pkg, obj: obj, typ: factTypeName(f)}]
+	if !ok {
+		return false
+	}
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(f) == nil
+}
+
+// Merge adds every fact of other to s. Units call it once per
+// dependency vetx file; a fact re-exported along two import paths
+// carries byte-identical payloads, so overwriting is harmless and the
+// union is order-independent.
+func (s *FactSet) Merge(other *FactSet) {
+	if other == nil {
+		return
+	}
+	for k, v := range other.m {
+		s.m[k] = v
+	}
+}
+
+// factRecord is the serialized form of one fact.
+type factRecord struct {
+	Pkg, Obj, Typ string
+	Data          []byte
+}
+
+// Encode serializes the set deterministically (records sorted by key):
+// the go command treats vetx files as inputs to dependent units'
+// cached vet actions, so identical fact sets must produce identical
+// bytes.
+func (s *FactSet) Encode() ([]byte, error) {
+	recs := make([]factRecord, 0, len(s.m))
+	for k, v := range s.m {
+		//transched:allow-maporder sorted by key below before encoding
+		recs = append(recs, factRecord{Pkg: k.pkg, Obj: k.obj, Typ: k.typ, Data: v})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		return a.Typ < b.Typ
+	})
+	var buf bytes.Buffer
+	buf.WriteString(vetxHeader)
+	if err := gob.NewEncoder(&buf).Encode(recs); err != nil {
+		return nil, fmt.Errorf("lint: encoding fact set: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFacts deserializes a vetx payload. Empty input is an empty set
+// (the vetx a fact-free unit writes); anything non-empty must carry
+// the header.
+func DecodeFacts(data []byte) (*FactSet, error) {
+	s := NewFactSet()
+	if len(data) == 0 {
+		return s, nil
+	}
+	rest, ok := bytes.CutPrefix(data, []byte(vetxHeader))
+	if !ok {
+		return nil, fmt.Errorf("lint: vetx data lacks the %q header", strings.TrimSpace(vetxHeader))
+	}
+	var recs []factRecord
+	if err := gob.NewDecoder(bytes.NewReader(rest)).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("lint: decoding fact set: %w", err)
+	}
+	for _, r := range recs {
+		s.m[factKey{pkg: r.Pkg, obj: r.Obj, typ: r.Typ}] = r.Data
+	}
+	return s, nil
+}
+
+// ObjectKey names a package-level object for the fact store: the bare
+// name for functions, variables and types, "(T).M" or "(*T).M" for
+// methods. Unlike token.Pos, keys are stable across compilations,
+// which is what lets a fact written while compiling one unit be
+// resolved from another.
+func ObjectKey(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return obj.Name()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	ptr := ""
+	if p, ok := t.(*types.Pointer); ok {
+		ptr, t = "*", p.Elem()
+	}
+	name := "?"
+	if n, ok := t.(*types.Named); ok {
+		name = n.Obj().Name()
+	}
+	return "(" + ptr + name + ")." + fn.Name()
+}
+
+// QualifiedName renders an object for diagnostics:
+// "transched/internal/obs.(*ReqTracer).Start".
+func QualifiedName(obj types.Object) string {
+	if obj.Pkg() == nil {
+		return ObjectKey(obj)
+	}
+	return obj.Pkg().Path() + "." + ObjectKey(obj)
+}
+
+// ExportObjectFact attaches a fact to obj, keyed by obj's package and
+// stable object key. Downstream units analyzing packages that import
+// obj's package observe it through ImportObjectFact.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if p.Facts == nil || obj == nil || obj.Pkg() == nil {
+		return
+	}
+	if err := p.Facts.export(obj.Pkg().Path(), ObjectKey(obj), f); err != nil {
+		panic(err) // a non-gob-encodable fact type is a programming error
+	}
+}
+
+// ImportObjectFact copies the fact of f's concrete type attached to
+// obj into f, reporting whether one was found. Facts attached in the
+// current unit and facts imported from dependency vetx files resolve
+// identically.
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	if p.Facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return p.Facts.imp(obj.Pkg().Path(), ObjectKey(obj), f)
+}
+
+// ExportPackageFact attaches a fact to the package under analysis.
+func (p *Pass) ExportPackageFact(f Fact) {
+	if p.Facts == nil || p.Pkg == nil {
+		return
+	}
+	if err := p.Facts.export(p.Pkg.Path(), "", f); err != nil {
+		panic(err)
+	}
+}
+
+// ImportPackageFact copies the package-level fact of f's concrete type
+// attached to pkg into f, reporting whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, f Fact) bool {
+	if p.Facts == nil || pkg == nil {
+		return false
+	}
+	return p.Facts.imp(pkg.Path(), "", f)
+}

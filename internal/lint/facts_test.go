@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"bytes"
+	"go/types"
+	"testing"
+)
+
+// TestFactSetRoundTrip: export → encode → decode → import preserves
+// fact payloads, the cycle every vetx file goes through.
+func TestFactSetRoundTrip(t *testing.T) {
+	s := NewFactSet()
+	if err := s.export("transched/internal/x", "Helper", &ImpureFact{Root: "time.Now"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.export("transched/internal/x", "(*T).M", &ImpureFact{Root: "time.Sleep", Via: "transched/internal/x.Helper"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFacts(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("round trip kept %d facts, want 2", got.Len())
+	}
+	var imp ImpureFact
+	if !got.imp("transched/internal/x", "(*T).M", &imp) {
+		t.Fatal("method fact lost in round trip")
+	}
+	if imp.Root != "time.Sleep" || imp.Via != "transched/internal/x.Helper" {
+		t.Fatalf("fact payload corrupted: %+v", imp)
+	}
+	if imp.Chain() != "time.Sleep via transched/internal/x.Helper" {
+		t.Fatalf("Chain() = %q", imp.Chain())
+	}
+}
+
+// TestFactSetEncodeDeterministic: identical sets must serialize to
+// identical bytes — the go command hashes vetx files into dependent
+// units' cache keys, so nondeterministic bytes would defeat vet
+// caching on every run.
+func TestFactSetEncodeDeterministic(t *testing.T) {
+	build := func(order []string) *FactSet {
+		s := NewFactSet()
+		for _, obj := range order {
+			if err := s.export("transched/internal/x", obj, &ImpureFact{Root: "time.Now"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	a := build([]string{"A", "B", "C", "(*T).M"})
+	b := build([]string{"(*T).M", "C", "A", "B"})
+	ab, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("same facts inserted in different orders encode to different bytes")
+	}
+	// And a decoded set re-encodes identically (the union-and-rewrite
+	// path every intermediate unit takes).
+	decoded, err := DecodeFacts(ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := decoded.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, rb) {
+		t.Fatal("decode+re-encode changed the bytes")
+	}
+}
+
+// TestDecodeFactsRejectsGarbage: a vetx file from another tool (or a
+// truncated one) must fail loudly, not gob-decode into nonsense.
+// An empty payload is the documented "no facts" case.
+func TestDecodeFactsRejectsGarbage(t *testing.T) {
+	if _, err := DecodeFacts([]byte("not a fact set")); err == nil {
+		t.Fatal("decoding foreign bytes succeeded")
+	}
+	s, err := DecodeFacts(nil)
+	if err != nil || s.Len() != 0 {
+		t.Fatalf("empty payload: got (%v, %d facts), want empty set", err, s.Len())
+	}
+}
+
+// TestFactSetMergeUnion: merging dependency sets is a union, and
+// re-merging the same facts is idempotent.
+func TestFactSetMergeUnion(t *testing.T) {
+	a := NewFactSet()
+	if err := a.export("p1", "F", &ImpureFact{Root: "time.Now"}); err != nil {
+		t.Fatal(err)
+	}
+	b := NewFactSet()
+	if err := b.export("p2", "G", &ImpureFact{Root: "time.Sleep"}); err != nil {
+		t.Fatal(err)
+	}
+	a.Merge(b)
+	a.Merge(b)
+	a.Merge(nil)
+	if a.Len() != 2 {
+		t.Fatalf("merge produced %d facts, want 2", a.Len())
+	}
+	var imp ImpureFact
+	if !a.imp("p2", "G", &imp) || imp.Root != "time.Sleep" {
+		t.Fatalf("merged fact wrong: %+v", imp)
+	}
+}
+
+// TestObjectKeyShapes pins the stable object-key grammar facts are
+// addressed by.
+func TestObjectKeyShapes(t *testing.T) {
+	_, _, pkg, _ := loadTestdata(t, "factsclockutil", "transched/internal/clockutil")
+	scope := pkg.Scope()
+	if got := ObjectKey(scope.Lookup("StampNanos")); got != "StampNanos" {
+		t.Errorf("function key = %q, want StampNanos", got)
+	}
+	meter := scope.Lookup("Meter").(*types.TypeName)
+	ms := types.NewMethodSet(types.NewPointer(meter.Type()))
+	for i := 0; i < ms.Len(); i++ {
+		if fn := ms.At(i).Obj(); fn.Name() == "Mark" {
+			if got := ObjectKey(fn); got != "(*Meter).Mark" {
+				t.Errorf("method key = %q, want (*Meter).Mark", got)
+			}
+		}
+	}
+	if got := ObjectKey(scope.Lookup("Meter")); got != "Meter" {
+		t.Errorf("type key = %q, want Meter", got)
+	}
+}
+
+// TestPassFactAccessors: nil-safe behaviour of the Pass fact methods.
+func TestPassFactAccessors(t *testing.T) {
+	var imp ImpureFact
+	p := &Pass{} // no Facts
+	if p.ImportObjectFact(nil, &imp) {
+		t.Error("nil object import succeeded")
+	}
+	p.ExportObjectFact(nil, &imp) // must not panic
+	if p.ImportPackageFact(nil, &imp) {
+		t.Error("nil package import succeeded")
+	}
+	p.Facts = NewFactSet()
+	pkg := types.NewPackage("transched/internal/x", "x")
+	p.Pkg = pkg
+	p.ExportPackageFact(&ImpureFact{Root: "time.Now"})
+	if !p.ImportPackageFact(pkg, &imp) || imp.Root != "time.Now" {
+		t.Errorf("package fact round trip failed: %+v", imp)
+	}
+}

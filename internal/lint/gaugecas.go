@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Gaugecas flags obs.Gauge updates that compute a Set argument from a
+// Gauge read — g.Set(g.Value()+1) and relatives. Two goroutines racing
+// through read-then-Set can publish a stale value last, leaving the
+// gauge permanently wrong even after traffic drains (the serve_queue_depth
+// bug PR 6 fixed). Delta transitions must use the CAS-looped Gauge.Add;
+// Set is for republishing an external source of truth.
+var Gaugecas = &Analyzer{
+	Name: "gaugecas",
+	Doc: "flag read-then-Set updates of obs.Gauge\n\n" +
+		"g.Set(g.Value()+d) is a lost-update race: a stale read published\n" +
+		"after a newer one sticks forever. Gauges that move by deltas must\n" +
+		"use Gauge.Add (atomic CAS); Gauge.Set is reserved for values\n" +
+		"recomputed from an external source of truth.",
+	Run: runGaugecas,
+}
+
+// isObsMethod reports whether fn is the named method on the (possibly
+// pointer) receiver type typeName declared in internal/obs.
+func isObsMethod(fn *types.Func, typeName, method string) bool {
+	if fn == nil || fn.Name() != method || fn.Pkg() == nil || fn.Pkg().Path() != obsPkgPath {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == typeName
+}
+
+func runGaugecas(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isObsMethod(calleeFunc(pass.TypesInfo, call), "Gauge", "Set") {
+				return true
+			}
+			// Any Gauge.Value read anywhere in the argument marks the Set
+			// as derived from gauge state — even reading a different
+			// gauge couples two racy publishes.
+			for _, arg := range call.Args {
+				found := false
+				ast.Inspect(arg, func(m ast.Node) bool {
+					inner, ok := m.(*ast.CallExpr)
+					if ok && isObsMethod(calleeFunc(pass.TypesInfo, inner), "Gauge", "Value") {
+						found = true
+					}
+					return !found
+				})
+				if found {
+					pass.Reportf(call.Pos(),
+						"Gauge.Set argument derived from Gauge.Value: read-then-Set loses updates under concurrency and can publish a stale value forever; use Gauge.Add for delta transitions")
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

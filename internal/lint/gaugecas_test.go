@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestGaugecasFlagsReadThenSet(t *testing.T) {
+	runGolden(t, Gaugecas, "gaugecas", "transched/internal/serve")
+}

@@ -5,10 +5,14 @@ package lint
 // `// want "regexp"` comments mark the lines an analyzer must flag, and
 // //transched:allow-* annotated lines exercise suppression (they carry
 // no want, so an unsuppressed finding there fails the test in both
-// directions). Type information for the testdata's stdlib imports comes
-// from the gc export data the go command already has (`go list
-// -export`), the same importer path cmd/transchedlint uses under `go
-// vet`.
+// directions). Type information for the testdata's imports comes from
+// the gc export data the go command already has (`go list -export`),
+// the same importer path cmd/transchedlint uses under `go vet`; the
+// export universe includes transched/internal/obs so testdata can
+// exercise the serving/observability analyzers against the real handle
+// types. Multi-package testdata (the facts tests) loads packages in
+// dependency order into one FileSet, handing earlier packages to later
+// ones through loadTestdataInto's extra map.
 
 import (
 	"fmt"
@@ -27,13 +31,15 @@ import (
 	"testing"
 )
 
-// stdExports maps stdlib import paths to gc export-data files, built
-// once per test process from `go list -export`.
+// stdExports maps import paths to gc export-data files, built once per
+// test process from `go list -export`. The module's own obs package is
+// part of the universe: the gaugecas/nilnoop/spanend testdata imports
+// it to exercise the analyzers against the real types.
 var stdExports = sync.OnceValues(func() (map[string]string, error) {
 	out, err := exec.Command("go", "list", "-export", "-deps",
 		"-f", "{{.ImportPath}}={{.Export}}",
 		"math/rand", "math/rand/v2", "time", "sync", "sync/atomic",
-		"fmt", "sort", "strings").Output()
+		"fmt", "sort", "strings", "transched/internal/obs").Output()
 	if err != nil {
 		if ee, ok := err.(*exec.ExitError); ok {
 			return nil, fmt.Errorf("go list -export: %v\n%s", err, ee.Stderr)
@@ -50,8 +56,8 @@ var stdExports = sync.OnceValues(func() (map[string]string, error) {
 	return m, nil
 })
 
-// newStdImporter returns a types.Importer that resolves stdlib imports
-// from gc export data, mirroring the unitchecker-mode importer.
+// newStdImporter returns a types.Importer that resolves imports from gc
+// export data, mirroring the unitchecker-mode importer.
 func newStdImporter(t *testing.T, fset *token.FileSet) types.Importer {
 	exports, err := stdExports()
 	if err != nil {
@@ -66,17 +72,42 @@ func newStdImporter(t *testing.T, fset *token.FileSet) types.Importer {
 	})
 }
 
+// extraImporter resolves already-type-checked testdata packages before
+// falling back to export data — how the facts tests make package B's
+// import of testdata package A resolve to the same *types.Package the
+// facts were exported against.
+type extraImporter struct {
+	extra map[string]*types.Package
+	base  types.Importer
+}
+
+func (m extraImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.extra[path]; ok {
+		return p, nil
+	}
+	return m.base.Import(path)
+}
+
 // loadTestdata parses and type-checks testdata/src/<dir> as a single
 // package with the given import path (detclock keys off real repo
 // paths, so tests pick the path they need).
 func loadTestdata(t *testing.T, dir, importPath string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, pkg, info := loadTestdataInto(t, fset, dir, importPath, nil)
+	return fset, files, pkg, info
+}
+
+// loadTestdataInto is loadTestdata with a caller-owned FileSet and an
+// extra package universe, for multi-package testdata loaded in
+// dependency order.
+func loadTestdataInto(t *testing.T, fset *token.FileSet, dir, importPath string, extra map[string]*types.Package) ([]*ast.File, *types.Package, *types.Info) {
 	t.Helper()
 	full := filepath.Join("testdata", "src", dir)
 	entries, err := os.ReadDir(full)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
@@ -92,12 +123,12 @@ func loadTestdata(t *testing.T, dir, importPath string) (*token.FileSet, []*ast.
 		t.Fatalf("no Go files under %s", full)
 	}
 	info := NewTypesInfo()
-	conf := types.Config{Importer: newStdImporter(t, fset)}
+	conf := types.Config{Importer: extraImporter{extra: extra, base: newStdImporter(t, fset)}}
 	pkg, err := conf.Check(importPath, fset, files, info)
 	if err != nil {
 		t.Fatalf("type-checking %s: %v", full, err)
 	}
-	return fset, files, pkg, info
+	return files, pkg, info
 }
 
 // want is one expectation: a diagnostic whose message matches re at
@@ -146,16 +177,11 @@ func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
 	return wants
 }
 
-// runGolden runs one analyzer over a testdata package and checks its
-// post-suppression findings against the // want comments, both ways:
-// every finding must be wanted, every want must be found.
-func runGolden(t *testing.T, a *Analyzer, dir, importPath string) {
+// checkFindings applies suppression to an analyzer's raw diagnostics
+// and checks the survivors against the files' // want comments, both
+// ways: every finding must be wanted, every want must be found.
+func checkFindings(t *testing.T, a *Analyzer, fset *token.FileSet, files []*ast.File, diags []Diagnostic) {
 	t.Helper()
-	fset, files, pkg, info := loadTestdata(t, dir, importPath)
-	diags, err := RunAnalyzer(a, fset, files, pkg, info)
-	if err != nil {
-		t.Fatal(err)
-	}
 	allows := NewAllows(fset, files, KnownNames())
 	wants := parseWants(t, fset, files)
 	matched := make([]bool, len(wants))
@@ -181,4 +207,16 @@ func runGolden(t *testing.T, a *Analyzer, dir, importPath string) {
 			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
 		}
 	}
+}
+
+// runGolden runs one analyzer over a testdata package and checks its
+// post-suppression findings against the // want comments.
+func runGolden(t *testing.T, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	fset, files, pkg, info := loadTestdata(t, dir, importPath)
+	diags, err := RunAnalyzer(a, fset, files, pkg, info, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFindings(t, a, fset, files, diags)
 }

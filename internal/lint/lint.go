@@ -51,6 +51,12 @@ type Analyzer struct {
 	// suppress this analyzer; empty means Name. Detclock uses it so the
 	// annotation reads allow-clock, the contract LINTING.md documents.
 	Allow string
+	// FactTypes lists the Fact types this analyzer exports (nil-pointer
+	// values of the concrete types, as in go/analysis). A non-empty list
+	// marks the analyzer as a fact producer: the driver runs it even for
+	// dependency-only (VetxOnly) units, whose diagnostics are discarded
+	// but whose facts dependent packages import.
+	FactTypes []Fact
 }
 
 // AllowToken returns the token this analyzer answers to in
@@ -62,15 +68,25 @@ func (a *Analyzer) AllowToken() string {
 	return a.Name
 }
 
-// A Pass provides one analyzer run with a single type-checked package
-// and a sink for diagnostics.
+// A Pass provides one analyzer run with a single type-checked package,
+// the package's suppression annotations, the fact set imported from its
+// dependencies, and a sink for diagnostics.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
-	Report    func(Diagnostic)
+	// Allows indexes the package's //transched:allow-* annotations.
+	// Suppression is normally applied after the run (CheckAll), but
+	// analyzers whose conclusions cascade consult it mid-analysis:
+	// purity must treat an allow-clock'd call as pure, or the
+	// annotation would silence the site yet still propagate impurity.
+	Allows *Allows
+	// Facts holds the facts imported from dependency units; facts the
+	// analyzer exports are added to it (and re-exported downstream).
+	Facts  *FactSet
+	Report func(Diagnostic)
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.
@@ -83,6 +99,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // wall clock without touching result determinism.
 func (p *Pass) InTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Allowed reports whether a well-formed //transched:allow-<token>
+// annotation covers pos. Most analyzers never call this — CheckAll
+// filters afterwards — but fact producers must, to keep an excused
+// site from cascading into downstream findings.
+func (p *Pass) Allowed(token string, pos token.Pos) bool {
+	return p.Allows != nil && p.Allows.Allowed(token, pos)
 }
 
 // A Diagnostic is one finding at a source position.

@@ -1,0 +1,33 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMetricnameEnforcesNamingContract(t *testing.T) {
+	runGolden(t, Metricname, "metricname", "transched/internal/serve")
+}
+
+// TestMetricnameUnlistedPackageSkipsPrefix: a package without a
+// MetricPrefixes entry still gets charset and dedup checks, but no
+// prefix requirement — the same file that fails under serve's rules
+// must pass everywhere else on prefix grounds.
+func TestMetricnameUnlistedPackageSkipsPrefix(t *testing.T) {
+	fset, files, pkg, info := loadTestdata(t, "metricname", "transched/internal/unlisted")
+	diags, err := RunAnalyzer(Metricname, fset, files, pkg, info, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "subsystem prefix") {
+			t.Errorf("%s: prefix finding in unlisted package: %s", fset.Position(d.Pos), d.Message)
+		}
+	}
+	if len(diags) != 3 { // bad charset + two duplicate registrations
+		t.Errorf("got %d findings in unlisted package, want 3:", len(diags))
+		for _, d := range diags {
+			t.Logf("  %s: %s", fset.Position(d.Pos), d.Message)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilnoopTypes are the internal/obs handle types under the universal
+// no-op contract (OBSERVABILITY.md): a nil handle is a valid,
+// fully-functional "telemetry off" instance, every exported method on
+// it does nothing, and callers pass handles down unconditionally
+// instead of branching on nilness. The consistency test in
+// nilnoop_obs_test.go cross-checks this list against the real obs
+// package, so a new handle type cannot ship without joining (or
+// explicitly refusing) the contract.
+var NilnoopTypes = map[string]bool{
+	"Trace":       true,
+	"SweepTracer": true,
+	"ReqTracer":   true,
+	"ReqTrace":    true,
+}
+
+// Nilnoop enforces both halves of the nil-handle contract. Inside
+// internal/obs: every exported pointer-receiver method on a handle
+// type must nil-check the receiver before touching its fields —
+// otherwise a nil handle panics and the contract is a lie. Everywhere
+// else: callers must not wrap bare handle-method calls in
+// `if h != nil { ... }` — the guard re-implements what the method
+// already does and trains readers to distrust the contract. Guards
+// whose bodies do more than call handle methods, or whose call
+// arguments have side effects (the contract also promises zero clock
+// reads when tracing is off), are left alone.
+var Nilnoop = &Analyzer{
+	Name: "nilnoop",
+	Doc: "enforce the obs nil-handle no-op contract on both sides\n\n" +
+		"Exported pointer-receiver methods on obs handle types (Trace,\n" +
+		"SweepTracer, ReqTracer, ReqTrace) must nil-guard before field\n" +
+		"access; callers must not wrap plain handle-method calls in\n" +
+		"`if h != nil` — nil handles are the documented off-switch and\n" +
+		"methods on them are no-ops. Guards that keep argument side\n" +
+		"effects (time.Since, allocations) off the untraced path are\n" +
+		"exempt automatically.",
+	Run: runNilnoop,
+}
+
+func runNilnoop(pass *Pass) error {
+	if pass.Pkg.Path() == obsPkgPath {
+		return runNilnoopDefs(pass)
+	}
+	return runNilnoopCallers(pass)
+}
+
+// nilnoopHandleType returns the NilnoopTypes name of t (after pointer
+// deref) when t is one of the obs handle types, else "".
+func nilnoopHandleType(t types.Type, selfPkg string) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != selfPkg {
+		return ""
+	}
+	if NilnoopTypes[n.Obj().Name()] {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// runNilnoopDefs checks the definition half: within internal/obs, an
+// exported pointer-receiver method on a handle type whose body reads a
+// receiver field before any `recv == nil` / `recv != nil` comparison is
+// flagged at its declaration.
+func runNilnoopDefs(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+				continue // unnamed receiver: the body cannot touch fields
+			}
+			recvIdent := fd.Recv.List[0].Names[0]
+			recvObj, ok := pass.TypesInfo.Defs[recvIdent].(*types.Var)
+			if !ok {
+				continue
+			}
+			if _, isPtr := recvObj.Type().(*types.Pointer); !isPtr {
+				continue // value receivers cannot be nil
+			}
+			typeName := nilnoopHandleType(recvObj.Type(), pass.Pkg.Path())
+			if typeName == "" {
+				continue
+			}
+			fieldPos, nilPos := token.NoPos, token.NoPos
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.SelectorExpr:
+					base, ok := ast.Unparen(x.X).(*ast.Ident)
+					if !ok || pass.TypesInfo.Uses[base] != recvObj {
+						return true
+					}
+					if sel := pass.TypesInfo.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+						if fieldPos == token.NoPos || x.Pos() < fieldPos {
+							fieldPos = x.Pos()
+						}
+					}
+				case *ast.BinaryExpr:
+					if x.Op != token.EQL && x.Op != token.NEQ {
+						return true
+					}
+					for _, pair := range [2][2]ast.Expr{{x.X, x.Y}, {x.Y, x.X}} {
+						id, ok := ast.Unparen(pair[0]).(*ast.Ident)
+						if ok && pass.TypesInfo.Uses[id] == recvObj && pass.TypesInfo.Types[pair[1]].IsNil() {
+							if nilPos == token.NoPos || x.Pos() < nilPos {
+								nilPos = x.Pos()
+							}
+						}
+					}
+				}
+				return true
+			})
+			if fieldPos != token.NoPos && (nilPos == token.NoPos || fieldPos < nilPos) {
+				pass.Reportf(fd.Name.Pos(),
+					"exported method (*%s).%s reads receiver fields before a nil check; obs handles promise every method is a no-op on nil (OBSERVABILITY.md)",
+					typeName, fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// runNilnoopCallers checks the caller half: an `if h != nil` with no
+// else whose body consists solely of handle-method calls on h with
+// side-effect-free arguments duplicates the contract and is flagged.
+func runNilnoopCallers(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifStmt, ok := n.(*ast.IfStmt)
+			if !ok || ifStmt.Else != nil || ifStmt.Init != nil {
+				return true
+			}
+			cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+			if !ok || cond.Op != token.NEQ {
+				return true
+			}
+			handle := ast.Expr(nil)
+			switch {
+			case pass.TypesInfo.Types[cond.Y].IsNil():
+				handle = cond.X
+			case pass.TypesInfo.Types[cond.X].IsNil():
+				handle = cond.Y
+			default:
+				return true
+			}
+			typeName := nilnoopHandleType(pass.TypesInfo.Types[handle].Type, obsPkgPath)
+			if typeName == "" {
+				return true
+			}
+			handleStr := types.ExprString(handle)
+			if len(ifStmt.Body.List) == 0 {
+				return true
+			}
+			for _, stmt := range ifStmt.Body.List {
+				expr, ok := stmt.(*ast.ExprStmt)
+				if !ok {
+					return true // body does other work: the guard is logic, not wrapping
+				}
+				call, ok := expr.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || types.ExprString(sel.X) != handleStr {
+					return true
+				}
+				for _, arg := range call.Args {
+					impure := false
+					ast.Inspect(arg, func(m ast.Node) bool {
+						if _, ok := m.(*ast.CallExpr); ok {
+							impure = true
+						}
+						return !impure
+					})
+					if impure {
+						// The guard keeps the argument's side effects (a
+						// time.Since, an allocation) off the untraced
+						// path — that is the contract working, not being
+						// second-guessed.
+						return true
+					}
+				}
+			}
+			pass.Reportf(ifStmt.Pos(),
+				"redundant nil guard around %s: methods on a nil *obs.%s are no-ops by contract — call unconditionally (guards protecting argument side effects are exempt automatically)",
+				handleStr, typeName)
+			return true
+		})
+	}
+	return nil
+}

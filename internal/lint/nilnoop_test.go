@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+	"testing"
+)
+
+func TestNilnoopDefinitionHalf(t *testing.T) {
+	runGolden(t, Nilnoop, "nilnoop_obs", "transched/internal/obs")
+}
+
+func TestNilnoopCallerHalf(t *testing.T) {
+	runGolden(t, Nilnoop, "nilnoop_caller", "transched/internal/serve")
+}
+
+// TestNilnoopTypesMatchObs pins NilnoopTypes to the real telemetry
+// package: every listed handle type must exist in internal/obs with at
+// least one exported pointer-receiver method, so the analyzer cannot
+// silently guard types that were renamed away.
+func TestNilnoopTypesMatchObs(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg, err := newStdImporter(t, fset).Import(obsPkgPath)
+	if err != nil {
+		t.Fatalf("importing %s: %v", obsPkgPath, err)
+	}
+	var names []string
+	for name := range NilnoopTypes {
+		//transched:allow-maporder sorted below for deterministic test output
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		obj := pkg.Scope().Lookup(name)
+		if obj == nil {
+			t.Errorf("NilnoopTypes lists %q but internal/obs declares no such type", name)
+			continue
+		}
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			t.Errorf("NilnoopTypes entry %q is not a type in internal/obs", name)
+			continue
+		}
+		ms := types.NewMethodSet(types.NewPointer(tn.Type()))
+		exported := 0
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Exported() {
+				exported++
+			}
+		}
+		if exported == 0 {
+			t.Errorf("NilnoopTypes entry %q has no exported pointer methods — nothing for the contract to cover", name)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ImpureFact marks a function whose execution transitively reads or
+// schedules against the wall clock. Exported by the purity analyzer for
+// every module function it can prove impure; consumed by detclock when
+// a result-producing package calls across a package boundary.
+type ImpureFact struct {
+	// Root is the time-package function ultimately reached, e.g.
+	// "time.Now".
+	Root string
+	// Via is the qualified callee the impurity arrived through; empty
+	// when the function calls the time package directly.
+	Via string
+}
+
+// AFact marks ImpureFact as a serializable analysis fact.
+func (*ImpureFact) AFact() {}
+
+// Chain renders the laundering path for diagnostics: "time.Now" or
+// "time.Now via transched/internal/x.Helper".
+func (f *ImpureFact) Chain() string {
+	if f.Via == "" {
+		return f.Root
+	}
+	return f.Root + " via " + f.Via
+}
+
+// Purity computes wall-clock impurity for every function declared in a
+// module package and exports ImpureFact facts for the impure ones. It
+// reports no diagnostics itself — detclock turns the facts into
+// findings where they matter (result-producing packages). Impurity
+// roots are unsuppressed calls into the time package (the detclock
+// function list); it propagates through same-package calls by fixpoint
+// and across packages through facts imported from dependency units. A
+// //transched:allow-clock <reason> annotation on a call site vouches
+// that the timing never feeds results, so it both silences detclock
+// and stops propagation here. Test files are ignored on both sides:
+// they neither make a function impure nor receive facts.
+var Purity = &Analyzer{
+	Name: "purity",
+	Doc: "export wall-clock impurity facts for module functions\n\n" +
+		"The fact producer behind detclock's cross-package reach: any\n" +
+		"function that transitively calls time.Now/Since/timers is marked\n" +
+		"with an ImpureFact, carried to dependent packages in the unit's\n" +
+		"vetx file. Produces no diagnostics of its own; suppression uses\n" +
+		"the same allow-clock token as detclock, and an excused call site\n" +
+		"is treated as pure.",
+	Run:       runPurity,
+	FactTypes: []Fact{(*ImpureFact)(nil)},
+	Allow:     "clock",
+}
+
+// purityNode is the per-function state of the intra-package fixpoint.
+type purityNode struct {
+	fact  *ImpureFact   // nil while presumed pure
+	calls []*types.Func // unsuppressed same-package callees
+}
+
+func runPurity(pass *Pass) error {
+	if !strings.HasPrefix(pass.Pkg.Path(), ModulePathPrefix) {
+		return nil
+	}
+	nodes := make(map[*types.Func]*purityNode)
+	var order []*types.Func // declaration order, for a deterministic fixpoint
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &purityNode{}
+			nodes[fn] = node
+			order = append(order, fn)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pass.TypesInfo, call)
+				if callee == nil || callee.Pkg() == nil || node.fact != nil {
+					return true
+				}
+				// The literal token (not Purity.AllowToken()) avoids an
+				// initialization cycle through the Purity variable.
+				if pass.Allowed("clock", call.Pos()) {
+					return true // the annotation vouches; propagation stops here
+				}
+				switch path := callee.Pkg().Path(); {
+				case path == "time" && detclockFuncs[callee.Name()]:
+					node.fact = &ImpureFact{Root: "time." + callee.Name()}
+				case path == pass.Pkg.Path():
+					node.calls = append(node.calls, callee)
+				case strings.HasPrefix(path, ModulePathPrefix):
+					var imp ImpureFact
+					if pass.ImportObjectFact(callee, &imp) {
+						node.fact = &ImpureFact{Root: imp.Root, Via: QualifiedName(callee)}
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Intra-package propagation to fixpoint: at most len(order) rounds,
+	// since each productive round settles at least one function.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range order {
+			node := nodes[fn]
+			if node.fact != nil {
+				continue
+			}
+			for _, callee := range node.calls {
+				if cn := nodes[callee]; cn != nil && cn.fact != nil {
+					node.fact = &ImpureFact{Root: cn.fact.Root, Via: QualifiedName(callee)}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, fn := range order {
+		if node := nodes[fn]; node.fact != nil {
+			pass.ExportObjectFact(fn, node.fact)
+		}
+	}
+	return nil
+}

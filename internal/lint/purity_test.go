@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// loadFactsPair type-checks the two-package facts testdata in
+// dependency order — clockutil (the laundering helper) first, then
+// flowshop (result-producing, importing it) — and runs purity over
+// clockutil with a vetx-faithful round trip: the facts handed to the
+// flowshop analysis went through Encode/DecodeFacts exactly as they
+// would through a real vetx file.
+func loadFactsPair(t *testing.T) (fset *token.FileSet, bfiles filesAnd, facts *FactSet) {
+	t.Helper()
+	fset = token.NewFileSet()
+	afiles, apkg, ainfo := loadTestdataInto(t, fset, "factsclockutil", "transched/internal/clockutil", nil)
+	produced := NewFactSet()
+	if _, err := RunAnalyzer(Purity, fset, afiles, apkg, ainfo, nil, produced); err != nil {
+		t.Fatal(err)
+	}
+	data, err := produced.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts, err = DecodeFacts(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := map[string]*types.Package{"transched/internal/clockutil": apkg}
+	files, pkg, info := loadTestdataInto(t, fset, "factsflowshop", "transched/internal/flowshop", extra)
+	return fset, filesAnd{files: files, pkg: pkg, info: info, helper: apkg}, facts
+}
+
+type filesAnd struct {
+	files  []*ast.File
+	pkg    *types.Package
+	info   *types.Info
+	helper *types.Package
+}
+
+// TestPurityExportsHelperFacts: purity over clockutil must mark
+// exactly the impure helpers — direct, transitive, and method — and
+// leave the pure and allow-clock'd ones unmarked.
+func TestPurityExportsHelperFacts(t *testing.T) {
+	_, b, facts := loadFactsPair(t)
+	scope := b.helper.Scope()
+	pass := &Pass{Facts: facts}
+	cases := []struct {
+		obj    string
+		impure bool
+		via    bool
+	}{
+		{"StampNanos", true, false},
+		{"Indirect", true, true},
+		{"DoubleIndirect", true, true},
+		{"Pure", false, false},
+		{"AllowedMeasurement", false, false},
+	}
+	for _, c := range cases {
+		var imp ImpureFact
+		got := pass.ImportObjectFact(scope.Lookup(c.obj), &imp)
+		if got != c.impure {
+			t.Errorf("%s: impure fact present = %v, want %v", c.obj, got, c.impure)
+			continue
+		}
+		if c.impure && imp.Root != "time.Now" {
+			t.Errorf("%s: root = %q, want time.Now", c.obj, imp.Root)
+		}
+		if c.impure && (imp.Via != "") != c.via {
+			t.Errorf("%s: via = %q, want via-chain=%v", c.obj, imp.Via, c.via)
+		}
+	}
+	// The method fact, addressed by its (*T).M key.
+	meter := scope.Lookup("Meter").(*types.TypeName)
+	ms := types.NewMethodSet(types.NewPointer(meter.Type()))
+	for i := 0; i < ms.Len(); i++ {
+		if fn := ms.At(i).Obj(); fn.Name() == "Mark" {
+			var imp ImpureFact
+			if !pass.ImportObjectFact(fn, &imp) {
+				t.Error("(*Meter).Mark: no impure fact")
+			}
+		}
+	}
+}
+
+// TestDetclockCrossPackageLaundering is the tentpole acceptance test:
+// detclock over the result-producing flowshop testdata, with facts
+// imported from the clockutil unit, flags every laundering call — the
+// `// want` comments in factsflowshop assert the exact sites — while
+// honoring allow-clock suppressions on call sites and at the source.
+func TestDetclockCrossPackageLaundering(t *testing.T) {
+	fset, b, facts := loadFactsPair(t)
+	diags, err := RunAnalyzer(Detclock, fset, b.files, b.pkg, b.info, nil, facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFindings(t, Detclock, fset, b.files, diags)
+}
+
+// TestDetclockLaunderingInvisibleWithoutFacts is the control: the same
+// flowshop code under the pre-facts detclock (an empty fact universe)
+// produces zero findings, proving the laundering hole existed and that
+// the facts mechanism — not some detclock tweak — closes it.
+func TestDetclockLaunderingInvisibleWithoutFacts(t *testing.T) {
+	fset, b, _ := loadFactsPair(t)
+	diags, err := RunAnalyzer(Detclock, fset, b.files, b.pkg, b.info, nil, NewFactSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: finding without facts: %s", fset.Position(d.Pos), d.Message)
+	}
+}
+
+// TestPurityReExportsTransitively: running purity over flowshop with
+// clockutil's facts in scope marks flowshop's own launderers impure
+// too — the re-export that lets facts cross indirect dependencies.
+func TestPurityReExportsTransitively(t *testing.T) {
+	fset, b, facts := loadFactsPair(t)
+	if _, err := RunAnalyzer(Purity, fset, b.files, b.pkg, b.info, nil, facts); err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{Facts: facts}
+	var imp ImpureFact
+	if !pass.ImportObjectFact(b.pkg.Scope().Lookup("Launder"), &imp) {
+		t.Fatal("flowshop.Launder not re-exported as impure")
+	}
+	if imp.Via == "" {
+		t.Errorf("Launder impurity should arrive via clockutil, got %+v", imp)
+	}
+	if pass.ImportObjectFact(b.pkg.Scope().Lookup("Clean"), &imp) {
+		t.Error("flowshop.Clean wrongly marked impure")
+	}
+	if pass.ImportObjectFact(b.pkg.Scope().Lookup("Measured"), &imp) {
+		t.Error("flowshop.Measured wrongly marked impure (helper is allow-clock'd)")
+	}
+	if pass.ImportObjectFact(b.pkg.Scope().Lookup("Excused"), &imp) {
+		t.Error("flowshop.Excused wrongly marked impure (call site is allow-clock'd)")
+	}
+}

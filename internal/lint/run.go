@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // A Finding is one post-suppression diagnostic attributed to its
@@ -16,8 +17,17 @@ type Finding struct {
 }
 
 // RunAnalyzer executes a single analyzer over one type-checked package
-// and returns its raw diagnostics, before suppression filtering.
-func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+// and returns its raw diagnostics, before suppression filtering. allows
+// may be nil (the pass then builds its own index); facts may be nil
+// (the pass then sees an empty fact universe — what analyzing a package
+// with no dependencies looks like).
+func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, allows *Allows, facts *FactSet) ([]Diagnostic, error) {
+	if allows == nil {
+		allows = NewAllows(fset, files, KnownNames())
+	}
+	if facts == nil {
+		facts = NewFactSet()
+	}
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer:  a,
@@ -25,6 +35,8 @@ func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types
 		Files:     files,
 		Pkg:       pkg,
 		TypesInfo: info,
+		Allows:    allows,
+		Facts:     facts,
 		Report:    func(d Diagnostic) { diags = append(diags, d) },
 	}
 	if err := a.Run(pass); err != nil {
@@ -36,12 +48,28 @@ func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types
 // CheckAll runs the whole suite over one package, drops findings
 // suppressed by well-formed //transched:allow-* annotations, and returns
 // the survivors in file-position order. Allowform findings are never
-// suppressible: a malformed annotation cannot vouch for itself.
-func CheckAll(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Finding, error) {
+// suppressible: a malformed annotation cannot vouch for itself. Facts
+// exported by the suite's producers (purity) are added to facts in
+// place, so the caller can serialize the set for dependent units.
+func CheckAll(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactSet) ([]Finding, error) {
+	return CheckAllTimed(fset, files, pkg, info, facts, nil)
+}
+
+// CheckAllTimed is CheckAll with a per-analyzer wall-time callback,
+// which the vettool driver uses to keep lint cost visible as the suite
+// grows (TRANSCHEDLINT_TIMING in verify.sh). onTime may be nil.
+func CheckAllTimed(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactSet, onTime func(analyzer string, d time.Duration)) ([]Finding, error) {
 	allows := NewAllows(fset, files, KnownNames())
+	if facts == nil {
+		facts = NewFactSet()
+	}
 	var out []Finding
 	for _, a := range Analyzers {
-		diags, err := RunAnalyzer(a, fset, files, pkg, info)
+		start := time.Now() //transched:allow-clock analyzer wall-time metering, never feeds results
+		diags, err := RunAnalyzer(a, fset, files, pkg, info, allows, facts)
+		if onTime != nil {
+			onTime(a.Name, time.Since(start)) //transched:allow-clock analyzer wall-time metering, never feeds results
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -54,6 +82,23 @@ func CheckAll(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
 	return out, nil
+}
+
+// RunFactAnalyzers runs only the fact-producing analyzers (those with
+// FactTypes), discarding diagnostics: the VetxOnly mode of the driver,
+// where a dependency is analyzed purely so that the packages under vet
+// can import its facts.
+func RunFactAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactSet) error {
+	allows := NewAllows(fset, files, KnownNames())
+	for _, a := range Analyzers {
+		if len(a.FactTypes) == 0 {
+			continue
+		}
+		if _, err := RunAnalyzer(a, fset, files, pkg, info, allows, facts); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // NewTypesInfo returns a types.Info with every map the analyzers read

@@ -1,0 +1,448 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// Spanend flags StageTimers from obs.ReqTrace.StartStage that are not
+// finished on every path out of the function that started them. An
+// unfinished timer silently drops its stage from the trace, eroding
+// the ≥95% stage-coverage identity OBSERVABILITY.md promises (stage
+// sums must tile each request's span); the leak only shows up later as
+// an unexplained coverage gap on whichever requests took the early
+// return.
+//
+// The check is an abstract interpretation over the statement tree, not
+// a full CFG: assignments from StartStage make a timer live, End calls
+// (including `defer t.End()`) retire it, branches fork the live set
+// and merge as the union of paths that fall through. Timers that
+// escape the frame — returned, captured by a closure, passed or stored
+// anywhere other than an End call — are skipped: ownership moved, and
+// the new owner's frame is checked instead. break/continue/goto paths
+// are treated as terminating, so the analyzer under-reports rather
+// than false-positives on loop exits.
+var Spanend = &Analyzer{
+	Name: "spanend",
+	Doc: "flag StageTimers not finished on every return path\n\n" +
+		"A rt.StartStage(...) whose StageTimer is not End()ed on some\n" +
+		"path out of the function drops the stage from the trace and\n" +
+		"breaks the stage-coverage identity. Finish every timer on every\n" +
+		"path (defer st.End() when the stage spans the whole function),\n" +
+		"or annotate deliberate leaks with //transched:allow-spanend\n" +
+		"<reason>. Timers that escape (returned, captured, stored) are\n" +
+		"the new owner's responsibility and are not tracked.",
+	Run: runSpanend,
+}
+
+func runSpanend(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkSpanBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				// Each function literal is its own frame; the outer
+				// frame's walk treats captured timers as escaped.
+				checkSpanBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spanTimer is one StartStage assignment site under tracking.
+type spanTimer struct {
+	obj   types.Object // the variable holding the timer
+	pos   token.Pos    // the StartStage call, where diagnostics anchor
+	stage string       // rendered stage argument, for messages
+}
+
+// spanLive maps timer variables to the site currently live in them.
+type spanLive map[types.Object]*spanTimer
+
+func (l spanLive) clone() spanLive {
+	out := make(spanLive, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+type spanWalker struct {
+	pass     *Pass
+	sites    map[token.Pos]*spanTimer // StartStage call pos -> site
+	reported map[*spanTimer]bool
+}
+
+func checkSpanBody(pass *Pass, body *ast.BlockStmt) {
+	sites := collectStageTimers(pass, body)
+	if len(sites) == 0 {
+		return
+	}
+	w := &spanWalker{pass: pass, sites: sites, reported: make(map[*spanTimer]bool)}
+	live, terminated := w.stmts(body.List, spanLive{})
+	if !terminated {
+		w.reportAll(live, "is not finished before the end of the function")
+	}
+}
+
+func (w *spanWalker) report(t *spanTimer, how string) {
+	if w.reported[t] {
+		return
+	}
+	w.reported[t] = true
+	w.pass.Reportf(t.pos,
+		"StageTimer from StartStage(%s) %s; every path must End it or the stage-coverage identity breaks (defer st.End(), or //transched:allow-spanend <reason>)",
+		t.stage, how)
+}
+
+func (w *spanWalker) reportAll(live spanLive, how string) {
+	// Deterministic order: report by start position.
+	var timers []*spanTimer
+	for _, t := range live {
+		//transched:allow-maporder sorted by position via insertion below
+		timers = append(timers, t)
+	}
+	for i := 1; i < len(timers); i++ {
+		for j := i; j > 0 && timers[j].pos < timers[j-1].pos; j-- {
+			timers[j], timers[j-1] = timers[j-1], timers[j]
+		}
+	}
+	for _, t := range timers {
+		w.report(t, how)
+	}
+}
+
+// stmts interprets a statement list given the timers live at entry,
+// returning the live set at fall-through and whether every path
+// terminated (returned or branched away) before the end of the list.
+func (w *spanWalker) stmts(list []ast.Stmt, live spanLive) (spanLive, bool) {
+	for _, stmt := range list {
+		var terminated bool
+		live, terminated = w.stmt(stmt, live)
+		if terminated {
+			return nil, true
+		}
+	}
+	return live, false
+}
+
+func (w *spanWalker) stmt(s ast.Stmt, live spanLive) (spanLive, bool) {
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		if len(x.Lhs) == len(x.Rhs) {
+			for _, rhs := range x.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				site, ok := w.sites[call.Pos()]
+				if !ok {
+					continue
+				}
+				if prev, ok := live[site.obj]; ok {
+					w.report(prev, "is overwritten by a new StartStage before End")
+				}
+				live[site.obj] = site
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					if call, ok := ast.Unparen(v).(*ast.CallExpr); ok {
+						if site, ok := w.sites[call.Pos()]; ok {
+							live[site.obj] = site
+						}
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if obj := w.endedTimer(x.X); obj != nil {
+			delete(live, obj)
+		}
+	case *ast.DeferStmt:
+		// defer t.End() covers every subsequent exit from this point on
+		// the current path; within branch-local interpretation that is
+		// exactly "retired now".
+		if obj := w.endedTimer(x.Call); obj != nil {
+			delete(live, obj)
+		}
+	case *ast.ReturnStmt:
+		w.reportAll(live, "is not finished on the return at line "+w.line(x.Pos()))
+		return nil, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement sequence; tracking
+		// them needs label resolution, so the path is conservatively
+		// treated as terminated (under-report, never false-positive).
+		return nil, true
+	case *ast.BlockStmt:
+		return w.stmts(x.List, live)
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt, live)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			live, _ = w.stmt(x.Init, live)
+		}
+		thenLive, thenTerm := w.stmts(x.Body.List, live.clone())
+		elseLive, elseTerm := live, false
+		if x.Else != nil {
+			elseLive, elseTerm = w.stmt(x.Else, live.clone())
+		}
+		return mergeBranches([]spanLive{thenLive, elseLive}, []bool{thenTerm, elseTerm})
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var clauses []ast.Stmt
+		hasDefault := false
+		switch sw := x.(type) {
+		case *ast.SwitchStmt:
+			clauses = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = sw.Body.List
+		case *ast.SelectStmt:
+			clauses = sw.Body.List
+			hasDefault = true // a select always executes some clause
+		}
+		var outs []spanLive
+		var terms []bool
+		for _, c := range clauses {
+			var body []ast.Stmt
+			switch cc := c.(type) {
+			case *ast.CaseClause:
+				body = cc.Body
+				if cc.List == nil {
+					hasDefault = true
+				}
+			case *ast.CommClause:
+				body = cc.Body
+			}
+			out, term := w.stmts(body, live.clone())
+			outs = append(outs, out)
+			terms = append(terms, term)
+		}
+		if !hasDefault || len(clauses) == 0 {
+			// Without a default some executions skip every clause.
+			outs = append(outs, live)
+			terms = append(terms, false)
+		}
+		return mergeBranches(outs, terms)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			live, _ = w.stmt(x.Init, live)
+		}
+		w.loopBody(x.Body, live)
+		return live, false
+	case *ast.RangeStmt:
+		w.loopBody(x.Body, live)
+		return live, false
+	}
+	return live, false
+}
+
+// loopBody interprets one iteration: a timer started inside the body
+// and still live when the iteration falls through leaks once per
+// iteration, which is a stronger signal than a single lost stage.
+func (w *spanWalker) loopBody(body *ast.BlockStmt, entry spanLive) {
+	out, terminated := w.stmts(body.List, entry.clone())
+	if terminated {
+		return
+	}
+	for obj, t := range out {
+		if entry[obj] != t {
+			w.report(t, "started in a loop body is not finished by the end of the iteration")
+		}
+	}
+}
+
+// endedTimer returns the tracked timer variable retired by expr when it
+// is a plain t.End() call, else nil.
+func (w *spanWalker) endedTimer(expr ast.Expr) types.Object {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := w.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	for _, site := range w.sites {
+		//transched:allow-maporder membership probe; no output depends on order
+		if site.obj == obj {
+			return obj
+		}
+	}
+	return nil
+}
+
+func (w *spanWalker) line(pos token.Pos) string {
+	return strconv.Itoa(w.pass.Fset.Position(pos).Line)
+}
+
+// mergeBranches unions the live sets of non-terminated branches; the
+// merged path terminates only when every branch did.
+func mergeBranches(outs []spanLive, terms []bool) (spanLive, bool) {
+	merged := spanLive{}
+	all := true
+	for i, out := range outs {
+		if terms[i] {
+			continue
+		}
+		all = false
+		for k, v := range out {
+			merged[k] = v
+		}
+	}
+	if all {
+		return nil, true
+	}
+	return merged, false
+}
+
+// collectStageTimers finds every `x := rt.StartStage(...)` (or `=`, or
+// var decl) whose variable does not escape the frame: any use of the
+// variable other than its assignments and plain End() calls — or any
+// use inside a nested function literal — transfers ownership and
+// removes the site from tracking.
+func collectStageTimers(pass *Pass, body *ast.BlockStmt) map[token.Pos]*spanTimer {
+	type candidate struct {
+		site   *spanTimer
+		benign map[token.Pos]bool // ident positions that are not escapes
+	}
+	byObj := make(map[types.Object]*candidate)
+	sites := make(map[token.Pos]*spanTimer)
+
+	addSite := func(id *ast.Ident, call *ast.CallExpr) {
+		fn := calleeFunc(pass.TypesInfo, call)
+		if !isObsMethod(fn, "ReqTrace", "StartStage") {
+			return
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil || id.Name == "_" {
+			return
+		}
+		stage := "?"
+		if len(call.Args) > 0 {
+			stage = types.ExprString(call.Args[0])
+		}
+		site := &spanTimer{obj: obj, pos: call.Pos(), stage: stage}
+		sites[call.Pos()] = site
+		c := byObj[obj]
+		if c == nil {
+			c = &candidate{benign: make(map[token.Pos]bool)}
+			byObj[obj] = c
+		}
+		c.site = site
+		c.benign[id.Pos()] = true
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, rhs := range x.Rhs {
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					if id, ok := ast.Unparen(x.Lhs[i]).(*ast.Ident); ok {
+						addSite(id, call)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(x.Names) == len(x.Values) {
+				for i, v := range x.Values {
+					if call, ok := ast.Unparen(v).(*ast.CallExpr); ok {
+						addSite(x.Names[i], call)
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(sites) == 0 {
+		return nil
+	}
+
+	// Mark receiver positions of plain End() calls outside nested
+	// function literals as benign, then treat every other use as an
+	// escape.
+	var funcLits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			funcLits = append(funcLits, fl)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" || len(call.Args) != 0 {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if c, ok := byObj[pass.TypesInfo.Uses[id]]; ok && c != nil {
+				c.benign[id.Pos()] = true
+			}
+		}
+		return true
+	})
+	inFuncLit := func(pos token.Pos) bool {
+		for _, fl := range funcLits {
+			if pos >= fl.Pos() && pos <= fl.End() {
+				return true
+			}
+		}
+		return false
+	}
+	escaped := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		c, tracked := byObj[obj]
+		if !tracked {
+			return true
+		}
+		if inFuncLit(id.Pos()) || !c.benign[id.Pos()] {
+			escaped[obj] = true
+		}
+		return true
+	})
+	for pos, site := range sites {
+		//transched:allow-maporder deletion by key; surviving set order-independent
+		if escaped[site.obj] {
+			delete(sites, pos)
+		}
+	}
+	return sites
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestSpanendFlagsUnfinishedTimers(t *testing.T) {
+	runGolden(t, Spanend, "spanend", "transched/internal/serve")
+}

@@ -1,0 +1,31 @@
+// Package clockutil is facts testdata: a module-internal helper
+// package that is NOT result-producing (detclock never looks at it
+// directly), whose helpers read or launder the wall clock. The purity
+// analyzer must export ImpureFact for StampNanos, Indirect and
+// DoubleIndirect — and not for Pure or AllowedMeasurement — so that a
+// result-producing package calling any of the impure ones is flagged
+// across the package boundary.
+package clockutil
+
+import "time"
+
+func StampNanos() int64 { return time.Now().UnixNano() }
+
+func Indirect() int64 { return StampNanos() + 1 }
+
+func DoubleIndirect() int64 { return Indirect() * 2 }
+
+func Pure(x int64) int64 { return x + 42 }
+
+// AllowedMeasurement's clock read is excused, which must also stop
+// impurity from propagating: the annotation vouches the timing never
+// feeds results.
+func AllowedMeasurement() int64 {
+	t := time.Now() //transched:allow-clock testdata: measurement only, never feeds results
+	return t.UnixNano() & 1
+}
+
+type Meter struct{ last int64 }
+
+// Mark is an impure method: methods get facts too, keyed (*Meter).Mark.
+func (m *Meter) Mark() { m.last = time.Now().UnixNano() }

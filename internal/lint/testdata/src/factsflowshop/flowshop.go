@@ -1,0 +1,39 @@
+// Package flowshop is facts testdata type-checked under a
+// result-producing import path (DetclockPackages). It never touches
+// the time package directly — every wall-clock read is laundered
+// through clockutil — so the direct-call-only detclock of PR 3 passed
+// it clean; with purity facts imported from clockutil's unit, the
+// laundering calls below are flagged. The without-facts control test
+// (TestDetclockLaunderingInvisibleWithoutFacts) runs detclock over
+// this same file with an empty fact set and asserts zero findings.
+package flowshop
+
+import "transched/internal/clockutil"
+
+func Launder() int64 {
+	return clockutil.StampNanos() // want `reaches time\.Now`
+}
+
+func LaunderDeep() int64 {
+	return clockutil.DoubleIndirect() // want `reaches time\.Now via`
+}
+
+func LaunderMethod(m *clockutil.Meter) {
+	m.Mark() // want `reaches time\.Now`
+}
+
+func Clean(x int64) int64 {
+	return clockutil.Pure(x)
+}
+
+// Measured calls a helper whose only clock read carries an
+// allow-clock annotation at the source: purity exported no fact, so
+// nothing fires here.
+func Measured() int64 {
+	return clockutil.AllowedMeasurement()
+}
+
+// Excused launders, but the call site itself is annotated: suppressed.
+func Excused() int64 {
+	return clockutil.StampNanos() //transched:allow-clock testdata: wall-time column only, never a result slot
+}

@@ -1,0 +1,32 @@
+// Package gaugecas is golden testdata for the gaugecas analyzer: Set
+// arguments derived from Gauge.Value are the lost-update race PR 6
+// fixed for serve_queue_depth; delta transitions must use Add.
+package gaugecas
+
+import "transched/internal/obs"
+
+func bad(reg *obs.Registry) {
+	g := reg.Gauge("g")
+	g.Set(g.Value() + 1) // want `use Gauge.Add`
+	g.Set(g.Value() - 1) // want `use Gauge.Add`
+	d := reg.Gauge("depth")
+	// Reading one gauge to publish another couples two racy publishes:
+	// still flagged.
+	d.Set(g.Value() * 2)               // want `use Gauge.Add`
+	d.Set(float64(int(g.Value()) % 7)) // want `use Gauge.Add`
+}
+
+func good(reg *obs.Registry, n int, measure func() float64) {
+	g := reg.Gauge("g")
+	g.Set(float64(n)) // republishing an external source of truth
+	g.Set(measure())  // likewise
+	g.Add(1)          // the endorsed delta transition
+	g.Add(-1)
+	g.SetMax(12)
+	_ = g.Value() // bare reads are fine
+}
+
+func suppressed(reg *obs.Registry) {
+	g := reg.Gauge("g")
+	g.Set(g.Value() + 1) //transched:allow-gaugecas testdata: exercising suppression
+}

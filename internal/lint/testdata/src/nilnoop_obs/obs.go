@@ -1,0 +1,63 @@
+// Package obs is golden testdata for the definition half of nilnoop,
+// type-checked under the real telemetry import path: exported
+// pointer-receiver methods on handle types must nil-guard before any
+// receiver field access, or a nil handle — the documented off switch —
+// panics.
+package obs
+
+import "sync"
+
+type Trace struct {
+	mu     sync.Mutex
+	events []int
+}
+
+func (t *Trace) Good() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+func (t *Trace) Bad() int { // want `before a nil check`
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Enabled compares the receiver itself; no field access, no finding.
+func (t *Trace) Enabled() bool { return t != nil }
+
+// Delegate only calls another method, which does its own guard.
+func (t *Trace) Delegate() { _ = t.Good() }
+
+// unexported methods are internal plumbing, reached only after an
+// exported method already guarded.
+func (t *Trace) unexported() int { return len(t.events) }
+
+type ReqTrace struct{ n int }
+
+func (r *ReqTrace) LateGuard() int { // want `before a nil check`
+	x := r.n
+	if r == nil {
+		return 0
+	}
+	return x
+}
+
+func (r *ReqTrace) Suppressed() int { //transched:allow-nilnoop testdata: exercising suppression
+	return r.n
+}
+
+// Registry is not a handle type: a nil registry is a bug, not an off
+// switch, so field access without a guard is fine.
+type Registry struct{ m map[string]int }
+
+func (r *Registry) Lookup(k string) int { return r.m[k] }
+
+// value receivers cannot be nil.
+type SweepTracer struct{ cells []int }
+
+func (s SweepTracer) Cells() int { return len(s.cells) }

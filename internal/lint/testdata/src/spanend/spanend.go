@@ -1,0 +1,110 @@
+// Package spanend is golden testdata for the spanend analyzer: every
+// StageTimer from StartStage must be finished on every path out of the
+// frame that started it, or the stage silently vanishes from the trace
+// and the stage-coverage identity breaks.
+package spanend
+
+import "transched/internal/obs"
+
+func deferred(rt *obs.ReqTrace, work func() error) error {
+	st := rt.StartStage(obs.StageSolve)
+	defer st.End()
+	return work()
+}
+
+func allPaths(rt *obs.ReqTrace, work func() error) error {
+	st := rt.StartStage(obs.StageDecode)
+	if err := work(); err != nil {
+		st.End()
+		return err
+	}
+	st.End()
+	return nil
+}
+
+func earlyReturnLeak(rt *obs.ReqTrace, work func() error) error {
+	st := rt.StartStage(obs.StageDecode) // want `not finished on the return at line`
+	if err := work(); err != nil {
+		return err
+	}
+	st.End()
+	return nil
+}
+
+func conditionalEnd(rt *obs.ReqTrace, ok bool) {
+	st := rt.StartStage(obs.StageCache) // want `not finished before the end of the function`
+	if ok {
+		st.End()
+	}
+}
+
+func overwritten(rt *obs.ReqTrace) {
+	st := rt.StartStage(obs.StageCache) // want `overwritten by a new StartStage`
+	st = rt.StartStage(obs.StageEncode)
+	st.End()
+}
+
+// reassignAfterEnd is the cache.Do shape: retiring a timer and reusing
+// the variable for a second slice of the same stage is fine.
+func reassignAfterEnd(rt *obs.ReqTrace, work func()) {
+	ct := rt.StartStage(obs.StageCache)
+	work()
+	ct.End()
+	ct = rt.StartStage(obs.StageCache)
+	work()
+	ct.End()
+}
+
+func loopLeak(rt *obs.ReqTrace, items []int, work func(int)) {
+	for _, it := range items {
+		st := rt.StartStage(obs.StageSolve) // want `loop body`
+		work(it)
+		if it < 0 {
+			st.End()
+		}
+	}
+}
+
+func loopClean(rt *obs.ReqTrace, items []int, work func(int)) {
+	for _, it := range items {
+		st := rt.StartStage(obs.StageSolve)
+		work(it)
+		st.End()
+	}
+}
+
+func switchPaths(rt *obs.ReqTrace, mode int, work func()) {
+	st := rt.StartStage(obs.StageEncode) // want `not finished on the return at line`
+	switch mode {
+	case 0:
+		st.End()
+	case 1:
+		st.End()
+		return
+	default:
+		return // leaks: reported here
+	}
+	work()
+}
+
+// escapes hands the timer to the caller; ownership moved, so this
+// frame is not charged with ending it.
+func escapes(rt *obs.ReqTrace) obs.StageTimer {
+	st := rt.StartStage(obs.StageSolve)
+	return st
+}
+
+// endInClosure captures the timer; the closure frame owns the End and
+// the analyzer steps back rather than guess when it runs.
+func endInClosure(rt *obs.ReqTrace, work func()) {
+	st := rt.StartStage(obs.StageSolve)
+	defer func() { st.End() }()
+	work()
+}
+
+func suppressed(rt *obs.ReqTrace, ok bool) {
+	st := rt.StartStage(obs.StageSolve) //transched:allow-spanend testdata: exercising suppression
+	if ok {
+		st.End()
+	}
+}

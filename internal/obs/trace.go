@@ -101,16 +101,25 @@ func (t *Trace) CounterSample(pid int, name string, ts, value float64) {
 }
 
 // WriteJSON writes the trace in the Chrome trace-event JSON envelope.
+// On a nil handle it writes a valid empty envelope: a run with tracing
+// off can still be piped through the same export path.
 func (t *Trace) WriteJSON(w io.Writer) error {
-	t.mu.Lock()
-	events := append([]Event(nil), t.events...)
-	t.mu.Unlock()
+	var events []Event
+	if t != nil {
+		t.mu.Lock()
+		events = append([]Event(nil), t.events...)
+		t.mu.Unlock()
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
 }
 
-// WriteFile writes the trace to path, creating parent directories.
+// WriteFile writes the trace to path, creating parent directories. A
+// nil handle writes nothing and creates no file.
 func (t *Trace) WriteFile(path string) error {
+	if t == nil {
+		return nil
+	}
 	if dir := filepath.Dir(path); dir != "" && dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err

@@ -151,6 +151,27 @@ func TestNilTraceIsNoOp(t *testing.T) {
 	if tr.Len() != 0 {
 		t.Error("nil trace accumulated events")
 	}
+	// The writers are part of the same contract (this used to panic:
+	// WriteJSON locked the receiver's mutex before any nil check).
+	// WriteJSON on a nil handle still emits a parseable empty envelope.
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil trace WriteJSON: %v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil trace wrote unparseable JSON %q: %v", buf.String(), err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Errorf("nil trace wrote %d events", len(doc.TraceEvents))
+	}
+	path := filepath.Join(t.TempDir(), "never", "created.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatalf("nil trace WriteFile: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("nil trace WriteFile created %s", path)
+	}
 }
 
 // TestTraceWriteFile: WriteFile creates parent directories and the file

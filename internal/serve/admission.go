@@ -31,12 +31,13 @@ type admission struct {
 	maxQueue int64
 	waiting  atomic.Int64
 	depth    *obs.Gauge // queue-depth gauge, moved by ±1 with each queue transition
+	inflight *obs.Gauge // occupied-slot gauge, moved by ±1 with each slot take/release
 
 	drainOnce sync.Once
 	drainC    chan struct{} // closed by BeginDrain; releases parked waiters
 }
 
-func newAdmission(maxConcurrent, maxQueue int, depth *obs.Gauge) *admission {
+func newAdmission(maxConcurrent, maxQueue int, depth, inflight *obs.Gauge) *admission {
 	if maxConcurrent < 1 {
 		maxConcurrent = 1
 	}
@@ -47,6 +48,7 @@ func newAdmission(maxConcurrent, maxQueue int, depth *obs.Gauge) *admission {
 		slots:    make(chan struct{}, maxConcurrent),
 		maxQueue: int64(maxQueue),
 		depth:    depth,
+		inflight: inflight,
 		drainC:   make(chan struct{}),
 	}
 }
@@ -74,6 +76,7 @@ func (a *admission) Acquire(ctx context.Context) error {
 	}
 	select {
 	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
 		return nil
 	default:
 	}
@@ -88,6 +91,7 @@ func (a *admission) Acquire(ctx context.Context) error {
 	}()
 	select {
 	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
 		return nil
 	case <-a.drainC:
 		return errDraining
@@ -105,7 +109,18 @@ func (a *admission) BeginDrain() {
 }
 
 // Release frees a slot taken by a successful Acquire.
-func (a *admission) Release() { <-a.slots }
+//
+// The inflight gauge moves by exactly ±1 with each slot transition, in
+// here rather than at the call sites: the old scheme had server and
+// batcher each publish Set(len(a.slots)) around their solves, and two
+// goroutines interleaving read-then-Set could publish a stale count
+// that left serve_inflight_solves nonzero at idle (the same race the
+// depth gauge's comment on Acquire describes — and the one the
+// gaugecas analyzer now rejects outright).
+func (a *admission) Release() {
+	<-a.slots
+	a.inflight.Add(-1)
+}
 
 // InFlight returns the number of occupied solver slots.
 func (a *admission) InFlight() int { return len(a.slots) }

@@ -11,7 +11,8 @@ import (
 )
 
 func newTestAdmission(maxConcurrent, maxQueue int) *admission {
-	return newAdmission(maxConcurrent, maxQueue, obs.NewRegistry().Gauge("q"))
+	reg := obs.NewRegistry()
+	return newAdmission(maxConcurrent, maxQueue, reg.Gauge("q"), reg.Gauge("inflight"))
 }
 
 func TestAdmissionLimitsConcurrency(t *testing.T) {
@@ -125,8 +126,10 @@ func TestAdmissionDefaults(t *testing.T) {
 // exactly zero. The old read-then-Set scheme let a stale load be
 // published last, leaving the gauge stuck nonzero at idle.
 func TestAdmissionDepthGaugeStorm(t *testing.T) {
-	depth := obs.NewRegistry().Gauge("serve_queue_depth")
-	a := newAdmission(2, 64, depth)
+	reg := obs.NewRegistry()
+	depth := reg.Gauge("serve_queue_depth")
+	inflight := reg.Gauge("serve_inflight_solves")
+	a := newAdmission(2, 64, depth, inflight)
 
 	const workers = 32
 	const rounds = 25
@@ -165,6 +168,13 @@ func TestAdmissionDepthGaugeStorm(t *testing.T) {
 	}
 	if got := depth.Value(); got != 0 {
 		t.Errorf("serve_queue_depth after storm = %v, want exactly 0", got)
+	}
+	// Same contract for the occupied-slot gauge, which used to be
+	// published by read-then-Set at the server and batcher call sites:
+	// with the ±1 Adds inside Acquire/Release it must also settle on
+	// exactly zero once the storm drains.
+	if got := inflight.Value(); got != 0 {
+		t.Errorf("serve_inflight_solves after storm = %v, want exactly 0", got)
 	}
 }
 

@@ -40,7 +40,6 @@ type batcher struct {
 	flushes  *obs.Counter
 	requests *obs.Counter
 	sizes    *obs.Histogram
-	inFlight *obs.Gauge
 }
 
 // batchItem is one request riding a window; the submitting handler
@@ -65,7 +64,7 @@ type batchItem struct {
 func batchSizeBuckets() []float64 { return []float64{1, 2, 4, 8, 16, 32, 64, 128} }
 
 func newBatcher(maxSize int, maxWait time.Duration, adm *admission,
-	solve batchSolveFunc, reg *obs.Registry, inFlight *obs.Gauge) *batcher {
+	solve batchSolveFunc, reg *obs.Registry) *batcher {
 	if maxSize < 1 {
 		maxSize = 1
 	}
@@ -82,7 +81,6 @@ func newBatcher(maxSize int, maxWait time.Duration, adm *admission,
 		flushes:  reg.Counter("serve_batch_flushes_total"),
 		requests: reg.Counter("serve_batch_requests_total"),
 		sizes:    reg.Histogram("serve_batch_size", batchSizeBuckets()),
-		inFlight: inFlight,
 	}
 	go b.collect()
 	return b
@@ -179,8 +177,6 @@ func (b *batcher) flush(window []*batchItem) {
 		acquireDur = time.Since(acquireStart)
 	}
 	defer b.adm.Release()
-	b.inFlight.Set(float64(b.adm.InFlight()))
-	defer func() { b.inFlight.Set(float64(b.adm.InFlight())) }()
 	for _, it := range window {
 		if err := it.ctx.Err(); err != nil {
 			it.err = err

@@ -19,7 +19,7 @@ func newTestBatcher(maxSize int, maxWait time.Duration, adm *admission,
 	wrapped := func(ctx context.Context, p *parsedRequest, _ *obs.ReqTrace) ([]byte, error) {
 		return solve(ctx, p)
 	}
-	b := newBatcher(maxSize, maxWait, adm, wrapped, reg, reg.Gauge("serve_inflight_solves"))
+	b := newBatcher(maxSize, maxWait, adm, wrapped, reg)
 	return b, reg
 }
 

@@ -136,7 +136,6 @@ type Server struct {
 	shed         *obs.Counter
 	timeouts     *obs.Counter
 	errs         *obs.Counter
-	inFlight     *obs.Gauge
 	cacheEntries *obs.Gauge
 	cacheBytes   *obs.Gauge
 	storeEntries *obs.Gauge
@@ -160,7 +159,6 @@ func New(cfg Config) *Server {
 		shed:         reg.Counter("serve_shed_total"),
 		timeouts:     reg.Counter("serve_timeouts_total"),
 		errs:         reg.Counter("serve_errors_total"),
-		inFlight:     reg.Gauge("serve_inflight_solves"),
 		cacheEntries: reg.Gauge("serve_cache_entries"),
 		cacheBytes:   reg.Gauge("serve_cache_bytes"),
 		storeEntries: reg.Gauge("serve_store_entries"),
@@ -170,9 +168,10 @@ func New(cfg Config) *Server {
 	}
 	s.cache = newCache(cfg.CacheEntries, cfg.CacheBytes, cfg.Store,
 		reg.Counter("serve_store_put_errors_total"))
-	s.adm = newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, reg.Gauge("serve_queue_depth"))
+	s.adm = newAdmission(cfg.MaxConcurrent, cfg.MaxQueue,
+		reg.Gauge("serve_queue_depth"), reg.Gauge("serve_inflight_solves"))
 	if cfg.BatchSize > 0 {
-		s.batcher = newBatcher(cfg.BatchSize, cfg.BatchWait, s.adm, s.solveOne, reg, s.inFlight)
+		s.batcher = newBatcher(cfg.BatchSize, cfg.BatchWait, s.adm, s.solveOne, reg)
 	}
 	return s
 }
@@ -389,8 +388,6 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		defer s.adm.Release()
-		s.inFlight.Set(float64(s.adm.InFlight()))
-		defer func() { s.inFlight.Set(float64(s.adm.InFlight())) }()
 		return s.solveOne(ctx, p, rt)
 	})
 

@@ -15,12 +15,34 @@ trap 'rm -rf "$tmp"' EXIT
 go build ./...
 go vet ./...
 
-# Repo-specific invariants: determinism and memory-safety analyzers
-# (LINTING.md) run over every package through the vet driver, so the
-# same fact set go vet sees is checked for clock/rand/map-order/
-# slot-write violations. An un-annotated finding fails verification.
+# Repo-specific invariants: determinism, memory-safety and telemetry
+# analyzers (LINTING.md) run over every package through the vet driver,
+# with cross-package purity facts flowing between units via vetx files.
+# An un-annotated finding fails verification.
 go build -o "$tmp/transchedlint" ./cmd/transchedlint
-go vet -vettool="$tmp/transchedlint" ./...
+
+# The deployed tool must carry the full analyzer suite, in registration
+# order — a build that silently dropped one (or reordered purity after
+# its consumers) would pass vet vacuously.
+"$tmp/transchedlint" -list | awk '{print $1}' > "$tmp/analyzers.txt"
+printf '%s\n' purity detclock detrand maporder slotwrite \
+    gaugecas nilnoop spanend metricname allowform > "$tmp/analyzers.want"
+if ! cmp -s "$tmp/analyzers.txt" "$tmp/analyzers.want"; then
+    echo "verify: transchedlint -list does not match the expected 10-analyzer suite:" >&2
+    diff "$tmp/analyzers.want" "$tmp/analyzers.txt" >&2 || true
+    exit 1
+fi
+
+TRANSCHEDLINT_TIMING="$tmp/lint-timing.txt" \
+    go vet -vettool="$tmp/transchedlint" ./...
+
+# Per-analyzer wall time across the whole vet run, so a pathologically
+# slow analyzer shows up here instead of as a mystery CI slowdown.
+if [ -s "$tmp/lint-timing.txt" ]; then
+    echo "verify: transchedlint wall time by analyzer (ms):"
+    awk '{sum[$1] += $2} END {for (a in sum) printf "  %-11s %8.1f\n", a, sum[a]/1e6}' \
+        "$tmp/lint-timing.txt" | sort -k2 -rn
+fi
 
 # gofmt cleanliness: a non-empty listing is a failure.
 unformatted=$(gofmt -l .)
