@@ -8,6 +8,17 @@
 //	experiments -fig 7 -tasks 80         # MILP comparison, 80-task trace
 //	experiments -fig table6
 //	experiments -fig 9 -workers 1        # serial reference (same output)
+//	experiments -robustness              # ranking stability under noise
+//
+// -robustness replaces the figure selection with the robustness study
+// (EXPERIMENTS.md §Robustness sweep): it fits duration models to the
+// annotated workloads (internal/model), calibrates a misprediction
+// noise level from the fit residuals, reruns the 14-heuristic sweep at
+// increasing noise, and prints a ranking-stability table; the
+// zero-noise block is byte-identical to the standard sweep.
+// -model-kind selects the estimator, and -model-bench FILE additionally
+// writes BENCH_MODEL.json-style fit/sweep timings (the one place wall
+// time is measured — inside this command, never in the drivers).
 //
 // The sweep drivers fan out across all cores by default; -workers caps
 // the pool and -workers 1 reproduces the serial path. Results are
@@ -49,6 +60,9 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
+		robustness = flag.Bool("robustness", false, "run the robustness-under-misprediction study instead of a figure")
+		modelKind  = flag.String("model-kind", "ridge", "duration estimator for -robustness: ridge or kernel")
+		modelBench = flag.String("model-bench", "", "with -robustness, also write fit/sweep timing JSON (BENCH_MODEL.json) to this file")
 	)
 	flag.Parse()
 
@@ -85,7 +99,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	runErr := run(*fig, cfg, *milpNodes)
+	var runErr error
+	if *robustness || *modelBench != "" {
+		runErr = runRobustness(cfg, *modelKind, *modelBench)
+	} else {
+		runErr = run(*fig, cfg, *milpNodes)
+	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

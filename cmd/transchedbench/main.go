@@ -51,6 +51,7 @@ import (
 	"transched"
 	"transched/internal/obs"
 	"transched/internal/serve"
+	"transched/internal/stats"
 )
 
 func main() {
@@ -396,19 +397,12 @@ func summarize(results []outcome, elapsed time.Duration) *Report {
 	return rep
 }
 
-// percentile reads the q-quantile from sorted (nearest-rank).
+// percentile reads the q-quantile from sorted via the shared
+// nearest-rank rule — the same ceil(q*n) rank the obs histogram
+// quantiles use, so the measured and bucketed latency columns of the
+// report agree on which observation a percentile names.
 func percentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q*float64(len(sorted))+0.5) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
+	return stats.NearestRank(sorted, q)
 }
 
 func printReport(w io.Writer, rep *Report) {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -13,6 +14,9 @@ import (
 	"time"
 
 	"transched"
+	"transched/internal/core"
+	"transched/internal/model"
+	"transched/internal/trace"
 )
 
 // waitForFile polls until path exists and is non-empty.
@@ -258,5 +262,87 @@ func TestRunBatchingFlags(t *testing.T) {
 	}
 	if err := json.Unmarshal(body, &out); err != nil || out.Best.Makespan <= 0 {
 		t.Errorf("batched daemon response: err=%v body=%s", err, body)
+	}
+}
+
+// featureOnlyTrace renders a trace whose tasks carry feature
+// annotations but zero durations — the -model flag's reason to exist.
+func featureOnlyTrace(t *testing.T, tasks int) string {
+	t.Helper()
+	tr := &trace.Trace{App: "HF", FeatureNames: append([]string(nil), model.Names...)}
+	for i := 0; i < tasks; i++ {
+		tr.Tasks = append(tr.Tasks, core.Task{Name: fmt.Sprintf("twoel.%d", i), Mem: 1.5})
+		f := model.Features{Bytes: float64(1+i) * 1e7, Mem: 1.5, Flops: float64(1+i) * 1e10}
+		tr.Features = append(tr.Features, f.Vector())
+	}
+	var sb strings.Builder
+	if err := trace.Write(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestRunModelFlag: a -model daemon fits at startup (logged to stderr)
+// and fills durations for feature-only traces, reported in the response.
+func TestRunModelFlag(t *testing.T) {
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stderr bytes.Buffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-addr-file", addrFile, "-quiet", "-model", "ridge"}, &stderr)
+	}()
+	addr := waitForFile(t, addrFile)
+
+	resp := solveTrace(t, addr, featureOnlyTrace(t, 6))
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feature-only solve: %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		ModelFilled int `json:"model_filled"`
+		Best        struct {
+			Makespan float64 `json:"makespan"`
+		} `json:"best"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("response not JSON: %v\n%s", err, body)
+	}
+	if out.ModelFilled != 6 {
+		t.Errorf("model_filled = %d, want 6", out.ModelFilled)
+	}
+	if out.Best.Makespan <= 0 {
+		t.Errorf("makespan %g: predicted durations did not reach the solver", out.Best.Makespan)
+	}
+
+	mresp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(metrics), "model_tasks_filled_total 6") {
+		t.Errorf("metrics missing model fill counters:\n%s", metrics)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run exited with %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after cancel")
+	}
+	if !strings.Contains(stderr.String(), "fitted ridge duration model") {
+		t.Errorf("missing fit banner in stderr: %q", stderr.String())
+	}
+
+	// An unknown estimator kind fails at startup, before binding.
+	var bad bytes.Buffer
+	if err := run(context.Background(), []string{"-model", "bogus"}, &bad); err == nil {
+		t.Error("unknown -model kind accepted")
 	}
 }

@@ -1,0 +1,126 @@
+package chem
+
+import (
+	"math"
+	"testing"
+
+	"transched/internal/cluster"
+	"transched/internal/model"
+)
+
+// TestAnnotateDoesNotPerturbGeneration: annotation derives features from
+// values the generator already drew, so it must not consume randomness —
+// the task streams with and without it are identical, which is what
+// keeps the golden digests in golden_test.go valid for annotated runs.
+func TestAnnotateDoesNotPerturbGeneration(t *testing.T) {
+	m := cluster.Cascade()
+	base := Config{Seed: 20190415, Processes: 2, MinTasks: 25, MaxTasks: 40}
+	ann := base
+	ann.Annotate = true
+	for _, app := range []string{"HF", "CCSD"} {
+		plain, err := Generate(app, m, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		annotated, err := Generate(app, m, ann)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := digestTraces(annotated), digestTraces(plain); got != want {
+			t.Errorf("%s: Annotate changed the task stream: %s != %s", app, got, want)
+		}
+		for _, tr := range plain {
+			if tr.FeatureNames != nil || tr.Features != nil {
+				t.Fatalf("%s: unannotated run carries annotations", app)
+			}
+		}
+		for _, tr := range annotated {
+			if len(tr.FeatureNames) != len(model.Names) {
+				t.Fatalf("%s: FeatureNames = %v", app, tr.FeatureNames)
+			}
+			if len(tr.Features) != len(tr.Tasks) {
+				t.Fatalf("%s: %d rows for %d tasks", app, len(tr.Features), len(tr.Tasks))
+			}
+			for i := range tr.Tasks {
+				if tr.Features[i] == nil {
+					t.Fatalf("%s: task %d missing feature row", app, i)
+				}
+			}
+		}
+	}
+}
+
+// TestAnnotationsReproduceDurations: the recorded features are the cost
+// model's inputs, so pushing them back through the machine model must
+// reproduce each task's durations exactly. This is the ground-truth
+// property that makes the features a sound training set.
+func TestAnnotationsReproduceDurations(t *testing.T) {
+	m := cluster.Cascade()
+	cfg := Config{Seed: 7, Processes: 1, MinTasks: 30, MaxTasks: 30, Annotate: true}
+	for _, app := range []string{"HF", "CCSD"} {
+		traces, err := Generate(app, m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range traces {
+			for i, task := range tr.Tasks {
+				vec, ok := model.FromRow(tr.FeatureNames, tr.Features[i])
+				if !ok {
+					t.Fatalf("%s: row %d not mappable", app, i)
+				}
+				f := model.Features{Bytes: vec[0], Mem: vec[1], Flops: vec[2], MemTraffic: vec[3]}
+				if got := m.TransferTime(f.Bytes); !approxEq(got, task.Comm) {
+					t.Errorf("%s %s: TransferTime(features) = %g, Comm = %g", app, task.Name, got, task.Comm)
+				}
+				if got := m.ComputeTime(f.Flops, f.MemTraffic); !approxEq(got, task.Comp) {
+					t.Errorf("%s %s: ComputeTime(features) = %g, Comp = %g", app, task.Name, got, task.Comp)
+				}
+				if f.Mem != task.Mem {
+					t.Errorf("%s %s: Mem feature %g != task Mem %g", app, task.Name, f.Mem, task.Mem)
+				}
+			}
+		}
+	}
+}
+
+func approxEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*(1+math.Abs(b))
+}
+
+// TestRidgeGoldenCoefficientDigest pins the fitted ridge models
+// bit-for-bit: the closed-form fit on the seeded HF workload must
+// produce these exact coefficient digests on every run, worker count
+// and -shuffle order. A change means the estimator arithmetic changed
+// and every robustness figure shifts with it — update deliberately.
+func TestRidgeGoldenCoefficientDigest(t *testing.T) {
+	m := cluster.Cascade()
+	cfg := Config{Seed: 20190415, Processes: 2, MinTasks: 25, MaxTasks: 40, Annotate: true}
+	traces, err := GenerateHF(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, rep, err := model.FitDurationModel(traces, model.FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantCM = "d31e351f055cacf7"
+	const wantCP = "a263ca2592c07e74"
+	if got := dm.CM.Digest(); got != wantCM {
+		t.Errorf("CM digest = %s, want %s", got, wantCM)
+	}
+	if got := dm.CP.Digest(); got != wantCP {
+		t.Errorf("CP digest = %s, want %s", got, wantCP)
+	}
+	if rep.DigestCM != dm.CM.Digest() || rep.DigestCP != dm.CP.Digest() {
+		t.Error("FitReport digests disagree with the models")
+	}
+	// The in-distribution fit is near-exact (the features are the cost
+	// model's inputs), so the calibrated sigma sits on the MinSigma
+	// floor — the documented reason the floor exists.
+	if rep.Sigma != model.MinSigma {
+		t.Errorf("Sigma = %g, want the MinSigma floor %g (raw %g)", rep.Sigma, model.MinSigma, rep.SigmaRaw)
+	}
+	if rep.CVCM.R2 < 0.999 || rep.CVCP.R2 < 0.999 {
+		t.Errorf("CV R2 = %g/%g, want near-exact on in-distribution data", rep.CVCM.R2, rep.CVCP.R2)
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"transched/internal/cluster"
 	"transched/internal/core"
+	"transched/internal/model"
 	"transched/internal/trace"
 )
 
@@ -67,6 +68,33 @@ type Config struct {
 	// MinTasks and MaxTasks bound the per-process task count (the paper
 	// reports 300-800). Zero values default to 300 and 800.
 	MinTasks, MaxTasks int
+	// Annotate records each task's model features (transfer bytes,
+	// memory footprint, contraction flops, memory-bound traffic) as
+	// trace annotations, the training inputs for internal/model. The
+	// features are computed from values the generator has already drawn,
+	// so annotation never changes random-number consumption: the same
+	// seed yields byte-identical task streams with or without it (the
+	// golden digest tests pin this).
+	Annotate bool
+}
+
+// annotator collects one feature row per task when enabled.
+type annotator struct {
+	on   bool
+	rows [][]float64
+}
+
+func (a *annotator) add(f model.Features) {
+	if a.on {
+		a.rows = append(a.rows, f.Vector())
+	}
+}
+
+func (a *annotator) install(tr *trace.Trace) {
+	if a.on {
+		tr.FeatureNames = append([]string(nil), model.Names...)
+		tr.Features = a.rows
+	}
 }
 
 func (c Config) processes(m cluster.Machine) int {
@@ -118,6 +146,7 @@ func GenerateHF(m cluster.Machine, cfg Config) ([]*trace.Trace, error) {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(p)))
 		n := cfg.taskCount(rng)
 		tr := &trace.Trace{App: "HF", Process: p}
+		ann := annotator{on: cfg.Annotate}
 		for i := 0; i < n; i++ {
 			var task core.Task
 			name := fmt.Sprintf("t%04d", i)
@@ -141,6 +170,7 @@ func GenerateHF(m cluster.Machine, cfg Config) ([]*trace.Trace, error) {
 					Comp: m.ComputeTime(flops, 0),
 					Mem:  bytes,
 				}
+				ann.add(model.Features{Bytes: bytes, Mem: bytes, Flops: flops})
 			case r < 0.92: // tensor transpose of a screened tile
 				bytes := d.Bytes() * uniform(rng, 0.3, 1)
 				task = core.Task{
@@ -149,6 +179,7 @@ func GenerateHF(m cluster.Machine, cfg Config) ([]*trace.Trace, error) {
 					Comp: m.ComputeTime(0, 2*bytes),
 					Mem:  bytes,
 				}
+				ann.add(model.Features{Bytes: bytes, Mem: bytes, MemTraffic: 2 * bytes})
 			default: // fock update: small fetch, deeper arithmetic
 				bytes := uniform(rng, 4*1024, 16*1024)
 				depth := uniform(rng, 6, 14)
@@ -159,9 +190,11 @@ func GenerateHF(m cluster.Machine, cfg Config) ([]*trace.Trace, error) {
 					Comp: m.ComputeTime(flops, 0),
 					Mem:  bytes,
 				}
+				ann.add(model.Features{Bytes: bytes, Mem: bytes, Flops: flops})
 			}
 			tr.Tasks = append(tr.Tasks, task)
 		}
+		ann.install(tr)
 		traces = append(traces, tr)
 	}
 	return traces, nil
@@ -188,6 +221,7 @@ func GenerateCCSD(m cluster.Machine, cfg Config) ([]*trace.Trace, error) {
 		rng := rand.New(rand.NewSource(cfg.Seed + 1_000_003*int64(p+1)))
 		n := cfg.taskCount(rng)
 		tr := &trace.Trace{App: "CCSD", Process: p}
+		ann := annotator{on: cfg.Annotate}
 		occ := func() int { return 8 + rng.Intn(9) }    // 8..16
 		virt := func() int { return 24 + rng.Intn(89) } // 24..112
 		for i := 0; i < n; i++ {
@@ -210,6 +244,7 @@ func GenerateCCSD(m cluster.Machine, cfg Config) ([]*trace.Trace, error) {
 					Comp: m.ComputeTime(flops, 0),
 					Mem:  bytes,
 				}
+				ann.add(model.Features{Bytes: bytes, Mem: bytes, Flops: flops})
 			case r < 0.80: // amplitude transpose
 				tv, to := virt(), occ()
 				t2 := Tile{Dims: []int{tv, tv, to, to}}
@@ -219,6 +254,7 @@ func GenerateCCSD(m cluster.Machine, cfg Config) ([]*trace.Trace, error) {
 					Comp: m.ComputeTime(0, 2*t2.Bytes()),
 					Mem:  t2.Bytes(),
 				}
+				ann.add(model.Features{Bytes: t2.Bytes(), Mem: t2.Bytes(), MemTraffic: 2 * t2.Bytes()})
 			default: // amplitude update / DIIS
 				tv, to := virt(), occ()
 				t2 := Tile{Dims: []int{tv, tv, to, to}}
@@ -228,9 +264,11 @@ func GenerateCCSD(m cluster.Machine, cfg Config) ([]*trace.Trace, error) {
 					Comp: m.ComputeTime(0, 3*t2.Bytes()),
 					Mem:  t2.Bytes(),
 				}
+				ann.add(model.Features{Bytes: t2.Bytes(), Mem: t2.Bytes(), MemTraffic: 3 * t2.Bytes()})
 			}
 			tr.Tasks = append(tr.Tasks, task)
 		}
+		ann.install(tr)
 		traces = append(traces, tr)
 	}
 	return traces, nil

@@ -37,6 +37,10 @@ var DetclockPackages = map[string]bool{
 	"transched/internal/threestage":  true,
 	"transched/internal/npc":         true,
 	"transched/internal/paperdata":   true,
+	// Duration estimators and the calibrated-noise engine: fits must be
+	// bit-reproducible (golden coefficient digests) and the perturbation
+	// stream is seeded, so the clock has no business here.
+	"transched/internal/model": true,
 	// Not a result producer per se, but its deterministic random
 	// instance generators are what make the property tests replayable;
 	// a clock read here would quietly unseed them.

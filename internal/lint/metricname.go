@@ -17,7 +17,7 @@ import (
 // prefix discipline (they still get the charset and double-registration
 // checks).
 var MetricPrefixes = map[string][]string{
-	"transched/internal/serve":       {"serve_", "route_"},
+	"transched/internal/serve":       {"serve_", "route_", "model_"},
 	"transched/internal/serve/store": {"serve_"},
 	"transched/internal/experiments": {"sweep_"},
 	"transched/internal/rts":         {"rts_"},

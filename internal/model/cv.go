@@ -1,0 +1,90 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CVReport summarises a k-fold cross-validation: MAPE (mean absolute
+// percentage error over targets distinguishable from zero) and R^2
+// (coefficient of determination, pooled over every held-out
+// prediction).
+type CVReport struct {
+	K    int
+	N    int
+	MAPE float64
+	R2   float64
+}
+
+// mapeEps guards the MAPE denominator: targets at or below it are
+// counted into R^2 but not MAPE (a zero-duration task has no meaningful
+// percentage error).
+const mapeEps = 1e-12
+
+// CrossValidate runs seeded k-fold cross-validation of fit over ds: a
+// seeded permutation deals samples into k folds, each fold is held out
+// once, and the predictions on held-out samples are pooled into one
+// CVReport. Deterministic for fixed (ds, k, seed, fit).
+func CrossValidate(ds Dataset, k int, seed int64, fit func(Dataset) (Predictor, error)) (CVReport, error) {
+	n := ds.N()
+	if k < 2 {
+		return CVReport{}, fmt.Errorf("model: k-fold needs k >= 2, got %d", k)
+	}
+	if n < k {
+		return CVReport{}, fmt.Errorf("model: %d samples cannot fill %d folds", n, k)
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	fold := make([]int, n)
+	for pos, i := range perm {
+		fold[i] = pos % k
+	}
+
+	preds := make([]float64, n)
+	for f := 0; f < k; f++ {
+		var train Dataset
+		for i := 0; i < n; i++ {
+			if fold[i] != f {
+				train.X = append(train.X, ds.X[i])
+				train.Y = append(train.Y, ds.Y[i])
+			}
+		}
+		p, err := fit(train)
+		if err != nil {
+			return CVReport{}, fmt.Errorf("model: fold %d: %w", f, err)
+		}
+		for i := 0; i < n; i++ {
+			if fold[i] == f {
+				preds[i] = p.Predict(ds.X[i])
+			}
+		}
+	}
+
+	mean := 0.0
+	for _, y := range ds.Y {
+		mean += y
+	}
+	mean /= float64(n)
+	var sse, sst, ape float64
+	apeN := 0
+	for i := 0; i < n; i++ {
+		d := preds[i] - ds.Y[i]
+		sse += d * d
+		dev := ds.Y[i] - mean
+		sst += dev * dev
+		if ds.Y[i] > mapeEps {
+			ape += math.Abs(d) / ds.Y[i]
+			apeN++
+		}
+	}
+	rep := CVReport{K: k, N: n}
+	if apeN > 0 {
+		rep.MAPE = ape / float64(apeN)
+	}
+	if sst > 0 {
+		rep.R2 = 1 - sse/sst
+	} else if sse == 0 {
+		rep.R2 = 1
+	}
+	return rep, nil
+}

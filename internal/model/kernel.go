@@ -1,0 +1,178 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// maxKernelPoints caps the kernel-ridge training set: the fit is O(m^3)
+// in the retained sample count, and a few hundred points already pin the
+// smooth cost surfaces the chem workloads produce.
+const maxKernelPoints = 512
+
+// KernelRidge is an RBF kernel ridge model: alpha = (K + lambda*m*I)^-1
+// yc on a seeded subsample of the (standardised) training set, with the
+// bandwidth set by the median-pairwise-distance heuristic. It captures
+// the max(flops, traffic) kink in the compute cost model that a plain
+// linear fit smooths over.
+type KernelRidge struct {
+	// Lambda is the regularisation strength the model was fit with.
+	Lambda float64
+	// Gamma is the RBF exponent coefficient exp(-Gamma * ||x-z||^2).
+	Gamma float64
+
+	mean, std []float64
+	xs        [][]float64 // standardised retained samples
+	alpha     []float64
+	intercept float64
+}
+
+// FitKernelRidge fits an RBF kernel ridge model. The subsample (when the
+// dataset exceeds maxKernelPoints) is drawn by a seeded permutation, so
+// the fit is as deterministic as the closed-form ridge: same inputs and
+// seed, same bits.
+func FitKernelRidge(ds Dataset, lambda float64, seed int64) (*KernelRidge, error) {
+	n := ds.N()
+	if n == 0 {
+		return nil, fmt.Errorf("model: empty dataset")
+	}
+	if len(ds.Y) != n {
+		return nil, fmt.Errorf("model: %d samples, %d targets", n, len(ds.Y))
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("model: lambda %g must be positive", lambda)
+	}
+	d := len(ds.X[0])
+	for i, x := range ds.X {
+		if len(x) != d {
+			return nil, fmt.Errorf("model: sample %d has %d features, want %d", i, len(x), d)
+		}
+		if !finite(x) || math.IsNaN(ds.Y[i]) || math.IsInf(ds.Y[i], 0) {
+			return nil, fmt.Errorf("model: sample %d is not finite", i)
+		}
+	}
+
+	k := &KernelRidge{Lambda: lambda, mean: make([]float64, d), std: make([]float64, d)}
+	for j := 0; j < d; j++ {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += ds.X[i][j]
+		}
+		k.mean[j] = sum / float64(n)
+		ss := 0.0
+		for i := 0; i < n; i++ {
+			dev := ds.X[i][j] - k.mean[j]
+			ss += dev * dev
+		}
+		k.std[j] = math.Sqrt(ss / float64(n))
+		if k.std[j] == 0 {
+			k.std[j] = 1
+		}
+	}
+
+	// Seeded subsample, kept in ascending index order so the retained
+	// set (and so the Gram matrix) has one canonical layout.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if n > maxKernelPoints {
+		rng := rand.New(rand.NewSource(seed))
+		idx = rng.Perm(n)[:maxKernelPoints]
+		sort.Ints(idx)
+	}
+	m := len(idx)
+	k.xs = make([][]float64, m)
+	y := make([]float64, m)
+	for i, src := range idx {
+		z := make([]float64, d)
+		for j := 0; j < d; j++ {
+			z[j] = (ds.X[src][j] - k.mean[j]) / k.std[j]
+		}
+		k.xs[i] = z
+		y[i] = ds.Y[src]
+	}
+	ysum := 0.0
+	for _, v := range y {
+		ysum += v
+	}
+	k.intercept = ysum / float64(m)
+
+	k.Gamma = medianGamma(k.xs)
+
+	// (K + lambda*m*I) alpha = yc via the shared Cholesky.
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, m)
+	}
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			v := math.Exp(-k.Gamma * sqDist(k.xs[i], k.xs[j]))
+			a[i][j] = v
+			a[j][i] = v
+		}
+		a[i][i] += lambda * float64(m)
+		b[i] = y[i] - k.intercept
+	}
+	alpha, err := cholSolve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	k.alpha = alpha
+	return k, nil
+}
+
+// medianGamma returns 1/median(||xi-xj||^2) over a bounded prefix of the
+// sample pairs — the standard median heuristic, made O(1)-bounded by
+// capping the pair count. Falls back to 1 when every pair coincides.
+func medianGamma(xs [][]float64) float64 {
+	const maxPairs = 2048
+	var dists []float64
+	for i := 0; i < len(xs) && len(dists) < maxPairs; i++ {
+		for j := i + 1; j < len(xs) && len(dists) < maxPairs; j++ {
+			dists = append(dists, sqDist(xs[i], xs[j]))
+		}
+	}
+	if len(dists) == 0 {
+		return 1
+	}
+	sort.Float64s(dists)
+	med := dists[len(dists)/2]
+	if med <= 0 {
+		return 1
+	}
+	return 1 / med
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for j := range a {
+		d := a[j] - b[j]
+		s += d * d
+	}
+	return s
+}
+
+// Predict implements Predictor.
+func (k *KernelRidge) Predict(x []float64) float64 {
+	z := make([]float64, len(k.mean))
+	for j := range z {
+		if j < len(x) {
+			z[j] = (x[j] - k.mean[j]) / k.std[j]
+		}
+	}
+	y := k.intercept
+	for i, xi := range k.xs {
+		y += k.alpha[i] * math.Exp(-k.Gamma*sqDist(xi, z))
+	}
+	return y
+}
+
+// Digest implements Predictor: FNV-64a over standardisation parameters,
+// gamma, intercept and the dual coefficients, in fixed order.
+func (k *KernelRidge) Digest() string {
+	return digestFloats(k.mean, k.std, []float64{k.Gamma, k.intercept, k.Lambda}, k.alpha)
+}

@@ -1,0 +1,194 @@
+package model
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Ridge is a closed-form L2-regularised linear model fit by the normal
+// equations on standardised features. Standardisation keeps the
+// Gram matrix well-conditioned (the raw columns span ~12 orders of
+// magnitude between latency seconds and contraction flops) and makes
+// one lambda meaningful across columns; with lambda > 0 the regularised
+// Gram matrix is positive definite even when columns are exactly
+// collinear (bytes and mem are, for every chem task type), so the
+// Cholesky factorisation cannot fail on real inputs.
+type Ridge struct {
+	// Lambda is the regularisation strength the model was fit with.
+	Lambda float64
+	// mean and std standardise incoming features; coef applies to the
+	// standardised values; intercept is the target mean.
+	mean, std, coef []float64
+	intercept       float64
+}
+
+// FitRidge solves (Z'Z + lambda*n*I) beta = Z'(y - mean(y)) on the
+// standardised design Z by Cholesky, entirely in closed form: same
+// inputs, same bits, on every run and worker count. lambda <= 0 is
+// rejected — the collinear-column guarantee above needs it positive.
+func FitRidge(ds Dataset, lambda float64) (*Ridge, error) {
+	n := ds.N()
+	if n == 0 {
+		return nil, fmt.Errorf("model: empty dataset")
+	}
+	if len(ds.Y) != n {
+		return nil, fmt.Errorf("model: %d samples, %d targets", n, len(ds.Y))
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("model: lambda %g must be positive", lambda)
+	}
+	d := len(ds.X[0])
+	if d == 0 {
+		return nil, fmt.Errorf("model: zero-width design")
+	}
+	for i, x := range ds.X {
+		if len(x) != d {
+			return nil, fmt.Errorf("model: sample %d has %d features, want %d", i, len(x), d)
+		}
+		if !finite(x) || math.IsNaN(ds.Y[i]) || math.IsInf(ds.Y[i], 0) {
+			return nil, fmt.Errorf("model: sample %d is not finite", i)
+		}
+	}
+
+	r := &Ridge{Lambda: lambda, mean: make([]float64, d), std: make([]float64, d), coef: make([]float64, d)}
+	for j := 0; j < d; j++ {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += ds.X[i][j]
+		}
+		r.mean[j] = sum / float64(n)
+		ss := 0.0
+		for i := 0; i < n; i++ {
+			dev := ds.X[i][j] - r.mean[j]
+			ss += dev * dev
+		}
+		r.std[j] = math.Sqrt(ss / float64(n))
+		if r.std[j] == 0 {
+			// A constant column carries no signal; mapping it to zero
+			// keeps it out of the fit without special-casing the solver.
+			r.std[j] = 1
+		}
+	}
+	ysum := 0.0
+	for _, y := range ds.Y {
+		ysum += y
+	}
+	r.intercept = ysum / float64(n)
+
+	// Gram matrix A = Z'Z + lambda*n*I and moment vector b = Z'yc, both
+	// accumulated in fixed index order.
+	a := make([][]float64, d)
+	for j := range a {
+		a[j] = make([]float64, d)
+	}
+	b := make([]float64, d)
+	z := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			z[j] = (ds.X[i][j] - r.mean[j]) / r.std[j]
+		}
+		yc := ds.Y[i] - r.intercept
+		for j := 0; j < d; j++ {
+			for k := j; k < d; k++ {
+				a[j][k] += z[j] * z[k]
+			}
+			b[j] += z[j] * yc
+		}
+	}
+	for j := 0; j < d; j++ {
+		a[j][j] += lambda * float64(n)
+		for k := 0; k < j; k++ {
+			a[j][k] = a[k][j]
+		}
+	}
+	coef, err := cholSolve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	r.coef = coef
+	return r, nil
+}
+
+// Predict implements Predictor.
+func (r *Ridge) Predict(x []float64) float64 {
+	y := r.intercept
+	for j := range r.coef {
+		if j >= len(x) {
+			break
+		}
+		y += r.coef[j] * (x[j] - r.mean[j]) / r.std[j]
+	}
+	return y
+}
+
+// Coef returns the fitted coefficients on the standardised scale,
+// followed by the intercept. The slice is a copy.
+func (r *Ridge) Coef() []float64 {
+	out := append([]float64(nil), r.coef...)
+	return append(out, r.intercept)
+}
+
+// Digest implements Predictor: FNV-64a over the IEEE-754 bits of the
+// standardisation parameters and coefficients, in fixed order. Equal
+// digests mean bit-identical models.
+func (r *Ridge) Digest() string {
+	return digestFloats(r.mean, r.std, r.coef, []float64{r.intercept, r.Lambda})
+}
+
+func digestFloats(groups ...[]float64) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, g := range groups {
+		for _, v := range g {
+			bits := math.Float64bits(v)
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(bits >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// cholSolve solves the symmetric positive-definite system a*x = b by
+// Cholesky factorisation (a = L L'), overwriting a's lower triangle with
+// L. Deterministic: fixed elimination order, no pivoting — SPD systems
+// need none.
+func cholSolve(a [][]float64, b []float64) ([]float64, error) {
+	d := len(a)
+	for j := 0; j < d; j++ {
+		sum := a[j][j]
+		for k := 0; k < j; k++ {
+			sum -= a[j][k] * a[j][k]
+		}
+		if sum <= 0 || math.IsNaN(sum) {
+			return nil, fmt.Errorf("model: Gram matrix not positive definite at column %d", j)
+		}
+		a[j][j] = math.Sqrt(sum)
+		for i := j + 1; i < d; i++ {
+			s := a[i][j]
+			for k := 0; k < j; k++ {
+				s -= a[i][k] * a[j][k]
+			}
+			a[i][j] = s / a[j][j]
+		}
+	}
+	// Forward substitution L w = b, then back substitution L' x = w.
+	x := make([]float64, d)
+	for i := 0; i < d; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= a[i][k] * x[k]
+		}
+		x[i] = s / a[i][i]
+	}
+	for i := d - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < d; k++ {
+			s -= a[k][i] * x[k]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x, nil
+}

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"transched/internal/stats"
 )
 
 // Counter is a monotonically increasing event count. The zero value is
@@ -141,8 +143,9 @@ type Metric struct {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of a histogram metric
-// by nearest rank over its buckets: the upper bound of the bucket
-// holding the ceil(q*count)-th observation. The overflow bucket clamps
+// by nearest rank over its buckets (the shared stats.Rank rule): the
+// upper bound of the bucket holding the ceil(q*count)-th observation.
+// The overflow bucket clamps
 // to the highest finite bound (the same convention Prometheus's
 // histogram_quantile uses), so the result is always finite. Returns 0
 // for non-histograms and empty histograms. This is the one quantile
@@ -152,16 +155,7 @@ func (m Metric) Quantile(q float64) float64 {
 	if m.Kind != "histogram" || m.Count <= 0 || len(m.Buckets) == 0 {
 		return 0
 	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	rank := int64(math.Ceil(q * float64(m.Count)))
-	if rank < 1 {
-		rank = 1
-	}
+	rank := stats.Rank(m.Count, q)
 	highestFinite := 0.0
 	for _, b := range m.Buckets {
 		if !math.IsInf(b.UpperBound, 1) && b.Count > 0 {

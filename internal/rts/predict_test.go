@@ -1,0 +1,145 @@
+package rts
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"transched/internal/core"
+	"transched/internal/testutil"
+)
+
+// exactPredict returns the true durations: planning on it must select
+// exactly like planning on ground truth, with zero regret.
+func exactPredict(t core.Task) (float64, float64) { return t.Comm, t.Comp }
+
+func TestPredictExactMatchesPlainAuto(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	in := testutil.RandomInstance(rng, 60, 10)
+	run := func(predict func(core.Task) (float64, float64)) (*core.Schedule, Stats, []string) {
+		r, err := New(Config{Capacity: in.Capacity, BatchSize: 15, Selection: Auto, Predict: predict})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Submit(in.Tasks...); err != nil {
+			t.Fatal(err)
+		}
+		s, err := r.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, r.Stats(), r.Choices()
+	}
+	sPlain, stPlain, chPlain := run(nil)
+	sExact, stExact, chExact := run(exactPredict)
+	if !reflect.DeepEqual(chPlain, chExact) {
+		t.Fatalf("choices differ: %v vs %v", chPlain, chExact)
+	}
+	if sPlain.Makespan() != sExact.Makespan() {
+		t.Fatalf("makespans differ: %g vs %g", sPlain.Makespan(), sExact.Makespan())
+	}
+	if stExact.Regret != 0 {
+		t.Fatalf("exact predictions should have zero regret, got %g", stExact.Regret)
+	}
+	if stPlain.Regret != 0 {
+		t.Fatalf("nil Predict must report zero regret, got %g", stPlain.Regret)
+	}
+}
+
+func TestPredictNoisySelectionReportsRegret(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	// An adversarial predictor: swaps the weight of comm and comp, so
+	// candidate rankings flip often enough for regret to show up across
+	// trials.
+	adversarial := func(t core.Task) (float64, float64) { return t.Comp, t.Comm }
+	sawRegret := false
+	for trial := 0; trial < 20 && !sawRegret; trial++ {
+		in := testutil.RandomInstance(rng, 50+rng.Intn(30), 10)
+		r, err := New(Config{Capacity: in.Capacity, BatchSize: 10, Selection: Auto, Predict: adversarial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Submit(in.Tasks...); err != nil {
+			t.Fatal(err)
+		}
+		s, err := r.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		st := r.Stats()
+		if st.Regret < 0 {
+			t.Fatalf("negative total regret %g", st.Regret)
+		}
+		var sum float64
+		for _, b := range st.Batches {
+			if b.Regret < 0 {
+				t.Fatalf("batch %d negative regret %g", b.Batch, b.Regret)
+			}
+			sum += b.Regret
+		}
+		if math.Abs(sum-st.Regret) > 1e-12 {
+			t.Fatalf("Stats.Regret %g != sum of batch regrets %g", st.Regret, sum)
+		}
+		if st.Regret > 0 {
+			sawRegret = true
+		}
+	}
+	if !sawRegret {
+		t.Fatal("adversarial predictions never produced regret across 20 trials")
+	}
+}
+
+func TestPredictDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	in := testutil.RandomInstance(rng, 80, 10)
+	noisy := func(t core.Task) (float64, float64) { return t.Comm * 1.3, t.Comp * 0.7 }
+	run := func(workers int) ([]string, float64, float64) {
+		r, err := New(Config{Capacity: in.Capacity, BatchSize: 20, Selection: Auto,
+			Predict: noisy, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Submit(in.Tasks...); err != nil {
+			t.Fatal(err)
+		}
+		s, err := r.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Choices(), s.Makespan(), r.Stats().Regret
+	}
+	ch1, mk1, rg1 := run(1)
+	chN, mkN, rgN := run(0)
+	if !reflect.DeepEqual(ch1, chN) || mk1 != mkN || rg1 != rgN {
+		t.Fatalf("worker-count dependence: (%v, %g, %g) vs (%v, %g, %g)",
+			ch1, mk1, rg1, chN, mkN, rgN)
+	}
+}
+
+func TestPredictClampsNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	in := testutil.RandomInstance(rng, 30, 10)
+	negative := func(core.Task) (float64, float64) { return -1, -2 }
+	r, err := New(Config{Capacity: in.Capacity, BatchSize: 10, Selection: Auto, Predict: negative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(in.Tasks...); err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The committed schedule still runs the true durations.
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() <= 0 {
+		t.Fatal("committed schedule lost the true durations")
+	}
+}

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"transched/internal/model"
+	"transched/internal/trace"
+)
+
+// fillDurations fills in predicted durations for feature-only tasks:
+// every task whose communication and computation times are both zero
+// but that carries a feature row mappable to the canonical columns gets
+// dm's (comm, comp) estimate. Tasks with any observed duration are left
+// alone — the model augments incomplete traces, it never overrides
+// measurements. Returns the number of tasks filled.
+//
+// The fill happens after the cache digest is computed, so the digest
+// stays the content address of the request as sent; two servers
+// configured with different models (or none) therefore map the same
+// feature-only digest to different responses, and a disk store must not
+// be shared across model configurations (SERVING.md).
+func fillDurations(tr *trace.Trace, dm *model.DurationModel) int {
+	if dm == nil || len(tr.FeatureNames) == 0 {
+		return 0
+	}
+	filled := 0
+	for i := range tr.Tasks {
+		t := &tr.Tasks[i]
+		if t.Comm != 0 || t.Comp != 0 {
+			continue
+		}
+		row := tr.FeatureRow(i)
+		if row == nil {
+			continue
+		}
+		vec, ok := model.FromRow(tr.FeatureNames, row)
+		if !ok {
+			continue
+		}
+		t.Comm, t.Comp = dm.PredictTask(vec)
+		filled++
+	}
+	return filled
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"transched/internal/core"
+	"transched/internal/model"
+	"transched/internal/trace"
+)
+
+// constPredictor is a fixed-output model.Predictor for fill tests.
+type constPredictor struct{ v float64 }
+
+func (p constPredictor) Predict([]float64) float64 { return p.v }
+func (p constPredictor) Digest() string            { return "const" }
+
+// featureOnlyTraceText renders an annotated trace whose tasks carry
+// features but no durations — the input shape Config.Model exists for.
+func featureOnlyTraceText(t testing.TB, tasks int) string {
+	t.Helper()
+	tr := &trace.Trace{App: "HF", Process: 0, FeatureNames: append([]string(nil), model.Names...)}
+	for i := 0; i < tasks; i++ {
+		tr.Tasks = append(tr.Tasks, core.Task{Name: "twoel." + string(rune('a'+i)), Mem: 1.5})
+		f := model.Features{Bytes: float64(1+i) * 1e6, Mem: 1.5, Flops: float64(1+i) * 1e9}
+		tr.Features = append(tr.Features, f.Vector())
+	}
+	var sb strings.Builder
+	if err := trace.Write(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func testModel() *model.DurationModel {
+	return &model.DurationModel{CM: constPredictor{2}, CP: constPredictor{3}, Sigma: model.MinSigma}
+}
+
+// TestServeModelFillsFeatureOnlyTasks: with a model configured, a
+// feature-only trace solves on predicted durations, the response
+// reports the fill, and the model_* metrics record it.
+func TestServeModelFillsFeatureOnlyTasks(t *testing.T) {
+	cfg := testConfig()
+	cfg.Model = testModel()
+	s := New(cfg)
+	h := s.Handler()
+	text := featureOnlyTraceText(t, 5)
+
+	rec := postRaw(h, "/solve?heuristic=OOLCMR&capacity=1.5", text)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp Response
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ModelFilled != 5 {
+		t.Errorf("model_filled = %d, want 5", resp.ModelFilled)
+	}
+	// Every task got comm 2 and comp 3 from the constant predictors, so
+	// the schedule is non-degenerate: 5 serial transfers then a compute.
+	if resp.Best.Makespan <= 0 {
+		t.Errorf("makespan %g: fill did not reach the solver", resp.Best.Makespan)
+	}
+	if got := s.modelFillReqs.Value(); got != 1 {
+		t.Errorf("model_fill_requests_total = %d, want 1", got)
+	}
+	if got := s.modelFilled.Value(); got != 5 {
+		t.Errorf("model_tasks_filled_total = %d, want 5", got)
+	}
+
+	// The identical request again: a cache hit with the identical body,
+	// model_filled included, and no second fill counted.
+	rec2 := postRaw(h, "/solve?heuristic=OOLCMR&capacity=1.5", text)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("second status %d: %s", rec2.Code, rec2.Body.String())
+	}
+	if got := rec2.Header().Get("X-Transched-Cache"); got != "hit" {
+		t.Errorf("second request cache header = %q", got)
+	}
+	if !bytes.Equal(rec.Body.Bytes(), rec2.Body.Bytes()) {
+		t.Error("cached response differs from computed one")
+	}
+}
+
+// TestServeModelLeavesMeasuredTasksAlone: tasks with observed durations
+// are never overridden, and without a model the field stays absent.
+func TestServeModelLeavesMeasuredTasksAlone(t *testing.T) {
+	cfg := testConfig()
+	cfg.Model = testModel()
+	s := New(cfg)
+	text := genTraceText(t, 31, 12) // generated durations, no annotations
+
+	rec := postRaw(s.Handler(), "/solve?capacity=1.5", text)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if strings.Contains(rec.Body.String(), "model_filled") {
+		t.Error("measured trace reported a model fill")
+	}
+	if got := s.modelFillReqs.Value(); got != 0 {
+		t.Errorf("model_fill_requests_total = %d, want 0", got)
+	}
+
+	// The same measured trace through a model-less server produces the
+	// byte-identical response: a configured model is invisible unless a
+	// task actually needs filling.
+	plain := New(testConfig())
+	rec2 := postRaw(plain.Handler(), "/solve?capacity=1.5", text)
+	if !bytes.Equal(rec.Body.Bytes(), rec2.Body.Bytes()) {
+		t.Error("model-configured server altered a fully measured trace's response")
+	}
+}
+
+// TestServeModelDigestOverOriginalTrace: the cache digest addresses the
+// request as sent — filling durations does not change it.
+func TestServeModelDigestOverOriginalTrace(t *testing.T) {
+	text := featureOnlyTraceText(t, 4)
+	withModel := testConfig()
+	withModel.Model = testModel()
+	recA := postRaw(New(withModel).Handler(), "/solve?capacity=1.5", text)
+	recB := postRaw(New(testConfig()).Handler(), "/solve?capacity=1.5", text)
+	if recA.Code != http.StatusOK {
+		t.Fatalf("model server status %d: %s", recA.Code, recA.Body.String())
+	}
+	a, b := recA.Header().Get("X-Transched-Digest"), recB.Header().Get("X-Transched-Digest")
+	if a == "" || a != b {
+		t.Errorf("digest changed with the model: %q vs %q", a, b)
+	}
+}
+
+func TestFillDurations(t *testing.T) {
+	dm := testModel()
+	tr := &trace.Trace{
+		App:          "HF",
+		FeatureNames: append([]string(nil), model.Names...),
+		Tasks: []core.Task{
+			{Name: "a", Mem: 1},                   // feature-only: filled
+			{Name: "b", Comm: 5, Comp: 7, Mem: 1}, // measured: untouched
+			{Name: "c", Mem: 1},                   // no feature row: untouched
+		},
+		Features: [][]float64{{1, 1, 1, 0}, {2, 1, 2, 0}, nil},
+	}
+	if n := fillDurations(tr, dm); n != 1 {
+		t.Fatalf("filled %d tasks, want 1", n)
+	}
+	if tr.Tasks[0].Comm != 2 || tr.Tasks[0].Comp != 3 {
+		t.Errorf("task a = %+v, want comm 2 comp 3", tr.Tasks[0])
+	}
+	if tr.Tasks[1].Comm != 5 || tr.Tasks[1].Comp != 7 {
+		t.Errorf("measured task b was overridden: %+v", tr.Tasks[1])
+	}
+	if tr.Tasks[2].Comm != 0 || tr.Tasks[2].Comp != 0 {
+		t.Errorf("row-less task c was filled: %+v", tr.Tasks[2])
+	}
+	if n := fillDurations(tr, nil); n != 0 {
+		t.Errorf("nil model filled %d tasks", n)
+	}
+}

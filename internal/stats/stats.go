@@ -63,6 +63,72 @@ func Quantile(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// Rank returns the 1-based nearest rank of the q-quantile in a sample of
+// n observations: ceil(q*n), clamped to [1, n]. q outside [0, 1] clamps
+// too. This is the one rank rule shared by the obs histogram quantiles,
+// the transchedbench latency report and this package — previously each
+// re-derived it by hand with off-by-one disagreements at the edges.
+// Returns 0 when n <= 0 (no observations have no rank).
+func Rank(n int64, q float64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return rank
+}
+
+// NearestRank returns the q-quantile of sorted values by the nearest-rank
+// rule (the Rank helper): the observation at position ceil(q*n). Unlike
+// Quantile it never interpolates, so the result is always a sample value.
+// Returns 0 for an empty sample, matching what the latency reports print
+// when nothing was observed.
+func NearestRank(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	return sorted[Rank(int64(n), q)-1]
+}
+
+// KendallTau returns Kendall's tau-a rank correlation between two paired
+// samples: (concordant - discordant) / (n*(n-1)/2) over all pairs, with
+// ties contributing zero. 1 means identical ranking, -1 fully reversed.
+// The robustness sweep uses it to quantify how stable the heuristic
+// ranking stays as duration noise grows. Returns 0 when n < 2 or the
+// lengths differ (no pairs to compare).
+func KendallTau(a, b []float64) float64 {
+	n := len(a)
+	if n != len(b) || n < 2 {
+		return 0
+	}
+	score := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := a[i] - a[j]
+			db := b[i] - b[j]
+			switch {
+			case da*db > 0:
+				score++
+			case da*db < 0:
+				score--
+			}
+		}
+	}
+	return float64(score) / float64(n*(n-1)/2)
+}
+
 // Outliers returns the values outside the 1.5*IQR whiskers, matching what
 // boxplots draw as dots.
 func Outliers(values []float64) []float64 {

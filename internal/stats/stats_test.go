@@ -46,6 +46,81 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+func TestRank(t *testing.T) {
+	cases := []struct {
+		n    int64
+		q    float64
+		want int64
+	}{
+		{0, 0.5, 0},    // no observations, no rank
+		{-3, 0.5, 0},   // nonsense n
+		{1, 0, 1},      // q=0 clamps up to the first observation
+		{1, 1, 1},      //
+		{10, 0, 1},     //
+		{10, 1, 10},    //
+		{10, 0.5, 5},   // ceil(5) = 5
+		{10, 0.51, 6},  // ceil(5.1) = 6
+		{10, 0.95, 10}, // ceil(9.5) = 10
+		{4, 0.25, 1},   // ceil(1) = 1
+		{4, 0.26, 2},   //
+		{5, -1, 1},     // q clamps into [0, 1]
+		{5, 2, 5},      //
+		{3, 1.0 / 3, 1},
+	}
+	for _, c := range cases {
+		if got := Rank(c.n, c.q); got != c.want {
+			t.Errorf("Rank(%d, %g) = %d, want %d", c.n, c.q, got, c.want)
+		}
+	}
+}
+
+func TestNearestRank(t *testing.T) {
+	if got := NearestRank(nil, 0.5); got != 0 {
+		t.Errorf("empty = %g, want 0", got)
+	}
+	if got := NearestRank([]float64{7}, 0.99); got != 7 {
+		t.Errorf("singleton = %g, want 7", got)
+	}
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 10}, {0.5, 5}, {0.51, 6}, {0.95, 10}, {0.9, 9},
+		{-0.5, 1}, {1.5, 10},
+	}
+	for _, c := range cases {
+		if got := NearestRank(sorted, c.q); got != c.want {
+			t.Errorf("NearestRank(q=%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	// Never interpolates: the result is always a sample value.
+	odd := []float64{1, 100}
+	if got := NearestRank(odd, 0.5); got != 1 {
+		t.Errorf("no-interpolation check = %g, want 1", got)
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	if got := KendallTau([]float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}); got != 1 {
+		t.Errorf("identical ranking tau = %g, want 1", got)
+	}
+	if got := KendallTau([]float64{1, 2, 3, 4}, []float64{4, 3, 2, 1}); got != -1 {
+		t.Errorf("reversed ranking tau = %g, want -1", got)
+	}
+	if got := KendallTau([]float64{1, 2}, []float64{5}); got != 0 {
+		t.Errorf("length mismatch tau = %g, want 0", got)
+	}
+	if got := KendallTau([]float64{1}, []float64{1}); got != 0 {
+		t.Errorf("n=1 tau = %g, want 0", got)
+	}
+	// One swapped adjacent pair out of 6: tau = (5-1)/6.
+	if got := KendallTau([]float64{1, 2, 3, 4}, []float64{2, 1, 3, 4}); math.Abs(got-4.0/6) > 1e-15 {
+		t.Errorf("one swap tau = %g, want %g", got, 4.0/6)
+	}
+	// Ties contribute zero.
+	if got := KendallTau([]float64{1, 1, 2}, []float64{1, 2, 3}); math.Abs(got-2.0/3) > 1e-15 {
+		t.Errorf("tied tau = %g, want %g", got, 2.0/3)
+	}
+}
+
 func TestOutliers(t *testing.T) {
 	vals := []float64{1, 1.01, 1.02, 1.03, 5}
 	out := Outliers(vals)

@@ -27,6 +27,15 @@ func FuzzTraceRead(f *testing.F) {
 	f.Add([]byte("no magic\n"))
 	f.Add([]byte("# transched trace v1\ntask a 1e308 1e-308 5e-324\n"))
 	f.Add([]byte(""))
+	// Feature-annotated traces (PR 9): the `#!` lines are comments to a
+	// plain v1 reader and structured annotations to this one.
+	f.Add([]byte("# transched trace v1\n#! features bytes mem flops mem_traffic\napp HF\nprocess 0\ntask a 1 2 3\n#! feat a 1e6 3 2e9 0\n"))
+	f.Add([]byte("# transched trace v1\n#! features x\ntask a 1 2 3\ntask b 4 5 6\n#! feat b 0.5\n"))
+	f.Add([]byte("# transched trace v1\n#! features x\n#! features y\n"))
+	f.Add([]byte("# transched trace v1\n#! feat a 1\ntask a 1 1 1\n"))
+	f.Add([]byte("# transched trace v1\n#! features x y\ntask a 1 1 1\n#! feat a 1\n"))
+	f.Add([]byte("# transched trace v1\n#! features x\ntask a 1 1 1\n#! feat a NaN\n"))
+	f.Add([]byte("# transched trace v1\n#! unknown directive skipped\ntask a 1 1 1\n"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := Read(bytes.NewReader(data)) // must never panic
@@ -44,5 +53,31 @@ func FuzzTraceRead(f *testing.F) {
 		if !reflect.DeepEqual(tr, back) {
 			t.Fatalf("round trip changed the trace:\nfirst:  %+v\nsecond: %+v\nencoded: %q", tr, back, buf.Bytes())
 		}
+		// Old-reader compatibility: a v1 reader that predates feature
+		// annotations sees `#!` lines as comments. Simulate one by
+		// stripping them from the canonical re-encoding — the stripped
+		// text must still parse, to the same tasks, with no annotations.
+		stripped := stripAnnotations(buf.Bytes())
+		old, err := Read(bytes.NewReader(stripped))
+		if err != nil {
+			t.Fatalf("stripped re-encoding failed to parse: %v\nstripped: %q", err, stripped)
+		}
+		if !reflect.DeepEqual(old.Tasks, tr.Tasks) || old.App != tr.App || old.Process != tr.Process {
+			t.Fatalf("stripped re-encoding changed the tasks:\nannotated: %+v\nstripped:  %+v", tr, old)
+		}
+		if old.FeatureNames != nil || old.Features != nil {
+			t.Fatalf("stripped re-encoding still carries annotations: %+v", old)
+		}
 	})
+}
+
+func stripAnnotations(encoded []byte) []byte {
+	var out bytes.Buffer
+	for _, line := range bytes.SplitAfter(encoded, []byte("\n")) {
+		if bytes.HasPrefix(bytes.TrimSpace(line), []byte("#!")) {
+			continue
+		}
+		out.Write(line)
+	}
+	return out.Bytes()
 }

@@ -29,6 +29,25 @@ type Trace struct {
 	Process int
 	// Tasks are in submission order.
 	Tasks []core.Task
+	// FeatureNames, when non-empty, names the columns of the optional
+	// per-task feature annotations (internal/model consumes them to fit
+	// duration models). The on-disk encoding rides in `#!` comment lines,
+	// so readers of the plain v1 format skip annotated traces' extras
+	// without noticing.
+	FeatureNames []string
+	// Features[i] is the feature vector of Tasks[i] (len equal to
+	// FeatureNames), or nil when task i carries no annotation. Non-nil
+	// only when FeatureNames is set; then len(Features) == len(Tasks).
+	Features [][]float64
+}
+
+// FeatureRow returns the feature vector of task i, or nil when the trace
+// carries no annotation for it.
+func (tr *Trace) FeatureRow(i int) []float64 {
+	if tr.Features == nil || i < 0 || i >= len(tr.Features) {
+		return nil
+	}
+	return tr.Features[i]
 }
 
 // Instance wraps the trace's tasks into a problem instance with the given
@@ -52,6 +71,13 @@ func (tr *Trace) MinCapacity() float64 {
 // Header lines of the v1 format.
 const (
 	magic = "# transched trace v1"
+	// Feature annotations ride in `#!`-prefixed lines so that readers of
+	// the plain v1 format treat them as comments and skip them. Two forms:
+	//
+	//	#! features <col> <col> ...     (once, names the columns)
+	//	#! feat <task> <val> <val> ...  (per task, after its task line)
+	annFeatures = "features"
+	annFeat     = "feat"
 )
 
 // Write serialises the trace:
@@ -71,14 +97,20 @@ func Write(w io.Writer, tr *Trace) error {
 	if tr.App != "" && strings.ContainsFunc(tr.App, unicode.IsSpace) {
 		return fmt.Errorf("trace: app name %q contains whitespace", tr.App)
 	}
+	if err := validateFeatures(tr); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, magic)
+	if len(tr.FeatureNames) > 0 {
+		fmt.Fprintf(bw, "#! %s %s\n", annFeatures, strings.Join(tr.FeatureNames, " "))
+	}
 	if tr.App != "" {
 		fmt.Fprintf(bw, "app %s\n", tr.App)
 	}
 	fmt.Fprintf(bw, "process %d\n", tr.Process)
 	seen := make(map[string]bool, len(tr.Tasks))
-	for _, t := range tr.Tasks {
+	for i, t := range tr.Tasks {
 		if err := t.Validate(); err != nil {
 			return err
 		}
@@ -94,8 +126,60 @@ func Write(w io.Writer, tr *Trace) error {
 		seen[t.Name] = true
 		fmt.Fprintf(bw, "task %s %s %s %s\n", t.Name,
 			formatFloat(t.Comm), formatFloat(t.Comp), formatFloat(t.Mem))
+		if row := tr.FeatureRow(i); row != nil {
+			fmt.Fprintf(bw, "#! %s %s", annFeat, t.Name)
+			for _, v := range row {
+				fmt.Fprintf(bw, " %s", formatFloat(v))
+			}
+			fmt.Fprintln(bw)
+		}
 	}
 	return bw.Flush()
+}
+
+// validateFeatures rejects annotation state the format cannot represent:
+// feature rows without column names, misaligned lengths, names the
+// whitespace-delimited encoding would mangle, and non-finite values.
+func validateFeatures(tr *Trace) error {
+	for _, n := range tr.FeatureNames {
+		if n == "" {
+			return fmt.Errorf("trace: empty feature name")
+		}
+		if strings.ContainsFunc(n, unicode.IsSpace) {
+			return fmt.Errorf("trace: feature name %q contains whitespace", n)
+		}
+	}
+	for i, n := range tr.FeatureNames {
+		for _, m := range tr.FeatureNames[:i] {
+			if n == m {
+				return fmt.Errorf("trace: duplicate feature name %q", n)
+			}
+		}
+	}
+	if tr.Features == nil {
+		return nil
+	}
+	if len(tr.FeatureNames) == 0 {
+		return fmt.Errorf("trace: feature rows without feature names")
+	}
+	if len(tr.Features) != len(tr.Tasks) {
+		return fmt.Errorf("trace: %d feature rows for %d tasks", len(tr.Features), len(tr.Tasks))
+	}
+	for i, row := range tr.Features {
+		if row == nil {
+			continue
+		}
+		if len(row) != len(tr.FeatureNames) {
+			return fmt.Errorf("trace: task %d feature row has %d values, want %d",
+				i, len(row), len(tr.FeatureNames))
+		}
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("trace: task %d has non-finite feature value", i)
+			}
+		}
+	}
+	return nil
 }
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -110,7 +194,8 @@ func Read(r io.Reader) (*Trace, error) {
 	tr := &Trace{}
 	line := 0
 	sawMagic := false
-	names := make(map[string]bool)
+	names := make(map[string]int)
+	feats := make(map[string][]float64)
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -122,6 +207,12 @@ func Read(r io.Reader) (*Trace, error) {
 				return nil, fmt.Errorf("trace: line 1: missing header %q", magic)
 			}
 			sawMagic = true
+			continue
+		}
+		if strings.HasPrefix(text, "#!") {
+			if err := parseAnnotation(tr, names, feats, text, line); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		if strings.HasPrefix(text, "#") {
@@ -158,10 +249,10 @@ func Read(r io.Reader) (*Trace, error) {
 				}
 				vals[i] = v
 			}
-			if names[fields[1]] {
+			if _, dup := names[fields[1]]; dup {
 				return nil, fmt.Errorf("trace: line %d: duplicate task name %q", line, fields[1])
 			}
-			names[fields[1]] = true
+			names[fields[1]] = len(tr.Tasks)
 			t := core.Task{Name: fields[1], Comm: vals[0], Comp: vals[1], Mem: vals[2]}
 			if err := t.Validate(); err != nil {
 				return nil, fmt.Errorf("trace: line %d: %w", line, err)
@@ -177,7 +268,71 @@ func Read(r io.Reader) (*Trace, error) {
 	if !sawMagic {
 		return nil, fmt.Errorf("trace: empty input")
 	}
+	if tr.FeatureNames != nil {
+		tr.Features = make([][]float64, len(tr.Tasks))
+		for name, row := range feats {
+			tr.Features[names[name]] = row
+		}
+	}
 	return tr, nil
+}
+
+// parseAnnotation handles one `#!` line. Unknown annotation directives
+// are skipped (they are comments to a plain v1 reader, and a future
+// format revision may add more), but the two known forms are validated
+// as strictly as the task lines themselves: codec errors die here, not
+// in a model fit.
+func parseAnnotation(tr *Trace, names map[string]int, feats map[string][]float64, text string, line int) error {
+	fields := strings.Fields(text[len("#!"):])
+	if len(fields) == 0 {
+		return nil
+	}
+	switch fields[0] {
+	case annFeatures:
+		if tr.FeatureNames != nil {
+			return fmt.Errorf("trace: line %d: duplicate '#! features' header", line)
+		}
+		if len(fields) < 2 {
+			return fmt.Errorf("trace: line %d: want '#! features <name> ...'", line)
+		}
+		cols := fields[1:]
+		for i, n := range cols {
+			for _, m := range cols[:i] {
+				if n == m {
+					return fmt.Errorf("trace: line %d: duplicate feature name %q", line, n)
+				}
+			}
+		}
+		tr.FeatureNames = cols
+	case annFeat:
+		if tr.FeatureNames == nil {
+			return fmt.Errorf("trace: line %d: '#! feat' before '#! features' header", line)
+		}
+		if len(fields) != 2+len(tr.FeatureNames) {
+			return fmt.Errorf("trace: line %d: want '#! feat <task> %d values', got %d",
+				line, len(tr.FeatureNames), len(fields)-2)
+		}
+		name := fields[1]
+		if _, ok := names[name]; !ok {
+			return fmt.Errorf("trace: line %d: '#! feat' for unknown task %q", line, name)
+		}
+		if _, dup := feats[name]; dup {
+			return fmt.Errorf("trace: line %d: duplicate '#! feat' for task %q", line, name)
+		}
+		row := make([]float64, len(tr.FeatureNames))
+		for i := range row {
+			v, err := strconv.ParseFloat(fields[2+i], 64)
+			if err != nil {
+				return fmt.Errorf("trace: line %d: bad feature value %q: %w", line, fields[2+i], err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("trace: line %d: non-finite feature value %q", line, fields[2+i])
+			}
+			row[i] = v
+		}
+		feats[name] = row
+	}
+	return nil
 }
 
 // WriteFile writes the trace to path, creating parent directories.

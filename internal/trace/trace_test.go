@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -136,6 +137,134 @@ func TestWriteEmptyAppRoundTrips(t *testing.T) {
 	}
 	if back.App != "" || back.Process != 2 || len(back.Tasks) != 1 {
 		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+func annotated() *Trace {
+	tr := sample()
+	tr.FeatureNames = []string{"bytes", "mem", "flops"}
+	tr.Features = [][]float64{{1e6, 1.5, 2e9}, nil}
+	return tr
+}
+
+func TestAnnotatedRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, annotated()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "#! features bytes mem flops") {
+		t.Fatalf("missing features header:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "#! feat a 1e+06 1.5 2e+09") {
+		t.Fatalf("missing feat row:\n%s", sb.String())
+	}
+	back, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := annotated()
+	if !strings.HasPrefix(sb.String(), magic+"\n#! features") {
+		t.Fatalf("features header should follow the magic line:\n%s", sb.String())
+	}
+	if len(back.FeatureNames) != 3 || back.FeatureNames[0] != "bytes" {
+		t.Fatalf("FeatureNames = %v", back.FeatureNames)
+	}
+	if len(back.Features) != 2 || back.Features[1] != nil {
+		t.Fatalf("Features = %v", back.Features)
+	}
+	for i, v := range want.Features[0] {
+		if back.Features[0][i] != v {
+			t.Errorf("feature %d = %g, want %g", i, back.Features[0][i], v)
+		}
+	}
+	// Annotations are invisible to the task-level accessors.
+	if back.Tasks[0] != want.Tasks[0] || back.Tasks[1] != want.Tasks[1] {
+		t.Errorf("tasks changed: %+v", back.Tasks)
+	}
+}
+
+// TestAnnotationsSkippedByOldFormatSemantics: `#!` lines are comments in
+// the plain v1 grammar, so a trace with them stripped parses to the same
+// tasks — the property that lets annotated traces flow to old readers.
+func TestAnnotationsSkippedByOldFormatSemantics(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, annotated()); err != nil {
+		t.Fatal(err)
+	}
+	var plain strings.Builder
+	for _, line := range strings.SplitAfter(sb.String(), "\n") {
+		if !strings.HasPrefix(strings.TrimSpace(line), "#!") {
+			plain.WriteString(line)
+		}
+	}
+	back, err := Read(strings.NewReader(plain.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.FeatureNames != nil || back.Features != nil {
+		t.Fatalf("stripped trace still has annotations: %+v", back)
+	}
+	if len(back.Tasks) != 2 || back.Tasks[0] != annotated().Tasks[0] {
+		t.Fatalf("tasks = %+v", back.Tasks)
+	}
+}
+
+func TestFeatureRow(t *testing.T) {
+	tr := annotated()
+	if row := tr.FeatureRow(0); len(row) != 3 || row[0] != 1e6 {
+		t.Errorf("FeatureRow(0) = %v", row)
+	}
+	if tr.FeatureRow(1) != nil {
+		t.Error("FeatureRow(1) should be nil")
+	}
+	if tr.FeatureRow(-1) != nil || tr.FeatureRow(99) != nil {
+		t.Error("out-of-range FeatureRow should be nil")
+	}
+	if sample().FeatureRow(0) != nil {
+		t.Error("unannotated FeatureRow should be nil")
+	}
+}
+
+func TestAnnotationReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"dup header":    "# transched trace v1\n#! features x\n#! features y\n",
+		"empty header":  "# transched trace v1\n#! features\n",
+		"dup name":      "# transched trace v1\n#! features x x\n",
+		"feat early":    "# transched trace v1\n#! feat a 1\ntask a 1 1 1\n",
+		"feat unknown":  "# transched trace v1\n#! features x\n#! feat ghost 1\n",
+		"feat arity":    "# transched trace v1\n#! features x y\ntask a 1 1 1\n#! feat a 1\n",
+		"feat dup":      "# transched trace v1\n#! features x\ntask a 1 1 1\n#! feat a 1\n#! feat a 2\n",
+		"feat nan":      "# transched trace v1\n#! features x\ntask a 1 1 1\n#! feat a NaN\n",
+		"feat inf":      "# transched trace v1\n#! features x\ntask a 1 1 1\n#! feat a Inf\n",
+		"feat notfloat": "# transched trace v1\n#! features x\ntask a 1 1 1\n#! feat a z\n",
+	}
+	for name, input := range cases {
+		if _, err := Read(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+	// Unknown #! directives are skipped, like any other comment.
+	tr, err := Read(strings.NewReader("# transched trace v1\n#! future stuff\ntask a 1 1 1\n"))
+	if err != nil || len(tr.Tasks) != 1 {
+		t.Errorf("unknown annotation: tr=%+v err=%v", tr, err)
+	}
+}
+
+func TestWriteRejectsBadFeatures(t *testing.T) {
+	cases := map[string]*Trace{
+		"rows without names": {Tasks: sample().Tasks, Features: [][]float64{{1}, {2}}},
+		"row count mismatch": {Tasks: sample().Tasks, FeatureNames: []string{"x"}, Features: [][]float64{{1}}},
+		"arity mismatch":     {Tasks: sample().Tasks, FeatureNames: []string{"x", "y"}, Features: [][]float64{{1}, nil}},
+		"non-finite":         {Tasks: sample().Tasks, FeatureNames: []string{"x"}, Features: [][]float64{{1}, {math.NaN()}}},
+		"empty name":         {Tasks: sample().Tasks, FeatureNames: []string{""}},
+		"spacey name":        {Tasks: sample().Tasks, FeatureNames: []string{"a b"}},
+		"dup names":          {Tasks: sample().Tasks, FeatureNames: []string{"x", "x"}},
+	}
+	for name, tr := range cases {
+		var sb strings.Builder
+		if err := Write(&sb, tr); err == nil {
+			t.Errorf("%s: want error", name)
+		}
 	}
 }
 

@@ -48,3 +48,12 @@ serve_out="${2:-BENCH_SERVE.json}"
 go run ./cmd/transchedbench -mode closed -requests 200 -conc 8 \
     -traces 16 -tasks 12 -out "$serve_out" >&2
 echo "bench: wrote serving report to $serve_out" >&2
+
+# Duration-model baseline: fit wall time, cross-validated MAPE/R² and
+# robustness-sweep cell rate at a reduced scale (EXPERIMENTS.md
+# §Robustness sweep). The fit quality numbers are deterministic; only
+# the timings are machine-dependent.
+model_out="${3:-BENCH_MODEL.json}"
+go run ./cmd/experiments -robustness -processes 4 -tasks 40 \
+    -model-bench "$model_out" > /dev/null
+echo "bench: wrote duration-model report to $model_out" >&2

@@ -33,6 +33,15 @@ if ! cmp -s "$tmp/analyzers.txt" "$tmp/analyzers.want"; then
     exit 1
 fi
 
+# The duration-model package produces golden-digest-pinned coefficients,
+# so it must sit under detclock's jurisdiction: a wall-clock read there
+# would be a silent determinism hole the layout test only catches if the
+# classification itself stays put.
+if ! grep -q '"transched/internal/model": true' internal/lint/detclock.go; then
+    echo "verify: internal/model is not classified in lint.DetclockPackages" >&2
+    exit 1
+fi
+
 TRANSCHEDLINT_TIMING="$tmp/lint-timing.txt" \
     go vet -vettool="$tmp/transchedlint" ./...
 
