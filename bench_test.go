@@ -155,6 +155,35 @@ func BenchmarkFig7MILPComparison(b *testing.B) {
 	}
 }
 
+// BenchmarkFig7Window measures the windowed MILP heuristic itself — the
+// unit of work behind every Fig 7 cell — on one lp.3 instance, serial
+// versus parallel branch and bound (the two produce bit-identical
+// schedules; only wall clock may differ, and only when GOMAXPROCS > 1).
+func BenchmarkFig7Window(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	in := testutil.RandomInstance(rng, 12, 5)
+	run := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		nodes, iters := 0, 0
+		for i := 0; i < b.N; i++ {
+			res, err := lpsched.Solve(in, lpsched.Options{
+				K: 3, MaxNodesPerWindow: 2000, Workers: workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes += res.Nodes
+			iters += res.SimplexIters
+		}
+		b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/s")
+		if nodes > 0 {
+			b.ReportMetric(float64(iters)/float64(nodes), "iters/node")
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) })
+}
+
 // BenchmarkFig8WorkloadCharacteristics computes the Fig 8 ratios.
 func BenchmarkFig8WorkloadCharacteristics(b *testing.B) {
 	cfg := benchConfig()

@@ -26,9 +26,6 @@ func TestRunIndividualFigures(t *testing.T) {
 }
 
 func TestRunFig7(t *testing.T) {
-	if testing.Short() {
-		t.Skip("Fig 7 drives the windowed MILP; minutes of branch and bound")
-	}
 	cfg := tinyConfig()
 	cfg.Multipliers = []float64{1.5}
 	if err := run("7", cfg, 100); err != nil {

@@ -235,9 +235,6 @@ func TestFig13Driver(t *testing.T) {
 }
 
 func TestFig7Driver(t *testing.T) {
-	if testing.Short() {
-		t.Skip("Fig 7 drives the windowed MILP; minutes of branch and bound")
-	}
 	cfg := testConfig()
 	cfg.MinTasks, cfg.MaxTasks = 12, 12
 	cfg.Multipliers = []float64{1, 2}
@@ -246,7 +243,7 @@ func TestFig7Driver(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"lp.3", "lp.6", "Fig 7"} {
+	for _, want := range []string{"lp.3", "lp.6", "Fig 7", "optimality gap"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Fig7 missing %q:\n%s", want, out)
 		}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -73,6 +74,19 @@ var detclockFuncs = map[string]bool{
 	"NewTimer": true, "NewTicker": true,
 }
 
+// isClockCall reports whether fn is one of the package-level time
+// functions above. The receiver check matters: (time.Time).After is a
+// pure instant comparison that shares a name with the time.After channel
+// timer, and value methods like Add/Sub/Before never read the clock —
+// only package-level entry points do.
+func isClockCall(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "time" || !detclockFuncs[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
 // Detclock flags wall-clock use in the result-producing packages listed
 // in DetclockPackages — both direct (time.Now, time.Since, timers, ...)
 // and laundered: a call to any module function that purity's ImpureFact
@@ -108,7 +122,7 @@ func runDetclock(pass *Pass) error {
 				return true
 			}
 			switch path := fn.Pkg().Path(); {
-			case path == "time" && detclockFuncs[fn.Name()]:
+			case isClockCall(fn):
 				pass.Reportf(call.Pos(),
 					"call to time.%s in result-producing package %s; results must not depend on the wall clock (annotate a measurement site with //transched:allow-clock <reason>)",
 					fn.Name(), pass.Pkg.Path())

@@ -99,7 +99,7 @@ func runPurity(pass *Pass) error {
 					return true // the annotation vouches; propagation stops here
 				}
 				switch path := callee.Pkg().Path(); {
-				case path == "time" && detclockFuncs[callee.Name()]:
+				case isClockCall(callee):
 					node.fact = &ImpureFact{Root: "time." + callee.Name()}
 				case path == pass.Pkg.Path():
 					node.calls = append(node.calls, callee)

@@ -57,6 +57,7 @@ func TestPurityExportsHelperFacts(t *testing.T) {
 		{"Indirect", true, true},
 		{"DoubleIndirect", true, true},
 		{"Pure", false, false},
+		{"PureInstantCompare", false, false},
 		{"AllowedMeasurement", false, false},
 	}
 	for _, c := range cases {

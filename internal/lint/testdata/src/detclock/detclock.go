@@ -26,3 +26,13 @@ func notClock() {
 	_ = t.Add(3 * time.Second)
 	_ = time.Duration(42)
 }
+
+func instantComparisons(deadline time.Time, clock func() time.Time) bool {
+	// Methods on a time.Time value are pure instant arithmetic — in
+	// particular (time.Time).After shares a name with the time.After
+	// channel timer and must not be confused with it. The caller-supplied
+	// clock function is the house pattern for deadline support in
+	// result-producing packages.
+	now := clock()
+	return now.After(deadline) || now.Before(deadline) || now.Sub(deadline) > 0
+}

@@ -17,6 +17,11 @@ func DoubleIndirect() int64 { return Indirect() * 2 }
 
 func Pure(x int64) int64 { return x + 42 }
 
+// PureInstantCompare takes instants as data and only compares them:
+// (time.Time).After is instant arithmetic, not the time.After timer, so
+// no ImpureFact may be exported for it.
+func PureInstantCompare(a, b time.Time) bool { return a.After(b) }
+
 // AllowedMeasurement's clock read is excused, which must also stop
 // impurity from propagating: the annotation vouches the timing never
 // feeds results.

@@ -107,13 +107,19 @@ func (s Status) String() string {
 	return "unknown"
 }
 
-// Solution is the result of Solve.
+// Solution is the result of Solve, Workspace.SolveFrom or
+// Workspace.Resolve.
 type Solution struct {
 	Status    Status
 	Objective float64
 	// X has the optimal variable values in the original problem space
 	// (only meaningful when Status == Optimal).
 	X []float64
+	// Iters counts simplex pivots spent producing this solution.
+	Iters int
+	// Warm reports that the solve reused a supplied basis (warm path)
+	// rather than running phase 1 + phase 2 from scratch.
+	Warm bool
 }
 
 const (
@@ -144,9 +150,9 @@ func Solve(p *Problem) (*Solution, error) {
 		for j, c := range p.Objective {
 			obj += c * x[j]
 		}
-		return &Solution{Status: Optimal, Objective: obj, X: x}, nil
+		return &Solution{Status: Optimal, Objective: obj, X: x, Iters: sol.Iters}, nil
 	default:
-		return &Solution{Status: sol.Status}, nil
+		return &Solution{Status: sol.Status, Iters: sol.Iters}, nil
 	}
 }
 

@@ -21,6 +21,7 @@ type tableau struct {
 
 	artStart int // first artificial column
 	nCols    int
+	iters    int // pivots performed across both phases
 
 	rawRows  [][]float64
 	rawSense []Sense
@@ -218,6 +219,7 @@ func (t *tableau) iterate(objRow []float64, limit int, maxIter int) Status {
 			return Unbounded
 		}
 		t.pivot(r, c)
+		t.iters++
 	}
 	return IterLimit
 }
@@ -230,7 +232,7 @@ func (t *tableau) solve() *Solution {
 	if t.artStart < t.nCols {
 		status := t.iterate(t.obj1, t.nCols, maxIter)
 		if status == IterLimit {
-			return &Solution{Status: IterLimit}
+			return &Solution{Status: IterLimit, Iters: t.iters}
 		}
 		// Phase-1 objective value = -(sum of artificial basics).
 		phase1 := 0.0
@@ -240,14 +242,14 @@ func (t *tableau) solve() *Solution {
 			}
 		}
 		if phase1 > 1e-7 {
-			return &Solution{Status: Infeasible}
+			return &Solution{Status: Infeasible, Iters: t.iters}
 		}
 		t.driveOutArtificials()
 	}
 
 	status := t.iterate(t.obj, t.artStart, maxIter)
 	if status != Optimal {
-		return &Solution{Status: status}
+		return &Solution{Status: status, Iters: t.iters}
 	}
 	x := make([]float64, t.nStruct)
 	for i := 0; i < t.m; i++ {
@@ -255,7 +257,7 @@ func (t *tableau) solve() *Solution {
 			x[t.basis[i]] = t.b[i]
 		}
 	}
-	return &Solution{Status: Optimal, X: x}
+	return &Solution{Status: Optimal, X: x, Iters: t.iters}
 }
 
 // driveOutArtificials pivots zero-valued basic artificials onto

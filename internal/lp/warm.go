@@ -1,0 +1,974 @@
+package lp
+
+// Warm-startable simplex. The package's historical entry point, Solve,
+// rebuilds a dense two-phase tableau on every call: bounds are compiled
+// into the structure (fixed variables substituted out, lower bounds
+// shifted away, upper bounds materialised as rows), so two solves that
+// differ in a single variable bound share no work. That is exactly the
+// access pattern of branch and bound, where every node is the parent
+// problem with one bound tightened.
+//
+// Workspace compiles a Problem once into a bounded-variable tableau in
+// which bounds are data, not structure: a variable may be nonbasic at
+// its lower or its upper bound, so no bound ever becomes a row and the
+// tableau shape is identical for every node of a branch-and-bound tree.
+// On top of that representation it offers
+//
+//   - cold solves (phase 1 with virtual artificials, then phase 2),
+//   - warm solves from a Basis: the tableau is refactorised to the
+//     given basis (plain Gaussian pivots, no simplex search) and any
+//     primal infeasibility introduced by changed bounds is repaired by
+//     the dual simplex — typically a handful of pivots instead of a
+//     full phase-1/phase-2 run,
+//   - Resolve: tighten the bounds of one variable *in place* on an
+//     optimal Scratch and dual-repair, the branch-and-bound child
+//     evaluation, with Snapshot/Restore so both children of a node are
+//     evaluated from one refactorisation.
+//
+// All scratch state lives in a Scratch so concurrent solves against one
+// shared (read-only after construction) Workspace are race-free, one
+// Scratch per goroutine. Every pivot rule breaks ties deterministically
+// (lowest index), so results are bit-identical across runs and across
+// any distribution of solves over goroutines.
+//
+// Solve remains the differential-test reference: warm_test.go
+// byte-compares Workspace solutions against it across the stress corpus
+// and randomly tightened bound sequences.
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	// feasEps is the primal feasibility tolerance on basic variable
+	// values (matches the reference solver's phase-1 tolerance).
+	feasEps = 1e-7
+	// dropEps is the pivot threshold below which a refactorisation
+	// declares the stored basis numerically singular and falls back to
+	// a cold solve.
+	dropEps = 1e-7
+)
+
+// Basis captures a simplex basis for warm starts: which column is basic
+// in each row and, for every nonbasic column, which of its two bounds it
+// sits at. A Basis returned by one solve may be fed to a later solve of
+// the same Workspace (or any Workspace of identical shape — milp uses
+// this to carry a basis between structurally identical windows); if the
+// shapes differ or the basis is numerically singular for the new
+// coefficients, the solver quietly falls back to a cold solve.
+type Basis struct {
+	cols    []int32 // per row: basic column, or -1 for a virtual artificial
+	atUpper []bool  // per column: nonbasic-at-upper-bound flag
+	m, n    int     // shape stamp: rows, columns (structural + slack)
+}
+
+// Clone returns an independent copy.
+func (b *Basis) Clone() *Basis {
+	if b == nil {
+		return nil
+	}
+	return &Basis{
+		cols:    append([]int32(nil), b.cols...),
+		atUpper: append([]bool(nil), b.atUpper...),
+		m:       b.m, n: b.n,
+	}
+}
+
+// Workspace is a Problem compiled once for repeated solves under
+// changing variable bounds. It is read-only after NewWorkspace and may
+// be shared by any number of goroutines, each with its own Scratch.
+type Workspace struct {
+	n     int // structural columns (== Problem.NumVars)
+	m     int // rows
+	nCols int // structural + slack columns (artificials are virtual)
+
+	rawA   []float64 // m x nCols row-major, slack coefficients included
+	rawRHS []float64
+	rawObj []float64 // length nCols (zero on slacks)
+	sense  []Sense
+
+	defLo, defHi []float64 // default structural bounds from the Problem
+	objC         []float64 // original objective, for exact recomputation
+}
+
+// NewWorkspace validates and compiles the problem. The problem is not
+// retained; later bound overrides are passed to SolveFrom.
+func NewWorkspace(p *Problem) (*Workspace, error) {
+	if err := check(p); err != nil {
+		return nil, err
+	}
+	n := p.NumVars
+	m := len(p.Rows)
+	nSlack := 0
+	for _, r := range p.Rows {
+		if r.Sense != EQ {
+			nSlack++
+		}
+	}
+	ws := &Workspace{
+		n:     n,
+		m:     m,
+		nCols: n + nSlack,
+		defLo: make([]float64, n),
+		defHi: make([]float64, n),
+		objC:  make([]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		if p.Lower != nil {
+			ws.defLo[j] = p.Lower[j]
+		}
+		if p.Upper != nil {
+			ws.defHi[j] = p.Upper[j]
+		} else {
+			ws.defHi[j] = math.Inf(1)
+		}
+		if math.IsInf(ws.defLo[j], -1) {
+			return nil, fmt.Errorf("lp: variable %d has -Inf lower bound (free variables unsupported)", j)
+		}
+	}
+	copy(ws.objC, p.Objective)
+	ws.rawA = make([]float64, m*ws.nCols)
+	ws.rawRHS = make([]float64, m)
+	ws.rawObj = make([]float64, ws.nCols)
+	copy(ws.rawObj, p.Objective)
+	ws.sense = make([]Sense, m)
+	slack := n
+	for i, r := range p.Rows {
+		row := ws.rawA[i*ws.nCols : (i+1)*ws.nCols]
+		for _, e := range r.Coef {
+			row[e.Var] += e.Val
+		}
+		ws.rawRHS[i] = r.RHS
+		ws.sense[i] = r.Sense
+		switch r.Sense {
+		case LE:
+			row[slack] = 1
+			slack++
+		case GE:
+			row[slack] = -1
+			slack++
+		}
+	}
+	return ws, nil
+}
+
+// Scratch holds all mutable solver state for one goroutine's solves
+// against a Workspace, including a single snapshot slot for
+// Snapshot/Restore. Create with NewScratch; buffers are reused across
+// solves, so steady-state solving does not allocate.
+type Scratch struct {
+	ws *Workspace
+
+	a       []float64 // m x nCols working tableau (B^-1 A, rows scaled)
+	b       []float64 // current basic variable values per row
+	rhsT    []float64 // transformed rhs column (refactorisation only)
+	obj     []float64 // phase-2 reduced costs
+	obj1    []float64 // phase-1 reduced costs
+	basis   []int32   // per row: basic column, or -1 for an artificial
+	inBasis []bool    // per column
+	atUpper []bool    // per nonbasic column
+	lo, hi  []float64 // current bounds per column (slacks: [0, +Inf))
+	phase1  bool      // artificials still alive (bounds [0, +Inf))
+	valid   bool      // holds an optimal tableau (Resolve precondition)
+
+	snapA       []float64
+	snapB       []float64
+	snapObj     []float64
+	snapBasis   []int32
+	snapInBasis []bool
+	snapAtUpper []bool
+	snapLo      []float64
+	snapHi      []float64
+	snapValid   bool
+
+	iters int
+}
+
+// NewScratch allocates the per-goroutine buffers for ws.
+func (ws *Workspace) NewScratch() *Scratch {
+	return &Scratch{
+		ws:      ws,
+		a:       make([]float64, ws.m*ws.nCols),
+		b:       make([]float64, ws.m),
+		rhsT:    make([]float64, ws.m),
+		obj:     make([]float64, ws.nCols),
+		obj1:    make([]float64, ws.nCols),
+		basis:   make([]int32, ws.m),
+		inBasis: make([]bool, ws.nCols),
+		atUpper: make([]bool, ws.nCols),
+		lo:      make([]float64, ws.nCols),
+		hi:      make([]float64, ws.nCols),
+	}
+}
+
+// Snapshot saves the scratch's complete post-solve state into its single
+// snapshot slot (allocating it on first use). Restore returns to it.
+// branch and bound uses the pair to evaluate both children of a node
+// from one refactorised parent tableau.
+func (sc *Scratch) Snapshot() {
+	if sc.snapA == nil {
+		sc.snapA = make([]float64, len(sc.a))
+		sc.snapB = make([]float64, len(sc.b))
+		sc.snapObj = make([]float64, len(sc.obj))
+		sc.snapBasis = make([]int32, len(sc.basis))
+		sc.snapInBasis = make([]bool, len(sc.inBasis))
+		sc.snapAtUpper = make([]bool, len(sc.atUpper))
+		sc.snapLo = make([]float64, len(sc.lo))
+		sc.snapHi = make([]float64, len(sc.hi))
+	}
+	copy(sc.snapA, sc.a)
+	copy(sc.snapB, sc.b)
+	copy(sc.snapObj, sc.obj)
+	copy(sc.snapBasis, sc.basis)
+	copy(sc.snapInBasis, sc.inBasis)
+	copy(sc.snapAtUpper, sc.atUpper)
+	copy(sc.snapLo, sc.lo)
+	copy(sc.snapHi, sc.hi)
+	sc.snapValid = sc.valid
+}
+
+// Restore reverts the scratch to the last Snapshot. It panics if no
+// snapshot was taken (an API misuse, not a data condition).
+func (sc *Scratch) Restore() {
+	if sc.snapA == nil {
+		panic("lp: Scratch.Restore without Snapshot")
+	}
+	copy(sc.a, sc.snapA)
+	copy(sc.b, sc.snapB)
+	copy(sc.obj, sc.snapObj)
+	copy(sc.basis, sc.snapBasis)
+	copy(sc.inBasis, sc.snapInBasis)
+	copy(sc.atUpper, sc.snapAtUpper)
+	copy(sc.lo, sc.snapLo)
+	copy(sc.hi, sc.snapHi)
+	sc.valid = sc.snapValid
+	sc.phase1 = false
+}
+
+// ReducedCost reports the phase-2 reduced cost of column j in the
+// scratch's current (post-solve) tableau, along with whether the column
+// is nonbasic at its upper bound and whether it is basic (in which case
+// the reduced cost is zero by construction). Branch and bound uses this
+// for reduced-cost bound tightening against the incumbent.
+func (sc *Scratch) ReducedCost(j int) (d float64, atUpper, basic bool) {
+	if sc.inBasis[j] {
+		return 0, false, true
+	}
+	return sc.obj[j], sc.atUpper[j], false
+}
+
+// SolveFrom solves the workspace's problem under the given variable
+// bounds (nil means the problem's own bounds), warm-starting from the
+// given basis when possible. It returns the solution and the final
+// basis for future warm starts. The scratch must belong to this
+// workspace. Solution.Warm reports whether the warm path was taken;
+// Solution.Iters counts simplex pivots (a pure refactorisation of an
+// already-optimal basis costs zero).
+func (ws *Workspace) SolveFrom(sc *Scratch, lo, hi []float64, from *Basis) (*Solution, *Basis, error) {
+	if sc.ws != ws {
+		return nil, nil, fmt.Errorf("lp: scratch belongs to a different workspace")
+	}
+	if lo == nil {
+		lo = ws.defLo
+	}
+	if hi == nil {
+		hi = ws.defHi
+	}
+	if len(lo) != ws.n || len(hi) != ws.n {
+		return nil, nil, fmt.Errorf("lp: bounds have length %d/%d, want %d", len(lo), len(hi), ws.n)
+	}
+	sc.iters = 0
+	sc.valid = false
+	for j := 0; j < ws.n; j++ {
+		if math.IsInf(lo[j], -1) {
+			return nil, nil, fmt.Errorf("lp: variable %d has -Inf lower bound (free variables unsupported)", j)
+		}
+		if hi[j] < lo[j]-eps {
+			return &Solution{Status: Infeasible}, nil, nil
+		}
+		sc.lo[j], sc.hi[j] = lo[j], hi[j]
+	}
+	for j := ws.n; j < ws.nCols; j++ {
+		sc.lo[j], sc.hi[j] = 0, math.Inf(1)
+	}
+
+	if from != nil && from.m == ws.m && from.n == ws.nCols {
+		if sol, basis, ok := sc.warm(from); ok {
+			return sol, basis, nil
+		}
+		// Singular or stalled: fall through to the cold path.
+	}
+	return sc.cold()
+}
+
+// Resolve tightens the bounds of structural variable j on a scratch that
+// holds an optimal tableau (sc.valid), repairs primal feasibility with
+// the dual simplex and returns the new solution and basis. Reduced
+// costs are untouched by a bound change, so dual feasibility is
+// preserved and the repair is typically a handful of pivots. The
+// scratch remains valid on Optimal, enabling chained Resolves (branch
+// and bound snapshots/restores between the two children instead).
+func (ws *Workspace) Resolve(sc *Scratch, j int, newLo, newHi float64) (*Solution, *Basis, error) {
+	if sc.ws != ws {
+		return nil, nil, fmt.Errorf("lp: scratch belongs to a different workspace")
+	}
+	if !sc.valid {
+		return nil, nil, fmt.Errorf("lp: Resolve on a scratch without an optimal tableau")
+	}
+	if j < 0 || j >= ws.n {
+		return nil, nil, fmt.Errorf("lp: Resolve variable %d out of range", j)
+	}
+	sc.iters = 0
+	if newHi < newLo-eps {
+		sc.valid = false
+		return &Solution{Status: Infeasible}, nil, nil
+	}
+	if !sc.inBasis[j] {
+		// The nonbasic value tracks its active bound; shift every basic
+		// value by the change.
+		old := sc.lo[j]
+		if sc.atUpper[j] {
+			old = sc.hi[j]
+		}
+		sc.lo[j], sc.hi[j] = newLo, newHi
+		now := sc.lo[j]
+		if sc.atUpper[j] {
+			now = sc.hi[j]
+		}
+		if d := now - old; d != 0 {
+			for i := 0; i < ws.m; i++ {
+				sc.b[i] -= sc.a[i*ws.nCols+j] * d
+			}
+		}
+	} else {
+		sc.lo[j], sc.hi[j] = newLo, newHi
+	}
+	return sc.repairAndExtract()
+}
+
+// SolveFrom is the convenience entry for one-shot warm-started solves:
+// it compiles p into a throwaway Workspace and solves from the given
+// basis (nil for a cold solve). Callers with many related solves should
+// hold a Workspace and Scratch instead — that is where the speed lives.
+func SolveFrom(p *Problem, from *Basis) (*Solution, *Basis, error) {
+	ws, err := NewWorkspace(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ws.SolveFrom(ws.NewScratch(), nil, nil, from)
+}
+
+// ---- internals ----
+
+// warm refactorises the tableau to the stored basis and repairs. The
+// boolean reports whether the warm path succeeded; on false the caller
+// must run a cold solve.
+func (sc *Scratch) warm(from *Basis) (*Solution, *Basis, bool) {
+	ws := sc.ws
+	copy(sc.a, ws.rawA)
+	copy(sc.rhsT, ws.rawRHS)
+	copy(sc.obj, ws.rawObj)
+	sc.phase1 = false
+	for j := range sc.inBasis {
+		sc.inBasis[j] = false
+		sc.atUpper[j] = from.atUpper[j]
+	}
+	copy(sc.basis, from.cols)
+	for i := 0; i < ws.m; i++ {
+		if c := sc.basis[i]; c >= 0 {
+			sc.inBasis[c] = true
+			sc.atUpper[c] = false
+		}
+	}
+
+	// Gaussian refactorisation: bring each stored basic column to unit
+	// form. Columns are processed in ascending order; each picks the
+	// still-unassigned row with the largest pivot (ties: lowest row).
+	// The row-to-column pairing inside a basis is free, so re-pairing
+	// for stability changes nothing about the solution.
+	assigned := sc.snapBasisScratch()
+	nc := ws.nCols
+	for c := 0; c < nc; c++ {
+		if !sc.inBasis[c] {
+			continue
+		}
+		best, bestAbs := -1, dropEps
+		for i := 0; i < ws.m; i++ {
+			if assigned[i] {
+				continue
+			}
+			if v := math.Abs(sc.a[i*nc+c]); v > bestAbs {
+				best, bestAbs = i, v
+			}
+		}
+		if best < 0 {
+			return nil, nil, false // numerically singular for these coefficients
+		}
+		assigned[best] = true
+		sc.refactorPivot(best, c)
+		sc.basis[best] = int32(c)
+	}
+	// Rows whose stored basic variable was a virtual artificial keep it.
+	for i := 0; i < ws.m; i++ {
+		if !assigned[i] {
+			sc.basis[i] = -1
+		}
+	}
+
+	// Basic values: x_B = B^-1 rhs - sum over nonbasic columns at a
+	// nonzero value of (current column) * value.
+	for i := 0; i < ws.m; i++ {
+		sc.b[i] = sc.rhsT[i]
+	}
+	for j := 0; j < nc; j++ {
+		if sc.inBasis[j] {
+			continue
+		}
+		v := sc.lo[j]
+		if sc.atUpper[j] {
+			v = sc.hi[j]
+		}
+		if math.IsInf(v, 0) {
+			// Nonbasic at an infinite bound cannot happen for a basis we
+			// produced (atUpper is only set for finite uppers), but a
+			// foreign basis could claim it; treat as singular.
+			return nil, nil, false
+		}
+		if v == 0 {
+			continue
+		}
+		for i := 0; i < ws.m; i++ {
+			sc.b[i] -= sc.a[i*nc+j] * v
+		}
+	}
+	sol, basis, err := sc.repairAndExtract()
+	if err != nil || sol == nil || sol.Status == IterLimit {
+		return nil, nil, false
+	}
+	sol.Warm = true
+	return sol, basis, true
+}
+
+// snapBasisScratch returns a zeroed m-length bool scratch (reusing the
+// snapshot inBasis buffer family is not safe here; keep a tiny local).
+func (sc *Scratch) snapBasisScratch() []bool {
+	assigned := make([]bool, sc.ws.m)
+	return assigned
+}
+
+// refactorPivot performs a Gaussian pivot on (r, c) over the tableau,
+// the transformed rhs and the objective row. It does not touch b.
+func (sc *Scratch) refactorPivot(r, c int) {
+	nc := sc.ws.nCols
+	pr := sc.a[r*nc : (r+1)*nc]
+	inv := 1 / pr[c]
+	for j := range pr {
+		pr[j] *= inv
+	}
+	pr[c] = 1
+	sc.rhsT[r] *= inv
+	for i := 0; i < sc.ws.m; i++ {
+		if i == r {
+			continue
+		}
+		f := sc.a[i*nc+c]
+		if f == 0 {
+			continue
+		}
+		ri := sc.a[i*nc : (i+1)*nc]
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+		ri[c] = 0
+		sc.rhsT[i] -= f * sc.rhsT[r]
+	}
+	if f := sc.obj[c]; f != 0 {
+		for j := range sc.obj {
+			sc.obj[j] -= f * pr[j]
+		}
+		sc.obj[c] = 0
+	}
+}
+
+// repairAndExtract runs the dual simplex until primal feasible, then
+// the primal simplex until optimal, and extracts the solution.
+func (sc *Scratch) repairAndExtract() (*Solution, *Basis, error) {
+	maxIter := 200*(sc.ws.m+sc.ws.nCols) + 2000
+	switch sc.dual(maxIter) {
+	case Infeasible:
+		sc.valid = false
+		return &Solution{Status: Infeasible, Iters: sc.iters}, nil, nil
+	case IterLimit:
+		sc.valid = false
+		return &Solution{Status: IterLimit, Iters: sc.iters}, nil, nil
+	}
+	switch sc.primal(sc.obj, maxIter) {
+	case Unbounded:
+		sc.valid = false
+		return &Solution{Status: Unbounded, Iters: sc.iters}, nil, nil
+	case IterLimit:
+		sc.valid = false
+		return &Solution{Status: IterLimit, Iters: sc.iters}, nil, nil
+	}
+	return sc.extract()
+}
+
+// cold builds the initial all-slack/artificial basis for the current
+// bounds and runs phase 1 / phase 2.
+func (sc *Scratch) cold() (*Solution, *Basis, error) {
+	ws := sc.ws
+	nc := ws.nCols
+	copy(sc.a, ws.rawA)
+	copy(sc.obj, ws.rawObj)
+	for j := range sc.inBasis {
+		sc.inBasis[j] = false
+		sc.atUpper[j] = false
+	}
+	// Every structural variable starts nonbasic at its lower bound.
+	nArt := 0
+	for i := 0; i < ws.m; i++ {
+		row := sc.a[i*nc : (i+1)*nc]
+		res := ws.rawRHS[i]
+		for j := 0; j < ws.n; j++ {
+			if v := sc.lo[j]; v != 0 {
+				res -= row[j] * v
+			}
+		}
+		scale := 0.0 // nonzero: scale the row and install an artificial
+		switch ws.sense[i] {
+		case LE:
+			if res >= 0 {
+				sc.basis[i] = sc.rowSlack(i)
+				sc.b[i] = res
+			} else {
+				scale, sc.b[i] = -1, -res
+			}
+		case GE:
+			if res <= 0 {
+				sc.basis[i] = sc.rowSlack(i)
+				sc.b[i] = -res
+				scale = -1 // surplus has coefficient -1; normalise to +1
+			} else {
+				scale, sc.b[i] = 1, res
+			}
+		case EQ:
+			if res >= 0 {
+				scale, sc.b[i] = 1, res
+			} else {
+				scale, sc.b[i] = -1, -res
+			}
+		}
+		if scale != 0 {
+			if scale == -1 {
+				for j := range row {
+					row[j] = -row[j]
+				}
+			}
+			if ws.sense[i] == GE && sc.basis[i] == sc.rowSlack(i) {
+				// Row scaled so its basic surplus has coefficient +1.
+				continue
+			}
+			sc.basis[i] = -1 // virtual artificial, value sc.b[i] >= 0
+			nArt++
+		}
+	}
+	for i := 0; i < ws.m; i++ {
+		if c := sc.basis[i]; c >= 0 {
+			sc.inBasis[c] = true
+		}
+	}
+	maxIter := 200*(ws.m+nc) + 2000
+	if nArt > 0 {
+		sc.phase1 = true
+		for j := 0; j < nc; j++ {
+			sc.obj1[j] = 0
+		}
+		for i := 0; i < ws.m; i++ {
+			if sc.basis[i] != -1 {
+				continue
+			}
+			row := sc.a[i*nc : (i+1)*nc]
+			for j := 0; j < nc; j++ {
+				sc.obj1[j] -= row[j]
+			}
+		}
+		if st := sc.primal(sc.obj1, maxIter); st == IterLimit {
+			return &Solution{Status: IterLimit, Iters: sc.iters}, nil, nil
+		}
+		infeas := 0.0
+		for i := 0; i < ws.m; i++ {
+			if sc.basis[i] == -1 {
+				infeas += sc.b[i]
+			}
+		}
+		sc.phase1 = false
+		if infeas > feasEps {
+			return &Solution{Status: Infeasible, Iters: sc.iters}, nil, nil
+		}
+		sc.driveOut()
+	}
+	switch sc.primal(sc.obj, maxIter) {
+	case Unbounded:
+		return &Solution{Status: Unbounded, Iters: sc.iters}, nil, nil
+	case IterLimit:
+		return &Solution{Status: IterLimit, Iters: sc.iters}, nil, nil
+	}
+	return sc.extract()
+}
+
+// rowSlack returns the slack column of row i, or -2 when the row is an
+// equality (callers only use it for rows that have one).
+func (sc *Scratch) rowSlack(i int) int32 {
+	slack := sc.ws.n
+	for r := 0; r < i; r++ {
+		if sc.ws.sense[r] != EQ {
+			slack++
+		}
+	}
+	if sc.ws.sense[i] == EQ {
+		return -2
+	}
+	return int32(slack)
+}
+
+// driveOut pivots zero-valued basic artificials onto real columns so
+// phase 2 never has to reason about them; rows with no eligible column
+// are redundant and keep their (dead, [0,0]-bounded) artificial.
+func (sc *Scratch) driveOut() {
+	ws := sc.ws
+	nc := ws.nCols
+	for i := 0; i < ws.m; i++ {
+		if sc.basis[i] != -1 {
+			continue
+		}
+		row := sc.a[i*nc : (i+1)*nc]
+		for j := 0; j < nc; j++ {
+			if sc.inBasis[j] || math.Abs(row[j]) <= pivotEps {
+				continue
+			}
+			v := sc.lo[j]
+			if sc.atUpper[j] {
+				v = sc.hi[j]
+			}
+			// theta moves the artificial (value ~0) to exactly zero.
+			dv := -sc.b[i] / row[j]
+			for k := 0; k < ws.m; k++ {
+				if k != i {
+					sc.b[k] -= sc.a[k*nc+j] * dv
+				}
+			}
+			sc.pivot(i, j)
+			sc.basis[i] = int32(j)
+			sc.inBasis[j] = true
+			sc.b[i] = v + dv
+			break
+		}
+	}
+}
+
+// basicBounds returns the bound interval of the variable basic in row i
+// (artificials: [0, +Inf) during phase 1, [0, 0] after).
+func (sc *Scratch) basicBounds(i int) (float64, float64) {
+	c := sc.basis[i]
+	if c >= 0 {
+		return sc.lo[c], sc.hi[c]
+	}
+	if sc.phase1 {
+		return 0, math.Inf(1)
+	}
+	return 0, 0
+}
+
+// pivot performs the tableau pivot on (r, c): scale row r, eliminate
+// column c elsewhere and in the objective row(s). b is maintained by
+// the callers (it tracks basic values, which pivoting does not define).
+func (sc *Scratch) pivot(r, c int) {
+	nc := sc.ws.nCols
+	pr := sc.a[r*nc : (r+1)*nc]
+	inv := 1 / pr[c]
+	for j := range pr {
+		pr[j] *= inv
+	}
+	pr[c] = 1
+	for i := 0; i < sc.ws.m; i++ {
+		if i == r {
+			continue
+		}
+		f := sc.a[i*nc+c]
+		if f == 0 {
+			continue
+		}
+		ri := sc.a[i*nc : (i+1)*nc]
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+		ri[c] = 0
+	}
+	if f := sc.obj[c]; f != 0 {
+		for j := range sc.obj {
+			sc.obj[j] -= f * pr[j]
+		}
+		sc.obj[c] = 0
+	}
+	if sc.phase1 {
+		if f := sc.obj1[c]; f != 0 {
+			for j := range sc.obj1 {
+				sc.obj1[j] -= f * pr[j]
+			}
+			sc.obj1[c] = 0
+		}
+	}
+}
+
+// primal runs the bounded-variable primal simplex on the given reduced
+// cost row until optimality, unboundedness or the iteration cap. A
+// nonbasic column may enter rising from its lower bound (negative
+// reduced cost) or falling from its upper bound (positive reduced
+// cost); the ratio test covers basic variables hitting either of their
+// bounds and the entering variable flipping to its opposite bound.
+// Dantzig pricing with Bland's rule past half the budget; every tie
+// breaks on the lowest index.
+func (sc *Scratch) primal(objRow []float64, maxIter int) Status {
+	ws := sc.ws
+	nc := ws.nCols
+	blandAfter := maxIter / 2
+	for it := 0; it < maxIter; it++ {
+		bland := it > blandAfter
+		e, dir, bestVal := -1, 1.0, -eps
+		for j := 0; j < nc; j++ {
+			if sc.inBasis[j] || sc.hi[j]-sc.lo[j] <= eps {
+				continue // basic, or fixed: cannot move
+			}
+			d := objRow[j]
+			var v float64
+			var dj float64
+			if !sc.atUpper[j] && d < -eps {
+				v, dj = d, 1
+			} else if sc.atUpper[j] && d > eps {
+				v, dj = -d, -1
+			} else {
+				continue
+			}
+			if bland {
+				e, dir = j, dj
+				break
+			}
+			if v < bestVal {
+				e, dir, bestVal = j, dj, v
+			}
+		}
+		if e < 0 {
+			return Optimal
+		}
+
+		// Ratio test.
+		selfTheta := sc.hi[e] - sc.lo[e] // may be +Inf
+		bestRow, bestLim := -1, math.Inf(1)
+		for i := 0; i < ws.m; i++ {
+			alpha := sc.a[i*nc+e] * dir
+			blo, bhi := sc.basicBounds(i)
+			var lim float64
+			if alpha > pivotEps {
+				lim = (sc.b[i] - blo) / alpha
+			} else if alpha < -pivotEps {
+				if math.IsInf(bhi, 1) {
+					continue
+				}
+				lim = (sc.b[i] - bhi) / alpha
+			} else {
+				continue
+			}
+			if lim < 0 {
+				lim = 0
+			}
+			if lim < bestLim-eps ||
+				(lim < bestLim+eps && (bestRow < 0 || basisKey(sc.basis[i], nc) < basisKey(sc.basis[bestRow], nc))) {
+				bestRow, bestLim = i, lim
+			}
+		}
+		if bestRow < 0 && math.IsInf(selfTheta, 1) {
+			return Unbounded
+		}
+		if bestRow < 0 || selfTheta < bestLim-eps {
+			// Bound flip: no basis change.
+			dv := dir * selfTheta
+			for i := 0; i < ws.m; i++ {
+				sc.b[i] -= sc.a[i*nc+e] * dv
+			}
+			sc.atUpper[e] = !sc.atUpper[e]
+			sc.iters++
+			continue
+		}
+		theta := bestLim
+		dv := dir * theta
+		alphaR := sc.a[bestRow*nc+e] * dir
+		enterFrom := sc.lo[e]
+		if sc.atUpper[e] {
+			enterFrom = sc.hi[e]
+		}
+		for i := 0; i < ws.m; i++ {
+			if i != bestRow {
+				sc.b[i] -= sc.a[i*nc+e] * dv
+			}
+		}
+		leave := sc.basis[bestRow]
+		if leave >= 0 {
+			sc.inBasis[leave] = false
+			sc.atUpper[leave] = alphaR < 0 // hit its upper bound
+		}
+		sc.pivot(bestRow, e)
+		sc.basis[bestRow] = int32(e)
+		sc.inBasis[e] = true
+		sc.atUpper[e] = false
+		sc.b[bestRow] = enterFrom + dv
+		sc.iters++
+	}
+	return IterLimit
+}
+
+// basisKey orders basic variables for ratio-test tie-breaks; virtual
+// artificials sort after every real column (preferring to keep real
+// variables, mirroring the reference's lowest-index rule).
+func basisKey(c int32, nCols int) int {
+	if c < 0 {
+		return nCols + 1
+	}
+	return int(c)
+}
+
+// dual runs the bounded-variable dual simplex until every basic value
+// is within its bounds. Reduced costs must be dual feasible on entry
+// (they are after a refactorisation of an optimal basis, and bound
+// changes never touch them). Returns Optimal (primal feasible now),
+// Infeasible (a row proves emptiness) or IterLimit.
+func (sc *Scratch) dual(maxIter int) Status {
+	ws := sc.ws
+	nc := ws.nCols
+	blandAfter := maxIter / 2
+	for it := 0; it < maxIter; it++ {
+		bland := it > blandAfter
+		r, worst, toLo := -1, feasEps, false
+		for i := 0; i < ws.m; i++ {
+			blo, bhi := sc.basicBounds(i)
+			if v := blo - sc.b[i]; v > worst {
+				r, worst, toLo = i, v, true
+				if bland {
+					break
+				}
+			} else if v := sc.b[i] - bhi; v > worst {
+				r, worst, toLo = i, v, false
+				if bland {
+					break
+				}
+			}
+		}
+		if r < 0 {
+			return Optimal
+		}
+		row := sc.a[r*nc : (r+1)*nc]
+		e, bestRatio := -1, math.Inf(1)
+		for j := 0; j < nc; j++ {
+			if sc.inBasis[j] || sc.hi[j]-sc.lo[j] <= eps {
+				continue
+			}
+			alpha := row[j]
+			if toLo {
+				// The leaving variable must rise to its lower bound, so
+				// an at-lower column needs a negative coefficient (it
+				// rises) and an at-upper column a positive one (it
+				// falls); mirrored below. This sign discipline is what
+				// keeps the reduced costs dual feasible after the pivot.
+				if !(!sc.atUpper[j] && alpha < -pivotEps) && !(sc.atUpper[j] && alpha > pivotEps) {
+					continue
+				}
+			} else {
+				if !(!sc.atUpper[j] && alpha > pivotEps) && !(sc.atUpper[j] && alpha < -pivotEps) {
+					continue
+				}
+			}
+			ratio := math.Abs(sc.obj[j]) / math.Abs(alpha)
+			if ratio < bestRatio-eps || (ratio < bestRatio+eps && (e < 0 || j < e)) {
+				e, bestRatio = j, ratio
+			}
+		}
+		if e < 0 {
+			return Infeasible
+		}
+		blo, bhi := sc.basicBounds(r)
+		beta := blo
+		if !toLo {
+			beta = bhi
+		}
+		// Entering displacement that lands the leaving variable exactly
+		// on its violated bound: x_Br = b[r] - row[e]*dv = beta. The
+		// eligibility signs above guarantee dv moves e off its bound
+		// into its range.
+		dv := (sc.b[r] - beta) / row[e]
+		enterFrom := sc.lo[e]
+		if sc.atUpper[e] {
+			enterFrom = sc.hi[e]
+		}
+		for i := 0; i < ws.m; i++ {
+			if i != r {
+				sc.b[i] -= sc.a[i*nc+e] * dv
+			}
+		}
+		leave := sc.basis[r]
+		if leave >= 0 {
+			sc.inBasis[leave] = false
+			sc.atUpper[leave] = !toLo // parked at the bound it violated
+		}
+		sc.pivot(r, e)
+		sc.basis[r] = int32(e)
+		sc.inBasis[e] = true
+		sc.atUpper[e] = false
+		sc.b[r] = enterFrom + dv
+		sc.iters++
+	}
+	return IterLimit
+}
+
+// extract recovers x, recomputes the objective exactly from the
+// original coefficients and exports the basis.
+func (sc *Scratch) extract() (*Solution, *Basis, error) {
+	ws := sc.ws
+	x := make([]float64, ws.n)
+	for j := 0; j < ws.n; j++ {
+		if sc.inBasis[j] {
+			continue
+		}
+		if sc.atUpper[j] {
+			x[j] = sc.hi[j]
+		} else {
+			x[j] = sc.lo[j]
+		}
+	}
+	for i := 0; i < ws.m; i++ {
+		if c := sc.basis[i]; c >= 0 && int(c) < ws.n {
+			// Basic values carry round-off of up to feasEps; clamp them
+			// into the variable's box so callers never see a start time
+			// like -1e-13 (which can flip tie-breaks that order events
+			// by time).
+			v := sc.b[i]
+			if lo := sc.lo[c]; v < lo {
+				v = lo
+			}
+			if hi := sc.hi[c]; v > hi {
+				v = hi
+			}
+			x[c] = v
+		}
+	}
+	obj := 0.0
+	for j, c := range ws.objC {
+		obj += c * x[j]
+	}
+	basis := &Basis{
+		cols:    append([]int32(nil), sc.basis...),
+		atUpper: append([]bool(nil), sc.atUpper...),
+		m:       ws.m, n: ws.nCols,
+	}
+	sc.valid = true
+	return &Solution{Status: Optimal, Objective: obj, X: x, Iters: sc.iters}, basis, nil
+}

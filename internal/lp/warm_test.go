@@ -1,0 +1,513 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The warm-start differential suite: every Workspace solve — cold, warm
+// from a parent basis, and in-place Resolve — is compared against the
+// reference dense two-phase tableau (Solve), which stays in the tree
+// exactly for this purpose. Comparison is on status, objective to
+// 1e-9 (scaled), feasibility of the returned point, and structural
+// validity of the returned basis.
+
+// objTol is the differential tolerance on objectives, scaled by
+// magnitude so large big-M formulations do not fail on representation
+// noise.
+func objTol(ref float64) float64 { return 1e-9 * (1 + math.Abs(ref)) }
+
+// checkFeasible verifies x satisfies every row and bound of p to tol.
+func checkFeasible(t *testing.T, p *Problem, x []float64, tol float64) {
+	t.Helper()
+	lower := func(j int) float64 {
+		if p.Lower == nil {
+			return 0
+		}
+		return p.Lower[j]
+	}
+	upper := func(j int) float64 {
+		if p.Upper == nil {
+			return math.Inf(1)
+		}
+		return p.Upper[j]
+	}
+	for j := 0; j < p.NumVars; j++ {
+		if x[j] < lower(j)-tol || x[j] > upper(j)+tol {
+			t.Fatalf("x[%d]=%g outside [%g, %g]", j, x[j], lower(j), upper(j))
+		}
+	}
+	for i, r := range p.Rows {
+		dot := 0.0
+		for _, e := range r.Coef {
+			dot += e.Val * x[e.Var]
+		}
+		switch r.Sense {
+		case LE:
+			if dot > r.RHS+tol {
+				t.Fatalf("row %d (%s): %g > %g", i, r.Name, dot, r.RHS)
+			}
+		case GE:
+			if dot < r.RHS-tol {
+				t.Fatalf("row %d (%s): %g < %g", i, r.Name, dot, r.RHS)
+			}
+		case EQ:
+			if math.Abs(dot-r.RHS) > tol {
+				t.Fatalf("row %d (%s): %g != %g", i, r.Name, dot, r.RHS)
+			}
+		}
+	}
+}
+
+// checkBasisValid verifies the structural invariants of a returned
+// basis: correct shape, every basic column real and distinct, and the
+// at-upper flags only on columns that have a finite upper bound.
+func checkBasisValid(t *testing.T, ws *Workspace, basis *Basis) {
+	t.Helper()
+	if basis == nil {
+		t.Fatalf("nil basis from an optimal solve")
+	}
+	if basis.m != ws.m || basis.n != ws.nCols {
+		t.Fatalf("basis shape %dx%d, workspace %dx%d", basis.m, basis.n, ws.m, ws.nCols)
+	}
+	seen := make(map[int32]bool)
+	for i, c := range basis.cols {
+		if c < -1 || int(c) >= ws.nCols {
+			t.Fatalf("row %d: basic column %d out of range", i, c)
+		}
+		if c >= 0 {
+			if seen[c] {
+				t.Fatalf("column %d basic in two rows", c)
+			}
+			seen[c] = true
+			if basis.atUpper[c] {
+				t.Fatalf("basic column %d flagged at-upper", c)
+			}
+		}
+	}
+}
+
+// diffSolve runs the reference and the workspace cold path on p and
+// cross-checks them. It returns the workspace solution and basis for
+// follow-on warm checks. Trials where either solver hits its iteration
+// cap are skipped by returning ok=false.
+func diffSolve(t *testing.T, p *Problem) (ref, got *Solution, basis *Basis, ws *Workspace, ok bool) {
+	t.Helper()
+	ref, err := Solve(p)
+	if err != nil {
+		t.Fatalf("reference Solve: %v", err)
+	}
+	ws, err = NewWorkspace(p)
+	if err != nil {
+		t.Fatalf("NewWorkspace: %v", err)
+	}
+	got, basis, err = ws.SolveFrom(ws.NewScratch(), nil, nil, nil)
+	if err != nil {
+		t.Fatalf("SolveFrom: %v", err)
+	}
+	if ref.Status == IterLimit || got.Status == IterLimit {
+		return nil, nil, nil, nil, false
+	}
+	if got.Status != ref.Status {
+		t.Fatalf("status %v, reference %v", got.Status, ref.Status)
+	}
+	if ref.Status == Optimal {
+		if math.Abs(got.Objective-ref.Objective) > objTol(ref.Objective) {
+			t.Fatalf("objective %.12g, reference %.12g (diff %g)",
+				got.Objective, ref.Objective, got.Objective-ref.Objective)
+		}
+		checkFeasible(t, p, got.X, 1e-6)
+		checkBasisValid(t, ws, basis)
+	}
+	return ref, got, basis, ws, true
+}
+
+// corpusProblems returns fresh copies of the named stress instances.
+func corpusProblems() map[string]*Problem {
+	out := map[string]*Problem{}
+
+	beale := &Problem{NumVars: 4, Objective: []float64{-0.75, 150, -0.02, 6}}
+	beale.AddRow(LE, 0, "r1", Entry{0, 0.25}, Entry{1, -60}, Entry{2, -0.04}, Entry{3, 9})
+	beale.AddRow(LE, 0, "r2", Entry{0, 0.5}, Entry{1, -90}, Entry{2, -0.02}, Entry{3, 3})
+	beale.AddRow(LE, 1, "r3", Entry{2, 1})
+	out["beale"] = beale
+
+	const n = 6
+	km := &Problem{NumVars: n, Objective: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		km.Objective[j] = -math.Pow(2, float64(n-1-j))
+	}
+	for i := 0; i < n; i++ {
+		entries := make([]Entry, 0, i+1)
+		for j := 0; j < i; j++ {
+			entries = append(entries, Entry{j, math.Pow(2, float64(i+1-j))})
+		}
+		entries = append(entries, Entry{i, 1})
+		km.AddRow(LE, math.Pow(5, float64(i+1)), "km", entries...)
+	}
+	out["klee-minty"] = km
+
+	deg := &Problem{NumVars: 3, Objective: []float64{-1, -1, -1}}
+	for i := 0; i < 8; i++ {
+		deg.AddRow(LE, 0, "deg", Entry{0, 1}, Entry{1, -1})
+	}
+	deg.AddRow(LE, 5, "cap", Entry{0, 1}, Entry{1, 1}, Entry{2, 1})
+	out["degenerate"] = deg
+
+	infeas := &Problem{NumVars: 2, Objective: []float64{1, 1}}
+	infeas.AddRow(GE, 10, "hi", Entry{0, 1}, Entry{1, 1})
+	infeas.AddRow(LE, 4, "lo", Entry{0, 1}, Entry{1, 1})
+	out["infeasible"] = infeas
+
+	unb := &Problem{NumVars: 2, Objective: []float64{-1, 0}}
+	unb.AddRow(GE, 1, "r", Entry{0, 1}, Entry{1, -1})
+	out["unbounded"] = unb
+
+	eqmix := &Problem{
+		NumVars:   4,
+		Objective: []float64{2, -1, 1, -3},
+		Lower:     []float64{0, 1, 0, 0},
+		Upper:     []float64{5, 4, math.Inf(1), 2},
+	}
+	eqmix.AddRow(EQ, 6, "eq", Entry{0, 1}, Entry{1, 1}, Entry{2, 1})
+	eqmix.AddRow(GE, 2, "ge", Entry{0, 1}, Entry{3, 1})
+	eqmix.AddRow(LE, 7, "le", Entry{1, 2}, Entry{2, 1}, Entry{3, -1})
+	out["eq-mix-bounded"] = eqmix
+
+	fixed := &Problem{
+		NumVars:   3,
+		Objective: []float64{1, 2, 3},
+		Lower:     []float64{2, 0, 0.5},
+		Upper:     []float64{2, 10, 0.5}, // two fixed variables
+	}
+	fixed.AddRow(GE, 4, "ge", Entry{0, 1}, Entry{1, 1}, Entry{2, 2})
+	out["fixed-vars"] = fixed
+
+	return out
+}
+
+// randomBoundedLP builds a random LP with finite boxes, mixed senses
+// and a guaranteed-feasible interior point, at branch-and-bound
+// relaxation sizes.
+func randomBoundedLP(rng *rand.Rand) *Problem {
+	n := 4 + rng.Intn(12)
+	m := 3 + rng.Intn(12)
+	p := &Problem{
+		NumVars:   n,
+		Objective: make([]float64, n),
+		Lower:     make([]float64, n),
+		Upper:     make([]float64, n),
+	}
+	x0 := make([]float64, n)
+	for j := 0; j < n; j++ {
+		p.Objective[j] = math.Round((rng.Float64()*4-2)*8) / 8
+		lo := math.Round(rng.Float64()*4*8) / 8
+		x0[j] = lo + rng.Float64()*3
+		p.Lower[j] = lo
+		p.Upper[j] = x0[j] + rng.Float64()*4
+		if rng.Intn(6) == 0 { // occasional fixed variable
+			p.Upper[j] = lo
+			x0[j] = lo
+		}
+		if rng.Intn(5) == 0 {
+			p.Upper[j] = math.Inf(1)
+		}
+	}
+	for i := 0; i < m; i++ {
+		k := 1 + rng.Intn(4)
+		entries := make([]Entry, 0, k)
+		lhs := 0.0
+		for c := 0; c < k; c++ {
+			j := rng.Intn(n)
+			v := math.Round((rng.Float64()*4-2)*8) / 8
+			entries = append(entries, Entry{j, v})
+			lhs += v * x0[j]
+		}
+		switch rng.Intn(3) {
+		case 0:
+			p.AddRow(LE, lhs+rng.Float64()*3, "r", entries...)
+		case 1:
+			p.AddRow(GE, lhs-rng.Float64()*3, "r", entries...)
+		default:
+			p.AddRow(EQ, lhs, "r", entries...)
+		}
+	}
+	return p
+}
+
+// TestWarmStartDifferentialCorpus cross-checks the workspace cold path
+// against the reference on the named stress instances.
+func TestWarmStartDifferentialCorpus(t *testing.T) {
+	for name, p := range corpusProblems() {
+		p := p
+		t.Run(name, func(t *testing.T) {
+			if _, _, _, _, ok := diffSolve(t, p); !ok {
+				t.Fatalf("iteration limit on a corpus instance")
+			}
+		})
+	}
+}
+
+// TestWarmStartDifferentialRandom cross-checks cold solves on random
+// bounded LPs with mixed senses, fixed variables and infinite uppers.
+func TestWarmStartDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trials, skipped := 250, 0
+	for trial := 0; trial < trials; trial++ {
+		p := randomBoundedLP(rng)
+		if _, _, _, _, ok := diffSolve(t, p); !ok {
+			skipped++
+		}
+	}
+	if skipped > trials/10 {
+		t.Fatalf("%d/%d trials hit the iteration cap", skipped, trials)
+	}
+}
+
+// TestWarmStartAfterTightening is the branch-and-bound access pattern:
+// solve, then re-solve from the returned basis with one variable bound
+// tightened, and compare against a cold reference solve of the
+// tightened problem. Chains several tightenings to stress repeated
+// warm starts from increasingly foreign bases.
+func TestWarmStartAfterTightening(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trials, skipped, warmed := 150, 0, 0
+	for trial := 0; trial < trials; trial++ {
+		p := randomBoundedLP(rng)
+		ref, _, basis, ws, ok := diffSolve(t, p)
+		if !ok || ref.Status != Optimal {
+			continue
+		}
+		sc := ws.NewScratch()
+		lo := append([]float64(nil), p.Lower...)
+		hi := append([]float64(nil), p.Upper...)
+		for step := 0; step < 4 && basis != nil; step++ {
+			j := rng.Intn(p.NumVars)
+			if math.IsInf(hi[j], 1) {
+				hi[j] = lo[j] + 3
+			} else if rng.Intn(2) == 0 {
+				hi[j] = math.Floor(hi[j] - 0.25)
+			} else {
+				lo[j] = math.Ceil(lo[j] + 0.25)
+			}
+			if hi[j] < lo[j] {
+				break
+			}
+			q := *p
+			q.Lower, q.Upper = lo, hi
+			want, err := Solve(&q)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			got, nb, err := ws.SolveFrom(sc, lo, hi, basis)
+			if err != nil {
+				t.Fatalf("warm SolveFrom: %v", err)
+			}
+			if want.Status == IterLimit || got.Status == IterLimit {
+				skipped++
+				break
+			}
+			if got.Status != want.Status {
+				t.Fatalf("trial %d step %d: warm status %v, reference %v", trial, step, got.Status, want.Status)
+			}
+			if want.Status != Optimal {
+				break
+			}
+			if got.Warm {
+				warmed++
+			}
+			if math.Abs(got.Objective-want.Objective) > objTol(want.Objective) {
+				t.Fatalf("trial %d step %d: warm objective %.12g, reference %.12g",
+					trial, step, got.Objective, want.Objective)
+			}
+			checkFeasible(t, &q, got.X, 1e-6)
+			checkBasisValid(t, ws, nb)
+			basis = nb
+		}
+	}
+	if warmed == 0 {
+		t.Fatalf("warm path never taken across %d trials", trials)
+	}
+	if skipped > trials/10 {
+		t.Fatalf("%d/%d trials hit the iteration cap", skipped, trials)
+	}
+}
+
+// TestWarmStartFromOwnBasisIsFree pins the headline property: re-solving
+// an unchanged problem from its own optimal basis takes zero simplex
+// pivots.
+func TestWarmStartFromOwnBasisIsFree(t *testing.T) {
+	for name, p := range corpusProblems() {
+		p := p
+		t.Run(name, func(t *testing.T) {
+			ws, err := NewWorkspace(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := ws.NewScratch()
+			first, basis, err := ws.SolveFrom(sc, nil, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.Status != Optimal {
+				t.Skip("instance has no optimum")
+			}
+			again, _, err := ws.SolveFrom(sc, nil, nil, basis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !again.Warm {
+				t.Fatalf("re-solve from own basis did not take the warm path")
+			}
+			if again.Iters != 0 {
+				t.Fatalf("re-solve from own basis took %d pivots, want 0", again.Iters)
+			}
+			if math.Abs(again.Objective-first.Objective) > objTol(first.Objective) {
+				t.Fatalf("objective drifted: %.12g vs %.12g", again.Objective, first.Objective)
+			}
+		})
+	}
+}
+
+// TestResolveMatchesReference drives the in-place child evaluation:
+// solve, Snapshot, Resolve one variable down-branch, Restore, Resolve
+// the up-branch — each compared against a cold reference solve.
+func TestResolveMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	trials, checked := 120, 0
+	for trial := 0; trial < trials; trial++ {
+		p := randomBoundedLP(rng)
+		ref, _, _, ws, ok := diffSolve(t, p)
+		if !ok || ref.Status != Optimal {
+			continue
+		}
+		sc := ws.NewScratch()
+		sol, _, err := ws.SolveFrom(sc, nil, nil, nil)
+		if err != nil || sol.Status != Optimal {
+			t.Fatalf("workspace solve: %v %v", err, sol.Status)
+		}
+		j := rng.Intn(p.NumVars)
+		split := math.Floor(sol.X[j])
+		sc.Snapshot()
+		for side := 0; side < 2; side++ {
+			if side == 1 {
+				sc.Restore()
+			}
+			lo := append([]float64(nil), p.Lower...)
+			hi := append([]float64(nil), p.Upper...)
+			var nLo, nHi float64
+			if side == 0 {
+				nLo, nHi = lo[j], split
+			} else {
+				nLo, nHi = split+1, hi[j]
+			}
+			if nHi < nLo {
+				continue
+			}
+			lo[j], hi[j] = nLo, nHi
+			q := *p
+			q.Lower, q.Upper = lo, hi
+			want, err := Solve(&q)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			got, nb, err := ws.Resolve(sc, j, nLo, nHi)
+			if err != nil {
+				t.Fatalf("Resolve: %v", err)
+			}
+			if want.Status == IterLimit || got.Status == IterLimit {
+				continue
+			}
+			if got.Status != want.Status {
+				t.Fatalf("trial %d side %d: Resolve status %v, reference %v", trial, side, got.Status, want.Status)
+			}
+			checked++
+			if want.Status != Optimal {
+				continue
+			}
+			if math.Abs(got.Objective-want.Objective) > objTol(want.Objective) {
+				t.Fatalf("trial %d side %d: Resolve objective %.12g, reference %.12g",
+					trial, side, got.Objective, want.Objective)
+			}
+			checkFeasible(t, &q, got.X, 1e-6)
+			checkBasisValid(t, ws, nb)
+			checked++
+		}
+	}
+	if checked < trials/2 {
+		t.Fatalf("only %d child resolves exercised", checked)
+	}
+}
+
+// TestReducedCostSigns pins dual feasibility of the reported reduced
+// costs at optimality: at-lower columns have d >= -eps, at-upper
+// columns d <= eps, basic columns report zero.
+func TestReducedCostSigns(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		p := randomBoundedLP(rng)
+		ws, err := NewWorkspace(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := ws.NewScratch()
+		sol, _, err := ws.SolveFrom(sc, nil, nil, nil)
+		if err != nil || sol.Status != Optimal {
+			continue
+		}
+		for j := 0; j < p.NumVars; j++ {
+			if p.Upper[j]-p.Lower[j] <= eps {
+				continue // fixed: reduced cost sign carries no meaning
+			}
+			d, atUpper, basic := sc.ReducedCost(j)
+			switch {
+			case basic:
+				if d != 0 {
+					t.Fatalf("basic column %d reports reduced cost %g", j, d)
+				}
+			case atUpper:
+				if d > 1e-6 {
+					t.Fatalf("at-upper column %d has positive reduced cost %g", j, d)
+				}
+			default:
+				if d < -1e-6 {
+					t.Fatalf("at-lower column %d has negative reduced cost %g", j, d)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveFromConvenience covers the package-level one-shot entry.
+func TestSolveFromConvenience(t *testing.T) {
+	p := &Problem{NumVars: 2, Objective: []float64{-1, -1}}
+	p.AddRow(LE, 4, "r1", Entry{0, 1}, Entry{1, 2})
+	p.AddRow(LE, 6, "r2", Entry{0, 3}, Entry{1, 1})
+	sol, basis, err := SolveFrom(p, nil)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("cold: %v %v", err, sol)
+	}
+	again, _, err := SolveFrom(p, basis)
+	if err != nil || again.Status != Optimal || !again.Warm {
+		t.Fatalf("warm: %v %+v", err, again)
+	}
+	if math.Abs(again.Objective-sol.Objective) > 1e-9 {
+		t.Fatalf("objectives differ: %g vs %g", again.Objective, sol.Objective)
+	}
+}
+
+// TestWorkspaceRejectsForeignScratch pins the API misuse errors.
+func TestWorkspaceRejectsForeignScratch(t *testing.T) {
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddRow(GE, 1, "r", Entry{0, 1})
+	ws1, _ := NewWorkspace(p)
+	ws2, _ := NewWorkspace(p)
+	if _, _, err := ws1.SolveFrom(ws2.NewScratch(), nil, nil, nil); err == nil {
+		t.Fatalf("foreign scratch accepted")
+	}
+	sc := ws1.NewScratch()
+	if _, _, err := ws1.Resolve(sc, 0, 0, 1); err == nil {
+		t.Fatalf("Resolve on unsolved scratch accepted")
+	}
+}

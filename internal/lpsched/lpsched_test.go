@@ -4,9 +4,11 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"transched/internal/core"
 	"transched/internal/flowshop"
+	"transched/internal/milp"
 	"transched/internal/paperdata"
 	"transched/internal/testutil"
 )
@@ -16,9 +18,6 @@ import (
 // 22, strictly better than the best common-order schedule, and the
 // resulting schedule is not a permutation schedule.
 func TestExactTable2(t *testing.T) {
-	if testing.Short() {
-		t.Skip("exact MILP on 6 tasks takes ~15s")
-	}
 	in := paperdata.Table2()
 	s, sol, err := SolveExact(in, 0)
 	if err != nil {
@@ -26,6 +25,12 @@ func TestExactTable2(t *testing.T) {
 	}
 	if math.Abs(sol.Objective-paperdata.Table2DifferentOrderMakespan) > 1e-6 {
 		t.Fatalf("MILP objective = %g, want %g", sol.Objective, paperdata.Table2DifferentOrderMakespan)
+	}
+	if sol.Status != milp.Optimal {
+		t.Fatalf("status = %v, want optimal (gap 0)", sol.Status)
+	}
+	if sol.Bound < sol.Objective-1e-9 || sol.Bound > sol.Objective+1e-9 {
+		t.Fatalf("optimality gap: bound %g vs objective %g", sol.Bound, sol.Objective)
 	}
 	if err := s.Validate(); err != nil {
 		t.Fatalf("repaired MILP schedule invalid: %v\n%s", err, s)
@@ -191,6 +196,113 @@ func TestRepairFixesNoise(t *testing.T) {
 		if r.Makespan() > base.Makespan()+1e-6 {
 			t.Fatalf("trial %d: repair makespan %g above original %g", trial, r.Makespan(), base.Makespan())
 		}
+	}
+}
+
+// TestWindowedWorkersDeterminism: the windowed driver inherits the MILP's
+// deterministic-parallelism contract — every Workers setting produces a
+// bit-identical schedule and identical solver statistics.
+func TestWindowedWorkersDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(331))
+	for trial := 0; trial < 4; trial++ {
+		in := testutil.RandomInstance(rng, 7+rng.Intn(4), 5)
+		base, err := Solve(in, Options{K: 3, MaxNodesPerWindow: 2000, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			res, err := Solve(in, Options{K: 3, MaxNodesPerWindow: 2000, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Nodes != base.Nodes || res.SimplexIters != base.SimplexIters ||
+				res.Fallbacks != base.Fallbacks ||
+				math.Float64bits(res.Gap) != math.Float64bits(base.Gap) {
+				t.Fatalf("trial %d workers=%d: stats diverge: %+v vs %+v", trial, workers, res, base)
+			}
+			a, b := base.Schedule.Assignments, res.Schedule.Assignments
+			if len(a) != len(b) {
+				t.Fatalf("trial %d workers=%d: schedule lengths differ", trial, workers)
+			}
+			for i := range a {
+				if a[i].Task.Name != b[i].Task.Name ||
+					math.Float64bits(a[i].CommStart) != math.Float64bits(b[i].CommStart) ||
+					math.Float64bits(a[i].CompStart) != math.Float64bits(b[i].CompStart) {
+					t.Fatalf("trial %d workers=%d: assignment %d differs: %+v vs %+v",
+						trial, workers, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWindowedDeadline: an already-expired deadline (under a synthetic
+// clock; the driver never reads the wall clock) degrades every window to
+// its greedy fallback but still yields a complete valid schedule.
+func TestWindowedDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(337))
+	in := testutil.RandomInstance(rng, 9, 5)
+	t0 := time.Unix(1000, 0)
+	res, err := Solve(in, Options{
+		K: 3, MaxNodesPerWindow: 2000,
+		Deadline: t0.Add(-time.Second),
+		Clock:    func() time.Time { return t0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("invalid fallback schedule: %v\n%s", err, res.Schedule)
+	}
+	if len(res.Schedule.Assignments) != in.N() {
+		t.Fatalf("%d assignments for %d tasks", len(res.Schedule.Assignments), in.N())
+	}
+	// The solver never got to search, so the bound cannot have closed:
+	// unless the greedy completion was already optimal per window, the
+	// result records fallbacks. Either way the run must not claim a
+	// negative gap.
+	if res.Gap < 0 {
+		t.Fatalf("negative gap %g", res.Gap)
+	}
+	// And without the deadline the same options solve windows for real.
+	full, err := Solve(in, Options{K: 3, MaxNodesPerWindow: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Schedule.Makespan() > res.Schedule.Makespan()+1e-9 {
+		t.Fatalf("search made the schedule worse: %g > %g",
+			full.Schedule.Makespan(), res.Schedule.Makespan())
+	}
+}
+
+// TestWindowedGapZeroOnSolvedWindows: with a generous node budget on small
+// windows, every window solves to optimality and the driver reports gap 0.
+func TestWindowedGapZeroOnSolvedWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(341))
+	in := testutil.RandomInstance(rng, 6, 5)
+	res, err := Solve(in, Options{K: 3, MaxNodesPerWindow: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gap != 0 {
+		t.Fatalf("gap = %g, want 0 for fully solved windows", res.Gap)
+	}
+	if res.SimplexIters <= 0 {
+		t.Fatalf("SimplexIters = %d, want > 0", res.SimplexIters)
+	}
+}
+
+// TestSolveExactWithDeadline: SolveExactWith surfaces milp.Expired as an
+// error (there is no schedule to return) instead of inventing one.
+func TestSolveExactWithDeadline(t *testing.T) {
+	in := paperdata.Table2()
+	t0 := time.Unix(1000, 0)
+	_, sol, err := SolveExactWith(in, Options{
+		Deadline: t0.Add(-time.Second),
+		Clock:    func() time.Time { return t0 },
+	})
+	if err == nil {
+		t.Fatalf("want error for expired exact solve, got status %v", sol.Status)
 	}
 }
 

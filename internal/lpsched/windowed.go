@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"transched/internal/core"
+	"transched/internal/flowshop"
+	"transched/internal/lp"
 	"transched/internal/milp"
 )
 
@@ -19,6 +22,16 @@ type Options struct {
 	// the greedy completion's objective (ablation knob; seeding on is the
 	// production configuration).
 	NoIncumbentSeed bool
+	// Workers bounds the goroutines each window's branch and bound uses
+	// for node expansion (0 means GOMAXPROCS, 1 is the serial path). The
+	// schedule is bit-identical at every setting.
+	Workers int
+	// Deadline, with Clock, stops branch and bound once Clock reports a
+	// later time; expired windows fall back to the greedy completion.
+	// Clock must come from the caller (detclock: this package never reads
+	// the wall clock itself).
+	Deadline time.Time
+	Clock    func() time.Time
 }
 
 // Result carries the schedule plus solver statistics.
@@ -31,6 +44,13 @@ type Result struct {
 	// Fallbacks counts windows where the node budget expired before any
 	// integer solution was found and the greedy completion was used.
 	Fallbacks int
+	// SimplexIters is the total number of simplex pivots across windows.
+	SimplexIters int
+	// Gap is the worst relative optimality gap over the windows: 0 when
+	// every window was solved to proven optimality, otherwise the largest
+	// (objective − bound) / max(1, |objective|) among windows that hit a
+	// node, deadline, or context budget first.
+	Gap float64
 }
 
 // Solve runs the iterative windowed MILP heuristic lp.k (paper §4.5):
@@ -61,6 +81,7 @@ func Solve(in *core.Instance, opts Options) (*Result, error) {
 	var committed []slot // tasks with committed transfers (comm fixed)
 	boundary := 0.0      // all committed transfers end at or before this
 	res := &Result{}
+	var prevBasis *lp.Basis // previous window's root basis (warm start)
 
 	for lo := 0; lo < in.N(); lo += k {
 		hi := lo + k
@@ -102,14 +123,25 @@ func Solve(in *core.Instance, opts Options) (*Result, error) {
 			MaxNodes:           maxNodes,
 			IncumbentObjective: fbObj + 1e-7,
 			IncumbentSet:       !opts.NoIncumbentSeed,
+			Workers:            opts.Workers,
+			Deadline:           opts.Deadline,
+			Clock:              opts.Clock,
+			KnownLowerBound:    windowLowerBound(wts),
+			KnownLowerBoundSet: true,
+			RootBasis:          prevBasis,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("lpsched: window [%d,%d): %w", lo, hi, err)
 		}
 		res.Windows++
 		res.Nodes += sol.Nodes
+		res.SimplexIters += sol.SimplexIters
+		if sol.RootBasis != nil {
+			prevBasis = sol.RootBasis
+		}
 
 		sVals, spVals := fbS, fbSp
+		usedObj := fbObj
 		switch sol.Status {
 		case milp.Optimal, milp.Feasible:
 			sVals = make([]float64, len(wts))
@@ -118,11 +150,25 @@ func Solve(in *core.Instance, opts Options) (*Result, error) {
 				sVals[i] = sol.X[f.sVar[i]]
 				spVals[i] = sol.X[f.spVar[i]]
 			}
+			usedObj = sol.Objective
 		case milp.Infeasible:
 			// Nothing beat the greedy incumbent; keep the fallback values.
 			res.Fallbacks++
+		case milp.Expired:
+			// Deadline or context fired before any incumbent; the greedy
+			// completion stands in and the window's bound dates the gap.
+			res.Fallbacks++
 		default:
 			return nil, fmt.Errorf("lpsched: window [%d,%d): unexpected status %v", lo, hi, sol.Status)
+		}
+		if sol.Status != milp.Optimal {
+			// Optimal proves gap 0; everything else is measured against the
+			// proven bound. The intEps slack absorbs the incumbent-cutoff
+			// epsilon so a fully drained tree (Infeasible: nothing beat the
+			// seed) also reports 0 rather than solver noise.
+			if g := (usedObj - 1e-6 - sol.Bound) / math.Max(1, math.Abs(usedObj)); g > res.Gap {
+				res.Gap = g
+			}
 		}
 
 		// Commit the new tasks' transfers and update flexible carryovers.
@@ -162,10 +208,40 @@ func Solve(in *core.Instance, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// windowLowerBound is the externally proven lower bound handed to branch
+// and bound as milp.Options.KnownLowerBound: the window makespan can never
+// beat Johnson's memory-unlimited optimum over the window's tasks (OMIM is
+// a valid bound even though the MILP may order the two resources
+// differently — in a two-machine flowshop a common-order schedule is
+// always among the optima), nor end before any already committed
+// computation.
+func windowLowerBound(wts []winTask) float64 {
+	tasks := make([]core.Task, len(wts))
+	for i, w := range wts {
+		tasks[i] = w.task
+	}
+	lb := flowshop.OMIM(tasks)
+	for _, w := range wts {
+		if w.compFixed {
+			if e := w.compStart + w.task.Comp; e > lb {
+				lb = e
+			}
+		}
+	}
+	return lb
+}
+
 // SolveExact runs the MILP over the entire instance in one window with no
 // carryovers — the paper's full formulation. Only practical for small
 // instances; it is the ground truth the unit tests compare against.
 func SolveExact(in *core.Instance, maxNodes int) (*core.Schedule, *milp.Solution, error) {
+	return SolveExactWith(in, Options{MaxNodesPerWindow: maxNodes})
+}
+
+// SolveExactWith is SolveExact with the full option set: Workers fans the
+// branch and bound out (bit-identical result at every setting), and
+// Deadline/Clock bound the solve the same way they bound a window.
+func SolveExactWith(in *core.Instance, opts Options) (*core.Schedule, *milp.Solution, error) {
 	if err := in.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -174,10 +250,18 @@ func SolveExact(in *core.Instance, maxNodes int) (*core.Schedule, *milp.Solution
 		wts[i] = winTask{task: t}
 	}
 	f := buildFormulation(wts, in.Capacity)
+	maxNodes := opts.MaxNodesPerWindow
 	if maxNodes <= 0 {
 		maxNodes = 500000
 	}
-	sol, err := milp.Solve(&f.prob, milp.Options{MaxNodes: maxNodes})
+	sol, err := milp.Solve(&f.prob, milp.Options{
+		MaxNodes:           maxNodes,
+		Workers:            opts.Workers,
+		Deadline:           opts.Deadline,
+		Clock:              opts.Clock,
+		KnownLowerBound:    windowLowerBound(wts),
+		KnownLowerBoundSet: true,
+	})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,193 @@
+package milp
+
+// The pre-warm-start branch and bound, kept verbatim as a differential
+// reference (the same discipline as PR 5's simulation kernel rewrite:
+// the old implementation stays in the test tree and the new one must
+// agree with it). It solves every node's relaxation from scratch with
+// the reference two-phase tableau (lp.Solve), including the historical
+// double solve per node — nodes were solved at creation and again at
+// pop. differential_test.go pins the rewritten solver to identical
+// statuses and objectives, and asserts the node-count and
+// simplex-iteration drops the rewrite exists to deliver.
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"transched/internal/lp"
+)
+
+type refNode struct {
+	lower, upper []float64
+	bound        float64
+	index        int // heap bookkeeping
+}
+
+type refQueue []*refNode
+
+func (q refQueue) Len() int            { return len(q) }
+func (q refQueue) Less(i, j int) bool  { return q[i].bound < q[j].bound }
+func (q refQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
+func (q *refQueue) Push(x interface{}) { n := x.(*refNode); n.index = len(*q); *q = append(*q, n) }
+func (q *refQueue) Pop() interface{} {
+	old := *q
+	n := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return n
+}
+
+// referenceSolve is the seed-era milp.Solve, byte-for-byte except for
+// renamed node types and the added simplex-iteration accounting used by
+// the differential suite.
+func referenceSolve(p *Problem, opts Options) (*Solution, error) {
+	n := p.LP.NumVars
+	for _, j := range p.Integer {
+		if j < 0 || j >= n {
+			return nil, fmt.Errorf("milp: integer variable %d out of range", j)
+		}
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+
+	baseLower := make([]float64, n)
+	baseUpper := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if p.LP.Lower != nil {
+			baseLower[j] = p.LP.Lower[j]
+		}
+		if p.LP.Upper != nil {
+			baseUpper[j] = p.LP.Upper[j]
+		} else {
+			baseUpper[j] = math.Inf(1)
+		}
+	}
+
+	best := math.Inf(1)
+	if opts.IncumbentSet {
+		best = opts.IncumbentObjective
+	}
+	var bestX []float64
+
+	iters := 0
+	relax := func(lo, hi []float64) (*lp.Solution, error) {
+		q := p.LP // shallow copy; bounds replaced
+		q.Lower = lo
+		q.Upper = hi
+		s, err := lp.Solve(&q)
+		if s != nil {
+			iters += s.Iters
+		}
+		return s, err
+	}
+
+	root := &refNode{lower: baseLower, upper: baseUpper}
+	sol, err := relax(root.lower, root.upper)
+	if err != nil {
+		return nil, err
+	}
+	switch sol.Status {
+	case lp.Unbounded:
+		return &Solution{Status: Unbounded}, nil
+	case lp.Infeasible:
+		return &Solution{Status: Infeasible}, nil
+	case lp.IterLimit:
+		return nil, fmt.Errorf("milp: simplex iteration limit at root")
+	}
+	root.bound = sol.Objective
+	rootX := sol.X
+
+	queue := &refQueue{}
+	heap.Init(queue)
+	pushNode := func(nd *refNode) { heap.Push(queue, nd) }
+
+	// Check the root before branching.
+	if j := mostFractional(rootX, p.Integer); j < 0 {
+		if sol.Objective < best-intEps {
+			return &Solution{Status: Optimal, Objective: sol.Objective, X: rootX, Nodes: 1, Bound: sol.Objective, SimplexIters: iters}, nil
+		}
+		// The root is integral but no better than the seeded incumbent.
+		return &Solution{Status: Infeasible, Objective: best, Nodes: 1, Bound: sol.Objective, SimplexIters: iters}, nil
+	}
+	pushNode(root)
+
+	nodes := 1
+	provenBound := root.bound
+	for queue.Len() > 0 && nodes < maxNodes {
+		nd := heap.Pop(queue).(*refNode)
+		provenBound = nd.bound
+		if !(nd.bound < best-intEps) {
+			// Best-first: every remaining node is at least as bad.
+			provenBound = nd.bound
+			queue = &refQueue{}
+			break
+		}
+		if opts.Gap > 0 && best < math.Inf(1) && (best-nd.bound) <= opts.Gap*math.Abs(best) {
+			break
+		}
+		// Re-solve to get the fractional solution for branching (bounds
+		// were computed when the node was created; solving again keeps
+		// node memory small: two bound slices instead of a full X).
+		sol, err := relax(nd.lower, nd.upper)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status != lp.Optimal {
+			continue
+		}
+		j := mostFractional(sol.X, p.Integer)
+		if j < 0 { // integer feasible
+			if sol.Objective < best-intEps {
+				best = sol.Objective
+				bestX = sol.X
+			}
+			continue
+		}
+		floor := math.Floor(sol.X[j])
+		for side := 0; side < 2; side++ {
+			lo := append([]float64(nil), nd.lower...)
+			hi := append([]float64(nil), nd.upper...)
+			if side == 0 {
+				hi[j] = floor
+			} else {
+				lo[j] = floor + 1
+			}
+			if lo[j] > hi[j]+intEps {
+				continue
+			}
+			child, err := relax(lo, hi)
+			if err != nil {
+				return nil, err
+			}
+			nodes++
+			if child.Status != lp.Optimal {
+				continue
+			}
+			if !(child.Objective < best-intEps) {
+				continue
+			}
+			if jj := mostFractional(child.X, p.Integer); jj < 0 {
+				if child.Objective < best-intEps {
+					best = child.Objective
+					bestX = child.X
+				}
+				continue
+			}
+			pushNode(&refNode{lower: lo, upper: hi, bound: child.Objective})
+		}
+	}
+
+	switch {
+	case bestX == nil && !opts.IncumbentSet:
+		return &Solution{Status: Infeasible, Nodes: nodes, Bound: provenBound, SimplexIters: iters}, nil
+	case bestX == nil:
+		// Nothing better than the seeded incumbent was found.
+		return &Solution{Status: Infeasible, Objective: best, Nodes: nodes, Bound: provenBound, SimplexIters: iters}, nil
+	case queue.Len() == 0:
+		return &Solution{Status: Optimal, Objective: best, X: bestX, Nodes: nodes, Bound: best, SimplexIters: iters}, nil
+	default:
+		return &Solution{Status: Feasible, Objective: best, X: bestX, Nodes: nodes, Bound: provenBound, SimplexIters: iters}, nil
+	}
+}

@@ -57,3 +57,43 @@ model_out="${3:-BENCH_MODEL.json}"
 go run ./cmd/experiments -robustness -processes 4 -tasks 40 \
     -model-bench "$model_out" > /dev/null
 echo "bench: wrote duration-model report to $model_out" >&2
+
+# MILP baseline: warm-started branch and bound versus the preserved
+# seed-era reference solver on the same knapsack instance, plus the
+# windowed lp.3 driver serial versus parallel. The warm/reference speedup
+# is the number the warm-start PR's acceptance hangs off; the
+# serial/parallel ratio only moves when the host grants more than one
+# core, so the artifact records the core count alongside it.
+milp_out="${4:-BENCH_MILP.json}"
+milp_raw="$(go test -run '^$' -bench 'MILPWarmStart|MILPReference' -benchmem -count=1 ./internal/milp/
+            go test -run '^$' -bench 'Fig7Window' -benchmem -count=1 .)"
+printf '%s\n' "$milp_raw" >&2
+printf '%s\n' "$milp_raw" | awk -v cores="$(nproc)" '
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        ns = ""; allocs = ""; nodes = ""; iters = ""
+        for (i = 2; i <= NF; i++) {
+            if ($i == "ns/op")      ns = $(i - 1)
+            if ($i == "allocs/op")  allocs = $(i - 1)
+            if ($i == "nodes/s")    nodes = $(i - 1)
+            if ($i == "iters/node") iters = $(i - 1)
+        }
+        if (ns == "") next
+        v[name] = ns
+        if (n++) printf ",\n"
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"nodes_per_sec\": %s, \"iters_per_node\": %s}", \
+            name, ns, (allocs == "" ? "null" : allocs), \
+            (nodes == "" ? "null" : nodes), (iters == "" ? "null" : iters)
+    }
+    END {
+        if (n) print ""
+        printf "  ],\n"
+        printf "  \"cores\": %s,\n", cores
+        warm = v["BenchmarkMILPWarmStart"]; ref = v["BenchmarkMILPReference"]
+        ser = v["BenchmarkFig7Window/serial"]; par = v["BenchmarkFig7Window/parallel"]
+        printf "  \"warm_vs_reference_speedup\": %s,\n", (warm > 0 && ref != "" ? ref / warm : "null")
+        printf "  \"parallel_vs_serial_speedup\": %s\n", (par > 0 && ser != "" ? ser / par : "null")
+    }
+' | { printf '{\n  "benchmarks": [\n'; cat; printf '}\n'; } > "$milp_out"
+echo "bench: wrote MILP report to $milp_out" >&2

@@ -75,6 +75,16 @@ go test -race -shuffle=on -timeout 45m ./...
 go test -race -shuffle=on -count=2 -run 'Differential|TrialMakespan|CloneCopyOnWrite|MemoryInUse' \
     ./internal/simulate/
 
+# The warm-start LP/MILP differential suite (warm solver vs the
+# preserved two-phase reference, rewritten branch and bound vs the
+# seed-era solver, and bit-identical parallel search at every worker
+# count) gets the same focused treatment: scratch reuse across
+# Snapshot/Restore and the round-parallel expansion are the newest
+# race-exposed surfaces.
+go test -race -shuffle=on -count=1 \
+    -run 'WarmStart|Resolve|MILPDifferential|MILPWorkersDeterminism|WindowedWorkersDeterminism' \
+    ./internal/lp/ ./internal/milp/ ./internal/lpsched/
+
 # Request tracing can never alter what the serving tier returns: the
 # traced-vs-untraced byte-identity tests get a second, focused run
 # (tracing off must also mean zero clock reads — the same no-op
